@@ -1,0 +1,28 @@
+//! Baseline selectivity estimators compared against in Section 4.
+//!
+//! The paper restricts its comparison to methods that, like QuadHist and
+//! PtsHist, only see the **query workload** (never the data), and that
+//! correspond to valid hypotheses (no deep-learning models that can emit
+//! inconsistent estimates):
+//!
+//! * [`Isomer`] — STHoles-style bucket drilling from query feedback with
+//!   **maximum-entropy** bucket densities [Srivastava et al., ICDE 2006;
+//!   Bruno et al., SIGMOD 2001]. Most accurate, but its bucket count and
+//!   training time blow up with the workload (48–160× the query count in
+//!   the paper's runs — it timed out beyond 200–500 queries).
+//! * [`QuickSel`] — a mixture of uniform distributions whose components
+//!   derive from the query ranges [Park et al., SIGMOD 2020]; trains a
+//!   simplex-constrained least-squares fit like Equation (8).
+//! * [`UniformBaseline`] — the textbook uniformity assumption, the
+//!   zero-training floor every learned method must beat.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod isomer;
+pub mod quicksel;
+pub mod uniform;
+
+pub use isomer::{Isomer, IsomerConfig};
+pub use quicksel::{QuickSel, QuickSelConfig};
+pub use uniform::UniformBaseline;

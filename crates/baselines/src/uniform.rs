@@ -1,0 +1,81 @@
+//! The uniformity-assumption baseline.
+//!
+//! Classic cost-based optimizers without statistics assume data is uniform
+//! over the attribute domain: `ŝ(R) = vol(R ∩ domain)/vol(domain)`. Every
+//! learned method must beat this floor on skewed data; it also equals what
+//! QuadHist/PtsHist degrade to when trained on an empty workload.
+
+use selearn_core::SelectivityEstimator;
+use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator};
+
+/// Uniform-data selectivity estimator over a domain box.
+#[derive(Clone, Debug)]
+pub struct UniformBaseline {
+    domain: Rect,
+    volume: VolumeEstimator,
+}
+
+impl UniformBaseline {
+    /// Creates the baseline over the given domain.
+    pub fn new(domain: Rect) -> Self {
+        Self {
+            domain,
+            volume: VolumeEstimator::default(),
+        }
+    }
+}
+
+impl SelectivityEstimator for UniformBaseline {
+    fn estimate(&self, range: &Range) -> f64 {
+        let dv = self.domain.volume();
+        if dv <= 0.0 {
+            return 0.0;
+        }
+        (range.intersection_volume(&self.domain, &self.volume) / dv).clamp(0.0, 1.0)
+    }
+
+    fn num_buckets(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selearn_geom::{Ball, Halfspace, Point};
+
+    #[test]
+    fn rect_fraction() {
+        let u = UniformBaseline::new(Rect::unit(2));
+        let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]).into();
+        assert!((u.estimate(&r) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfspace_fraction() {
+        let u = UniformBaseline::new(Rect::unit(2));
+        let h: Range = Halfspace::new(vec![1.0, 1.0], 1.0).into();
+        assert!((u.estimate(&h) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ball_fraction() {
+        let u = UniformBaseline::new(Rect::unit(2));
+        let b: Range = Ball::new(Point::splat(2, 0.5), 0.25).into();
+        let expected = std::f64::consts::PI * 0.0625;
+        assert!((u.estimate(&b) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_outside_domain_is_zero() {
+        let u = UniformBaseline::new(Rect::unit(2));
+        let r: Range = Ball::new(Point::new(vec![9.0, 9.0]), 0.1).into();
+        assert_eq!(u.estimate(&r), 0.0);
+        assert_eq!(u.num_buckets(), 1);
+        assert_eq!(u.name(), "Uniform");
+    }
+}

@@ -1,0 +1,75 @@
+//! Prediction-throughput benchmarks. The paper (end of Section 4.1) notes
+//! prediction time is dictated by model complexity: QuadHist/QuickSel/
+//! ISOMER compute box intersections per bucket, PtsHist does point
+//! membership tests. These benches make that trade-off measurable.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selearn_baselines::{QuickSel, QuickSelConfig};
+use selearn_core::{
+    PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, SelectivityEstimator, TrainingQuery,
+};
+use selearn_geom::{Range, Rect};
+
+fn workload(n: usize, seed: u64) -> Vec<TrainingQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.gen();
+            let cy: f64 = rng.gen();
+            let w: f64 = rng.gen::<f64>() * 0.4;
+            TrainingQuery::new(
+                Rect::new(
+                    vec![(cx - w).max(0.0), (cy - w).max(0.0)],
+                    vec![(cx + w).min(1.0), (cy + w).min(1.0)],
+                ),
+                rng.gen::<f64>() * 0.4,
+            )
+        })
+        .collect()
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let train = workload(200, 3);
+    let probes: Vec<Range> = workload(64, 4).into_iter().map(|q| q.range).collect();
+
+    let quad = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        &train,
+        800,
+        &QuadHistConfig::default(),
+    );
+    let pts = PtsHist::fit(Rect::unit(2), &train, &PtsHistConfig::with_model_size(800));
+    let qs = QuickSel::fit(Rect::unit(2), &train, &QuickSelConfig::default());
+
+    let mut g = c.benchmark_group("predict_64_queries");
+    g.bench_with_input(BenchmarkId::new("quadhist", quad.num_buckets()), &quad, |b, m| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|r| m.estimate(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("ptshist", pts.num_buckets()), &pts, |b, m| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|r| m.estimate(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("quicksel", qs.num_buckets()), &qs, |b, m| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|r| m.estimate(black_box(r)))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! QuadHist bucket-design benchmarks: Lemma A.2 says each training query
+//! visits `O(s(R)/τ · log(s(R)/(τ·vol(R))))` nodes, so construction time
+//! should grow ~linearly in `1/τ` per query — exercised here.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selearn_core::{QuadHist, QuadHistConfig, TrainingQuery};
+use selearn_geom::Rect;
+
+fn random_queries(n: usize, seed: u64) -> Vec<TrainingQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.gen();
+            let cy: f64 = rng.gen();
+            let w: f64 = rng.gen::<f64>() * 0.5;
+            TrainingQuery::new(
+                Rect::new(
+                    vec![(cx - w).max(0.0), (cy - w).max(0.0)],
+                    vec![(cx + w).min(1.0), (cy + w).min(1.0)],
+                ),
+                rng.gen::<f64>() * 0.5,
+            )
+        })
+        .collect()
+}
+
+fn bench_bucket_design(c: &mut Criterion) {
+    let queries = random_queries(200, 11);
+    let mut g = c.benchmark_group("quadtree_design");
+    for tau in [0.05f64, 0.01, 0.002] {
+        g.bench_with_input(BenchmarkId::new("tau", tau.to_string()), &tau, |b, &tau| {
+            let cfg = QuadHistConfig::with_tau(tau);
+            b.iter(|| {
+                QuadHist::design_buckets(&Rect::unit(2), black_box(&queries), &cfg).num_leaves()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bucket_design);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! End-to-end training-time benchmarks backing Figures 12, 19, 21 and 23:
+//! training time vs training-set size per estimator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selearn_baselines::{Isomer, IsomerConfig, QuickSel, QuickSelConfig};
+use selearn_core::{PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, TrainingQuery};
+use selearn_geom::Rect;
+
+fn workload(n: usize, seed: u64) -> Vec<TrainingQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.gen();
+            let cy: f64 = rng.gen();
+            let w: f64 = rng.gen::<f64>() * 0.4;
+            TrainingQuery::new(
+                Rect::new(
+                    vec![(cx - w).max(0.0), (cy - w).max(0.0)],
+                    vec![(cx + w).min(1.0), (cy + w).min(1.0)],
+                ),
+                rng.gen::<f64>() * 0.4,
+            )
+        })
+        .collect()
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_time");
+    g.sample_size(10);
+    for n in [50usize, 200] {
+        let train = workload(n, 9);
+        g.bench_with_input(BenchmarkId::new("quadhist", n), &train, |b, t| {
+            b.iter(|| {
+                QuadHist::fit_with_bucket_target(
+                    Rect::unit(2),
+                    black_box(t),
+                    4 * t.len(),
+                    &QuadHistConfig::default(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ptshist", n), &train, |b, t| {
+            b.iter(|| {
+                PtsHist::fit(
+                    Rect::unit(2),
+                    black_box(t),
+                    &PtsHistConfig::with_model_size(4 * t.len()),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quicksel", n), &train, |b, t| {
+            b.iter(|| QuickSel::fit(Rect::unit(2), black_box(t), &QuickSelConfig::default()))
+        });
+        if n <= 50 {
+            g.bench_with_input(BenchmarkId::new("isomer", n), &train, |b, t| {
+                b.iter(|| Isomer::fit(Rect::unit(2), black_box(t), &IsomerConfig::default()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Micro-benchmarks for intersection-volume computation — the inner loop
+//! of Equation (6) that dominates QuadHist training and prediction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use selearn_geom::{Ball, Halfspace, Point, Rect, VolumeEstimator};
+
+fn bench_volume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volume");
+
+    let cell = Rect::new(vec![0.2, 0.3], vec![0.7, 0.9]);
+    let query = Rect::new(vec![0.1, 0.1], vec![0.6, 0.8]);
+    g.bench_function("rect_rect_2d", |b| {
+        b.iter(|| black_box(&query).intersection_volume(black_box(&cell)))
+    });
+
+    for d in [2usize, 5, 10] {
+        let h = Halfspace::new((0..d).map(|i| 0.3 + 0.1 * i as f64).collect(), 0.8);
+        let cube = Rect::unit(d);
+        g.bench_function(format!("halfspace_irwin_hall_{d}d"), |b| {
+            b.iter(|| black_box(&h).intersection_volume(black_box(&cube)))
+        });
+    }
+
+    let ball2 = Ball::new(Point::splat(2, 0.5), 0.35);
+    let cube2 = Rect::unit(2);
+    let est = VolumeEstimator::default();
+    g.bench_function("ball_simpson_2d", |b| {
+        b.iter(|| black_box(&ball2).intersection_volume(black_box(&cube2), &est))
+    });
+
+    let ball5 = Ball::new(Point::splat(5, 0.5), 0.35);
+    let cube5 = Rect::unit(5);
+    for samples in [1024usize, 4096] {
+        let est = VolumeEstimator::qmc(samples);
+        g.bench_function(format!("ball_qmc_5d_{samples}"), |b| {
+            b.iter(|| black_box(&ball5).intersection_volume(black_box(&cube5), &est))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_volume);
+criterion_main!(benches);

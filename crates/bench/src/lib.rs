@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of Section 4.
+//!
+//! The binary `experiments` (`cargo run -p selearn-bench --release --bin
+//! experiments -- <id>|all [--quick]`) regenerates each artifact as a CSV
+//! under `results/` plus a rendered text table on stdout; EXPERIMENTS.md
+//! records paper-vs-measured shapes. Criterion benches under `benches/`
+//! cover the timing-sensitive micro-operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    gen_workload, label_row, run_methods, AccuracyRow, ExperimentScale, Method,
+};
+pub use table::{render_table, write_csv};

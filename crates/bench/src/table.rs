@@ -1,0 +1,103 @@
+//! CSV output and plain-text table rendering for experiment results.
+
+use std::fs;
+use std::path::Path;
+
+/// Writes rows (already stringified) as a CSV file with the given header,
+/// creating parent directories as needed.
+pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out).expect("write csv");
+}
+
+/// Renders rows as an aligned plain-text table.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut s = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    s.push_str(&fmt_row(&header_cells, &widths));
+    s.push('\n');
+    s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    s.push('\n');
+    for row in rows {
+        s.push_str(&fmt_row(row, &widths));
+        s.push('\n');
+    }
+    s
+}
+
+/// Formats a float with 4 significant decimals for CSV cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("selearn_table_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "v"],
+            &[
+                vec!["x".into(), "1.5".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.12345), "0.1235"); // rounds half up
+        assert_eq!(f(1234.5), "1234.5");
+    }
+}

@@ -1,0 +1,78 @@
+//! The estimator interface shared by all learned models.
+
+use selearn_geom::Range;
+
+/// One training example `z = (R, s)`: a query range and its observed
+/// selectivity. The agnostic-learning model (Section 2.1) does *not*
+/// require `s = s_D(R)` for any real distribution `D` — labels may be
+/// noisy; the learner just minimizes empirical loss over its family.
+#[derive(Clone, Debug)]
+pub struct TrainingQuery {
+    /// The query range.
+    pub range: Range,
+    /// Observed selectivity in `[0, 1]`.
+    pub selectivity: f64,
+}
+
+impl TrainingQuery {
+    /// Convenience constructor.
+    pub fn new(range: impl Into<Range>, selectivity: f64) -> Self {
+        Self {
+            range: range.into(),
+            selectivity,
+        }
+    }
+}
+
+/// A trained selectivity estimator: a concrete distribution `D` from the
+/// model family, queried through its selectivity function `s_D`.
+pub trait SelectivityEstimator {
+    /// Estimated selectivity `ŝ(R) ∈ [0, 1]`.
+    fn estimate(&self, range: &Range) -> f64;
+
+    /// Model complexity: the number of buckets (histogram cells or support
+    /// points). This is the x-axis of Figure 9 and the y-axis of Figure 10.
+    fn num_buckets(&self) -> usize;
+
+    /// Human-readable model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Batch estimation.
+    fn estimate_all(&self, ranges: &[Range]) -> Vec<f64> {
+        ranges.iter().map(|r| self.estimate(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selearn_geom::Rect;
+
+    struct Constant(f64);
+    impl SelectivityEstimator for Constant {
+        fn estimate(&self, _r: &Range) -> f64 {
+            self.0
+        }
+        fn num_buckets(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn batch_default_impl() {
+        let c = Constant(0.25);
+        let ranges: Vec<Range> = vec![Rect::unit(2).into(), Rect::unit(2).into()];
+        assert_eq!(c.estimate_all(&ranges), vec![0.25, 0.25]);
+        assert_eq!(c.name(), "const");
+        assert_eq!(c.num_buckets(), 1);
+    }
+
+    #[test]
+    fn training_query_constructor() {
+        let q = TrainingQuery::new(Rect::unit(2), 0.4);
+        assert_eq!(q.selectivity, 0.4);
+    }
+}

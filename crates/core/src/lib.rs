@@ -1,0 +1,53 @@
+//! Learned selectivity estimation — the paper's core contribution.
+//!
+//! This crate implements Section 3 of *"Selectivity Functions of Range
+//! Queries are Learnable"* (SIGMOD 2022): generic query-driven estimators
+//! that see only a workload of `(range, selectivity)` pairs — never the
+//! data — and learn a distribution whose selectivity function minimizes
+//! the empirical loss.
+//!
+//! Every estimator follows the paper's two-phase recipe:
+//!
+//! 1. **Bucket design** — choose regions (histogram buckets) or points
+//!    (discrete-distribution support):
+//!    * [`QuadHist`] (Section 3.2): quadtree partitioning guided by query
+//!      geometry and selectivity, for low dimensions;
+//!    * [`PtsHist`] (Section 3.3): points sampled from query interiors
+//!      proportionally to selectivity, for high dimensions;
+//!    * [`ArrangementHist`] (Section 3.1): the exact arrangement-based
+//!      procedure whose optimality Lemma 3.1 proves.
+//! 2. **Weight estimation** ([`weights`]) — solve the simplex-constrained
+//!    least-squares program of Equation (8) (or its `L∞` variant,
+//!    Section 4.6) for bucket masses.
+//!
+//! All models implement [`SelectivityEstimator`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrangement_hist;
+pub mod cdf1d;
+pub mod estimator;
+pub mod gausshist;
+pub mod online;
+pub mod persist;
+pub mod ptshist;
+pub mod quadhist;
+pub mod quadtree;
+pub mod weights;
+
+/// Geometric tolerance used by quadtree reconstruction.
+pub(crate) fn quadtree_eps() -> f64 {
+    1e-12
+}
+
+pub use arrangement_hist::{ArrangementHist, ArrangementHistConfig};
+pub use cdf1d::{Cdf1D, Cdf1DConfig};
+pub use estimator::{SelectivityEstimator, TrainingQuery};
+pub use gausshist::{GaussHist, GaussHistConfig};
+pub use online::OnlineQuadHist;
+pub use persist::{load_ptshist, load_quadhist, save_ptshist, save_quadhist, PersistError};
+pub use ptshist::{PtsHist, PtsHistConfig};
+pub use quadhist::{QuadHist, QuadHistConfig};
+pub use quadtree::QuadTree;
+pub use weights::{estimate_weights, Objective, WeightSolver};

@@ -1,0 +1,290 @@
+//! Online (incremental) learned selectivity estimation.
+//!
+//! The query-driven setting is naturally *streaming*: every executed query
+//! returns its true cardinality as free feedback (this is how STHoles and
+//! ISOMER were deployed). QuadHist's bucket design is already incremental
+//! — Algorithm 1 processes queries one at a time and Lemma A.4 guarantees
+//! the partition never depends on arrival order — so an online wrapper
+//! only has to (a) refine the tree per observation and (b) decide when to
+//! re-run the weight-estimation phase.
+//!
+//! [`OnlineQuadHist`] refits weights lazily: estimates are served from the
+//! last fitted weights until `refit_every` new observations accumulate (or
+//! [`OnlineQuadHist::refit`] is called). Between refits, freshly created
+//! leaves inherit their parent's mass proportionally to volume, so
+//! estimates remain a valid distribution at all times.
+
+use crate::estimator::{SelectivityEstimator, TrainingQuery};
+use crate::quadhist::{update_quad, QuadHist, QuadHistConfig};
+use crate::quadtree::{QuadTree, ROOT};
+use crate::weights::estimate_weights;
+use selearn_geom::{Range, RangeQuery, Rect, EPS};
+use selearn_solver::DenseMatrix;
+
+/// An incrementally trained QuadHist.
+#[derive(Clone, Debug)]
+pub struct OnlineQuadHist {
+    config: QuadHistConfig,
+    root: Rect,
+    tree: QuadTree,
+    /// Weight per node; kept distribution-valid between refits by pushing
+    /// mass down to new leaves on split.
+    node_weight: Vec<f64>,
+    history: Vec<TrainingQuery>,
+    observed_since_refit: usize,
+    refit_every: usize,
+}
+
+impl OnlineQuadHist {
+    /// Creates an empty online estimator over the data space `root` that
+    /// re-runs weight estimation every `refit_every` observations.
+    pub fn new(root: Rect, config: QuadHistConfig, refit_every: usize) -> Self {
+        assert!(refit_every > 0, "refit interval must be positive");
+        let tree = QuadTree::new(root.clone());
+        Self {
+            config,
+            root,
+            node_weight: vec![1.0; 1], // single leaf carries all mass
+            tree,
+            history: Vec::new(),
+            observed_since_refit: 0,
+            refit_every,
+        }
+    }
+
+    /// Ingests one piece of query feedback: refines the partition
+    /// (Algorithm 2) and schedules a weight refit.
+    pub fn observe(&mut self, feedback: TrainingQuery) {
+        let nodes_before = self.tree.num_nodes();
+        let vol_r = feedback.range.volume_in(&self.root, &self.config.volume);
+        if vol_r > EPS {
+            update_quad(
+                &mut self.tree,
+                ROOT,
+                &feedback.range,
+                feedback.selectivity,
+                vol_r,
+                &self.config,
+            );
+        }
+        // keep the interim weights a valid distribution: push split mass
+        // down to children proportionally to volume
+        if self.tree.num_nodes() > nodes_before {
+            self.node_weight.resize(self.tree.num_nodes(), 0.0);
+            for id in 0..nodes_before {
+                if !self.tree.is_leaf(id) && self.node_weight[id] > 0.0 {
+                    let w = std::mem::take(&mut self.node_weight[id]);
+                    let total: f64 = self
+                        .tree
+                        .children(id)
+                        .map(|c| self.tree.rect(c).volume())
+                        .sum();
+                    let kids: Vec<_> = self.tree.children(id).collect();
+                    for c in kids {
+                        let share = if total > 0.0 {
+                            self.tree.rect(c).volume() / total
+                        } else {
+                            0.0
+                        };
+                        self.node_weight[c] += w * share;
+                    }
+                }
+            }
+            // repeat for freshly created internal nodes (deep splits)
+            for id in nodes_before..self.tree.num_nodes() {
+                if !self.tree.is_leaf(id) && self.node_weight[id] > 0.0 {
+                    let w = std::mem::take(&mut self.node_weight[id]);
+                    let kids: Vec<_> = self.tree.children(id).collect();
+                    let total: f64 = kids.iter().map(|&c| self.tree.rect(c).volume()).sum();
+                    for c in kids {
+                        let share = if total > 0.0 {
+                            self.tree.rect(c).volume() / total
+                        } else {
+                            0.0
+                        };
+                        self.node_weight[c] += w * share;
+                    }
+                }
+            }
+        }
+        self.history.push(feedback);
+        self.observed_since_refit += 1;
+        if self.observed_since_refit >= self.refit_every {
+            self.refit();
+        }
+    }
+
+    /// Re-runs the weight-estimation phase (Equation 8) over the full
+    /// observation history on the current partition.
+    pub fn refit(&mut self) {
+        self.observed_since_refit = 0;
+        let leaves = self.tree.leaves();
+        if leaves.is_empty() || self.history.is_empty() {
+            return;
+        }
+        let mut a = DenseMatrix::zeros(0, 0);
+        let mut s = Vec::with_capacity(self.history.len());
+        for q in &self.history {
+            let row: Vec<f64> = leaves
+                .iter()
+                .map(|&leaf| {
+                    let cell = self.tree.rect(leaf);
+                    let cv = cell.volume();
+                    if cv <= EPS {
+                        0.0
+                    } else {
+                        (q.range.intersection_volume(cell, &self.config.volume) / cv)
+                            .clamp(0.0, 1.0)
+                    }
+                })
+                .collect();
+            a.push_row(&row);
+            s.push(q.selectivity);
+        }
+        let w = estimate_weights(&a, &s, &self.config.objective, &self.config.solver);
+        self.node_weight = vec![0.0; self.tree.num_nodes()];
+        for (k, &leaf) in leaves.iter().enumerate() {
+            self.node_weight[leaf] = w[k];
+        }
+    }
+
+    /// Number of feedback records ingested so far.
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Converts into a frozen batch model (refitting first).
+    pub fn freeze(mut self) -> QuadHist {
+        self.refit();
+        QuadHist::fit(self.root, &self.history, &self.config)
+    }
+}
+
+impl SelectivityEstimator for OnlineQuadHist {
+    fn estimate(&self, range: &Range) -> f64 {
+        let Some(bbox) = range.bounding_box(&self.root) else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        self.tree.for_each_leaf_intersecting(&bbox, |id, cell| {
+            let w = self.node_weight[id];
+            if w <= 0.0 {
+                return;
+            }
+            let cv = cell.volume();
+            if cv <= EPS {
+                return;
+            }
+            let frac = range.intersection_volume(cell, &self.config.volume) / cv;
+            total += frac.clamp(0.0, 1.0) * w;
+        });
+        total.clamp(0.0, 1.0)
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.tree.num_leaves()
+    }
+
+    fn name(&self) -> &'static str {
+        "OnlineQuadHist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tq(lo: Vec<f64>, hi: Vec<f64>, s: f64) -> TrainingQuery {
+        TrainingQuery::new(Rect::new(lo, hi), s)
+    }
+
+    fn stream() -> Vec<TrainingQuery> {
+        vec![
+            tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.6),
+            tq(vec![0.25, 0.25], vec![0.9, 0.9], 0.35),
+            tq(vec![0.6, 0.1], vec![0.95, 0.45], 0.2),
+            tq(vec![0.1, 0.55], vec![0.4, 0.95], 0.15),
+            tq(vec![0.0, 0.0], vec![0.25, 0.25], 0.3),
+            tq(vec![0.5, 0.5], vec![1.0, 1.0], 0.25),
+        ]
+    }
+
+    #[test]
+    fn mass_stays_valid_without_refit() {
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.02), 1000);
+        for q in stream() {
+            m.observe(q);
+            // interim estimates remain a distribution: whole space ≈ 1
+            let all: Range = Rect::unit(2).into();
+            let e = m.estimate(&all);
+            assert!((e - 1.0).abs() < 1e-6, "mass drifted to {e}");
+        }
+    }
+
+    #[test]
+    fn refit_matches_batch_partition() {
+        // After observing the full stream and refitting, the online model
+        // must agree with the batch model (same τ, same queries) — a
+        // consequence of Lemma A.4 plus shared weight estimation.
+        let cfg = QuadHistConfig::with_tau(0.02);
+        let mut online = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 1);
+        for q in stream() {
+            online.observe(q);
+        }
+        let batch = QuadHist::fit(Rect::unit(2), &stream(), &cfg);
+        assert_eq!(online.num_buckets(), batch.num_buckets());
+        for q in stream() {
+            let a = online.estimate(&q.range);
+            let b = batch.estimate(&q.range);
+            assert!((a - b).abs() < 1e-5, "online {a} vs batch {b}");
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_along_the_stream() {
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.02), 2);
+        let qs = stream();
+        let probe = &qs[0];
+        let mut err_first = None;
+        for q in &qs {
+            m.observe(q.clone());
+            let e = (m.estimate(&probe.range) - 0.6f64).abs();
+            err_first.get_or_insert(e);
+        }
+        m.refit();
+        let final_err = (m.estimate(&probe.range) - 0.6f64).abs();
+        assert!(final_err <= err_first.unwrap() + 1e-9);
+        assert!(final_err < 0.05, "final error {final_err}");
+        assert_eq!(m.observations(), qs.len());
+    }
+
+    #[test]
+    fn freeze_produces_equivalent_batch_model() {
+        let cfg = QuadHistConfig::with_tau(0.05);
+        let mut online = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 3);
+        for q in stream() {
+            online.observe(q);
+        }
+        let frozen = online.freeze();
+        let batch = QuadHist::fit(Rect::unit(2), &stream(), &cfg);
+        assert_eq!(frozen.num_buckets(), batch.num_buckets());
+    }
+
+    #[test]
+    fn empty_online_model_is_uniform() {
+        let m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::default(), 10);
+        let half: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 1.0]).into();
+        assert!((m.estimate(&half) - 0.5).abs() < 1e-9);
+        assert_eq!(m.num_buckets(), 1);
+        assert_eq!(m.name(), "OnlineQuadHist");
+    }
+
+    #[test]
+    fn degenerate_feedback_is_tolerated() {
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::default(), 2);
+        m.observe(tq(vec![0.3, 0.0], vec![0.3, 1.0], 0.2)); // zero volume
+        m.observe(tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5));
+        let all: Range = Rect::unit(2).into();
+        assert!((m.estimate(&all) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,558 @@
+//! QuadHist — the quadtree-partitioned histogram of Section 3.2.
+//!
+//! Bucket design follows Algorithms 1–2 (Appendix A.1): starting from a
+//! single bucket spanning the data space, each training query `(R, s)`
+//! recursively splits every node `u` whose estimated density contribution
+//! `vol(u ∩ R)/vol(R) · s` exceeds a threshold `τ` — so the partition ends
+//! up finer exactly where queries and data are denser. The resulting
+//! partition is **order-independent** (Lemma A.4) and the node-visit cost
+//! per query is `O(s(R)/τ · log(s(R)/(τ·vol(R))))` (Lemma A.2).
+//!
+//! Weights then come from the shared estimation phase (Equation 8), and
+//! prediction applies Equation (6) via a pruned tree traversal.
+
+use crate::estimator::{SelectivityEstimator, TrainingQuery};
+use crate::quadtree::{NodeId, QuadTree, ROOT};
+use crate::weights::{estimate_weights, Objective, WeightSolver};
+use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
+use selearn_solver::DenseMatrix;
+
+/// QuadHist configuration.
+#[derive(Clone, Debug)]
+pub struct QuadHistConfig {
+    /// Split threshold `τ ∈ (0, 1)`: smaller values produce finer
+    /// partitions (more buckets). Figure 9 sweeps this knob.
+    pub tau: f64,
+    /// Hard cap on the number of leaves (`0` = unlimited). The paper:
+    /// "we can control the model size k by varying τ or adding a hard
+    /// termination condition on the number of leaves".
+    pub max_leaves: usize,
+    /// Training objective (Section 4.6).
+    pub objective: Objective,
+    /// Weight solver.
+    pub solver: WeightSolver,
+    /// Volume backend for non-rectangular queries.
+    pub volume: VolumeEstimator,
+}
+
+impl Default for QuadHistConfig {
+    fn default() -> Self {
+        Self {
+            tau: 0.01,
+            max_leaves: 0,
+            objective: Objective::L2,
+            solver: WeightSolver::Fista,
+            volume: VolumeEstimator::default(),
+        }
+    }
+}
+
+impl QuadHistConfig {
+    /// Config with a given `τ`.
+    pub fn with_tau(tau: f64) -> Self {
+        Self {
+            tau,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the leaf cap.
+    pub fn max_leaves(mut self, cap: usize) -> Self {
+        self.max_leaves = cap;
+        self
+    }
+
+    /// Sets the objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the weight solver.
+    pub fn solver(mut self, solver: WeightSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+/// A trained QuadHist model: a quadtree partition plus a weight per leaf.
+#[derive(Clone, Debug)]
+pub struct QuadHist {
+    tree: QuadTree,
+    /// Weight per node id; nonzero only at leaves.
+    node_weight: Vec<f64>,
+    num_leaves: usize,
+    volume: VolumeEstimator,
+}
+
+impl QuadHist {
+    /// Trains a QuadHist over the data space `root` from a workload.
+    ///
+    /// Training queries whose clipped volume is (numerically) zero cannot
+    /// drive volume-based refinement and are skipped during bucket design,
+    /// but still participate in weight estimation.
+    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &QuadHistConfig) -> Self {
+        let tree = Self::design_buckets(&root, queries, config);
+        Self::fit_weights(tree, queries, config)
+    }
+
+    /// Trains a QuadHist whose bucket count approaches (but never exceeds)
+    /// `target` by bisecting `τ` — the paper's experiments peg the model
+    /// size to `4×` the training-query count this way (Section 4.1).
+    pub fn fit_with_bucket_target(
+        root: Rect,
+        queries: &[TrainingQuery],
+        target: usize,
+        config: &QuadHistConfig,
+    ) -> Self {
+        assert!(target >= 1, "bucket target must be positive");
+        // Bisect log τ: leaf count is monotone nonincreasing in τ. Leaf
+        // counts move in jumps (each split adds 2^d − 1 leaves at once), so
+        // an exact hit may not exist; we land on the finest τ *above* the
+        // target and let the hard cap trim the partition to ≤ target.
+        let mut lo = 1e-7f64.ln(); // finest (most leaves)
+        let mut hi = 0.5f64.ln(); // coarsest (fewest leaves)
+        // "saturated" = the cap is what stopped refinement, so the count
+        // sits within one split of the target.
+        let saturated = target.saturating_sub((1usize << root.dim()) - 1).max(1);
+        let probe = |tau: f64| {
+            let mut cand = config.clone();
+            cand.tau = tau;
+            cand.max_leaves = target;
+            Self::design_buckets(&root, queries, &cand).num_leaves()
+        };
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            if probe(mid.exp()) >= saturated {
+                lo = mid; // still saturated → τ can be coarser
+            } else {
+                hi = mid; // under target → τ must get finer
+            }
+        }
+        let mut best = config.clone();
+        // lo is the finest-known saturating τ (or the fine end if the
+        // workload cannot drive `target` leaves at any τ).
+        best.tau = lo.exp().min(0.5);
+        best.max_leaves = target;
+        Self::fit(root, queries, &best)
+    }
+
+    /// Phase 1 only: the bucket-design pass (Algorithm 1), exposed for
+    /// calibration and benchmarking.
+    pub fn design_buckets(
+        root: &Rect,
+        queries: &[TrainingQuery],
+        config: &QuadHistConfig,
+    ) -> QuadTree {
+        assert!(
+            config.tau > 0.0 && config.tau < 1.0,
+            "tau must be in (0, 1)"
+        );
+        let mut tree = QuadTree::new(root.clone());
+        for q in queries {
+            let vol_r = q.range.volume_in(root, &config.volume);
+            if vol_r <= EPS {
+                continue;
+            }
+            update_quad(
+                &mut tree,
+                ROOT,
+                &q.range,
+                q.selectivity,
+                vol_r,
+                config,
+            );
+        }
+        tree
+    }
+
+    /// Phase 2 only: weight estimation over an existing partition.
+    fn fit_weights(tree: QuadTree, queries: &[TrainingQuery], config: &QuadHistConfig) -> Self {
+
+        // Phase 2: weight estimation (Equation 8) over the leaf buckets.
+        let leaves = tree.leaves();
+        let mut a = DenseMatrix::zeros(0, 0);
+        let mut s = Vec::with_capacity(queries.len());
+        for q in queries {
+            let mut row = Vec::with_capacity(leaves.len());
+            for &leaf in &leaves {
+                let cell = tree.rect(leaf);
+                let cv = cell.volume();
+                let frac = if cv <= EPS {
+                    0.0
+                } else {
+                    q.range.intersection_volume(cell, &config.volume) / cv
+                };
+                row.push(frac.clamp(0.0, 1.0));
+            }
+            a.push_row(&row);
+            s.push(q.selectivity);
+        }
+        let w = if leaves.is_empty() {
+            Vec::new()
+        } else if a.rows() == 0 {
+            vec![1.0 / leaves.len() as f64; leaves.len()]
+        } else {
+            estimate_weights(&a, &s, &config.objective, &config.solver)
+        };
+
+        let mut node_weight = vec![0.0; tree.num_nodes()];
+        for (k, &leaf) in leaves.iter().enumerate() {
+            node_weight[leaf] = w[k];
+        }
+        Self {
+            num_leaves: leaves.len(),
+            tree,
+            node_weight,
+            volume: config.volume.clone(),
+        }
+    }
+
+    /// The underlying partition tree.
+    pub fn tree(&self) -> &QuadTree {
+        &self.tree
+    }
+
+    /// The data-space box the model was trained over.
+    pub fn root(&self) -> &Rect {
+        self.tree.rect(ROOT)
+    }
+
+    /// Reconstructs a model from its bucket dump (`(leaf box, weight)`
+    /// pairs as produced by [`QuadHist::buckets`]) — the inverse used when
+    /// loading persisted models.
+    ///
+    /// # Panics
+    /// Panics if the boxes do not form a quadtree partition of `root`.
+    pub fn from_buckets(root: Rect, buckets: &[(Rect, f64)], volume: VolumeEstimator) -> Self {
+        let leaf_boxes: Vec<Rect> = buckets.iter().map(|(r, _)| r.clone()).collect();
+        let tree = QuadTree::from_leaf_boxes(root, &leaf_boxes);
+        let mut node_weight = vec![0.0; tree.num_nodes()];
+        let leaves = tree.leaves();
+        assert_eq!(
+            leaves.len(),
+            buckets.len(),
+            "bucket list does not match the reconstructed partition"
+        );
+        for &leaf in &leaves {
+            let cell = tree.rect(leaf);
+            let (_, w) = buckets
+                .iter()
+                .find(|(r, _)| {
+                    r.lo()
+                        .iter()
+                        .zip(cell.lo())
+                        .all(|(a, b)| (a - b).abs() < 1e-9)
+                        && r.hi()
+                            .iter()
+                            .zip(cell.hi())
+                            .all(|(a, b)| (a - b).abs() < 1e-9)
+                })
+                .expect("every reconstructed leaf must appear in the dump");
+            node_weight[leaf] = *w;
+        }
+        Self {
+            num_leaves: leaves.len(),
+            tree,
+            node_weight,
+            volume,
+        }
+    }
+
+    /// `(bucket, weight)` pairs, for introspection (Figure 7 renders these).
+    pub fn buckets(&self) -> Vec<(Rect, f64)> {
+        self.tree
+            .leaves()
+            .into_iter()
+            .map(|l| (self.tree.rect(l).clone(), self.node_weight[l]))
+            .collect()
+    }
+}
+
+/// Algorithm 2 (UpdateQuad): recursively refine under a training query.
+pub(crate) fn update_quad(
+    tree: &mut QuadTree,
+    node: NodeId,
+    range: &Range,
+    selectivity: f64,
+    vol_r: f64,
+    config: &QuadHistConfig,
+) {
+    let cell = tree.rect(node).clone();
+    let p = range.intersection_volume(&cell, &config.volume) / vol_r * selectivity;
+    if p <= config.tau {
+        return;
+    }
+    if tree.is_leaf(node) {
+        let fanout = 1usize << tree.dim();
+        let within_cap = config.max_leaves == 0
+            || tree.num_leaves() + fanout - 1 <= config.max_leaves;
+        if !within_cap {
+            return;
+        }
+        // guard against unbounded recursion on pathologically tiny cells
+        if cell.volume() <= 1e-15 {
+            return;
+        }
+        tree.split(node);
+    }
+    let children: Vec<NodeId> = tree.children(node).collect();
+    for c in children {
+        update_quad(tree, c, range, selectivity, vol_r, config);
+    }
+}
+
+impl SelectivityEstimator for QuadHist {
+    fn estimate(&self, range: &Range) -> f64 {
+        let root = self.tree.rect(ROOT);
+        let Some(bbox) = range.bounding_box(root) else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        self.tree.for_each_leaf_intersecting(&bbox, |id, cell| {
+            let w = self.node_weight[id];
+            if w <= 0.0 {
+                return;
+            }
+            let cv = cell.volume();
+            if cv <= EPS {
+                return;
+            }
+            let frac = range.intersection_volume(cell, &self.volume) / cv;
+            total += frac.clamp(0.0, 1.0) * w;
+        });
+        total.clamp(0.0, 1.0)
+    }
+
+    fn num_buckets(&self) -> usize {
+        self.num_leaves
+    }
+
+    fn name(&self) -> &'static str {
+        "QuadHist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selearn_geom::{Ball, Halfspace, Point};
+
+    fn tq(lo: Vec<f64>, hi: Vec<f64>, s: f64) -> TrainingQuery {
+        TrainingQuery::new(Rect::new(lo, hi), s)
+    }
+
+    #[test]
+    fn no_queries_uniform_model() {
+        let qh = QuadHist::fit(Rect::unit(2), &[], &QuadHistConfig::default());
+        assert_eq!(qh.num_buckets(), 1);
+        let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]).into();
+        // single uniform bucket: estimate = covered fraction = 0.25
+        assert!((qh.estimate(&r) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_dense_regions() {
+        // A small, dense query forces refinement near it.
+        let queries = vec![tq(vec![0.0, 0.0], vec![0.25, 0.25], 0.9)];
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        assert!(qh.num_buckets() > 1, "expected refinement");
+        // the learned model reproduces the training selectivity well
+        let est = qh.estimate(&queries[0].range);
+        assert!((est - 0.9).abs() < 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn order_independence_lemma_a4() {
+        // Lemma A.4: the partition is invariant under query reordering.
+        let queries = vec![
+            tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.6),
+            tq(vec![0.25, 0.25], vec![0.9, 0.9], 0.3),
+            tq(vec![0.6, 0.1], vec![0.95, 0.45], 0.25),
+            tq(vec![0.1, 0.55], vec![0.4, 0.95], 0.15),
+        ];
+        let cfg = QuadHistConfig::with_tau(0.02);
+        let a = QuadHist::fit(Rect::unit(2), &queries, &cfg);
+        let mut rev = queries.clone();
+        rev.reverse();
+        let b = QuadHist::fit(Rect::unit(2), &rev, &cfg);
+        let mut ra: Vec<String> = a
+            .buckets()
+            .iter()
+            .map(|(r, _)| format!("{:?}", r))
+            .collect();
+        let mut rb: Vec<String> = b
+            .buckets()
+            .iter()
+            .map(|(r, _)| format!("{:?}", r))
+            .collect();
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb, "partition depends on insertion order");
+    }
+
+    #[test]
+    fn smaller_tau_more_buckets() {
+        let queries = vec![
+            tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.7),
+            tq(vec![0.4, 0.4], vec![0.9, 0.9], 0.3),
+        ];
+        let coarse = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.2),
+        );
+        let fine = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.01),
+        );
+        assert!(fine.num_buckets() > coarse.num_buckets());
+    }
+
+    #[test]
+    fn leaf_cap_respected() {
+        let queries = vec![tq(vec![0.0, 0.0], vec![0.1, 0.1], 0.99)];
+        let cfg = QuadHistConfig::with_tau(0.001).max_leaves(16);
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &cfg);
+        assert!(qh.num_buckets() <= 16, "{} leaves", qh.num_buckets());
+    }
+
+    #[test]
+    fn weights_form_distribution() {
+        let queries = vec![
+            tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.8),
+            tq(vec![0.5, 0.5], vec![1.0, 1.0], 0.1),
+        ];
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        let total: f64 = qh.buckets().iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-6, "total mass {total}");
+        assert!(qh.buckets().iter().all(|(_, w)| *w >= -1e-9));
+    }
+
+    #[test]
+    fn disjoint_queries_fit_exactly() {
+        // Two disjoint quadrant queries with complementary mass.
+        let queries = vec![
+            tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.75),
+            tq(vec![0.5, 0.5], vec![1.0, 1.0], 0.25),
+        ];
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        assert!((qh.estimate(&queries[0].range) - 0.75).abs() < 1e-3);
+        assert!((qh.estimate(&queries[1].range) - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn estimate_clamped_to_unit_interval() {
+        let queries = vec![tq(vec![0.0, 0.0], vec![1.0, 1.0], 1.0)];
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default());
+        let r: Range = Rect::unit(2).into();
+        let est = qh.estimate(&r);
+        assert!((0.0..=1.0).contains(&est));
+        assert!((est - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn query_outside_root_estimates_zero() {
+        let queries = vec![tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5)];
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default());
+        let outside: Range = Ball::new(Point::new(vec![5.0, 5.0]), 0.1).into();
+        assert_eq!(qh.estimate(&outside), 0.0);
+    }
+
+    #[test]
+    fn works_with_halfspace_queries() {
+        let h = Halfspace::new(vec![1.0, 1.0], 1.0);
+        let queries = vec![TrainingQuery::new(h.clone(), 0.5)];
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        let est = qh.estimate(&Range::Halfspace(h));
+        assert!((est - 0.5).abs() < 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn works_with_ball_queries() {
+        let b = Ball::new(Point::splat(2, 0.5), 0.3);
+        let queries = vec![TrainingQuery::new(b.clone(), 0.4)];
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &queries,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        let est = qh.estimate(&Range::Ball(b));
+        assert!((est - 0.4).abs() < 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn degenerate_volume_query_skipped_in_design() {
+        // zero-volume query can't drive refinement but must not crash
+        let queries = vec![TrainingQuery::new(
+            Rect::new(vec![0.3, 0.0], vec![0.3, 1.0]),
+            0.2,
+        )];
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default());
+        assert_eq!(qh.num_buckets(), 1);
+    }
+
+    #[test]
+    fn bucket_target_calibration() {
+        let queries: Vec<TrainingQuery> = (0..12)
+            .map(|i| {
+                let t = i as f64 / 16.0;
+                tq(vec![t, t], vec![(t + 0.3).min(1.0), (t + 0.3).min(1.0)], 0.2)
+            })
+            .collect();
+        for target in [8usize, 32, 64] {
+            let qh = QuadHist::fit_with_bucket_target(
+                Rect::unit(2),
+                &queries,
+                target,
+                &QuadHistConfig::default(),
+            );
+            assert!(
+                qh.num_buckets() <= target,
+                "target {target}, got {}",
+                qh.num_buckets()
+            );
+            // we should also get reasonably close to the target from below
+            assert!(
+                qh.num_buckets() * 6 >= target,
+                "target {target}, got only {}",
+                qh.num_buckets()
+            );
+        }
+    }
+
+    #[test]
+    fn figure6_style_refinement_depth() {
+        // A query with selectivity 0.2 and τ = 0.026 splits until the
+        // per-cell density estimate drops below τ (compare Figure 6).
+        let q = tq(vec![0.1, 0.1], vec![0.6, 0.35], 0.2);
+        let vol_r = 0.5 * 0.25;
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            std::slice::from_ref(&q),
+            &QuadHistConfig::with_tau(0.026),
+        );
+        // every leaf must satisfy the stopping rule of Algorithm 2
+        for (cell, _) in qh.buckets() {
+            let p = q.range.intersection_volume(&cell, &VolumeEstimator::default()) / vol_r * 0.2;
+            assert!(p <= 0.026 + 1e-9, "leaf violates stopping rule: p = {p}");
+        }
+    }
+}

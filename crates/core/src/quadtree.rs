@@ -1,0 +1,262 @@
+//! A `2^d`-ary space-partitioning tree (quadtree / octree / …).
+//!
+//! QuadHist's bucket-design phase (Algorithm 1) incrementally refines this
+//! tree; its leaves become the histogram buckets. The tree also doubles as
+//! the search structure for prediction — the paper notes (Section 3.2,
+//! third remark) that the quadtree "doubles up as a convenient data
+//! structure for speeding up" range operations.
+
+use selearn_geom::Rect;
+
+#[derive(Clone, Debug)]
+struct Node {
+    rect: Rect,
+    /// Index of the first of `2^d` contiguous children; `None` for leaves.
+    first_child: Option<usize>,
+}
+
+/// An arena-allocated `2^d`-ary partition tree over a root box.
+#[derive(Clone, Debug)]
+pub struct QuadTree {
+    dim: usize,
+    nodes: Vec<Node>,
+    num_leaves: usize,
+}
+
+/// Identifier of a tree node.
+pub type NodeId = usize;
+
+/// The root node id.
+pub const ROOT: NodeId = 0;
+
+impl QuadTree {
+    /// Creates a single-leaf tree covering `root`.
+    pub fn new(root: Rect) -> Self {
+        let dim = root.dim();
+        Self {
+            dim,
+            nodes: vec![Node {
+                rect: root,
+                first_child: None,
+            }],
+            num_leaves: 1,
+        }
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current leaf count (histogram bucket count).
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The box covered by a node.
+    pub fn rect(&self, id: NodeId) -> &Rect {
+        &self.nodes[id].rect
+    }
+
+    /// `true` if the node has no children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id].first_child.is_none()
+    }
+
+    /// Child ids of an internal node (empty for leaves).
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> {
+        let fanout = 1usize << self.dim;
+        let base = self.nodes[id].first_child;
+        (0..fanout).filter_map(move |k| base.map(|b| b + k))
+    }
+
+    /// Splits a leaf into `2^d` children and returns the first child id.
+    ///
+    /// # Panics
+    /// Panics if the node is not a leaf.
+    pub fn split(&mut self, id: NodeId) -> NodeId {
+        assert!(self.is_leaf(id), "can only split leaves");
+        let first = self.nodes.len();
+        let kids = self.nodes[id].rect.split();
+        debug_assert_eq!(kids.len(), 1 << self.dim);
+        for rect in kids {
+            self.nodes.push(Node {
+                rect,
+                first_child: None,
+            });
+        }
+        self.nodes[id].first_child = Some(first);
+        self.num_leaves += (1 << self.dim) - 1;
+        first
+    }
+
+    /// All leaf ids, in deterministic (arena) order.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.is_leaf(i))
+            .collect()
+    }
+
+    /// Visits every leaf whose box intersects `probe`, in deterministic
+    /// order. This is the prediction-time traversal: only the subtree
+    /// overlapping the query is touched.
+    pub fn for_each_leaf_intersecting<F: FnMut(NodeId, &Rect)>(&self, probe: &Rect, mut f: F) {
+        let mut stack = vec![ROOT];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.rect.intersects(probe) {
+                continue;
+            }
+            match node.first_child {
+                None => f(id, &node.rect),
+                Some(first) => {
+                    for k in (0..(1usize << self.dim)).rev() {
+                        stack.push(first + k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Depth of a node (root = 0), computed from box widths; valid because
+    /// every split exactly halves each side.
+    pub fn depth(&self, id: NodeId) -> u32 {
+        let ratio = self.nodes[ROOT].rect.width(0) / self.nodes[id].rect.width(0);
+        ratio.log2().round() as u32
+    }
+
+    /// Reconstructs a tree from a valid quadtree leaf partition of `root`
+    /// (used when loading persisted models): splits any node that strictly
+    /// contains a smaller leaf box until every leaf box is realized.
+    ///
+    /// # Panics
+    /// Panics if the boxes do not form a quadtree partition of `root`
+    /// (detected as an attempt to split below the finest leaf).
+    pub fn from_leaf_boxes(root: Rect, leaves: &[Rect]) -> Self {
+        let mut tree = QuadTree::new(root);
+        if leaves.len() <= 1 {
+            return tree;
+        }
+        let min_width = leaves
+            .iter()
+            .map(|l| l.width(0))
+            .fold(f64::INFINITY, f64::min);
+        let mut stack = vec![ROOT];
+        while let Some(id) = stack.pop() {
+            let cell = tree.rect(id).clone();
+            // a node needs splitting iff some leaf is strictly inside it
+            let needs_split = leaves.iter().any(|l| {
+                l.width(0) < cell.width(0) - crate::quadtree_eps()
+                    && cell.contains_rect(l)
+            });
+            if needs_split {
+                assert!(
+                    cell.width(0) > min_width + crate::quadtree_eps(),
+                    "boxes do not form a quadtree partition"
+                );
+                let first = tree.split(id);
+                for k in 0..(1usize << tree.dim()) {
+                    stack.push(first + k);
+                }
+            }
+        }
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tree_is_single_leaf() {
+        let t = QuadTree::new(Rect::unit(2));
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.is_leaf(ROOT));
+        assert_eq!(t.leaves(), vec![ROOT]);
+    }
+
+    #[test]
+    fn split_2d_makes_four_children() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let first = t.split(ROOT);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_leaves(), 4);
+        assert!(!t.is_leaf(ROOT));
+        let kids: Vec<_> = t.children(ROOT).collect();
+        assert_eq!(kids, vec![first, first + 1, first + 2, first + 3]);
+        let total: f64 = kids.iter().map(|&k| t.rect(k).volume()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_3d_makes_eight_children() {
+        let mut t = QuadTree::new(Rect::unit(3));
+        t.split(ROOT);
+        assert_eq!(t.num_leaves(), 8);
+    }
+
+    #[test]
+    fn nested_splits_update_leaf_count() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let first = t.split(ROOT);
+        t.split(first); // split one child again
+        assert_eq!(t.num_leaves(), 7); // 4 − 1 + 4
+        assert_eq!(t.leaves().len(), 7);
+    }
+
+    #[test]
+    fn depth_tracks_splits() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let c1 = t.split(ROOT);
+        let c2 = t.split(c1);
+        assert_eq!(t.depth(ROOT), 0);
+        assert_eq!(t.depth(c1), 1);
+        assert_eq!(t.depth(c2), 2);
+    }
+
+    #[test]
+    fn leaf_traversal_prunes() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let first = t.split(ROOT);
+        // probe only the lower-left quadrant
+        let probe = Rect::new(vec![0.1, 0.1], vec![0.2, 0.2]);
+        let mut visited = Vec::new();
+        t.for_each_leaf_intersecting(&probe, |id, _| visited.push(id));
+        assert_eq!(visited, vec![first]);
+    }
+
+    #[test]
+    fn leaf_traversal_visits_all_on_full_probe() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let first = t.split(ROOT);
+        t.split(first + 3);
+        let mut visited = Vec::new();
+        t.for_each_leaf_intersecting(&Rect::unit(2), |id, _| visited.push(id));
+        assert_eq!(visited.len(), t.num_leaves());
+    }
+
+    #[test]
+    fn leaves_tile_the_root() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let c = t.split(ROOT);
+        t.split(c + 1);
+        t.split(c + 2);
+        let total: f64 = t.leaves().iter().map(|&l| t.rect(l).volume()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "can only split leaves")]
+    fn double_split_panics() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        t.split(ROOT);
+        t.split(ROOT);
+    }
+}

@@ -1,0 +1,119 @@
+//! Weight estimation — the second phase of the generic procedure
+//! (Section 3.1, Equation 8).
+//!
+//! Given buckets `B_1 … B_m` and training queries `(R_i, s_i)`, solve
+//!
+//! ```text
+//! minimize   Σ_i (s_D(R_i) − s_i)²      (or  max_i |s_D(R_i) − s_i|)
+//! subject to Σ_j w_j = 1,  0 ≤ w_j ≤ 1
+//! ```
+//!
+//! where `s_D(R_i) = Σ_j A[i][j] · w_j` with the design matrix
+//! `A[i][j] = vol(B_j ∩ R_i)/vol(B_j)` for histogram buckets (Equation 6)
+//! or `A[i][j] = 1(B_j ∈ R_i)` for discrete support points (Equation 7).
+
+use selearn_solver::{
+    fista_simplex_ls, linf_fit_exact, linf_fit_smoothed, nnls_simplex, DenseMatrix, FistaOptions,
+    LinfOptions, NnlsOptions,
+};
+
+/// Which algorithm solves the constrained fit.
+#[derive(Clone, Debug, Default)]
+pub enum WeightSolver {
+    /// Accelerated projected gradient (FISTA) on the simplex — the default,
+    /// scales to thousands of buckets.
+    #[default]
+    Fista,
+    /// Lawson–Hanson NNLS with a penalty row for `Σ w = 1`: the pathway the
+    /// paper's reference implementation used (`scipy.optimize.nnls`).
+    NnlsPenalty,
+}
+
+/// Training objective (Section 4.6 compares `L2` against `L∞`).
+#[derive(Clone, Debug, Default)]
+pub enum Objective {
+    /// Squared loss — Equation (8).
+    #[default]
+    L2,
+    /// Exact minimax loss via LP (small/medium instances).
+    LInfExact,
+    /// Smoothed minimax loss via projected subgradient (large instances).
+    LInfSmoothed,
+}
+
+/// Solves the weight-estimation program over the design matrix `a`
+/// (rows = training queries, columns = buckets) and targets `s`.
+///
+/// Returns weights on the probability simplex. An empty bucket set is a
+/// caller bug and panics; an empty query set returns the uniform
+/// distribution (no information).
+pub fn estimate_weights(
+    a: &DenseMatrix,
+    s: &[f64],
+    objective: &Objective,
+    solver: &WeightSolver,
+) -> Vec<f64> {
+    assert!(a.cols() > 0, "no buckets");
+    if a.rows() == 0 {
+        return vec![1.0 / a.cols() as f64; a.cols()];
+    }
+    assert_eq!(a.rows(), s.len(), "target length mismatch");
+    match objective {
+        Objective::L2 => match solver {
+            WeightSolver::Fista => fista_simplex_ls(a, s, &FistaOptions::default()).weights,
+            WeightSolver::NnlsPenalty => nnls_simplex(a, s, &NnlsOptions::default()),
+        },
+        Objective::LInfExact => linf_fit_exact(a, s)
+            .unwrap_or_else(|| linf_fit_smoothed(a, s, &LinfOptions::default())),
+        Objective::LInfSmoothed => linf_fit_smoothed(a, s, &LinfOptions::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> (DenseMatrix, Vec<f64>) {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 0.5],
+            vec![0.0, 1.0, 0.5],
+            vec![1.0, 1.0, 1.0],
+        ]);
+        let s = vec![0.3, 0.7, 1.0];
+        (a, s)
+    }
+
+    #[test]
+    fn l2_solvers_agree() {
+        let (a, s) = design();
+        let w1 = estimate_weights(&a, &s, &Objective::L2, &WeightSolver::Fista);
+        let w2 = estimate_weights(&a, &s, &Objective::L2, &WeightSolver::NnlsPenalty);
+        assert!((a.residual_sq(&w1, &s) - a.residual_sq(&w2, &s)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linf_variants_feasible() {
+        let (a, s) = design();
+        for obj in [Objective::LInfExact, Objective::LInfSmoothed] {
+            let w = estimate_weights(&a, &s, &obj, &WeightSolver::Fista);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+            assert!(w.iter().all(|&v| v >= -1e-9));
+        }
+    }
+
+    #[test]
+    fn no_queries_gives_uniform() {
+        let a = DenseMatrix::zeros(0, 4);
+        let w = estimate_weights(&a, &[], &Objective::L2, &WeightSolver::Fista);
+        for &v in &w {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no buckets")]
+    fn zero_buckets_panics() {
+        let a = DenseMatrix::zeros(1, 0);
+        let _ = estimate_weights(&a, &[0.5], &Objective::L2, &WeightSolver::Fista);
+    }
+}

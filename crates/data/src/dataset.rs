@@ -1,0 +1,285 @@
+//! In-memory datasets with an exact selectivity oracle.
+//!
+//! A dataset is the (hidden) empirical distribution `D` of the learning
+//! problem: the selectivity of a query range `R` is
+//! `s_D(R) = Pr_{x∼D}[x ∈ R]`, i.e. the fraction of tuples satisfying the
+//! predicate. Attribute domains are normalized into `[0, 1]` as in
+//! Section 4 ("we normalize the domain of each attribute into `[0,1]`").
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use selearn_geom::{Point, Range, RangeQuery, Rect};
+
+/// A normalized, in-memory relation: `n` tuples over `d` attributes, all
+/// values in `[0, 1]`. Row-major flat storage.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f64>,
+    name: String,
+}
+
+impl Dataset {
+    /// Builds a dataset from row-major values.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dim`, or any value
+    /// falls outside `[0, 1]`.
+    pub fn new(name: impl Into<String>, dim: usize, data: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "buffer not a multiple of dim");
+        debug_assert!(
+            data.iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "values must be normalized into [0,1]"
+        );
+        Self {
+            dim,
+            data,
+            name: name.into(),
+        }
+    }
+
+    /// Builds a dataset from points.
+    pub fn from_points(name: impl Into<String>, points: &[Point]) -> Self {
+        let dim = points.first().map_or(1, Point::dim);
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.dim(), dim, "ragged points");
+            data.extend_from_slice(p.coords());
+        }
+        Self::new(name, dim, data)
+    }
+
+    /// Dataset name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when the dataset has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow of tuple `i` as a coordinate slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Tuple `i` as an owned [`Point`].
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.row(i).to_vec())
+    }
+
+    /// Iterator over all tuples as coordinate slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Exact selectivity of a range: the fraction of tuples inside it.
+    /// This is the ground-truth oracle used to label workloads.
+    pub fn selectivity(&self, range: &Range) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        // Fast path for rectangles: short-circuit per-dimension scan
+        // without allocating a Point per row.
+        match range {
+            Range::Rect(r) => self.selectivity_rect(r),
+            _ => {
+                let mut count = 0usize;
+                let mut p = Point::zeros(self.dim);
+                for row in self.rows() {
+                    p.coords_mut().copy_from_slice(row);
+                    if range.contains(&p) {
+                        count += 1;
+                    }
+                }
+                count as f64 / self.len() as f64
+            }
+        }
+    }
+
+    fn selectivity_rect(&self, r: &Rect) -> f64 {
+        assert_eq!(r.dim(), self.dim, "dimension mismatch");
+        let lo = r.lo();
+        let hi = r.hi();
+        let count = self
+            .rows()
+            .filter(|row| {
+                row.iter()
+                    .zip(lo.iter().zip(hi))
+                    .all(|(&x, (&l, &h))| l <= x && x <= h)
+            })
+            .count();
+        count as f64 / self.len() as f64
+    }
+
+    /// Projects onto a subset of attributes (Section 4: "we will choose a
+    /// subset of attributes randomly and project the tuples").
+    pub fn project(&self, dims: &[usize]) -> Dataset {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d < self.dim),
+            "projection index out of bounds"
+        );
+        let mut data = Vec::with_capacity(self.len() * dims.len());
+        for row in self.rows() {
+            data.extend(dims.iter().map(|&d| row[d]));
+        }
+        Dataset::new(
+            format!("{}[{:?}]", self.name, dims),
+            dims.len(),
+            data,
+        )
+    }
+
+    /// Draws `k` tuples uniformly at random (with replacement); used by the
+    /// Data-driven workload generator.
+    pub fn sample_points<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<Point> {
+        (0..k)
+            .map(|_| self.point(rng.gen_range(0..self.len())))
+            .collect()
+    }
+
+    /// Random subsample of size `min(k, n)` without replacement.
+    pub fn subsample<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(k.min(self.len()));
+        let mut data = Vec::with_capacity(idx.len() * self.dim);
+        for i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        Dataset::new(format!("{}~{k}", self.name), self.dim, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selearn_geom::{Ball, Halfspace};
+
+    fn grid_dataset() -> Dataset {
+        // 5×5 grid over [0,1]² at coordinates 0.1, 0.3, 0.5, 0.7, 0.9.
+        let mut data = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                data.push(0.1 + 0.2 * i as f64);
+                data.push(0.1 + 0.2 * j as f64);
+            }
+        }
+        Dataset::new("grid", 2, data)
+    }
+
+    #[test]
+    fn basic_shape() {
+        let d = grid_dataset();
+        assert_eq!(d.len(), 25);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.row(0), &[0.1, 0.1]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn rect_selectivity_exact() {
+        let d = grid_dataset();
+        // Quadrant [0,0.5]² contains the 9 points with coords in {0.1,0.3,0.5}.
+        let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]).into();
+        assert!((d.selectivity(&r) - 9.0 / 25.0).abs() < 1e-12);
+        // Whole cube: selectivity 1.
+        let all: Range = Rect::unit(2).into();
+        assert_eq!(d.selectivity(&all), 1.0);
+        // Empty box.
+        let none: Range = Rect::new(vec![0.95, 0.95], vec![1.0, 1.0]).into();
+        assert_eq!(d.selectivity(&none), 0.0);
+    }
+
+    #[test]
+    fn halfspace_selectivity_exact() {
+        let d = grid_dataset();
+        // x + y ≥ 1.0: count grid points with sum ≥ 1.0.
+        let h: Range = Halfspace::new(vec![1.0, 1.0], 1.0).into();
+        let expected = d
+            .rows()
+            .filter(|r| r[0] + r[1] >= 1.0 - 1e-12)
+            .count() as f64
+            / 25.0;
+        assert!((d.selectivity(&h) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ball_selectivity_exact() {
+        let d = grid_dataset();
+        let b: Range = Ball::new(Point::new(vec![0.5, 0.5]), 0.21).into();
+        // within 0.21 of center: (0.5,0.5), (0.3,0.5), (0.7,0.5), (0.5,0.3), (0.5,0.7)
+        assert!((d.selectivity(&b) - 5.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_points_included() {
+        let d = Dataset::new("one", 1, vec![0.5]);
+        let r: Range = Rect::new(vec![0.5], vec![0.5]).into();
+        assert_eq!(d.selectivity(&r), 1.0);
+    }
+
+    #[test]
+    fn projection_preserves_marginals() {
+        let d = grid_dataset();
+        let p = d.project(&[1]);
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.len(), 25);
+        let r: Range = Rect::new(vec![0.0], vec![0.5]).into();
+        // y ≤ 0.5 holds for 3 of the 5 y values → 15/25
+        assert!((p.selectivity(&r) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_reorders_dims() {
+        let d = Dataset::new("asym", 2, vec![0.1, 0.9]);
+        let p = d.project(&[1, 0]);
+        assert_eq!(p.row(0), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn sample_points_in_dataset() {
+        let d = grid_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in d.sample_points(50, &mut rng) {
+            // Every sample must be an actual row.
+            assert!(d.rows().any(|r| r == p.coords()));
+        }
+    }
+
+    #[test]
+    fn subsample_size_and_membership() {
+        let d = grid_dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = d.subsample(10, &mut rng);
+        assert_eq!(s.len(), 10);
+        for row in s.rows() {
+            assert!(d.rows().any(|r| r == row));
+        }
+        // asking for more rows than exist caps at n
+        let s2 = d.subsample(1000, &mut rng);
+        assert_eq!(s2.len(), 25);
+    }
+
+    #[test]
+    fn empty_dataset_selectivity_zero() {
+        let d = Dataset::new("empty", 2, vec![]);
+        let r: Range = Rect::unit(2).into();
+        assert_eq!(d.selectivity(&r), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Data substrate: datasets, workloads and error metrics.
+//!
+//! Section 4 of the paper evaluates on four UCI / open-data datasets
+//! (Power, Forest, Census, DMV) with three workload center distributions
+//! (Data-driven, Random, Gaussian) and three query types (orthogonal
+//! range, halfspace, ball). The raw datasets are not redistributable here,
+//! so [`realistic`] provides seeded synthetic generators reproducing each
+//! dataset's salient statistics (dimensionality, skew, clustering,
+//! categorical attributes); see DESIGN.md for the substitution rationale.
+//!
+//! * [`Dataset`] — in-memory normalized tuples with an exact selectivity
+//!   oracle (the ground truth `s_D(R)` of the learning problem);
+//! * [`workload`] — the workload generators of Section 4;
+//! * [`metrics`] — RMS error, Q-error quantiles, `L∞` error;
+//! * [`synth`] — generic distribution builders (mixtures, correlated
+//!   attributes, categorical marginals) used by [`realistic`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod metrics;
+pub mod realistic;
+pub mod synth;
+pub mod workload;
+
+pub use csv::{load_csv, parse_csv, ColumnKind, CsvSchema};
+pub use dataset::Dataset;
+pub use metrics::{l_inf_error, mean_error, q_error, q_error_quantiles, rms_error, QErrorSummary};
+pub use realistic::{census_like, dmv_like, forest_like, power_like};
+pub use workload::{CenterDistribution, LabeledQuery, QueryType, Workload, WorkloadSpec};

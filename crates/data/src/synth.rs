@@ -1,0 +1,265 @@
+//! Generic synthetic-distribution building blocks.
+//!
+//! The realistic dataset generators ([`crate::realistic`]) compose these
+//! primitives: truncated-Gaussian mixtures for skewed/clustered numerical
+//! attributes, Zipf-like categorical marginals, and latent-factor
+//! correlation across attributes. Everything is seeded and deterministic.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+
+/// Specification of one attribute's marginal distribution.
+#[derive(Clone, Debug)]
+pub enum AttrSpec {
+    /// Uniform on `[0, 1]`.
+    Uniform,
+    /// Mixture of truncated Gaussians: `(weight, mean, std)` triples.
+    /// Weights are normalized internally; samples are clamped to `[0, 1]`.
+    GaussianMixture(Vec<(f64, f64, f64)>),
+    /// Categorical with `k` distinct values `0/(k−1), …, 1` (or all `0.5`
+    /// when `k == 1`) and Zipf(`s`) frequencies — models the categorical
+    /// attributes of Census/DMV.
+    Zipf {
+        /// Number of distinct categories.
+        k: usize,
+        /// Zipf skew exponent (`0` = uniform over categories).
+        s: f64,
+    },
+    /// A linear function of a shared latent factor plus Gaussian noise:
+    /// `clamp(a·latent + b + N(0, σ))` — models correlated attributes.
+    Correlated {
+        /// Slope on the shared latent factor.
+        a: f64,
+        /// Intercept.
+        b: f64,
+        /// Noise standard deviation.
+        sigma: f64,
+    },
+}
+
+/// Generates `n` tuples whose attribute `j` follows `specs[j]`. Attributes
+/// declared [`AttrSpec::Correlated`] share a per-tuple latent factor
+/// `latent ~ U[0,1]`, inducing positive cross-attribute correlation.
+pub fn generate<R: Rng + ?Sized>(
+    name: impl Into<String>,
+    n: usize,
+    specs: &[AttrSpec],
+    rng: &mut R,
+) -> Dataset {
+    let d = specs.len();
+    assert!(d > 0, "need at least one attribute");
+    // Pre-normalize mixture weights and Zipf tables.
+    let zipf_cdfs: Vec<Option<Vec<f64>>> = specs
+        .iter()
+        .map(|s| match s {
+            AttrSpec::Zipf { k, s } => Some(zipf_cdf(*k, *s)),
+            _ => None,
+        })
+        .collect();
+    let mixtures: Vec<Option<Vec<(f64, f64, f64)>>> = specs
+        .iter()
+        .map(|s| match s {
+            AttrSpec::GaussianMixture(comps) => {
+                let total: f64 = comps.iter().map(|c| c.0).sum();
+                assert!(total > 0.0, "mixture weights must be positive");
+                Some(
+                    comps
+                        .iter()
+                        .map(|&(w, m, sd)| (w / total, m, sd))
+                        .collect(),
+                )
+            }
+            _ => None,
+        })
+        .collect();
+
+    let mut data = Vec::with_capacity(n * d);
+    for _ in 0..n {
+        let latent: f64 = rng.gen();
+        for (j, spec) in specs.iter().enumerate() {
+            let v = match spec {
+                AttrSpec::Uniform => rng.gen(),
+                AttrSpec::GaussianMixture(_) => {
+                    let comps = mixtures[j].as_ref().expect("precomputed");
+                    let mut pick: f64 = rng.gen();
+                    let mut chosen = comps.last().expect("nonempty mixture");
+                    for c in comps {
+                        if pick < c.0 {
+                            chosen = c;
+                            break;
+                        }
+                        pick -= c.0;
+                    }
+                    let (_, mean, sd) = *chosen;
+                    (mean + sd * sample_standard_normal(rng)).clamp(0.0, 1.0)
+                }
+                AttrSpec::Zipf { k, .. } => {
+                    let cdf = zipf_cdfs[j].as_ref().expect("precomputed");
+                    let u: f64 = rng.gen();
+                    let idx = cdf.partition_point(|&c| c < u).min(*k - 1);
+                    if *k == 1 {
+                        0.5
+                    } else {
+                        idx as f64 / (*k as f64 - 1.0)
+                    }
+                }
+                AttrSpec::Correlated { a, b, sigma } => {
+                    (a * latent + b + sigma * sample_standard_normal(rng)).clamp(0.0, 1.0)
+                }
+            };
+            data.push(v);
+        }
+    }
+    Dataset::new(name, d, data)
+}
+
+fn zipf_cdf(k: usize, s: f64) -> Vec<f64> {
+    assert!(k > 0, "need at least one category");
+    let weights: Vec<f64> = (1..=k).map(|r| (r as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(k);
+    let mut acc = 0.0;
+    for w in weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Box–Muller standard-normal sampling (kept in a private module so the
+/// public surface stays minimal; `rand_distr` is intentionally not a
+/// dependency).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal draw via Box–Muller.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+pub use rand_distr_normal::sample_standard_normal as standard_normal;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn uniform_marginal_moments() {
+        let d = generate("u", 50_000, &[AttrSpec::Uniform], &mut rng());
+        let mean: f64 = d.rows().map(|r| r[0]).sum::<f64>() / d.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn gaussian_mixture_concentrates() {
+        let spec = AttrSpec::GaussianMixture(vec![(1.0, 0.2, 0.05)]);
+        let d = generate("g", 20_000, &[spec], &mut rng());
+        let mean: f64 = d.rows().map(|r| r[0]).sum::<f64>() / d.len() as f64;
+        assert!((mean - 0.2).abs() < 0.01, "mean = {mean}");
+        // nearly all mass within 4σ
+        let frac_near = d.rows().filter(|r| (r[0] - 0.2).abs() < 0.2).count() as f64
+            / d.len() as f64;
+        assert!(frac_near > 0.99);
+    }
+
+    #[test]
+    fn mixture_is_bimodal() {
+        let spec = AttrSpec::GaussianMixture(vec![(0.5, 0.2, 0.03), (0.5, 0.8, 0.03)]);
+        let d = generate("bi", 20_000, &[spec], &mut rng());
+        let low = d.rows().filter(|r| r[0] < 0.4).count() as f64 / d.len() as f64;
+        let high = d.rows().filter(|r| r[0] > 0.6).count() as f64 / d.len() as f64;
+        assert!((low - 0.5).abs() < 0.02);
+        assert!((high - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_categories_are_discrete_and_skewed() {
+        let d = generate("z", 20_000, &[AttrSpec::Zipf { k: 5, s: 1.2 }], &mut rng());
+        // values live on the lattice {0, 0.25, 0.5, 0.75, 1}
+        for r in d.rows() {
+            let v = r[0] * 4.0;
+            assert!((v - v.round()).abs() < 1e-9, "off-lattice value {}", r[0]);
+        }
+        // category 0 is the most frequent under positive skew
+        let f0 = d.rows().filter(|r| r[0] == 0.0).count();
+        let f4 = d.rows().filter(|r| r[0] == 1.0).count();
+        assert!(f0 > 3 * f4, "f0 = {f0}, f4 = {f4}");
+    }
+
+    #[test]
+    fn zipf_single_category() {
+        let d = generate("z1", 100, &[AttrSpec::Zipf { k: 1, s: 1.0 }], &mut rng());
+        assert!(d.rows().all(|r| r[0] == 0.5));
+    }
+
+    #[test]
+    fn correlated_attributes_correlate() {
+        let specs = vec![
+            AttrSpec::Correlated {
+                a: 0.8,
+                b: 0.1,
+                sigma: 0.02,
+            },
+            AttrSpec::Correlated {
+                a: 0.8,
+                b: 0.1,
+                sigma: 0.02,
+            },
+        ];
+        let d = generate("corr", 20_000, &specs, &mut rng());
+        let n = d.len() as f64;
+        let (mut mx, mut my) = (0.0, 0.0);
+        for r in d.rows() {
+            mx += r[0];
+            my += r[1];
+        }
+        mx /= n;
+        my /= n;
+        let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+        for r in d.rows() {
+            cov += (r[0] - mx) * (r[1] - my);
+            vx += (r[0] - mx).powi(2);
+            vy += (r[1] - my).powi(2);
+        }
+        let corr = cov / (vx.sqrt() * vy.sqrt());
+        assert!(corr > 0.9, "correlation = {corr}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let specs = vec![AttrSpec::Uniform, AttrSpec::Zipf { k: 3, s: 1.0 }];
+        let a = generate("a", 100, &specs, &mut StdRng::seed_from_u64(5));
+        let b = generate("a", 100, &specs, &mut StdRng::seed_from_u64(5));
+        assert_eq!(
+            a.rows().collect::<Vec<_>>(),
+            b.rows().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut g = rng();
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let v = standard_normal(&mut g);
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+}

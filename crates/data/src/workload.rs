@@ -1,0 +1,440 @@
+//! Query workload generation (Section 4, "Workloads").
+//!
+//! Every query is parameterized by a **center point** plus shape
+//! parameters:
+//!
+//! * orthogonal range: per-dimension side lengths drawn `U[0,1]`
+//!   (width 0 — an equality predicate — on categorical attributes);
+//! * ball: radius drawn `U[0,1]`;
+//! * halfspace: the center lies on the boundary plane and a uniformly
+//!   random unit normal fixes the orientation.
+//!
+//! Centers come from one of three distributions: **Data-driven** (uniform
+//! over dataset tuples), **Random** (uniform over `[0,1]^d`) or
+//! **Gaussian** (isotropic, mean 0.5 and σ 0.167 in the paper's main
+//! setup; Figure 16 shifts the mean). Training and test sets are sampled
+//! i.i.d. from the same workload unless an experiment says otherwise.
+
+use crate::dataset::Dataset;
+use crate::synth::standard_normal;
+use rand::Rng;
+use selearn_geom::{Ball, Halfspace, Point, Range, Rect};
+
+/// Query shape family (Section 2.2's three running examples).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryType {
+    /// Orthogonal range queries.
+    Rect,
+    /// Linear-inequality (halfspace) queries.
+    Halfspace,
+    /// Distance-based (ball) queries.
+    Ball,
+}
+
+/// Distribution of query center points.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CenterDistribution {
+    /// Centers sampled uniformly from the dataset tuples.
+    DataDriven,
+    /// Centers sampled uniformly from `[0,1]^d`.
+    Random,
+    /// Centers sampled from an isotropic Gaussian (clamped to `[0,1]^d`).
+    Gaussian {
+        /// Per-dimension mean.
+        mean: f64,
+        /// Per-dimension standard deviation (paper: 0.167).
+        std: f64,
+    },
+}
+
+impl CenterDistribution {
+    /// The paper's default Gaussian workload: mean 0.5, σ 0.167.
+    pub fn default_gaussian() -> Self {
+        CenterDistribution::Gaussian {
+            mean: 0.5,
+            std: 0.167,
+        }
+    }
+}
+
+/// Full workload specification.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Query shape family.
+    pub query_type: QueryType,
+    /// Center-point distribution.
+    pub center: CenterDistribution,
+    /// Attribute indices treated as categorical: orthogonal queries place
+    /// equality predicates there, with the predicate value drawn from the
+    /// data so it can actually match (the paper generates "equality
+    /// predicates for categorical attributes").
+    pub categorical_dims: Vec<usize>,
+    /// Width of categorical equality predicates, as a fraction of the
+    /// attribute's observed category gap (the minimum distance between
+    /// distinct codes). A literal width of 0 gives the box zero volume,
+    /// which volume-based histograms cannot learn from; a slab spanning
+    /// (most of) the category's share of the normalized domain selects
+    /// exactly one code *and* keeps the uniform-within-bucket assumption
+    /// meaningful — the discretize-then-normalize treatment the paper
+    /// applies to categorical attributes. Must be in `(0, 1]`; values
+    /// < 1 leave a margin so neighbouring codes stay excluded under
+    /// floating-point wobble.
+    pub categorical_width: f64,
+}
+
+impl WorkloadSpec {
+    /// Spec with no categorical attributes.
+    pub fn new(query_type: QueryType, center: CenterDistribution) -> Self {
+        Self {
+            query_type,
+            center,
+            categorical_dims: Vec::new(),
+            categorical_width: 0.95,
+        }
+    }
+
+    /// Adds categorical attribute indices.
+    pub fn with_categorical(mut self, dims: Vec<usize>) -> Self {
+        self.categorical_dims = dims;
+        self
+    }
+}
+
+/// One training/test example `z = (R, s)`: a range and its true
+/// selectivity under the (hidden) data distribution.
+#[derive(Clone, Debug)]
+pub struct LabeledQuery {
+    /// The query range.
+    pub range: Range,
+    /// Ground-truth selectivity `s_D(R) ∈ [0, 1]`.
+    pub selectivity: f64,
+}
+
+/// A generated workload: an i.i.d. sequence of labeled queries.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    queries: Vec<LabeledQuery>,
+    dim: usize,
+}
+
+impl Workload {
+    /// Generates `n` labeled queries against `dataset` under `spec`.
+    pub fn generate<R: Rng + ?Sized>(
+        dataset: &Dataset,
+        spec: &WorkloadSpec,
+        n: usize,
+        rng: &mut R,
+    ) -> Workload {
+        let d = dataset.dim();
+        // per-categorical-dim equality-slab widths: a fraction of the
+        // observed gap between distinct codes
+        let cat_width: Vec<f64> = (0..d)
+            .map(|i| {
+                if spec.categorical_dims.contains(&i) {
+                    category_gap(dataset, i) * spec.categorical_width
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut queries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let center = sample_center(dataset, &spec.center, rng);
+            let range = match spec.query_type {
+                QueryType::Rect => {
+                    let mut widths = vec![0.0f64; d];
+                    let mut center = center;
+                    for (i, w) in widths.iter_mut().enumerate() {
+                        if spec.categorical_dims.contains(&i) {
+                            *w = cat_width[i];
+                            // equality predicates must hit actual category
+                            // codes; snap to a data value on this attribute
+                            let row = rng.gen_range(0..dataset.len());
+                            center[i] = dataset.row(row)[i];
+                        } else {
+                            *w = rng.gen();
+                        }
+                    }
+                    Range::Rect(Rect::from_center_widths(&center, &widths))
+                }
+                QueryType::Ball => {
+                    let radius: f64 = rng.gen();
+                    Range::Ball(Ball::new(center, radius))
+                }
+                QueryType::Halfspace => {
+                    let normal = random_unit_vector(d, rng);
+                    Range::Halfspace(Halfspace::through_point(&center, normal))
+                }
+            };
+            let selectivity = dataset.selectivity(&range);
+            queries.push(LabeledQuery { range, selectivity });
+        }
+        Workload { queries, dim: d }
+    }
+
+    /// The labeled queries.
+    pub fn queries(&self) -> &[LabeledQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Splits into a training prefix of size `n_train` and a test suffix.
+    ///
+    /// # Panics
+    /// Panics if `n_train > len`.
+    pub fn split(&self, n_train: usize) -> (Workload, Workload) {
+        assert!(n_train <= self.len(), "training split larger than workload");
+        let (a, b) = self.queries.split_at(n_train);
+        (
+            Workload {
+                queries: a.to_vec(),
+                dim: self.dim,
+            },
+            Workload {
+                queries: b.to_vec(),
+                dim: self.dim,
+            },
+        )
+    }
+
+    /// Retains only queries with selectivity strictly above `threshold`
+    /// (Figure 14 evaluates on the non-empty subset of the Random
+    /// workload).
+    pub fn filter_nonempty(&self, threshold: f64) -> Workload {
+        Workload {
+            queries: self
+                .queries
+                .iter()
+                .filter(|q| q.selectivity > threshold)
+                .cloned()
+                .collect(),
+            dim: self.dim,
+        }
+    }
+
+    /// Builds a workload directly from labeled queries (for tests).
+    pub fn from_queries(queries: Vec<LabeledQuery>, dim: usize) -> Workload {
+        Workload { queries, dim }
+    }
+}
+
+/// Minimum distance between distinct values on attribute `dim` (1.0 when
+/// the attribute is constant) — the lattice gap of a normalized
+/// categorical column.
+fn category_gap(dataset: &Dataset, dim: usize) -> f64 {
+    let mut vals: Vec<f64> = dataset.rows().map(|r| r[dim]).collect();
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    vals.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    vals.windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0)
+}
+
+fn sample_center<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    dist: &CenterDistribution,
+    rng: &mut R,
+) -> Point {
+    let d = dataset.dim();
+    match dist {
+        CenterDistribution::DataDriven => {
+            let i = rng.gen_range(0..dataset.len());
+            dataset.point(i)
+        }
+        CenterDistribution::Random => Point::new((0..d).map(|_| rng.gen()).collect()),
+        CenterDistribution::Gaussian { mean, std } => Point::new(
+            (0..d)
+                .map(|_| (mean + std * standard_normal(rng)).clamp(0.0, 1.0))
+                .collect(),
+        ),
+    }
+}
+
+fn random_unit_vector<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Vec<f64> {
+    loop {
+        let v: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realistic::power_like;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selearn_geom::RangeQuery;
+
+    fn data2d() -> Dataset {
+        power_like(5_000, 17).project(&[0, 2])
+    }
+
+    #[test]
+    fn rect_workload_labels_are_consistent() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Workload::generate(&d, &spec, 50, &mut rng);
+        assert_eq!(w.len(), 50);
+        for q in w.queries() {
+            assert!((0.0..=1.0).contains(&q.selectivity));
+            assert!((d.selectivity(&q.range) - q.selectivity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn data_driven_centers_hit_data() {
+        // Data-driven rect queries contain their (data) center → positive
+        // selectivity, always.
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Workload::generate(&d, &spec, 100, &mut rng);
+        for q in w.queries() {
+            assert!(q.selectivity > 0.0);
+        }
+    }
+
+    #[test]
+    fn random_workload_has_many_empty_queries_on_skewed_data() {
+        // The paper observes up to 97% near-zero-selectivity Random queries
+        // on Power; at minimum a noticeable share should be tiny here.
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Workload::generate(&d, &spec, 300, &mut rng);
+        let tiny = w
+            .queries()
+            .iter()
+            .filter(|q| q.selectivity < 1e-3)
+            .count();
+        assert!(tiny > 30, "only {tiny} near-empty queries");
+        let filtered = w.filter_nonempty(0.0);
+        assert!(filtered.len() < w.len());
+        for q in filtered.queries() {
+            assert!(q.selectivity > 0.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_centers_cluster_near_mean() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(
+            QueryType::Ball,
+            CenterDistribution::Gaussian {
+                mean: 0.3,
+                std: 0.05,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Workload::generate(&d, &spec, 200, &mut rng);
+        let mut mean = [0.0f64; 2];
+        for q in w.queries() {
+            if let Range::Ball(b) = &q.range {
+                mean[0] += b.center()[0];
+                mean[1] += b.center()[1];
+            } else {
+                panic!("expected ball");
+            }
+        }
+        assert!((mean[0] / 200.0 - 0.3).abs() < 0.02);
+        assert!((mean[1] / 200.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn halfspace_center_on_boundary() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Halfspace, CenterDistribution::Random);
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = Workload::generate(&d, &spec, 20, &mut rng);
+        for q in w.queries() {
+            let Range::Halfspace(h) = &q.range else {
+                panic!("expected halfspace")
+            };
+            // unit normal
+            let norm: f64 = h.normal().iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn categorical_dims_get_equality_predicates() {
+        let d = crate::realistic::census_like(3_000, 7).project(&[0, 8]);
+        // dim 0 is categorical (workclass), dim 1 numeric (age)
+        let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
+            .with_categorical(vec![0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = Workload::generate(&d, &spec, 50, &mut rng);
+        for q in w.queries() {
+            let r = q.range.as_rect().unwrap();
+            assert!(
+                r.width(0) > 0.0 && r.width(0) < 1.0,
+                "categorical predicate must be a positive-volume slab"
+            );
+            // the slab selects exactly one category code
+            let codes: std::collections::BTreeSet<u64> = d
+                .rows()
+                .filter(|row| r.lo()[0] <= row[0] && row[0] <= r.hi()[0])
+                .map(|row| (row[0] * 1e9).round() as u64)
+                .collect();
+            assert_eq!(codes.len(), 1, "slab spans {} codes", codes.len());
+        }
+    }
+
+    #[test]
+    fn split_preserves_order_and_counts() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = Workload::generate(&d, &spec, 30, &mut rng);
+        let (train, test) = w.split(20);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(
+            train.queries()[0].selectivity,
+            w.queries()[0].selectivity
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Ball, CenterDistribution::Random);
+        let a = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9));
+        let b = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9));
+        for (x, y) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(x.selectivity, y.selectivity);
+        }
+    }
+
+    #[test]
+    fn ranges_have_correct_dim() {
+        let d = data2d();
+        for qt in [QueryType::Rect, QueryType::Halfspace, QueryType::Ball] {
+            let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
+            let mut rng = StdRng::seed_from_u64(10);
+            let w = Workload::generate(&d, &spec, 5, &mut rng);
+            for q in w.queries() {
+                assert_eq!(q.range.dim(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Arrangements of orthogonal ranges (Section 3.1, "Bucket design").
+//!
+//! The generic learning procedure of Section 3.1 buckets the data space by
+//! the *arrangement* of the training ranges: the partition of `R^d` into
+//! maximal regions lying in the same subset of ranges. For axis-aligned
+//! rectangles the canonical constant-complexity refinement is the grid
+//! induced by all facet coordinates: every grid cell lies in the same
+//! subset of ranges, and there are `O(n^d)` cells — matching the paper's
+//! `O(n^d)` bound for the decomposition.
+
+use crate::rect::Rect;
+
+/// The grid arrangement of a set of rectangles within a clip box.
+#[derive(Clone, Debug)]
+pub struct Arrangement {
+    /// Sorted breakpoints per dimension (including the clip boundaries).
+    breaks: Vec<Vec<f64>>,
+    clip: Rect,
+}
+
+impl Arrangement {
+    /// Number of cells in the arrangement.
+    pub fn num_cells(&self) -> usize {
+        self.breaks.iter().map(|b| b.len() - 1).product()
+    }
+
+    /// The clip box.
+    pub fn clip(&self) -> &Rect {
+        &self.clip
+    }
+
+    /// Iterates over all cells as rectangles, in row-major order.
+    pub fn cells(&self) -> CellIter<'_> {
+        CellIter {
+            arr: self,
+            idx: vec![0; self.breaks.len()],
+            done: self.num_cells() == 0,
+        }
+    }
+
+    /// Collects all cells into a vector.
+    pub fn to_cells(&self) -> Vec<Rect> {
+        self.cells().collect()
+    }
+}
+
+/// Iterator over arrangement cells.
+pub struct CellIter<'a> {
+    arr: &'a Arrangement,
+    idx: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for CellIter<'_> {
+    type Item = Rect;
+
+    fn next(&mut self) -> Option<Rect> {
+        if self.done {
+            return None;
+        }
+        let d = self.idx.len();
+        let lo: Vec<f64> = (0..d).map(|i| self.arr.breaks[i][self.idx[i]]).collect();
+        let hi: Vec<f64> = (0..d)
+            .map(|i| self.arr.breaks[i][self.idx[i] + 1])
+            .collect();
+        // advance multi-index
+        let mut i = d;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.idx[i] += 1;
+            if self.idx[i] < self.arr.breaks[i].len() - 1 {
+                break;
+            }
+            self.idx[i] = 0;
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+        }
+        Some(Rect::new(lo, hi))
+    }
+}
+
+/// Builds the grid arrangement of `rects` clipped to `clip`.
+///
+/// Every returned cell lies entirely inside or entirely outside each input
+/// rectangle (up to shared boundaries), which is exactly the property the
+/// weight-estimation phase needs: `vol(cell ∩ R)` is either 0 or the full
+/// cell volume, so the learned histogram can express the loss-minimizing
+/// distribution (Lemma 3.1).
+pub fn grid_arrangement(rects: &[Rect], clip: &Rect) -> Arrangement {
+    let d = clip.dim();
+    let mut breaks: Vec<Vec<f64>> = (0..d)
+        .map(|i| vec![clip.lo()[i], clip.hi()[i]])
+        .collect();
+    for r in rects {
+        assert_eq!(r.dim(), d, "dimension mismatch");
+        #[allow(clippy::needless_range_loop)] // indexed form is clearer here
+        for i in 0..d {
+            for v in [r.lo()[i], r.hi()[i]] {
+                if v > clip.lo()[i] && v < clip.hi()[i] {
+                    breaks[i].push(v);
+                }
+            }
+        }
+    }
+    for b in &mut breaks {
+        b.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        b.dedup_by(|a, c| (*a - *c).abs() < crate::EPS);
+    }
+    Arrangement {
+        breaks,
+        clip: clip.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_single_cell() {
+        let a = grid_arrangement(&[], &Rect::unit(2));
+        assert_eq!(a.num_cells(), 1);
+        assert_eq!(a.to_cells()[0], Rect::unit(2));
+    }
+
+    #[test]
+    fn single_rect_produces_nine_cells_2d() {
+        // One interior rectangle splits each axis into 3 intervals → 9 cells.
+        let r = Rect::new(vec![0.25, 0.25], vec![0.75, 0.75]);
+        let a = grid_arrangement(std::slice::from_ref(&r), &Rect::unit(2));
+        assert_eq!(a.num_cells(), 9);
+        let cells = a.to_cells();
+        assert_eq!(cells.len(), 9);
+        // cells tile the clip box
+        let total: f64 = cells.iter().map(Rect::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cells_are_range_homogeneous() {
+        let rects = vec![
+            Rect::new(vec![0.1, 0.2], vec![0.6, 0.7]),
+            Rect::new(vec![0.4, 0.0], vec![0.9, 0.5]),
+            Rect::new(vec![0.0, 0.5], vec![0.3, 1.0]),
+        ];
+        let a = grid_arrangement(&rects, &Rect::unit(2));
+        for cell in a.cells() {
+            for r in &rects {
+                let iv = cell.intersection_volume(r);
+                let cv = cell.volume();
+                // each cell is entirely in or out of each rectangle
+                assert!(
+                    iv < 1e-12 || (iv - cv).abs() < 1e-12,
+                    "cell {cell:?} partially overlaps {r:?}: {iv} of {cv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_coords_outside_clip_ignored() {
+        let r = Rect::new(vec![-1.0, 0.5], vec![2.0, 0.6]);
+        let a = grid_arrangement(std::slice::from_ref(&r), &Rect::unit(2));
+        // only the y-coords 0.5, 0.6 fall strictly inside → 1 × 3 = 3 cells
+        assert_eq!(a.num_cells(), 3);
+    }
+
+    #[test]
+    fn cell_count_matches_breakpoint_product() {
+        let rects = vec![
+            Rect::new(vec![0.1, 0.1, 0.1], vec![0.5, 0.5, 0.5]),
+            Rect::new(vec![0.3, 0.3, 0.3], vec![0.9, 0.9, 0.9]),
+        ];
+        let a = grid_arrangement(&rects, &Rect::unit(3));
+        // 4 interior breakpoints per axis → 5 intervals per axis → 125 cells
+        assert_eq!(a.num_cells(), 125);
+        assert_eq!(a.cells().count(), 125);
+    }
+
+    #[test]
+    fn duplicate_coordinates_deduped() {
+        let rects = vec![
+            Rect::new(vec![0.5], vec![0.7]),
+            Rect::new(vec![0.5], vec![0.9]),
+        ];
+        let a = grid_arrangement(&rects, &Rect::unit(1));
+        // breakpoints {0, 0.5, 0.7, 0.9, 1} → 4 cells
+        assert_eq!(a.num_cells(), 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Distance-based (`ℓ2`-ball) queries: `{x : ‖x − a‖₂ ≤ r}`.
+//!
+//! Section 2.2 of the paper: the range space of Euclidean balls has
+//! VC-dimension at most `d + 2`, hence its selectivity functions are
+//! learnable with `Õ(1/ε^{d+5})` training queries.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::volume::{adaptive_simpson, unit_ball_volume, VolumeEstimator};
+use crate::EPS;
+
+/// The closed Euclidean ball `{x : ‖x − center‖₂ ≤ radius}`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Ball {
+    center: Point,
+    radius: f64,
+}
+
+impl Ball {
+    /// Creates a ball from its center and radius.
+    ///
+    /// # Panics
+    /// Panics on a negative radius.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius >= 0.0, "negative radius {radius}");
+        Self { center, radius }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.center.dim()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> &Point {
+        &self.center
+    }
+
+    /// Radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Membership test (closed ball).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.dist_sq(p) <= self.radius * self.radius + EPS
+    }
+
+    /// Volume of the full ball, `V_d · r^d`.
+    pub fn volume(&self) -> f64 {
+        unit_ball_volume(self.dim()) * self.radius.powi(self.dim() as i32)
+    }
+
+    /// Smallest axis-aligned bounding box `center ± radius`, clipped to
+    /// `clip`; `None` when the boxes are disjoint.
+    pub fn bounding_box(&self, clip: &Rect) -> Option<Rect> {
+        let lo: Vec<f64> = self
+            .center
+            .coords()
+            .iter()
+            .map(|&c| c - self.radius)
+            .collect();
+        let hi: Vec<f64> = self
+            .center
+            .coords()
+            .iter()
+            .map(|&c| c + self.radius)
+            .collect();
+        Rect::new(lo, hi).intersect(clip)
+    }
+
+    /// Volume of `rect ∩ ball`.
+    ///
+    /// * `d = 1`: exact interval overlap.
+    /// * `d = 2`: deterministic adaptive-Simpson integration of the clipped
+    ///   chord length (accurate to ~1e-9).
+    /// * `d ≥ 3`: deterministic Halton quasi-Monte-Carlo via `est`.
+    pub fn intersection_volume(&self, rect: &Rect, est: &VolumeEstimator) -> f64 {
+        assert_eq!(self.dim(), rect.dim(), "dimension mismatch");
+        // restrict integration to the part of `rect` inside the ball's bbox
+        let Some(bbox) = self.bounding_box(rect) else {
+            return 0.0;
+        };
+        if bbox.volume() <= 0.0 && self.dim() > 1 {
+            return 0.0;
+        }
+        match self.dim() {
+            1 => {
+                let l = (self.center[0] - self.radius).max(rect.lo()[0]);
+                let h = (self.center[0] + self.radius).min(rect.hi()[0]);
+                (h - l).max(0.0)
+            }
+            2 => {
+                let (cx, cy, r) = (self.center[0], self.center[1], self.radius);
+                let (ylo, yhi) = (bbox.lo()[1], bbox.hi()[1]);
+                let chord = move |x: f64| {
+                    let dx = x - cx;
+                    let g2 = r * r - dx * dx;
+                    if g2 <= 0.0 {
+                        return 0.0;
+                    }
+                    let g = g2.sqrt();
+                    ((cy + g).min(yhi) - (cy - g).max(ylo)).max(0.0)
+                };
+                adaptive_simpson(&chord, bbox.lo()[0], bbox.hi()[0], 1e-10)
+            }
+            _ => est.volume_in_rect(&bbox, |p| self.contains(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn membership() {
+        let b = Ball::new(Point::new(vec![0.5, 0.5]), 0.25);
+        assert!(b.contains(&Point::new(vec![0.5, 0.5])));
+        assert!(b.contains(&Point::new(vec![0.75, 0.5]))); // boundary
+        assert!(!b.contains(&Point::new(vec![0.76, 0.5])));
+    }
+
+    #[test]
+    fn full_ball_volume() {
+        let b = Ball::new(Point::zeros(2), 2.0);
+        assert!((b.volume() - 4.0 * PI).abs() < 1e-12);
+        let b3 = Ball::new(Point::zeros(3), 1.0);
+        assert!((b3.volume() - 4.0 / 3.0 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_clipped() {
+        let b = Ball::new(Point::new(vec![0.1, 0.9]), 0.3);
+        let bb = b.bounding_box(&Rect::unit(2)).unwrap();
+        assert_eq!(bb.lo()[0], 0.0);
+        assert!((bb.lo()[1] - 0.6).abs() < 1e-12);
+        assert!((bb.hi()[0] - 0.4).abs() < 1e-12);
+        assert_eq!(bb.hi()[1], 1.0);
+    }
+
+    #[test]
+    fn bbox_disjoint() {
+        let b = Ball::new(Point::new(vec![5.0, 5.0]), 0.5);
+        assert!(b.bounding_box(&Rect::unit(2)).is_none());
+    }
+
+    #[test]
+    fn interval_overlap_1d() {
+        let b = Ball::new(Point::new(vec![0.5]), 0.3); // [0.2, 0.8]
+        let r = Rect::new(vec![0.5], vec![2.0]);
+        let v = b.intersection_volume(&r, &VolumeEstimator::default());
+        assert!((v - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_inside_rect_2d() {
+        let b = Ball::new(Point::new(vec![0.5, 0.5]), 0.25);
+        let v = b.intersection_volume(&Rect::unit(2), &VolumeEstimator::default());
+        assert!((v - PI * 0.0625).abs() < 1e-7, "v = {v}");
+    }
+
+    #[test]
+    fn half_circle_2d() {
+        // Circle centered on the box edge: half the disc is inside.
+        let b = Ball::new(Point::new(vec![0.0, 0.5]), 0.25);
+        let v = b.intersection_volume(&Rect::unit(2), &VolumeEstimator::default());
+        assert!((v - PI * 0.0625 / 2.0).abs() < 1e-7, "v = {v}");
+    }
+
+    #[test]
+    fn quarter_circle_2d() {
+        let b = Ball::new(Point::new(vec![0.0, 0.0]), 0.5);
+        let v = b.intersection_volume(&Rect::unit(2), &VolumeEstimator::default());
+        assert!((v - PI * 0.25 / 4.0).abs() < 1e-7, "v = {v}");
+    }
+
+    #[test]
+    fn rect_inside_circle_2d() {
+        // Huge circle: intersection is the whole rectangle.
+        let b = Ball::new(Point::new(vec![0.5, 0.5]), 10.0);
+        let v = b.intersection_volume(&Rect::unit(2), &VolumeEstimator::default());
+        assert!((v - 1.0).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn ball_box_3d_qmc() {
+        // Ball fully inside the box: QMC should recover its exact volume.
+        let b = Ball::new(Point::splat(3, 0.5), 0.3);
+        let est = VolumeEstimator::qmc(100_000);
+        let v = b.intersection_volume(&Rect::unit(3), &est);
+        let exact = 4.0 / 3.0 * PI * 0.3f64.powi(3);
+        assert!((v - exact).abs() < 2e-3, "v = {v}, exact = {exact}");
+    }
+
+    #[test]
+    fn octant_ball_3d_qmc() {
+        // Ball centered at the corner: exactly 1/8 inside.
+        let b = Ball::new(Point::zeros(3), 0.6);
+        let est = VolumeEstimator::qmc(100_000);
+        let v = b.intersection_volume(&Rect::unit(3), &est);
+        let exact = 4.0 / 3.0 * PI * 0.6f64.powi(3) / 8.0;
+        assert!((v - exact).abs() < 3e-3, "v = {v}, exact = {exact}");
+    }
+
+    #[test]
+    fn disjoint_intersection_volume_is_zero() {
+        let b = Ball::new(Point::new(vec![3.0, 3.0]), 0.5);
+        assert_eq!(
+            b.intersection_volume(&Rect::unit(2), &VolumeEstimator::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "negative radius")]
+    fn negative_radius_panics() {
+        let _ = Ball::new(Point::zeros(2), -1.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Linear-inequality (halfspace) queries: `{x ∈ R^d : a · x ≥ b}`.
+//!
+//! The paper (Section 2.2) shows the range space of halfspaces has
+//! VC-dimension `d + 1`, so its selectivity functions are learnable with
+//! `Õ(1/ε^{d+4})` training queries. This module provides exact
+//! box-intersection volumes (via the generalized Irwin–Hall CDF) and the
+//! smallest-bounding-box computation of Appendix A.2 used for rejection
+//! sampling.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// The halfspace `{x : a · x ≥ b}` with normal `a` and offset `b`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Halfspace {
+    normal: Vec<f64>,
+    offset: f64,
+}
+
+impl Halfspace {
+    /// Creates the halfspace `a · x ≥ b`.
+    ///
+    /// # Panics
+    /// Panics if the normal is the zero vector (the predicate would be
+    /// constant and the range degenerate).
+    pub fn new(normal: Vec<f64>, offset: f64) -> Self {
+        assert!(
+            normal.iter().any(|&a| a.abs() > EPS),
+            "halfspace normal must be nonzero"
+        );
+        Self { normal, offset }
+    }
+
+    /// Builds a halfspace whose boundary hyperplane passes through `point`
+    /// with the given (not necessarily unit) `normal`, i.e.
+    /// `{x : normal · (x − point) ≥ 0}`. This is exactly the workload
+    /// parameterization in Section 4: a center point on the boundary plane
+    /// plus a random orientation.
+    pub fn through_point(point: &Point, normal: Vec<f64>) -> Self {
+        let offset = point.dot(&normal);
+        Self::new(normal, offset)
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.normal.len()
+    }
+
+    /// The normal vector `a`.
+    pub fn normal(&self) -> &[f64] {
+        &self.normal
+    }
+
+    /// The offset `b`.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Membership test `a · x ≥ b` (closed halfspace).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.dot(&self.normal) >= self.offset - EPS
+    }
+
+    /// Signed slack `a · x − b` (nonnegative inside).
+    pub fn slack(&self, p: &Point) -> f64 {
+        p.dot(&self.normal) - self.offset
+    }
+
+    /// Exact volume of `rect ∩ {a · x ≥ b}`.
+    ///
+    /// Computed in closed form: after mapping the box to `[0,1]^d`, the
+    /// fraction is `P(Σ c_i U_i ≥ t)` for independent `U_i ~ U[0,1]`, whose
+    /// CDF is the generalized Irwin–Hall piecewise polynomial
+    /// `F(t) = (1/(n! Π c_i)) Σ_{S⊆[n]} (−1)^{|S|} (t − Σ_{i∈S} c_i)_+^n`.
+    /// The `2^n` terms are exact for the `d ≤ 10` regimes of the paper.
+    pub fn intersection_volume(&self, rect: &Rect) -> f64 {
+        let frac = self.intersection_fraction(rect);
+        frac * rect.volume()
+    }
+
+    /// Fraction of `rect`'s volume lying inside the halfspace, in `[0, 1]`.
+    pub fn intersection_fraction(&self, rect: &Rect) -> f64 {
+        assert_eq!(self.dim(), rect.dim(), "dimension mismatch");
+        // Map x_i = lo_i + w_i u_i: the constraint a·x ≥ b becomes
+        // Σ (a_i w_i) u_i ≥ b − a·lo.
+        let mut t = self.offset;
+        let mut coeffs = Vec::with_capacity(self.dim());
+        for i in 0..self.dim() {
+            t -= self.normal[i] * rect.lo()[i];
+            coeffs.push(self.normal[i] * rect.width(i));
+        }
+        // Flip negative coefficients with u → 1 − u so all become positive:
+        // Σ c_i u_i ≥ t  ⇔  Σ |c_i| v_i ≥ t − Σ_{c_i<0} c_i.
+        let mut pos = Vec::with_capacity(coeffs.len());
+        for c in coeffs {
+            if c < 0.0 {
+                t -= c;
+                pos.push(-c);
+            } else {
+                pos.push(c);
+            }
+        }
+        // Drop (numerically) zero coefficients; they do not move the sum.
+        let scale: f64 = pos.iter().cloned().fold(0.0, f64::max);
+        let pos: Vec<f64> = pos.into_iter().filter(|&c| c > scale * 1e-12 + EPS).collect();
+        let total: f64 = pos.iter().sum();
+        if t <= EPS {
+            return 1.0;
+        }
+        if t >= total - EPS {
+            return 0.0;
+        }
+        1.0 - uniform_sum_cdf(&pos, t)
+    }
+
+    /// Smallest axis-aligned bounding box of `clip ∩ {a · x ≥ b}`, or
+    /// `None` when the intersection is empty.
+    ///
+    /// Implements the iterative tightening procedure of Appendix A.2:
+    /// repeatedly shrink each interval `[l_i, r_i]` using the extreme values
+    /// of `Σ_{j≠i} a_j x_j` over the current box, until a fixpoint.
+    pub fn bounding_box(&self, clip: &Rect) -> Option<Rect> {
+        assert_eq!(self.dim(), clip.dim(), "dimension mismatch");
+        let d = self.dim();
+        let mut lo = clip.lo().to_vec();
+        let mut hi = clip.hi().to_vec();
+        loop {
+            let mut changed = false;
+            for i in 0..d {
+                let a = self.normal[i];
+                if a.abs() <= EPS {
+                    continue;
+                }
+                // Maximum of Σ_{j≠i} a_j x_j over the current box.
+                let mut max_rest = 0.0;
+                for j in 0..d {
+                    if j != i {
+                        max_rest += (self.normal[j] * lo[j]).max(self.normal[j] * hi[j]);
+                    }
+                }
+                // a_i x_i ≥ b − max_rest must be satisfiable.
+                let bound = (self.offset - max_rest) / a;
+                if a > 0.0 {
+                    if bound > lo[i] + EPS {
+                        lo[i] = bound;
+                        changed = true;
+                    }
+                } else if bound < hi[i] - EPS {
+                    hi[i] = bound;
+                    changed = true;
+                }
+                if lo[i] > hi[i] + EPS {
+                    return None;
+                }
+                lo[i] = lo[i].min(hi[i]);
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some(Rect::new(lo, hi))
+    }
+}
+
+/// CDF of `Σ c_i U_i` at `t` for positive coefficients `c` and independent
+/// `U_i ~ U[0,1]`, evaluated with the inclusion–exclusion formula.
+///
+/// Precondition: `0 < t < Σ c_i` and all `c_i > 0`.
+fn uniform_sum_cdf(c: &[f64], t: f64) -> f64 {
+    let n = c.len();
+    debug_assert!(n > 0);
+    if n > 25 {
+        // 2^n terms would be too slow; callers in this repo never exceed
+        // d = 20, but guard with a deterministic fallback anyway.
+        return uniform_sum_cdf_grid(c, t);
+    }
+    // log-scale normalization constant n! Π c_i to avoid overflow.
+    let mut terms = Vec::with_capacity(1 << n);
+    for mask in 0usize..(1 << n) {
+        let mut s = t;
+        let mut parity = 1.0;
+        for (i, &ci) in c.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                s -= ci;
+                parity = -parity;
+            }
+        }
+        if s > 0.0 {
+            terms.push(parity * s.powi(n as i32));
+        }
+    }
+    // Sum large-magnitude terms first is unnecessary here (n ≤ 25, values
+    // are bounded by (Σc)^n); plain Kahan summation keeps error low.
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    terms.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+    for v in terms {
+        let y = v - comp;
+        let tally = sum + y;
+        comp = (tally - sum) - y;
+        sum = tally;
+    }
+    let mut denom = 1.0f64;
+    for (i, &ci) in c.iter().enumerate() {
+        denom *= ci * (i as f64 + 1.0);
+    }
+    (sum / denom).clamp(0.0, 1.0)
+}
+
+/// Deterministic grid fallback for very high dimension: numerically convolve
+/// the uniform densities on a fixed grid.
+fn uniform_sum_cdf_grid(c: &[f64], t: f64) -> f64 {
+    const N: usize = 4096;
+    let total: f64 = c.iter().sum();
+    let h = total / N as f64;
+    // density of the running sum, piecewise-constant on grid cells
+    let mut dens = vec![0.0f64; N + 1];
+    dens[0] = 1.0 / h; // delta approximated in first cell
+    for &ci in c {
+        let k = (ci / h).round().max(1.0) as usize;
+        // convolve with U[0, ci] ≈ average of k shifted copies
+        let mut next = vec![0.0f64; N + 1];
+        let mut window = 0.0;
+        for (j, slot) in next.iter_mut().enumerate() {
+            window += dens[j];
+            if j >= k {
+                window -= dens[j - k];
+            }
+            *slot = window / k as f64;
+        }
+        dens = next;
+    }
+    let cut = ((t / h) as usize).min(N);
+    dens[..cut].iter().sum::<f64>() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(normal: Vec<f64>, offset: f64) -> Halfspace {
+        Halfspace::new(normal, offset)
+    }
+
+    #[test]
+    fn membership() {
+        let h = hs(vec![1.0, 1.0], 1.0); // x + y ≥ 1
+        assert!(h.contains(&Point::new(vec![1.0, 0.5])));
+        assert!(h.contains(&Point::new(vec![0.5, 0.5]))); // boundary
+        assert!(!h.contains(&Point::new(vec![0.2, 0.2])));
+    }
+
+    #[test]
+    fn through_point_boundary() {
+        let p = Point::new(vec![0.3, 0.7]);
+        let h = Halfspace::through_point(&p, vec![2.0, -1.0]);
+        assert!(h.slack(&p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfplane_cuts_unit_square_in_half() {
+        // x + y ≥ 1 cuts [0,1]^2 into two triangles of area 1/2.
+        let h = hs(vec![1.0, 1.0], 1.0);
+        let v = h.intersection_volume(&Rect::unit(2));
+        assert!((v - 0.5).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn corner_cut_triangle() {
+        // x + y ≥ 1.5 leaves the triangle with legs 0.5: area 1/8.
+        let h = hs(vec![1.0, 1.0], 1.5);
+        let v = h.intersection_volume(&Rect::unit(2));
+        assert!((v - 0.125).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn axis_aligned_halfspace_is_a_slab() {
+        // x_0 ≥ 0.25 over [0,1]^3 has volume 0.75.
+        let h = hs(vec![1.0, 0.0, 0.0], 0.25);
+        let v = h.intersection_volume(&Rect::unit(3));
+        assert!((v - 0.75).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn negative_normal() {
+        // −x ≥ −0.25 ⇔ x ≤ 0.25.
+        let h = hs(vec![-1.0, 0.0], -0.25);
+        let v = h.intersection_volume(&Rect::unit(2));
+        assert!((v - 0.25).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn full_and_empty_intersections() {
+        let full = hs(vec![1.0, 1.0], -10.0);
+        assert!((full.intersection_volume(&Rect::unit(2)) - 1.0).abs() < 1e-12);
+        let empty = hs(vec![1.0, 1.0], 10.0);
+        assert_eq!(empty.intersection_volume(&Rect::unit(2)), 0.0);
+    }
+
+    #[test]
+    fn simplex_volume_3d() {
+        // x+y+z ≤ 1 over the unit cube is the standard simplex, volume 1/6.
+        // Our halfspace is ≥, so use −x−y−z ≥ −1.
+        let h = hs(vec![-1.0, -1.0, -1.0], -1.0);
+        let v = h.intersection_volume(&Rect::unit(3));
+        assert!((v - 1.0 / 6.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn irwin_hall_matches_monte_carlo_5d() {
+        use rand::{Rng, SeedableRng};
+        let h = hs(vec![0.3, -0.7, 1.2, 0.05, -0.4], 0.1);
+        let exact = h.intersection_fraction(&Rect::unit(5));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let p = Point::new((0..5).map(|_| rng.gen::<f64>()).collect());
+            if h.contains(&p) {
+                hits += 1;
+            }
+        }
+        let mc = hits as f64 / n as f64;
+        assert!(
+            (exact - mc).abs() < 5e-3,
+            "exact = {exact}, mc = {mc}"
+        );
+    }
+
+    #[test]
+    fn volume_on_shifted_scaled_box() {
+        // x ≥ 1 over [0,2]x[3,5]: half of the box along x → volume 2.
+        let h = hs(vec![1.0, 0.0], 1.0);
+        let r = Rect::new(vec![0.0, 3.0], vec![2.0, 5.0]);
+        let v = h.intersection_volume(&r);
+        assert!((v - 2.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn bounding_box_axis_aligned() {
+        // x0 ≥ 0.25 within the unit square → box [0.25,1]×[0,1].
+        let h = hs(vec![1.0, 0.0], 0.25);
+        let bb = h.bounding_box(&Rect::unit(2)).unwrap();
+        assert!((bb.lo()[0] - 0.25).abs() < 1e-9);
+        assert_eq!(bb.lo()[1], 0.0);
+        assert_eq!(bb.hi(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn bounding_box_diagonal_corner() {
+        // x + y ≥ 1.5 within unit square: feasible region needs x ≥ 0.5, y ≥ 0.5.
+        let h = hs(vec![1.0, 1.0], 1.5);
+        let bb = h.bounding_box(&Rect::unit(2)).unwrap();
+        assert!((bb.lo()[0] - 0.5).abs() < 1e-9);
+        assert!((bb.lo()[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_box_empty() {
+        let h = hs(vec![1.0, 1.0], 3.0); // unreachable inside unit square
+        assert!(h.bounding_box(&Rect::unit(2)).is_none());
+    }
+
+    #[test]
+    fn bounding_box_contains_all_inside_samples() {
+        use rand::{Rng, SeedableRng};
+        let h = hs(vec![0.8, -0.3, 0.5], 0.4);
+        let bb = h.bounding_box(&Rect::unit(3)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let p = Point::new((0..3).map(|_| rng.gen::<f64>()).collect());
+            if h.contains(&p) {
+                assert!(bb.contains(&p), "{p:?} outside bbox");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_normal_panics() {
+        let _ = Halfspace::new(vec![0.0, 0.0], 1.0);
+    }
+
+    #[test]
+    fn complement_volumes_sum_to_box() {
+        // vol(box ∩ {a·x ≥ b}) + vol(box ∩ {−a·x ≥ −b}) = vol(box),
+        // for any halfspace: the two closed halves tile the box.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for d in [1usize, 2, 3, 5, 8] {
+            for _ in 0..20 {
+                let normal: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                if normal.iter().all(|v| v.abs() < 1e-3) {
+                    continue;
+                }
+                let off: f64 = rng.gen_range(-1.0..2.0);
+                let h = Halfspace::new(normal.clone(), off);
+                let hc = Halfspace::new(normal.iter().map(|v| -v).collect(), -off);
+                let rect = Rect::unit(d);
+                let total = h.intersection_volume(&rect) + hc.intersection_volume(&rect);
+                assert!(
+                    (total - 1.0).abs() < 1e-9,
+                    "d = {d}: halves sum to {total}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_fraction_in_unit_interval(
+            a in -2.0f64..2.0, b in -2.0f64..2.0, c in -2.0f64..2.0,
+            off in -3.0f64..3.0,
+        ) {
+            proptest::prop_assume!(a.abs() + b.abs() + c.abs() > 1e-3);
+            let h = Halfspace::new(vec![a, b, c], off);
+            let f = h.intersection_fraction(&Rect::unit(3));
+            proptest::prop_assert!((0.0..=1.0).contains(&f), "f = {f}");
+        }
+
+        #[test]
+        fn prop_fraction_monotone_in_offset(
+            a in 0.1f64..2.0, b in -2.0f64..2.0,
+            off1 in -2.0f64..2.0, off2 in -2.0f64..2.0,
+        ) {
+            // raising b shrinks {a·x ≥ b}, so the fraction is nonincreasing
+            let (lo, hi) = if off1 <= off2 { (off1, off2) } else { (off2, off1) };
+            let f_lo = Halfspace::new(vec![a, b], lo).intersection_fraction(&Rect::unit(2));
+            let f_hi = Halfspace::new(vec![a, b], hi).intersection_fraction(&Rect::unit(2));
+            proptest::prop_assert!(f_hi <= f_lo + 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_fallback_agrees_with_exact() {
+        let c = vec![0.4, 0.7, 1.0, 0.2];
+        let t = 1.1;
+        let exact = uniform_sum_cdf(&c, t);
+        let grid = uniform_sum_cdf_grid(&c, t);
+        assert!((exact - grid).abs() < 5e-3, "{exact} vs {grid}");
+    }
+}

@@ -1,0 +1,360 @@
+//! A static weighted k-d tree with range aggregation.
+//!
+//! PtsHist's prediction (Equation 7) sums the weights of support points
+//! inside the query; done naively that is `O(k)` point tests per estimate.
+//! This k-d tree prunes with per-subtree bounding boxes and aggregated
+//! subtree weights: subtrees entirely inside the query are absorbed in
+//! `O(1)`, subtrees entirely outside are skipped, so rectangle queries run
+//! in `O(k^{1−1/d} + answer)` — the classic orthogonal-range-counting
+//! bound. Arbitrary ranges use conservative bounding-box pruning plus the
+//! exact membership predicate at the leaves.
+
+use crate::point::Point;
+use crate::range::{Range, RangeQuery};
+use crate::rect::Rect;
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Index into the point/weight arrays.
+    item: usize,
+    /// Bounding box of every point in this subtree.
+    bbox: Rect,
+    /// Total weight in this subtree (including this node).
+    subtree_weight: f64,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// A static k-d tree over weighted points.
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    points: Vec<Point>,
+    weights: Vec<f64>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds a tree from parallel point/weight arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length or points differ in dimension.
+    pub fn build(points: Vec<Point>, weights: Vec<f64>) -> Self {
+        assert_eq!(points.len(), weights.len(), "length mismatch");
+        if let Some(first) = points.first() {
+            let d = first.dim();
+            assert!(
+                points.iter().all(|p| p.dim() == d),
+                "ragged point dimensions"
+            );
+        }
+        let mut tree = Self {
+            nodes: Vec::with_capacity(points.len()),
+            root: None,
+            points,
+            weights,
+        };
+        let mut idx: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build_rec(&mut idx, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, idx: &mut [usize], depth: usize) -> Option<usize> {
+        if idx.is_empty() {
+            return None;
+        }
+        let d = self.points[idx[0]].dim();
+        let axis = depth % d;
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][axis]
+                .partial_cmp(&self.points[b][axis])
+                .expect("finite coordinates")
+        });
+        let item = idx[mid];
+        // compute subtree bbox and weight over the whole slice
+        let mut lo = self.points[idx[0]].coords().to_vec();
+        let mut hi = lo.clone();
+        let mut w = 0.0;
+        for &i in idx.iter() {
+            w += self.weights[i];
+            for k in 0..d {
+                lo[k] = lo[k].min(self.points[i][k]);
+                hi[k] = hi[k].max(self.points[i][k]);
+            }
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(Node {
+            item,
+            bbox: Rect::new(lo, hi),
+            subtree_weight: w,
+            left: None,
+            right: None,
+        });
+        let (l, r) = idx.split_at_mut(mid);
+        let left = self.build_rec(l, depth + 1);
+        let right = self.build_rec(&mut r[1..], depth + 1);
+        self.nodes[node_id].left = left;
+        self.nodes[node_id].right = right;
+        Some(node_id)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total weight of points inside the axis-aligned box, with full
+    /// inside/outside subtree pruning.
+    pub fn weight_in_rect(&self, query: &Rect) -> f64 {
+        let mut total = 0.0;
+        let mut stack = Vec::with_capacity(64);
+        if let Some(r) = self.root {
+            stack.push(r);
+        }
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !query.intersects(&node.bbox) {
+                continue;
+            }
+            if query.contains_rect(&node.bbox) {
+                total += node.subtree_weight;
+                continue;
+            }
+            if query.contains(&self.points[node.item]) {
+                total += self.weights[node.item];
+            }
+            if let Some(l) = node.left {
+                stack.push(l);
+            }
+            if let Some(r) = node.right {
+                stack.push(r);
+            }
+        }
+        total
+    }
+
+    /// Total weight of points inside an arbitrary range: bounding-box
+    /// pruning on subtrees, exact membership at nodes. `clip` is the
+    /// domain used to compute the range's bounding box.
+    pub fn weight_in_range(&self, query: &Range, clip: &Rect) -> f64 {
+        // fast path: exact pruning for orthogonal ranges
+        if let Range::Rect(r) = query {
+            return self.weight_in_rect(r);
+        }
+        let Some(qbox) = query.bounding_box(clip) else {
+            return 0.0;
+        };
+        let mut total = 0.0;
+        let mut stack = Vec::with_capacity(64);
+        if let Some(r) = self.root {
+            stack.push(r);
+        }
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !qbox.intersects(&node.bbox) {
+                continue;
+            }
+            if query.contains(&self.points[node.item]) {
+                total += self.weights[node.item];
+            }
+            if let Some(l) = node.left {
+                stack.push(l);
+            }
+            if let Some(r) = node.right {
+                stack.push(r);
+            }
+        }
+        total
+    }
+
+    /// Nodes visited answering a rectangle query — exposed so benches can
+    /// demonstrate the sublinear visit count.
+    pub fn visits_for_rect(&self, query: &Rect) -> usize {
+        let mut visits = 0;
+        let mut stack = Vec::with_capacity(64);
+        if let Some(r) = self.root {
+            stack.push(r);
+        }
+        while let Some(id) = stack.pop() {
+            visits += 1;
+            let node = &self.nodes[id];
+            if !query.intersects(&node.bbox) || query.contains_rect(&node.bbox) {
+                continue;
+            }
+            if let Some(l) = node.left {
+                stack.push(l);
+            }
+            if let Some(r) = node.right {
+                stack.push(r);
+            }
+        }
+        visits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> (Vec<Point>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new((0..d).map(|_| rng.gen()).collect()))
+            .collect();
+        let mut ws: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let total: f64 = ws.iter().sum();
+        for w in &mut ws {
+            *w /= total;
+        }
+        (pts, ws)
+    }
+
+    fn brute_rect(pts: &[Point], ws: &[f64], q: &Rect) -> f64 {
+        pts.iter()
+            .zip(ws)
+            .filter(|(p, _)| q.contains(p))
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(vec![], vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.weight_in_rect(&Rect::unit(2)), 0.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![Point::new(vec![0.5, 0.5])], vec![1.0]);
+        assert_eq!(t.weight_in_rect(&Rect::unit(2)), 1.0);
+        let off = Rect::new(vec![0.6, 0.6], vec![1.0, 1.0]);
+        assert_eq!(t.weight_in_rect(&off), 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_2d() {
+        let (pts, ws) = random_points(500, 2, 1);
+        let t = KdTree::build(pts.clone(), ws.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let lo = [rng.gen::<f64>() * 0.8, rng.gen::<f64>() * 0.8];
+            let q = Rect::new(
+                lo.to_vec(),
+                vec![lo[0] + rng.gen::<f64>() * 0.2, lo[1] + rng.gen::<f64>() * 0.2],
+            );
+            let got = t.weight_in_rect(&q);
+            let want = brute_rect(&pts, &ws, &q);
+            assert!((got - want).abs() < 1e-12, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_high_dim() {
+        let (pts, ws) = random_points(300, 6, 3);
+        let t = KdTree::build(pts.clone(), ws.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let lo: Vec<f64> = (0..6).map(|_| rng.gen::<f64>() * 0.5).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen::<f64>() * 0.5).collect();
+            let q = Rect::new(lo, hi);
+            let got = t.weight_in_rect(&q);
+            let want = brute_rect(&pts, &ws, &q);
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn whole_space_returns_total_weight() {
+        let (pts, ws) = random_points(200, 3, 5);
+        let t = KdTree::build(pts, ws);
+        assert!((t.weight_in_rect(&Rect::unit(3)) - 1.0).abs() < 1e-12);
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn ball_range_matches_brute_force() {
+        use crate::ball::Ball;
+        let (pts, ws) = random_points(400, 2, 6);
+        let t = KdTree::build(pts.clone(), ws.clone());
+        let b = Ball::new(Point::new(vec![0.4, 0.6]), 0.25);
+        let q: Range = b.clone().into();
+        let got = t.weight_in_range(&q, &Rect::unit(2));
+        let want: f64 = pts
+            .iter()
+            .zip(&ws)
+            .filter(|(p, _)| b.contains(p))
+            .map(|(_, &w)| w)
+            .sum();
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfspace_range_matches_brute_force() {
+        use crate::halfspace::Halfspace;
+        let (pts, ws) = random_points(400, 3, 7);
+        let t = KdTree::build(pts.clone(), ws.clone());
+        let h = Halfspace::new(vec![1.0, -0.5, 0.3], 0.2);
+        let q: Range = h.clone().into();
+        let got = t.weight_in_range(&q, &Rect::unit(3));
+        let want: f64 = pts
+            .iter()
+            .zip(&ws)
+            .filter(|(p, _)| h.contains(p))
+            .map(|(_, &w)| w)
+            .sum();
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_is_sublinear_for_small_queries() {
+        let (pts, ws) = random_points(4096, 2, 8);
+        let t = KdTree::build(pts, ws);
+        let tiny = Rect::new(vec![0.4, 0.4], vec![0.45, 0.45]);
+        let visits = t.visits_for_rect(&tiny);
+        assert!(
+            visits < 4096 / 4,
+            "visited {visits} of 4096 nodes for a tiny query"
+        );
+        // whole-space query is absorbed at the root
+        assert_eq!(t.visits_for_rect(&Rect::unit(2)), 1);
+    }
+
+    #[test]
+    fn duplicate_points_supported() {
+        let p = Point::new(vec![0.5, 0.5]);
+        let t = KdTree::build(vec![p.clone(), p.clone(), p], vec![0.2, 0.3, 0.5]);
+        assert!((t.weight_in_rect(&Rect::unit(2)) - 1.0).abs() < 1e-12);
+        let exact = Rect::new(vec![0.5, 0.5], vec![0.5, 0.5]);
+        assert!((t.weight_in_rect(&exact) - 1.0).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_matches_brute_force(
+            coords in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..80),
+            qlo in (0.0f64..0.9, 0.0f64..0.9),
+            qsize in (0.0f64..0.6, 0.0f64..0.6),
+        ) {
+            let pts: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(vec![x, y])).collect();
+            let ws = vec![1.0 / pts.len() as f64; pts.len()];
+            let t = KdTree::build(pts.clone(), ws.clone());
+            let q = Rect::new(
+                vec![qlo.0, qlo.1],
+                vec![(qlo.0 + qsize.0).min(1.0), (qlo.1 + qsize.1).min(1.0)],
+            );
+            let got = t.weight_in_rect(&q);
+            let want = brute_rect(&pts, &ws, &q);
+            proptest::prop_assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

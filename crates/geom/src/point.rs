@@ -1,0 +1,179 @@
+//! Points in `R^d` with runtime-chosen dimensionality.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A point in `R^d`.
+///
+/// Dimensionality is chosen at runtime because the paper's experiments sweep
+/// `d` from 2 to 10 (Section 4.4). Coordinates are stored densely.
+#[derive(Clone, PartialEq)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from a coordinate vector.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Self { coords }
+    }
+
+    /// Creates the origin of `R^d`.
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            coords: vec![0.0; dim],
+        }
+    }
+
+    /// Creates a point with every coordinate equal to `v`.
+    pub fn splat(dim: usize, v: f64) -> Self {
+        Self {
+            coords: vec![v; dim],
+        }
+    }
+
+    /// The dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate slice.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Mutable coordinate slice.
+    pub fn coords_mut(&mut self) -> &mut [f64] {
+        &mut self.coords
+    }
+
+    /// Consumes the point and returns its coordinates.
+    pub fn into_coords(self) -> Vec<f64> {
+        self.coords
+    }
+
+    /// Euclidean (`ℓ2`) distance to another point.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point.
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Dot product with a coefficient vector.
+    pub fn dot(&self, coeffs: &[f64]) -> f64 {
+        assert_eq!(self.dim(), coeffs.len(), "dimension mismatch");
+        self.coords.iter().zip(coeffs).map(|(a, b)| a * b).sum()
+    }
+
+    /// Projects the point onto a subset of its dimensions.
+    pub fn project(&self, dims: &[usize]) -> Point {
+        Point::new(dims.iter().map(|&i| self.coords[i]).collect())
+    }
+
+    /// Returns `true` if every coordinate lies in `[0, 1]`.
+    pub fn in_unit_cube(&self) -> bool {
+        self.coords.iter().all(|&c| (0.0..=1.0).contains(&c))
+    }
+}
+
+impl From<Vec<f64>> for Point {
+    fn from(coords: Vec<f64>) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl From<&[f64]> for Point {
+    fn from(coords: &[f64]) -> Self {
+        Point::new(coords.to_vec())
+    }
+}
+
+impl Index<usize> for Point {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.coords[i]
+    }
+}
+
+impl IndexMut<usize> for Point {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.coords[i]
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point{:?}", self.coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Point::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p[1], 2.0);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zeros_and_splat() {
+        assert_eq!(Point::zeros(4).coords(), &[0.0; 4]);
+        assert_eq!(Point::splat(2, 0.5).coords(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn distance() {
+        let a = Point::new(vec![0.0, 0.0]);
+        let b = Point::new(vec![3.0, 4.0]);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let p = Point::new(vec![1.0, 2.0]);
+        assert_eq!(p.dot(&[3.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn projection() {
+        let p = Point::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.project(&[0, 3]).coords(), &[1.0, 4.0]);
+        assert_eq!(p.project(&[2]).coords(), &[3.0]);
+    }
+
+    #[test]
+    fn unit_cube_membership() {
+        assert!(Point::new(vec![0.0, 1.0, 0.5]).in_unit_cube());
+        assert!(!Point::new(vec![0.0, 1.0001]).in_unit_cube());
+        assert!(!Point::new(vec![-0.1]).in_unit_cube());
+    }
+
+    #[test]
+    fn index_mut() {
+        let mut p = Point::zeros(2);
+        p[0] = 7.0;
+        assert_eq!(p.coords(), &[7.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dist_dim_mismatch_panics() {
+        let _ = Point::zeros(2).dist(&Point::zeros(3));
+    }
+}

@@ -1,0 +1,239 @@
+//! The unified query-range type and trait.
+//!
+//! The paper's learning framework is parameterized by a *range space*
+//! `Σ = (X, R)`. This module gives all supported range families one
+//! interface so that estimators (QuadHist, PtsHist, Isomer, QuickSel, …)
+//! can be written generically, exactly as Section 3 does.
+
+use crate::ball::Ball;
+use crate::halfspace::Halfspace;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::semialgebraic::SemiAlgebraicSet;
+use crate::volume::VolumeEstimator;
+
+/// Operations every query range must support.
+pub trait RangeQuery {
+    /// Dimensionality of the ambient space.
+    fn dim(&self) -> usize;
+    /// Membership test.
+    fn contains(&self, p: &Point) -> bool;
+    /// Smallest axis-aligned bounding box of the range clipped to `clip`
+    /// (`None` when the intersection is empty). Used for rejection sampling
+    /// (Appendix A.2).
+    fn bounding_box(&self, clip: &Rect) -> Option<Rect>;
+    /// `vol(rect ∩ range)` — the central quantity of Equation (6).
+    fn intersection_volume(&self, rect: &Rect, est: &VolumeEstimator) -> f64;
+}
+
+/// Which range family a workload uses; determines the VC dimension and
+/// hence the sample-complexity exponent of Theorem 2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RangeClass {
+    /// Orthogonal ranges (axis-aligned boxes): `VC-dim = 2d`.
+    Rect,
+    /// Halfspaces `a · x ≥ b`: `VC-dim = d + 1`.
+    Halfspace,
+    /// Euclidean balls: `VC-dim ≤ d + 2`.
+    Ball,
+    /// Semi-algebraic sets with `b` atoms of degree ≤ `Δ`: constant
+    /// VC-dimension `λ(d, b, Δ)`.
+    SemiAlgebraic,
+}
+
+impl RangeClass {
+    /// The VC dimension of this range class in dimension `d`, per the known
+    /// bounds quoted in Section 2.2 ([Kearns–Vazirani]).
+    ///
+    /// For `SemiAlgebraic` we return the standard `O(b·(d+Δ choose d)·log b)`
+    /// style bound with `b = Δ = 2` as a representative constant; exact
+    /// constants for semi-algebraic classes are formula-dependent.
+    pub fn vc_dim(self, d: usize) -> usize {
+        match self {
+            RangeClass::Rect => 2 * d,
+            RangeClass::Halfspace => d + 1,
+            RangeClass::Ball => d + 2,
+            RangeClass::SemiAlgebraic => 2 * (d + 2),
+        }
+    }
+
+    /// The exponent `f(d)` in Theorem 2.1's training-set size
+    /// `Õ(1/ε^{f(d)}) = Õ(1/ε^{λ+3})`.
+    pub fn sample_exponent(self, d: usize) -> usize {
+        self.vc_dim(d) + 3
+    }
+}
+
+/// A query range: one of the paper's supported families.
+#[derive(Clone, Debug)]
+pub enum Range {
+    /// Orthogonal range query (Section 2.2, `R_□`).
+    Rect(Rect),
+    /// Linear-inequality query (Section 2.2, `R_∖`).
+    Halfspace(Halfspace),
+    /// Distance-based query (Section 2.2, `R_○`).
+    Ball(Ball),
+    /// Semi-algebraic query (Section 2.2, `Γ_{d,b,Δ}`); the ambient
+    /// dimension must be given explicitly since formulas do not carry it.
+    SemiAlgebraic {
+        /// The defining Boolean formula over polynomial inequalities.
+        set: SemiAlgebraicSet,
+        /// Ambient dimension `d`.
+        dim: usize,
+    },
+}
+
+impl Range {
+    /// The family this range belongs to.
+    pub fn class(&self) -> RangeClass {
+        match self {
+            Range::Rect(_) => RangeClass::Rect,
+            Range::Halfspace(_) => RangeClass::Halfspace,
+            Range::Ball(_) => RangeClass::Ball,
+            Range::SemiAlgebraic { .. } => RangeClass::SemiAlgebraic,
+        }
+    }
+
+    /// Volume of the range clipped to `clip` (`|R|` in Algorithm 2; the
+    /// paper normalizes the data space to `[0,1]^d`, so ranges that extend
+    /// beyond it only count their in-cube part).
+    pub fn volume_in(&self, clip: &Rect, est: &VolumeEstimator) -> f64 {
+        self.intersection_volume(clip, est)
+    }
+
+    /// Borrows the inner rectangle, if this is an orthogonal range.
+    pub fn as_rect(&self) -> Option<&Rect> {
+        match self {
+            Range::Rect(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl RangeQuery for Range {
+    fn dim(&self) -> usize {
+        match self {
+            Range::Rect(r) => r.dim(),
+            Range::Halfspace(h) => h.dim(),
+            Range::Ball(b) => b.dim(),
+            Range::SemiAlgebraic { dim, .. } => *dim,
+        }
+    }
+
+    fn contains(&self, p: &Point) -> bool {
+        match self {
+            Range::Rect(r) => r.contains(p),
+            Range::Halfspace(h) => h.contains(p),
+            Range::Ball(b) => b.contains(p),
+            Range::SemiAlgebraic { set, .. } => set.contains(p),
+        }
+    }
+
+    fn bounding_box(&self, clip: &Rect) -> Option<Rect> {
+        match self {
+            Range::Rect(r) => r.intersect(clip),
+            Range::Halfspace(h) => h.bounding_box(clip),
+            Range::Ball(b) => b.bounding_box(clip),
+            // No generic closed form; the clip box is a valid (loose) bound.
+            Range::SemiAlgebraic { .. } => Some(clip.clone()),
+        }
+    }
+
+    fn intersection_volume(&self, rect: &Rect, est: &VolumeEstimator) -> f64 {
+        match self {
+            Range::Rect(r) => r.intersection_volume(rect),
+            Range::Halfspace(h) => h.intersection_volume(rect),
+            Range::Ball(b) => b.intersection_volume(rect, est),
+            Range::SemiAlgebraic { set, .. } => set.intersection_volume(rect, est),
+        }
+    }
+}
+
+impl From<Rect> for Range {
+    fn from(r: Rect) -> Self {
+        Range::Rect(r)
+    }
+}
+
+impl From<Halfspace> for Range {
+    fn from(h: Halfspace) -> Self {
+        Range::Halfspace(h)
+    }
+}
+
+impl From<Ball> for Range {
+    fn from(b: Ball) -> Self {
+        Range::Ball(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vc_dims_match_paper() {
+        assert_eq!(RangeClass::Rect.vc_dim(2), 4); // Figure 2
+        assert_eq!(RangeClass::Rect.vc_dim(5), 10);
+        assert_eq!(RangeClass::Halfspace.vc_dim(2), 3);
+        assert_eq!(RangeClass::Ball.vc_dim(2), 4);
+    }
+
+    #[test]
+    fn sample_exponents_match_theorem() {
+        // Orthogonal: 2d + 3; halfspace: d + 4; ball: d + 5 (Section 2.2).
+        assert_eq!(RangeClass::Rect.sample_exponent(3), 9);
+        assert_eq!(RangeClass::Halfspace.sample_exponent(3), 7);
+        assert_eq!(RangeClass::Ball.sample_exponent(3), 8);
+    }
+
+    #[test]
+    fn dispatch_contains() {
+        let unit = Rect::unit(2);
+        let ranges: Vec<Range> = vec![
+            Rect::new(vec![0.2, 0.2], vec![0.8, 0.8]).into(),
+            Halfspace::new(vec![1.0, 0.0], 0.2).into(),
+            Ball::new(Point::splat(2, 0.5), 0.4).into(),
+        ];
+        let inside = Point::splat(2, 0.5);
+        for r in &ranges {
+            assert!(r.contains(&inside));
+            assert_eq!(r.dim(), 2);
+            assert!(r.bounding_box(&unit).is_some());
+        }
+    }
+
+    #[test]
+    fn dispatch_volume_consistency() {
+        let est = VolumeEstimator::default();
+        let unit = Rect::unit(2);
+        let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]).into();
+        assert!((r.intersection_volume(&unit, &est) - 0.25).abs() < 1e-12);
+        let h: Range = Halfspace::new(vec![1.0, 0.0], 0.5).into();
+        assert!((h.intersection_volume(&unit, &est) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn semialgebraic_range_dispatch() {
+        let set = SemiAlgebraicSet::disc_intersection_query(0.5, 0.5, 0.2);
+        let r = Range::SemiAlgebraic { set, dim: 3 };
+        assert_eq!(r.dim(), 3);
+        assert_eq!(r.class(), RangeClass::SemiAlgebraic);
+        // A tiny disc at the query center intersects it.
+        assert!(r.contains(&Point::new(vec![0.5, 0.5, 0.01])));
+        // bounding box falls back to the clip rect
+        let clip = Rect::unit(3);
+        assert_eq!(r.bounding_box(&clip).unwrap(), clip);
+    }
+
+    #[test]
+    fn clipped_volume() {
+        let est = VolumeEstimator::default();
+        // Ball sticking out of the unit square: clipped volume < full volume.
+        let b: Range = Ball::new(Point::new(vec![0.0, 0.5]), 0.3).into();
+        let clipped = b.volume_in(&Rect::unit(2), &est);
+        let full = std::f64::consts::PI * 0.09;
+        assert!(clipped < full);
+        assert!((clipped - full / 2.0).abs() < 1e-6);
+    }
+}

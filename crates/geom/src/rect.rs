@@ -1,0 +1,353 @@
+//! Axis-aligned hyper-rectangles.
+//!
+//! Rectangles play three roles in the paper: orthogonal range queries
+//! (Section 2.2), histogram buckets (Section 3.1), and quadtree cells
+//! (Section 3.2). All of them are closed boxes `×_{i=1}^d [lo_i, hi_i]`.
+
+use crate::point::Point;
+use crate::EPS;
+
+/// A closed axis-aligned hyper-rectangle `×_i [lo_i, hi_i]`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Rect {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Rect {
+    /// Creates a rectangle from lower and upper corner coordinates.
+    ///
+    /// # Panics
+    /// Panics if the corner dimensions differ or if `lo_i > hi_i` for some `i`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimension mismatch");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(
+                l <= h,
+                "invalid rectangle: lo[{i}] = {l} > hi[{i}] = {h}"
+            );
+        }
+        Self { lo, hi }
+    }
+
+    /// The unit cube `[0, 1]^d`, the normalized data space of Section 4.
+    pub fn unit(dim: usize) -> Self {
+        Self {
+            lo: vec![0.0; dim],
+            hi: vec![1.0; dim],
+        }
+    }
+
+    /// Builds a rectangle from a center point and per-dimension side lengths,
+    /// the parameterization used by the paper's workload generators
+    /// (Section 4, "Workloads"). The result is clipped to `[0, 1]^d`.
+    pub fn from_center_widths(center: &Point, widths: &[f64]) -> Self {
+        assert_eq!(center.dim(), widths.len(), "dimension mismatch");
+        let lo = center
+            .coords()
+            .iter()
+            .zip(widths)
+            .map(|(&c, &w)| (c - w / 2.0).max(0.0))
+            .collect();
+        let hi = center
+            .coords()
+            .iter()
+            .zip(widths)
+            .map(|(&c, &w)| (c + w / 2.0).min(1.0))
+            .collect();
+        // Clipping can produce lo > hi when the center itself is outside the
+        // cube; collapse to a degenerate box at the clipped center.
+        let (lo, hi) = fix_degenerate(lo, hi);
+        Self { lo, hi }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Side length along dimension `i`.
+    pub fn width(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo
+                .iter()
+                .zip(&self.hi)
+                .map(|(&l, &h)| 0.5 * (l + h))
+                .collect(),
+        )
+    }
+
+    /// Lebesgue volume `∏_i (hi_i − lo_i)`.
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| h - l)
+            .product()
+    }
+
+    /// `true` if the volume is (numerically) zero.
+    pub fn is_degenerate(&self) -> bool {
+        self.volume() <= EPS
+    }
+
+    /// Closed-box membership test.
+    pub fn contains(&self, p: &Point) -> bool {
+        assert_eq!(self.dim(), p.dim(), "dimension mismatch");
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p.coords())
+            .all(|((&l, &h), &x)| l <= x && x <= h)
+    }
+
+    /// `true` if `other` is entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.lo
+            .iter()
+            .zip(&other.lo)
+            .all(|(&a, &b)| a <= b + EPS)
+            && self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .all(|(&a, &b)| a + EPS >= b)
+    }
+
+    /// Intersection with another rectangle, or `None` if they are disjoint
+    /// (touching boundaries count as a degenerate, zero-volume intersection).
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        let mut lo = Vec::with_capacity(self.dim());
+        let mut hi = Vec::with_capacity(self.dim());
+        for i in 0..self.dim() {
+            let l = self.lo[i].max(other.lo[i]);
+            let h = self.hi[i].min(other.hi[i]);
+            if l > h {
+                return None;
+            }
+            lo.push(l);
+            hi.push(h);
+        }
+        Some(Rect { lo, hi })
+    }
+
+    /// Volume of the intersection with another rectangle (0 when disjoint).
+    pub fn intersection_volume(&self, other: &Rect) -> f64 {
+        self.intersect(other).map_or(0.0, |r| r.volume())
+    }
+
+    /// `true` if the two rectangles have a common point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Splits the rectangle into `2^d` equal children, the quadtree split of
+    /// Algorithm 2 (line 4). Children are ordered by the bitmask of which
+    /// half they occupy in each dimension (bit `i` set ⇒ upper half in dim `i`).
+    pub fn split(&self) -> Vec<Rect> {
+        let d = self.dim();
+        let mid: Vec<f64> = self
+            .lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| 0.5 * (l + h))
+            .collect();
+        let n = 1usize << d;
+        let mut out = Vec::with_capacity(n);
+        for mask in 0..n {
+            let mut lo = Vec::with_capacity(d);
+            let mut hi = Vec::with_capacity(d);
+            #[allow(clippy::needless_range_loop)] // indexed form is clearer here
+            for i in 0..d {
+                if mask >> i & 1 == 1 {
+                    lo.push(mid[i]);
+                    hi.push(self.hi[i]);
+                } else {
+                    lo.push(self.lo[i]);
+                    hi.push(mid[i]);
+                }
+            }
+            out.push(Rect { lo, hi });
+        }
+        out
+    }
+
+    /// Projects the rectangle onto a subset of dimensions.
+    pub fn project(&self, dims: &[usize]) -> Rect {
+        Rect {
+            lo: dims.iter().map(|&i| self.lo[i]).collect(),
+            hi: dims.iter().map(|&i| self.hi[i]).collect(),
+        }
+    }
+
+    /// The corner of the rectangle selected by `mask` (bit `i` set ⇒ `hi_i`).
+    pub fn corner(&self, mask: usize) -> Point {
+        Point::new(
+            (0..self.dim())
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        self.hi[i]
+                    } else {
+                        self.lo[i]
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Iterates over all `2^d` corners.
+    pub fn corners(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..(1usize << self.dim())).map(|m| self.corner(m))
+    }
+}
+
+fn fix_degenerate(mut lo: Vec<f64>, mut hi: Vec<f64>) -> (Vec<f64>, Vec<f64>) {
+    for i in 0..lo.len() {
+        if lo[i] > hi[i] {
+            let m = 0.5 * (lo[i] + hi[i]);
+            lo[i] = m;
+            hi[i] = m;
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cube_volume() {
+        for d in 1..=6 {
+            assert_eq!(Rect::unit(d).volume(), 1.0);
+        }
+    }
+
+    #[test]
+    fn volume_and_width() {
+        let r = Rect::new(vec![0.0, 1.0], vec![2.0, 4.0]);
+        assert_eq!(r.volume(), 6.0);
+        assert_eq!(r.width(0), 2.0);
+        assert_eq!(r.width(1), 3.0);
+        assert_eq!(r.center().coords(), &[1.0, 2.5]);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(r.contains(&Point::new(vec![0.5, 0.5])));
+        assert!(r.contains(&Point::new(vec![0.0, 1.0]))); // closed boundary
+        assert!(!r.contains(&Point::new(vec![1.1, 0.5])));
+    }
+
+    #[test]
+    fn rect_containment() {
+        let outer = Rect::unit(2);
+        let inner = Rect::new(vec![0.2, 0.2], vec![0.8, 0.8]);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let b = Rect::new(vec![1.0, 1.0], vec![3.0, 3.0]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.lo(), &[1.0, 1.0]);
+        assert_eq!(i.hi(), &[2.0, 2.0]);
+        assert_eq!(a.intersection_volume(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_intersection() {
+        let a = Rect::new(vec![0.0], vec![1.0]);
+        let b = Rect::new(vec![2.0], vec![3.0]);
+        assert!(a.intersect(&b).is_none());
+        assert_eq!(a.intersection_volume(&b), 0.0);
+    }
+
+    #[test]
+    fn touching_boxes_have_degenerate_intersection() {
+        let a = Rect::new(vec![0.0], vec![1.0]);
+        let b = Rect::new(vec![1.0], vec![2.0]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.volume(), 0.0);
+    }
+
+    #[test]
+    fn split_partitions_volume() {
+        let r = Rect::new(vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 4.0]);
+        let kids = r.split();
+        assert_eq!(kids.len(), 8);
+        let total: f64 = kids.iter().map(Rect::volume).sum();
+        assert!((total - r.volume()).abs() < 1e-12);
+        // children are pairwise interior-disjoint
+        for i in 0..kids.len() {
+            for j in (i + 1)..kids.len() {
+                assert!(kids[i].intersection_volume(&kids[j]) < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn from_center_widths_clips_to_unit_cube() {
+        let c = Point::new(vec![0.05, 0.95]);
+        let r = Rect::from_center_widths(&c, &[0.2, 0.2]);
+        assert_eq!(r.lo()[0], 0.0);
+        assert!((r.lo()[1] - 0.85).abs() < 1e-12);
+        assert!((r.hi()[0] - 0.15).abs() < 1e-12);
+        assert_eq!(r.hi()[1], 1.0);
+    }
+
+    #[test]
+    fn from_center_widths_zero_width_is_equality_predicate() {
+        // Categorical attributes use width 0 (Section 4 "Workloads").
+        let c = Point::new(vec![0.3]);
+        let r = Rect::from_center_widths(&c, &[0.0]);
+        assert_eq!(r.lo(), &[0.3]);
+        assert_eq!(r.hi(), &[0.3]);
+        assert!(r.is_degenerate());
+    }
+
+    #[test]
+    fn corners_enumeration() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        let cs: Vec<_> = r.corners().collect();
+        assert_eq!(cs.len(), 4);
+        assert!(cs.contains(&Point::new(vec![0.0, 0.0])));
+        assert!(cs.contains(&Point::new(vec![1.0, 2.0])));
+        assert!(cs.contains(&Point::new(vec![1.0, 0.0])));
+        assert!(cs.contains(&Point::new(vec![0.0, 2.0])));
+    }
+
+    #[test]
+    fn projection() {
+        let r = Rect::new(vec![0.0, 1.0, 2.0], vec![1.0, 2.0, 3.0]);
+        let p = r.project(&[2, 0]);
+        assert_eq!(p.lo(), &[2.0, 0.0]);
+        assert_eq!(p.hi(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn inverted_corners_panic() {
+        let _ = Rect::new(vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Uniform sampling from range interiors (Appendix A.2).
+//!
+//! PtsHist (Section 3.3) needs uniform samples from the interior of
+//! arbitrary training ranges. Sampling a rectangle is per-dimension
+//! independent; for halfspaces, balls and semi-algebraic ranges the paper
+//! uses **rejection sampling from the smallest bounding box**, which this
+//! module implements.
+
+use crate::point::Point;
+use crate::range::{Range, RangeQuery};
+use crate::rect::Rect;
+use rand::Rng;
+
+/// Draws one uniform sample from a rectangle.
+pub fn sample_in_rect<R: Rng + ?Sized>(rect: &Rect, rng: &mut R) -> Point {
+    Point::new(
+        (0..rect.dim())
+            .map(|i| {
+                let w = rect.width(i);
+                if w <= 0.0 {
+                    rect.lo()[i]
+                } else {
+                    rng.gen_range(rect.lo()[i]..rect.hi()[i])
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Rejection sampler for a fixed range within a clip box.
+///
+/// Precomputes the smallest bounding box once (Appendix A.2), then draws
+/// proposals from it until one lands inside the range.
+#[derive(Debug)]
+pub struct RejectionSampler {
+    range: Range,
+    bbox: Option<Rect>,
+    max_attempts: usize,
+}
+
+impl RejectionSampler {
+    /// Default cap on proposals per sample before giving up.
+    pub const DEFAULT_MAX_ATTEMPTS: usize = 10_000;
+
+    /// Creates a sampler for `range ∩ clip`.
+    pub fn new(range: Range, clip: &Rect) -> Self {
+        let bbox = range.bounding_box(clip);
+        Self {
+            range,
+            bbox,
+            max_attempts: Self::DEFAULT_MAX_ATTEMPTS,
+        }
+    }
+
+    /// Overrides the proposal cap.
+    pub fn with_max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// The precomputed bounding box (`None` if the clipped range is empty).
+    pub fn bounding_box(&self) -> Option<&Rect> {
+        self.bbox.as_ref()
+    }
+
+    /// Draws one uniform sample from the range interior, or `None` if the
+    /// range is empty / too thin to hit within the attempt budget.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Point> {
+        let bbox = self.bbox.as_ref()?;
+        // A degenerate bbox (e.g. equality predicates on categorical
+        // attributes) still admits sampling: the flat dimensions are pinned.
+        for _ in 0..self.max_attempts {
+            let p = sample_in_rect(bbox, rng);
+            if self.range.contains(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Draws up to `n` samples (fewer if the range keeps rejecting).
+    pub fn sample_n<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Point> {
+        (0..n).filter_map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Draws one uniform sample from `range ∩ clip` without building a
+/// [`RejectionSampler`]; convenient for one-off draws.
+pub fn sample_in_range<R: Rng + ?Sized>(range: &Range, clip: &Rect, rng: &mut R) -> Option<Point> {
+    RejectionSampler::new(range.clone(), clip).sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ball::Ball;
+    use crate::halfspace::Halfspace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn rect_samples_inside() {
+        let r = Rect::new(vec![0.2, 0.4], vec![0.3, 0.9]);
+        let mut g = rng();
+        for _ in 0..1000 {
+            let p = sample_in_rect(&r, &mut g);
+            assert!(r.contains(&p));
+        }
+    }
+
+    #[test]
+    fn rect_samples_are_uniform_per_dim() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        let mut g = rng();
+        let n = 20_000;
+        let mut sums = [0.0f64; 2];
+        for _ in 0..n {
+            let p = sample_in_rect(&r, &mut g);
+            sums[0] += p[0];
+            sums[1] += p[1];
+        }
+        assert!((sums[0] / n as f64 - 0.5).abs() < 0.01);
+        assert!((sums[1] / n as f64 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn degenerate_rect_sampling() {
+        // Equality predicate: width-0 dimension stays pinned.
+        let r = Rect::new(vec![0.3, 0.0], vec![0.3, 1.0]);
+        let mut g = rng();
+        let p = sample_in_rect(&r, &mut g);
+        assert_eq!(p[0], 0.3);
+    }
+
+    #[test]
+    fn rejection_ball_all_inside() {
+        let ball = Ball::new(Point::splat(2, 0.5), 0.2);
+        let s = RejectionSampler::new(ball.clone().into(), &Rect::unit(2));
+        let mut g = rng();
+        let pts = s.sample_n(500, &mut g);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!(ball.contains(p));
+            assert!(p.in_unit_cube());
+        }
+    }
+
+    #[test]
+    fn rejection_halfspace_all_inside() {
+        let h = Halfspace::new(vec![1.0, 1.0], 1.5);
+        let s = RejectionSampler::new(h.clone().into(), &Rect::unit(2));
+        let mut g = rng();
+        let pts = s.sample_n(500, &mut g);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!(h.contains(p));
+        }
+        // bounding box is the tight corner box from Appendix A.2
+        let bb = s.bounding_box().unwrap();
+        assert!(bb.lo()[0] >= 0.5 - 1e-9);
+        assert!(bb.lo()[1] >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn rejection_empty_range() {
+        let h = Halfspace::new(vec![1.0, 1.0], 5.0); // empty in unit square
+        let s = RejectionSampler::new(h.into(), &Rect::unit(2));
+        let mut g = rng();
+        assert!(s.sample(&mut g).is_none());
+        assert!(s.bounding_box().is_none());
+    }
+
+    #[test]
+    fn rejection_efficiency_acceptance_rate() {
+        // Acceptance from the tight bbox of a halfspace corner cut is the
+        // ratio of the triangle to its bbox = 1/2; the budget is never hit.
+        let h = Halfspace::new(vec![1.0, 1.0], 1.8);
+        let s = RejectionSampler::new(h.into(), &Rect::unit(2)).with_max_attempts(100);
+        let mut g = rng();
+        let pts = s.sample_n(200, &mut g);
+        assert_eq!(pts.len(), 200);
+    }
+
+    #[test]
+    fn ball_sample_mean_is_center() {
+        let ball = Ball::new(Point::new(vec![0.4, 0.6]), 0.25);
+        let s = RejectionSampler::new(ball.into(), &Rect::unit(2));
+        let mut g = rng();
+        let n = 10_000;
+        let pts = s.sample_n(n, &mut g);
+        let mean_x: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let mean_y: f64 = pts.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        assert!((mean_x - 0.4).abs() < 0.01, "mean_x = {mean_x}");
+        assert!((mean_y - 0.6).abs() < 0.01, "mean_y = {mean_y}");
+    }
+
+    #[test]
+    fn one_off_helper() {
+        let r: Range = Rect::new(vec![0.1, 0.1], vec![0.2, 0.2]).into();
+        let mut g = rng();
+        let p = sample_in_range(&r, &Rect::unit(2), &mut g).unwrap();
+        assert!(r.contains(&p));
+    }
+}

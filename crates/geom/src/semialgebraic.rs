@@ -1,0 +1,370 @@
+//! Semi-algebraic range queries (Section 2.2).
+//!
+//! A *semi-algebraic set* is a subset of `R^d` defined by a Boolean formula
+//! over polynomial inequalities. The paper notes that the range space
+//! `(R^d, Γ_{d,b,Δ})` of sets defined by at most `b` `d`-variate polynomial
+//! inequalities of degree ≤ `Δ` has constant VC-dimension `λ(d, b, Δ)`
+//! [Ben-David & Lindenbaum 1998], so their selectivity functions are
+//! learnable. Rectangles, halfspaces and balls are all special cases.
+//!
+//! This module provides sparse multivariate polynomials, a small formula
+//! tree over polynomial inequalities, and the *disc-intersection lifting*
+//! of Figure 3: queries over a set of discs ("which discs intersect a query
+//! disc?") map to semi-algebraic ranges over `R^3` points `(x, y, z)` with
+//! `z` the disc radius.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::volume::VolumeEstimator;
+
+/// A single monomial `coeff · ∏ x_i^{e_i}` (sparse exponents).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Monomial {
+    /// Coefficient.
+    pub coeff: f64,
+    /// `(variable index, exponent)` pairs; exponents are ≥ 1.
+    pub exps: Vec<(usize, u32)>,
+}
+
+impl Monomial {
+    /// Evaluates the monomial at a point.
+    pub fn eval(&self, p: &Point) -> f64 {
+        let mut v = self.coeff;
+        for &(i, e) in &self.exps {
+            v *= p[i].powi(e as i32);
+        }
+        v
+    }
+
+    /// Total degree of the monomial.
+    pub fn degree(&self) -> u32 {
+        self.exps.iter().map(|&(_, e)| e).sum()
+    }
+}
+
+/// A sparse multivariate polynomial (sum of monomials).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Polynomial {
+    terms: Vec<Monomial>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from monomials.
+    pub fn new(terms: Vec<Monomial>) -> Self {
+        Self { terms }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self::new(vec![Monomial {
+            coeff: c,
+            exps: vec![],
+        }])
+    }
+
+    /// The linear polynomial `a · x − b` (so `≥ 0` is the halfspace `a·x ≥ b`).
+    pub fn linear(a: &[f64], b: f64) -> Self {
+        let mut terms: Vec<Monomial> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(i, &c)| Monomial {
+                coeff: c,
+                exps: vec![(i, 1)],
+            })
+            .collect();
+        if b != 0.0 {
+            terms.push(Monomial {
+                coeff: -b,
+                exps: vec![],
+            });
+        }
+        Self::new(terms)
+    }
+
+    /// `r² − ‖x − c‖²`, nonnegative exactly on the ball of radius `r` at `c`.
+    pub fn ball(center: &[f64], r: f64) -> Self {
+        let mut terms = vec![Monomial {
+            coeff: r * r - center.iter().map(|c| c * c).sum::<f64>(),
+            exps: vec![],
+        }];
+        for (i, &c) in center.iter().enumerate() {
+            terms.push(Monomial {
+                coeff: -1.0,
+                exps: vec![(i, 2)],
+            });
+            if c != 0.0 {
+                terms.push(Monomial {
+                    coeff: 2.0 * c,
+                    exps: vec![(i, 1)],
+                });
+            }
+        }
+        Self::new(terms)
+    }
+
+    /// Evaluates the polynomial at a point.
+    pub fn eval(&self, p: &Point) -> f64 {
+        self.terms.iter().map(|m| m.eval(p)).sum()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.iter().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Number of monomials.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// A Boolean formula over polynomial sign conditions `p(x) ≥ 0`.
+#[derive(Clone, Debug)]
+pub enum SemiAlgebraicSet {
+    /// `p(x) ≥ 0`.
+    NonNegative(Polynomial),
+    /// Conjunction of subformulas.
+    And(Vec<SemiAlgebraicSet>),
+    /// Disjunction of subformulas.
+    Or(Vec<SemiAlgebraicSet>),
+    /// Complement of a subformula.
+    Not(Box<SemiAlgebraicSet>),
+}
+
+impl SemiAlgebraicSet {
+    /// The atomic condition `p(x) ≥ 0`.
+    pub fn nonneg(p: Polynomial) -> Self {
+        SemiAlgebraicSet::NonNegative(p)
+    }
+
+    /// The atomic condition `p(x) ≤ 0` (encoded as `−p ≥ 0`).
+    pub fn nonpos(p: Polynomial) -> Self {
+        let negated = Polynomial::new(
+            p.terms
+                .into_iter()
+                .map(|mut m| {
+                    m.coeff = -m.coeff;
+                    m
+                })
+                .collect(),
+        );
+        SemiAlgebraicSet::NonNegative(negated)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: &Point) -> bool {
+        match self {
+            SemiAlgebraicSet::NonNegative(poly) => poly.eval(p) >= 0.0,
+            SemiAlgebraicSet::And(xs) => xs.iter().all(|s| s.contains(p)),
+            SemiAlgebraicSet::Or(xs) => xs.iter().any(|s| s.contains(p)),
+            SemiAlgebraicSet::Not(s) => !s.contains(p),
+        }
+    }
+
+    /// Number of atomic polynomial inequalities (`b` in `Γ_{d,b,Δ}`).
+    pub fn num_atoms(&self) -> usize {
+        match self {
+            SemiAlgebraicSet::NonNegative(_) => 1,
+            SemiAlgebraicSet::And(xs) | SemiAlgebraicSet::Or(xs) => {
+                xs.iter().map(SemiAlgebraicSet::num_atoms).sum()
+            }
+            SemiAlgebraicSet::Not(s) => s.num_atoms(),
+        }
+    }
+
+    /// Maximum polynomial degree (`Δ` in `Γ_{d,b,Δ}`).
+    pub fn max_degree(&self) -> u32 {
+        match self {
+            SemiAlgebraicSet::NonNegative(p) => p.degree(),
+            SemiAlgebraicSet::And(xs) | SemiAlgebraicSet::Or(xs) => {
+                xs.iter().map(SemiAlgebraicSet::max_degree).max().unwrap_or(0)
+            }
+            SemiAlgebraicSet::Not(s) => s.max_degree(),
+        }
+    }
+
+    /// Quasi-Monte-Carlo estimate of `vol(rect ∩ self)`. Semi-algebraic sets
+    /// have no closed-form volume in general; the paper (Section 3.1)
+    /// suggests MCMC — we use a deterministic QMC integrator instead.
+    pub fn intersection_volume(&self, rect: &Rect, est: &VolumeEstimator) -> f64 {
+        est.volume_in_rect(rect, |p| self.contains(p))
+    }
+
+    /// The paper's running example (Figure 3, left): the annulus-with-cut
+    /// `(x² + y² ≤ 4) ∧ (x² + y² ≥ 1) ∧ (y − 2x² ≤ 0)` in `R²`.
+    pub fn figure3_example() -> Self {
+        let disc4 = SemiAlgebraicSet::nonneg(Polynomial::ball(&[0.0, 0.0], 2.0));
+        let outside1 = SemiAlgebraicSet::nonpos(Polynomial::ball(&[0.0, 0.0], 1.0));
+        // y − 2x² ≤ 0
+        let parabola = SemiAlgebraicSet::nonpos(Polynomial::new(vec![
+            Monomial {
+                coeff: 1.0,
+                exps: vec![(1, 1)],
+            },
+            Monomial {
+                coeff: -2.0,
+                exps: vec![(0, 2)],
+            },
+        ]));
+        SemiAlgebraicSet::And(vec![disc4, outside1, parabola])
+    }
+
+    /// The disc-intersection lifting of Figure 3 (right): discs are mapped
+    /// to points `(x, y, z) ∈ R² × R_{≥0}` with `z` the radius; the set of
+    /// discs intersecting a query disc at `(c_x, c_y)` with radius `r` is
+    /// the semi-algebraic range
+    /// `{(x,y,z) : (x−c_x)² + (y−c_y)² ≤ (r+z)², z ≥ 0}` (b = 1, Δ = 2).
+    pub fn disc_intersection_query(cx: f64, cy: f64, r: f64) -> Self {
+        // (r+z)² − (x−cx)² − (y−cy)² ≥ 0, expanded over variables (x,y,z):
+        // r² − cx² − cy² + 2cx·x + 2cy·y + 2r·z − x² − y² + z² ≥ 0
+        let mut terms = vec![Monomial {
+            coeff: r * r - cx * cx - cy * cy,
+            exps: vec![],
+        }];
+        for (i, c) in [(0usize, cx), (1usize, cy)] {
+            terms.push(Monomial {
+                coeff: -1.0,
+                exps: vec![(i, 2)],
+            });
+            if c != 0.0 {
+                terms.push(Monomial {
+                    coeff: 2.0 * c,
+                    exps: vec![(i, 1)],
+                });
+            }
+        }
+        terms.push(Monomial {
+            coeff: 1.0,
+            exps: vec![(2, 2)],
+        });
+        if r != 0.0 {
+            terms.push(Monomial {
+                coeff: 2.0 * r,
+                exps: vec![(2, 1)],
+            });
+        }
+        let lifted = SemiAlgebraicSet::nonneg(Polynomial::new(terms));
+        let z_nonneg = SemiAlgebraicSet::nonneg(Polynomial::linear(&[0.0, 0.0, 1.0], 0.0));
+        SemiAlgebraicSet::And(vec![lifted, z_nonneg])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_eval() {
+        // 3x² − 2xy + 1 at (2, 1) = 12 − 4 + 1 = 9
+        let p = Polynomial::new(vec![
+            Monomial {
+                coeff: 3.0,
+                exps: vec![(0, 2)],
+            },
+            Monomial {
+                coeff: -2.0,
+                exps: vec![(0, 1), (1, 1)],
+            },
+            Monomial {
+                coeff: 1.0,
+                exps: vec![],
+            },
+        ]);
+        assert_eq!(p.eval(&Point::new(vec![2.0, 1.0])), 9.0);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.num_terms(), 3);
+    }
+
+    #[test]
+    fn linear_polynomial_matches_halfspace() {
+        use crate::halfspace::Halfspace;
+        let a = vec![0.5, -1.5];
+        let b = 0.3;
+        let p = Polynomial::linear(&a, b);
+        let h = Halfspace::new(a, b);
+        for pt in [
+            Point::new(vec![0.0, 0.0]),
+            Point::new(vec![1.0, 0.1]),
+            Point::new(vec![0.9, -0.2]),
+        ] {
+            assert_eq!(p.eval(&pt) >= 0.0, h.contains(&pt));
+        }
+    }
+
+    #[test]
+    fn ball_polynomial_matches_ball() {
+        use crate::ball::Ball;
+        let p = Polynomial::ball(&[0.5, 0.25], 0.4);
+        let b = Ball::new(Point::new(vec![0.5, 0.25]), 0.4);
+        for pt in [
+            Point::new(vec![0.5, 0.25]),
+            Point::new(vec![0.9, 0.25]),
+            Point::new(vec![0.95, 0.25]),
+            Point::new(vec![0.1, 0.9]),
+        ] {
+            assert_eq!(p.eval(&pt) >= -1e-12, b.contains(&pt), "{pt:?}");
+        }
+    }
+
+    #[test]
+    fn figure3_membership() {
+        let s = SemiAlgebraicSet::figure3_example();
+        // (1.5, 0): between the circles, below the parabola ⇒ inside.
+        assert!(s.contains(&Point::new(vec![1.5, 0.0])));
+        // origin: inside the inner disc ⇒ excluded.
+        assert!(!s.contains(&Point::new(vec![0.0, 0.0])));
+        // (0, 1.5): inside outer circle but above parabola y ≤ 2x² ⇒ excluded.
+        assert!(!s.contains(&Point::new(vec![0.0, 1.5])));
+        // (3, 0): outside the outer circle ⇒ excluded.
+        assert!(!s.contains(&Point::new(vec![3.0, 0.0])));
+        assert_eq!(s.num_atoms(), 3);
+        assert_eq!(s.max_degree(), 2);
+    }
+
+    #[test]
+    fn disc_intersection_lifting() {
+        // Query disc at (0,0) with radius 1. A disc at (3,0) with radius 2.5
+        // intersects it (gap 3 < 1 + 2.5); one with radius 1.5 does not.
+        let q = SemiAlgebraicSet::disc_intersection_query(0.0, 0.0, 1.0);
+        assert!(q.contains(&Point::new(vec![3.0, 0.0, 2.5])));
+        assert!(!q.contains(&Point::new(vec![3.0, 0.0, 1.5])));
+        // Tangent discs intersect (closed condition).
+        assert!(q.contains(&Point::new(vec![3.0, 0.0, 2.0])));
+        // Negative radius excluded by the z ≥ 0 atom.
+        assert!(!q.contains(&Point::new(vec![0.0, 0.0, -0.5])));
+        assert_eq!(q.max_degree(), 2);
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let left = SemiAlgebraicSet::nonneg(Polynomial::linear(&[1.0], 0.5)); // x ≥ 0.5
+        let right = SemiAlgebraicSet::nonpos(Polynomial::linear(&[1.0], 0.8)); // x ≤ 0.8
+        let band = SemiAlgebraicSet::And(vec![left.clone(), right.clone()]);
+        assert!(band.contains(&Point::new(vec![0.6])));
+        assert!(!band.contains(&Point::new(vec![0.9])));
+        let either = SemiAlgebraicSet::Or(vec![left.clone(), right]);
+        assert!(either.contains(&Point::new(vec![0.1]))); // satisfies x ≤ 0.8
+        let neither = SemiAlgebraicSet::Not(Box::new(left));
+        assert!(neither.contains(&Point::new(vec![0.1])));
+        assert!(!neither.contains(&Point::new(vec![0.9])));
+    }
+
+    #[test]
+    fn annulus_volume_via_qmc() {
+        // Annulus between radii 1 and 2 inside [−2,2]²: area π(4−1) = 3π.
+        let annulus = SemiAlgebraicSet::And(vec![
+            SemiAlgebraicSet::nonneg(Polynomial::ball(&[0.0, 0.0], 2.0)),
+            SemiAlgebraicSet::nonpos(Polynomial::ball(&[0.0, 0.0], 1.0)),
+        ]);
+        let rect = Rect::new(vec![-2.0, -2.0], vec![2.0, 2.0]);
+        let v = annulus.intersection_volume(&rect, &VolumeEstimator::qmc(200_000));
+        let exact = 3.0 * std::f64::consts::PI;
+        assert!((v - exact).abs() < 0.05, "v = {v}, exact = {exact}");
+    }
+}

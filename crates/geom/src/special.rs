@@ -1,0 +1,307 @@
+//! Special functions needed for Gaussian-mixture selectivity models.
+//!
+//! The paper's conclusion flags "developing an algorithm that computes a
+//! Gaussian mixture … with a small loss given a training sample" as an
+//! open problem; the Gaussian-mixture extension (`GaussHist`) in `selearn-core`
+//! needs the Gaussian CDF, hence `erf`. `std` has no `erf`, and pulling in
+//! `libm` is outside the approved dependency set, so we implement the
+//! standard high-accuracy rational approximation (W. J. Cody, 1969 —
+//! the same algorithm behind most libm implementations), accurate to
+//! ~1e-15 relative error over the whole line.
+
+/// The error function `erf(x) = 2/√π ∫₀ˣ e^{−t²} dt`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    let ax = x.abs();
+    let v = if ax < 0.5 {
+        return 1.0 - erf_small(x);
+    } else if ax < 4.0 {
+        erfc_medium(ax)
+    } else {
+        erfc_large(ax)
+    };
+    if x < 0.0 {
+        2.0 - v
+    } else {
+        v
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Mass of `N(mean, sd²)` inside the interval `[lo, hi]`.
+pub fn normal_mass(mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(sd > 0.0, "standard deviation must be positive");
+    if hi <= lo {
+        return 0.0;
+    }
+    (std_normal_cdf((hi - mean) / sd) - std_normal_cdf((lo - mean) / sd)).max(0.0)
+}
+
+/// Inverse of the standard normal CDF (quantile function), via Acklam's
+/// rational approximation refined by one Halley step — accurate to
+/// ~1e-15 over `(0, 1)`.
+pub fn inv_std_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    };
+    // one Halley refinement step against the forward CDF
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+// Cody's rational approximations, region by region.
+
+fn erf_small(x: f64) -> f64 {
+    // |x| < 0.5
+    const P: [f64; 5] = [
+        3.209_377_589_138_469_4e3,
+        3.774_852_376_853_02e2,
+        1.138_641_541_510_501_6e2,
+        3.161_123_743_870_565_5,
+        1.857_777_061_846_031_5e-1,
+    ];
+    const Q: [f64; 5] = [
+        2.844_236_833_439_171e3,
+        1.282_616_526_077_372_3e3,
+        2.440_246_379_344_441_7e2,
+        2.360_129_095_234_412_2e1,
+        1.0,
+    ];
+    let z = x * x;
+    let mut num = P[4];
+    let mut den = Q[4];
+    for i in (0..4).rev() {
+        num = num * z + P[i];
+        den = den * z + Q[i];
+    }
+    x * num / den
+}
+
+fn erfc_medium(ax: f64) -> f64 {
+    // 0.5 ≤ |x| < 4
+    const P: [f64; 9] = [
+        1.230_339_354_797_997_2e3,
+        2.051_078_377_826_071_6e3,
+        1.712_047_612_634_070_7e3,
+        8.819_522_212_417_69e2,
+        2.986_351_381_974_001e2,
+        6.611_919_063_714_163e1,
+        8.883_149_794_388_377,
+        5.641_884_969_886_701e-1,
+        2.153_115_354_744_038_3e-8,
+    ];
+    const Q: [f64; 9] = [
+        1.230_339_354_803_749_5e3,
+        3.439_367_674_143_721_6e3,
+        4.362_619_090_143_247e3,
+        3.290_799_235_733_459_7e3,
+        1.621_389_574_566_690_3e3,
+        5.371_811_018_620_099e2,
+        1.176_939_508_913_125e2,
+        1.574_492_611_070_983_5e1,
+        1.0,
+    ];
+    let mut num = P[8];
+    let mut den = Q[8];
+    for i in (0..8).rev() {
+        num = num * ax + P[i];
+        den = den * ax + Q[i];
+    }
+    (-ax * ax).exp() * num / den
+}
+
+fn erfc_large(ax: f64) -> f64 {
+    // |x| ≥ 4
+    if ax > 26.5 {
+        return 0.0;
+    }
+    const P: [f64; 6] = [
+        -6.587_491_615_298_378e-4,
+        -1.608_378_514_874_227_5e-2,
+        -1.257_817_261_112_292_6e-1,
+        -3.603_448_999_498_044_5e-1,
+        -3.053_266_349_612_323_6e-1,
+        -1.631_538_713_730_209_7e-2,
+    ];
+    const Q: [f64; 6] = [
+        2.335_204_976_268_691_8e-3,
+        6.051_834_131_244_132e-2,
+        5.279_051_029_514_285e-1,
+        1.872_952_849_923_460_4,
+        2.568_520_192_289_822,
+        1.0,
+    ];
+    let z = 1.0 / (ax * ax);
+    let mut num = P[5];
+    let mut den = Q[5];
+    for i in (0..5).rev() {
+        num = num * z + P[i];
+        den = den * z + Q[i];
+    }
+    let poly = z * num / den;
+    let inv_sqrt_pi = 1.0 / std::f64::consts::PI.sqrt();
+    ((-ax * ax).exp() / ax) * (inv_sqrt_pi + poly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from the NIST Digital Library (DLMF 7.2).
+    const REF: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (0.1, 0.1124629160182849),
+        (0.25, 0.2763263901682369),
+        (0.5, 0.5204998778130465),
+        (1.0, 0.8427007929497149),
+        (1.5, 0.9661051464753107),
+        (2.0, 0.9953222650189527),
+        (3.0, 0.9999779095030014),
+        (4.5, 0.9999999998033839),
+    ];
+
+    #[test]
+    fn erf_matches_reference_values() {
+        for &(x, want) in REF {
+            let got = erf(x);
+            assert!(
+                (got - want).abs() < 1e-13,
+                "erf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for &(x, _) in REF {
+            assert!((erf(-x) + erf(x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn erfc_complements() {
+        for x in [-3.0, -1.0, -0.2, 0.0, 0.3, 1.7, 5.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_values() {
+        // erfc(5) ≈ 1.5374597944280349e-12 (DLMF)
+        let got = erfc(5.0);
+        assert!(
+            (got - 1.537_459_794_428_035e-12).abs() < 1e-24,
+            "erfc(5) = {got:e}"
+        );
+        assert_eq!(erfc(30.0), 0.0);
+        assert!((erfc(-30.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_known_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        // Φ(1.96) ≈ 0.9750021048517795
+        assert!((std_normal_cdf(1.96) - 0.9750021048517795).abs() < 1e-12);
+        for x in [0.5, 1.0, 2.5] {
+            assert!((std_normal_cdf(x) + std_normal_cdf(-x) - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn normal_mass_basics() {
+        // ~68.27% within one σ
+        let m = normal_mass(0.0, 1.0, -1.0, 1.0);
+        assert!((m - 0.6826894921370859).abs() < 1e-12);
+        // shift/scale invariance
+        let m2 = normal_mass(5.0, 2.0, 3.0, 7.0);
+        assert!((m - m2).abs() < 1e-12);
+        // degenerate interval
+        assert_eq!(normal_mass(0.0, 1.0, 1.0, 1.0), 0.0);
+        assert_eq!(normal_mass(0.0, 1.0, 2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_cdf_round_trips() {
+        for p in [1e-10, 1e-4, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-8] {
+            let x = inv_std_normal_cdf(p);
+            let back = std_normal_cdf(x);
+            assert!((back - p).abs() < 1e-12, "p = {p}: got back {back}");
+        }
+    }
+
+    #[test]
+    fn inverse_cdf_known_quantiles() {
+        assert!(inv_std_normal_cdf(0.5).abs() < 1e-13);
+        assert!((inv_std_normal_cdf(0.975) - 1.959963984540054).abs() < 1e-10);
+        assert!((inv_std_normal_cdf(0.025) + 1.959963984540054).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile argument")]
+    fn inverse_cdf_rejects_boundaries() {
+        let _ = inv_std_normal_cdf(0.0);
+    }
+
+    #[test]
+    fn erf_monotone_dense_grid() {
+        let mut prev = erf(-6.0);
+        let mut x = -6.0;
+        while x < 6.0 {
+            x += 0.01;
+            let v = erf(x);
+            assert!(v >= prev - 1e-15, "erf not monotone at {x}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! FISTA — accelerated projected gradient descent on the simplex.
+//!
+//! Default solver for the weight-estimation QP (Equation 8):
+//! `min ‖Aw − s‖²` over the probability simplex. Each iteration costs two
+//! matrix-vector products, so it scales to the paper's largest instances
+//! (2000 training queries × 8000 buckets) where an active-set method would
+//! struggle. Uses the Beck–Teboulle momentum schedule with adaptive restart
+//! (O'Donoghue–Candès) for robustness.
+
+use crate::matrix::DenseMatrix;
+use crate::simplex_proj::simplex_projection;
+
+/// FISTA configuration.
+#[derive(Clone, Debug)]
+pub struct FistaOptions {
+    /// Maximum number of iterations.
+    pub max_iters: usize,
+    /// Stop when the squared-loss improvement over an iteration falls below
+    /// this value (relative to the current loss + 1e-12).
+    pub rel_tol: f64,
+    /// Power-iteration count used to estimate the gradient Lipschitz
+    /// constant `L = λ_max(AᵀA)`.
+    pub power_iters: usize,
+}
+
+impl Default for FistaOptions {
+    fn default() -> Self {
+        // 700 accelerated iterations reach ~1e-6 relative accuracy on the
+        // well-scaled design matrices of Equation (6) — far below the
+        // statistical error of the estimators — while keeping training of
+        // the largest paper configurations (thousands of buckets) fast.
+        Self {
+            max_iters: 700,
+            rel_tol: 1e-10,
+            power_iters: 30,
+        }
+    }
+}
+
+/// FISTA output.
+#[derive(Clone, Debug)]
+pub struct FistaResult {
+    /// The weight vector on the simplex.
+    pub weights: Vec<f64>,
+    /// Final squared loss `‖Aw − s‖²`.
+    pub loss: f64,
+    /// Iterations actually performed.
+    pub iters: usize,
+}
+
+/// Minimizes `‖Aw − s‖²` over the probability simplex.
+///
+/// # Panics
+/// Panics if `a` has zero columns or the row count differs from `s`.
+pub fn fista_simplex_ls(a: &DenseMatrix, s: &[f64], opts: &FistaOptions) -> FistaResult {
+    assert!(a.cols() > 0, "need at least one bucket");
+    assert_eq!(a.rows(), s.len(), "dimension mismatch");
+    let m = a.cols();
+
+    // Lipschitz constant of ∇f(w) = 2Aᵀ(Aw − s) is 2 λ_max(AᵀA).
+    let lambda = a.gram_spectral_norm(opts.power_iters);
+    let lip = (2.0 * lambda).max(1e-12);
+    let step = 1.0 / lip;
+
+    // Start from the uniform distribution.
+    let mut w = vec![1.0 / m as f64; m];
+    let mut y = w.clone();
+    let mut t = 1.0f64;
+    let mut loss_prev = a.residual_sq(&w, s);
+    let mut iters = 0;
+
+    for k in 0..opts.max_iters {
+        iters = k + 1;
+        // gradient step at the extrapolated point y
+        let r = a.residual(&y, s);
+        let g = a.matvec_t(&r); // = ∇f(y) / 2
+        let mut w_next: Vec<f64> = y
+            .iter()
+            .zip(&g)
+            .map(|(&yi, &gi)| yi - 2.0 * step * gi)
+            .collect();
+        simplex_projection(&mut w_next);
+
+        let loss = a.residual_sq(&w_next, s);
+        // adaptive restart: if the objective went up, drop the momentum
+        if loss > loss_prev {
+            t = 1.0;
+            y = w.clone();
+            // re-take a plain projected-gradient step from w
+            let r = a.residual(&w, s);
+            let g = a.matvec_t(&r);
+            let mut w_pg: Vec<f64> = w
+                .iter()
+                .zip(&g)
+                .map(|(&wi, &gi)| wi - 2.0 * step * gi)
+                .collect();
+            simplex_projection(&mut w_pg);
+            let loss_pg = a.residual_sq(&w_pg, s);
+            if loss_pg <= loss_prev {
+                w = w_pg;
+                y = w.clone();
+                if loss_prev - loss_pg < opts.rel_tol * (loss_prev + 1e-12) {
+                    loss_prev = loss_pg;
+                    break;
+                }
+                loss_prev = loss_pg;
+            }
+            continue;
+        }
+
+        let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+        let beta = (t - 1.0) / t_next;
+        y = w_next
+            .iter()
+            .zip(&w)
+            .map(|(&wn, &wo)| wn + beta * (wn - wo))
+            .collect();
+        let improved = loss_prev - loss;
+        w = w_next;
+        t = t_next;
+        if improved >= 0.0 && improved < opts.rel_tol * (loss_prev + 1e-12) {
+            loss_prev = loss;
+            break;
+        }
+        loss_prev = loss;
+    }
+
+    FistaResult {
+        loss: loss_prev,
+        weights: w,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_simplex(v: &[f64]) -> bool {
+        (v.iter().sum::<f64>() - 1.0).abs() < 1e-7 && v.iter().all(|&x| x >= -1e-12)
+    }
+
+    #[test]
+    fn recovers_exact_simplex_solution() {
+        // A = I, s on the simplex ⇒ w = s exactly, loss 0.
+        let a = DenseMatrix::identity(3);
+        let s = vec![0.2, 0.3, 0.5];
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        assert!(on_simplex(&r.weights));
+        assert!(r.loss < 1e-12, "loss = {}", r.loss);
+        for (w, t) in r.weights.iter().zip(&s) {
+            assert!((w - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn infeasible_target_projects() {
+        // s outside the simplex image: best fit is the simplex projection.
+        let a = DenseMatrix::identity(2);
+        let s = vec![2.0, 0.0];
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        assert!(on_simplex(&r.weights));
+        // projection of (2, 0) onto the simplex is (1, 0)
+        assert!((r.weights[0] - 1.0).abs() < 1e-6, "{:?}", r.weights);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // Two buckets, three consistent observations: w = (0.25, 0.75).
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let s = vec![0.25, 0.75, 1.0];
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        assert!(r.loss < 1e-10, "loss = {}", r.loss);
+        assert!((r.weights[0] - 0.25).abs() < 1e-5);
+        assert!((r.weights[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_2d() {
+        // Dense 1-D sweep over the 1-simplex validates global optimality.
+        let a = DenseMatrix::from_rows(&[vec![0.8, 0.1], vec![0.3, 0.9], vec![0.5, 0.5]]);
+        let s = vec![0.4, 0.6, 0.55];
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let mut best = f64::INFINITY;
+        for i in 0..=10_000 {
+            let w0 = i as f64 / 10_000.0;
+            let w = [w0, 1.0 - w0];
+            best = best.min(a.residual_sq(&w, &s));
+        }
+        assert!(r.loss <= best + 1e-8, "fista {} vs brute {}", r.loss, best);
+    }
+
+    #[test]
+    fn zero_matrix_stays_feasible() {
+        let a = DenseMatrix::zeros(2, 3);
+        let s = vec![0.5, 0.5];
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        assert!(on_simplex(&r.weights));
+        assert!((r.loss - 0.5).abs() < 1e-12); // residual is −s regardless
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let a = DenseMatrix::identity(4);
+        let s = vec![0.25; 4];
+        let opts = FistaOptions {
+            max_iters: 3,
+            ..Default::default()
+        };
+        let r = fista_simplex_ls(&a, &s, &opts);
+        assert!(r.iters <= 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_feasible_and_no_worse_than_uniform(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..1.0, 4), 1..12),
+            s in proptest::collection::vec(0.0f64..1.0, 12),
+        ) {
+            let n = rows.len();
+            let a = DenseMatrix::from_rows(&rows);
+            let s = &s[..n];
+            let r = fista_simplex_ls(&a, s, &FistaOptions::default());
+            proptest::prop_assert!(on_simplex(&r.weights));
+            let uniform = vec![0.25; 4];
+            proptest::prop_assert!(r.loss <= a.residual_sq(&uniform, s) + 1e-8);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Isotonic regression — pool adjacent violators (PAVA).
+//!
+//! Used by the 1-D CDF estimator (`selearn-core::cdf1d`): learning a
+//! cumulative distribution function from interval-query feedback needs the
+//! fitted values to be **monotone nondecreasing**; PAVA computes the
+//! weighted least-squares projection onto that cone in `O(n)`.
+
+/// Weighted isotonic regression: returns the nondecreasing `g` minimizing
+/// `Σ w_i (g_i − y_i)²`.
+///
+/// # Panics
+/// Panics if lengths differ or any weight is non-positive.
+pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), w.len(), "length mismatch");
+    assert!(w.iter().all(|&v| v > 0.0), "weights must be positive");
+    let n = y.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Blocks represented by (mean, weight, count), merged on violation.
+    let mut means: Vec<f64> = Vec::with_capacity(n);
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    let mut counts: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        means.push(y[i]);
+        weights.push(w[i]);
+        counts.push(1);
+        while means.len() >= 2 {
+            let k = means.len();
+            if means[k - 2] <= means[k - 1] {
+                break;
+            }
+            // merge the last two blocks
+            let wt = weights[k - 2] + weights[k - 1];
+            let m = (means[k - 2] * weights[k - 2] + means[k - 1] * weights[k - 1]) / wt;
+            means.truncate(k - 1);
+            weights.truncate(k - 1);
+            let c = counts.pop().expect("nonempty");
+            *means.last_mut().expect("nonempty") = m;
+            *weights.last_mut().expect("nonempty") = wt;
+            *counts.last_mut().expect("nonempty") += c;
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for (m, c) in means.iter().zip(&counts) {
+        out.extend(std::iter::repeat_n(*m, *c));
+    }
+    out
+}
+
+/// Unweighted isotonic regression.
+pub fn isotonic_regression_unweighted(y: &[f64]) -> Vec<f64> {
+    isotonic_regression(y, &vec![1.0; y.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_monotone(v: &[f64]) {
+        for w in v.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "not monotone: {v:?}");
+        }
+    }
+
+    #[test]
+    fn already_monotone_unchanged() {
+        let y = vec![0.1, 0.2, 0.5, 0.9];
+        assert_eq!(isotonic_regression_unweighted(&y), y);
+    }
+
+    #[test]
+    fn single_violation_pooled() {
+        // (3, 1) pools to (2, 2)
+        let g = isotonic_regression_unweighted(&[3.0, 1.0]);
+        assert_eq!(g, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn textbook_example() {
+        let g = isotonic_regression_unweighted(&[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(g, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_monotone(&g);
+    }
+
+    #[test]
+    fn decreasing_input_pools_to_mean() {
+        let y = vec![5.0, 4.0, 3.0, 2.0, 1.0];
+        let g = isotonic_regression_unweighted(&y);
+        for v in &g {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_shift_pooled_means() {
+        // heavy first element dominates the pooled block
+        let g = isotonic_regression(&[2.0, 0.0], &[3.0, 1.0]);
+        assert!((g[0] - 1.5).abs() < 1e-12);
+        assert_eq!(g[0], g[1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(isotonic_regression_unweighted(&[]).is_empty());
+        assert_eq!(isotonic_regression_unweighted(&[7.0]), vec![7.0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_output_monotone_and_mean_preserving(
+            y in proptest::collection::vec(-10.0f64..10.0, 1..60)
+        ) {
+            let g = isotonic_regression_unweighted(&y);
+            proptest::prop_assert_eq!(g.len(), y.len());
+            for w in g.windows(2) {
+                proptest::prop_assert!(w[0] <= w[1] + 1e-9);
+            }
+            // PAVA preserves the (weighted) mean
+            let my: f64 = y.iter().sum::<f64>() / y.len() as f64;
+            let mg: f64 = g.iter().sum::<f64>() / g.len() as f64;
+            proptest::prop_assert!((my - mg).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_projection_optimality_small(
+            y in proptest::collection::vec(-5.0f64..5.0, 2..6)
+        ) {
+            // The PAVA output must beat any monotone candidate built by
+            // cummax/cummin perturbations of y itself.
+            let g = isotonic_regression_unweighted(&y);
+            let loss = |v: &[f64]| -> f64 {
+                v.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
+            };
+            let mut cummax = y.clone();
+            for i in 1..cummax.len() {
+                cummax[i] = cummax[i].max(cummax[i - 1]);
+            }
+            proptest::prop_assert!(loss(&g) <= loss(&cummax) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Dense two-phase simplex linear programming.
+//!
+//! Used by the exact `L∞`-objective training of Section 4.6 (which is an LP)
+//! and by the theory crate's linear-separability oracle (halfspace
+//! shattering checks reduce to LP feasibility). Bland's rule guarantees
+//! termination; the dense tableau is appropriate for the small/medium
+//! instances that need *exact* answers.
+
+/// Direction of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a · x ≤ b`
+    Le,
+    /// `a · x = b`
+    Eq,
+    /// `a · x ≥ b`
+    Ge,
+}
+
+/// One linear constraint `a · x (≤ | = | ≥) b` over nonnegative variables.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Coefficient vector `a`.
+    pub coeffs: Vec<f64>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side `b`.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) -> Self {
+        Self { coeffs, op, rhs }
+    }
+}
+
+/// Outcome status of an LP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints are inconsistent.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, Debug)]
+pub struct LpResult {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Primal solution (meaningful when `status == Optimal`).
+    pub x: Vec<f64>,
+    /// Objective value `cᵀx`.
+    pub objective: f64,
+}
+
+const TOL: f64 = 1e-9;
+
+/// Minimizes `cᵀx` subject to the given constraints and `x ≥ 0`.
+pub fn linprog(c: &[f64], constraints: &[Constraint]) -> LpResult {
+    let n = c.len();
+    let m = constraints.len();
+    for con in constraints {
+        assert_eq!(con.coeffs.len(), n, "constraint arity mismatch");
+    }
+
+    // Standard form: flip rows so every RHS is nonnegative, then add slack
+    // (≤), surplus (≥) and artificial (≥, =) variables.
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut rhs: Vec<f64> = Vec::with_capacity(m);
+    let mut ops: Vec<ConstraintOp> = Vec::with_capacity(m);
+    for con in constraints {
+        let mut a = con.coeffs.clone();
+        let mut b = con.rhs;
+        let mut op = con.op;
+        if b < 0.0 {
+            for v in &mut a {
+                *v = -*v;
+            }
+            b = -b;
+            op = match op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        rows.push(a);
+        rhs.push(b);
+        ops.push(op);
+    }
+
+    let n_slack = ops
+        .iter()
+        .filter(|o| matches!(o, ConstraintOp::Le | ConstraintOp::Ge))
+        .count();
+    let n_art = ops
+        .iter()
+        .filter(|o| matches!(o, ConstraintOp::Ge | ConstraintOp::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    // tableau: m rows × (total + 1) columns (last = RHS)
+    let mut tab = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut s_idx = n;
+    let mut a_idx = n + n_slack;
+    let mut artificials = Vec::new();
+    for i in 0..m {
+        tab[i][..n].copy_from_slice(&rows[i]);
+        tab[i][total] = rhs[i];
+        match ops[i] {
+            ConstraintOp::Le => {
+                tab[i][s_idx] = 1.0;
+                basis[i] = s_idx;
+                s_idx += 1;
+            }
+            ConstraintOp::Ge => {
+                tab[i][s_idx] = -1.0;
+                s_idx += 1;
+                tab[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                artificials.push(a_idx);
+                a_idx += 1;
+            }
+            ConstraintOp::Eq => {
+                tab[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                artificials.push(a_idx);
+                a_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificials.is_empty() {
+        let mut c1 = vec![0.0f64; total];
+        for &j in &artificials {
+            c1[j] = 1.0;
+        }
+        match simplex_core(&mut tab, &mut basis, &c1, total) {
+            SimplexOutcome::Optimal(obj) => {
+                if obj > 1e-7 {
+                    return LpResult {
+                        status: LpStatus::Infeasible,
+                        x: vec![0.0; n],
+                        objective: f64::INFINITY,
+                    };
+                }
+            }
+            SimplexOutcome::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+        }
+        // Drive any artificial still in the basis out (degenerate case).
+        for i in 0..m {
+            if artificials.contains(&basis[i]) {
+                // find a non-artificial column with nonzero coefficient
+                let pivot_col = (0..n + n_slack).find(|&j| tab[i][j].abs() > TOL);
+                if let Some(j) = pivot_col {
+                    pivot(&mut tab, &mut basis, i, j, total);
+                } // else the row is all-zero: redundant constraint, harmless
+            }
+        }
+    }
+
+    // Phase 2: minimize the real objective (artificial columns pinned at 0).
+    let mut c2 = vec![0.0f64; total];
+    c2[..n].copy_from_slice(c);
+    // forbid artificials from re-entering by pricing them prohibitively
+    for &j in &artificials {
+        c2[j] = 1e30;
+    }
+    match simplex_core(&mut tab, &mut basis, &c2, total) {
+        SimplexOutcome::Optimal(_) => {
+            let mut x = vec![0.0f64; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    x[basis[i]] = tab[i][total];
+                }
+            }
+            let objective = x.iter().zip(c).map(|(a, b)| a * b).sum();
+            LpResult {
+                status: LpStatus::Optimal,
+                x,
+                objective,
+            }
+        }
+        SimplexOutcome::Unbounded => LpResult {
+            status: LpStatus::Unbounded,
+            x: vec![0.0; n],
+            objective: f64::NEG_INFINITY,
+        },
+    }
+}
+
+enum SimplexOutcome {
+    Optimal(f64),
+    Unbounded,
+}
+
+/// Runs the primal simplex on the tableau with Bland's rule.
+fn simplex_core(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    c: &[f64],
+    total: usize,
+) -> SimplexOutcome {
+    let m = tab.len();
+    loop {
+        // reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j; the tableau stores B⁻¹A.
+        let mut entering = None;
+        for j in 0..total {
+            let mut rc = c[j];
+            for i in 0..m {
+                rc -= c[basis[i]] * tab[i][j];
+            }
+            if rc < -1e-9 {
+                entering = Some(j); // Bland: first improving index
+                break;
+            }
+        }
+        let Some(e) = entering else {
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += c[basis[i]] * tab[i][total];
+            }
+            return SimplexOutcome::Optimal(obj);
+        };
+        // ratio test (Bland ties → smallest basis index)
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if tab[i][e] > TOL {
+                let ratio = tab[i][total] / tab[i][e];
+                if ratio < best - TOL
+                    || (ratio < best + TOL
+                        && leave.is_none_or(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else {
+            return SimplexOutcome::Unbounded;
+        };
+        pivot(tab, basis, l, e, total);
+    }
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let m = tab.len();
+    let p = tab[row][col];
+    for v in tab[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i != row && tab[i][col].abs() > 0.0 {
+            let f = tab[i][col];
+            #[allow(clippy::needless_range_loop)] // indexed form is clearer here
+            for j in 0..=total {
+                let t = f * tab[row][j];
+                tab[i][j] -= t;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        // Minimize the negation.
+        let r = linprog(
+            &[-3.0, -5.0],
+            &[
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Le, 4.0),
+                Constraint::new(vec![0.0, 2.0], ConstraintOp::Le, 12.0),
+                Constraint::new(vec![3.0, 2.0], ConstraintOp::Le, 18.0),
+            ],
+        );
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 2.0).abs() < 1e-7, "{:?}", r.x);
+        assert!((r.x[1] - 6.0).abs() < 1e-7);
+        assert!((r.objective + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 1, x − y = 0 → (0.5, 0.5).
+        let r = linprog(
+            &[1.0, 1.0],
+            &[
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 1.0),
+                Constraint::new(vec![1.0, -1.0], ConstraintOp::Eq, 0.0),
+            ],
+        );
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 0.5).abs() < 1e-7);
+        assert!((r.x[1] - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4, 0), obj 8.
+        let r = linprog(
+            &[2.0, 3.0],
+            &[
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Ge, 4.0),
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Ge, 1.0),
+            ],
+        );
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 8.0).abs() < 1e-7, "{:?}", r);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let r = linprog(
+            &[1.0],
+            &[
+                Constraint::new(vec![1.0], ConstraintOp::Le, 1.0),
+                Constraint::new(vec![1.0], ConstraintOp::Ge, 2.0),
+            ],
+        );
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x s.t. x ≥ 0 (no upper bound).
+        let r = linprog(&[-1.0], &[Constraint::new(vec![1.0], ConstraintOp::Ge, 0.0)]);
+        assert_eq!(r.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // min x s.t. −x ≤ −3  ⇔ x ≥ 3.
+        let r = linprog(&[1.0], &[Constraint::new(vec![-1.0], ConstraintOp::Le, -3.0)]);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        // Duplicate equalities should not break phase 1.
+        let r = linprog(
+            &[1.0, 1.0],
+            &[
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 1.0),
+                Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 1.0),
+                Constraint::new(vec![1.0, 0.0], ConstraintOp::Le, 1.0),
+            ],
+        );
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!((r.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn simplex_constrained_least_abs_fit() {
+        // Tiny L∞ fit: choose w on the simplex minimizing max |w_j − t_j|
+        // for t = (0.7, 0.3): variables (w1, w2, z), minimize z subject to
+        // w − t ≤ z, t − w ≤ z, Σw = 1. Optimum z = 0 at w = t.
+        let cons = vec![
+            Constraint::new(vec![1.0, 0.0, -1.0], ConstraintOp::Le, 0.7),
+            Constraint::new(vec![0.0, 1.0, -1.0], ConstraintOp::Le, 0.3),
+            Constraint::new(vec![-1.0, 0.0, -1.0], ConstraintOp::Le, -0.7),
+            Constraint::new(vec![0.0, -1.0, -1.0], ConstraintOp::Le, -0.3),
+            Constraint::new(vec![1.0, 1.0, 0.0], ConstraintOp::Eq, 1.0),
+        ];
+        let r = linprog(&[0.0, 0.0, 1.0], &cons);
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert!(r.objective.abs() < 1e-7);
+        assert!((r.x[0] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn separability_feasibility_lp() {
+        // Points {(0,0)} vs {(1,1)} are linearly separable: find w, b,
+        // encoded with split variables (w⁺ − w⁻), margin 1.
+        // Variables: w1+, w1-, w2+, w2-, b+, b-.
+        let sep = |pos: &[(f64, f64)], neg: &[(f64, f64)]| -> bool {
+            let mut cons = Vec::new();
+            for &(x, y) in pos {
+                cons.push(Constraint::new(
+                    vec![x, -x, y, -y, 1.0, -1.0],
+                    ConstraintOp::Ge,
+                    1.0,
+                ));
+            }
+            for &(x, y) in neg {
+                cons.push(Constraint::new(
+                    vec![x, -x, y, -y, 1.0, -1.0],
+                    ConstraintOp::Le,
+                    -1.0,
+                ));
+            }
+            linprog(&[0.0; 6], &cons).status == LpStatus::Optimal
+        };
+        assert!(sep(&[(0.0, 0.0)], &[(1.0, 1.0)]));
+        // XOR configuration is not separable.
+        assert!(!sep(&[(0.0, 0.0), (1.0, 1.0)], &[(0.0, 1.0), (1.0, 0.0)]));
+    }
+}

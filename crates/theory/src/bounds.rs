@@ -1,0 +1,125 @@
+//! Sample-complexity calculators (Theorem 2.1 and its ingredients).
+//!
+//! The chain of bounds proved in Section 2.3:
+//!
+//! 1. Lemma 2.6: if `VC-dim(Σ) = λ`, then
+//!    `fat_S(γ) = Õ(1/γ^{λ+1})` — concretely
+//!    `fat ≤ ⌈1/γ⌉ · O((1/γ · log 1/γ)^λ)`;
+//! 2. Bartlett–Long: `H` is ε-learnable with
+//!    `n₀(ε, δ) = O((1/ε²)(fat_H(ε/9) log²(1/ε) + log(1/δ)))`;
+//! 3. Theorem 2.1: combining these, a range space with VC-dimension `λ`
+//!    has ε-learnable selectivity functions with `Õ(1/ε^{λ+3})` training
+//!    queries.
+//!
+//! Constants hidden by `O(·)` are not pinned down by the paper; the
+//! functions below expose them as explicit parameters with default 1, so
+//! the *shape* (exponents, log factors) is exact and comparisons across
+//! `ε`, `δ`, `λ` are meaningful.
+
+use selearn_geom::RangeClass;
+
+/// Lemma 2.6's fat-shattering upper bound
+/// `fat_S(γ) ≤ c · ⌈1/γ⌉ · (1/γ · log(1/γ))^λ` with explicit constant `c`.
+pub fn fat_shattering_upper_bound(gamma: f64, lambda: usize, c: f64) -> f64 {
+    assert!(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+    let inv = 1.0 / gamma;
+    let log_term = inv.ln().max(1.0);
+    c * inv.ceil() * (inv * log_term).powi(lambda as i32)
+}
+
+/// The Bartlett–Long sample-size bound
+/// `n₀(ε, δ) = c/ε² (fat(ε/9) log²(1/ε) + log(1/δ))`.
+pub fn bartlett_long_n0(fat_at_eps_ninth: f64, eps: f64, delta: f64, c: f64) -> f64 {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let log_eps = (1.0 / eps).ln().max(1.0);
+    c / (eps * eps) * (fat_at_eps_ninth * log_eps * log_eps + (1.0 / delta).ln())
+}
+
+/// Theorem 2.1's end-to-end training-set size for a range class in
+/// dimension `d`: `Õ(1/ε^{λ+3})` with `λ` the class VC-dimension
+/// (orthogonal: `2d`, halfspace: `d+1`, ball: `d+2`).
+pub fn training_set_size(class: RangeClass, d: usize, eps: f64, delta: f64) -> f64 {
+    let lambda = class.vc_dim(d);
+    let fat = fat_shattering_upper_bound(eps / 9.0, lambda, 1.0);
+    bartlett_long_n0(fat, eps, delta, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_bound_monotone_decreasing_in_gamma() {
+        let a = fat_shattering_upper_bound(0.1, 4, 1.0);
+        let b = fat_shattering_upper_bound(0.05, 4, 1.0);
+        assert!(b > a, "smaller gamma must need larger dimension bound");
+    }
+
+    #[test]
+    fn fat_bound_grows_with_lambda() {
+        let a = fat_shattering_upper_bound(0.1, 3, 1.0);
+        let b = fat_shattering_upper_bound(0.1, 5, 1.0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn fat_bound_scaling_exponent() {
+        // doubling 1/γ should scale the bound by ≈ 2^{λ+1} (up to logs)
+        let lambda = 4;
+        let a = fat_shattering_upper_bound(0.01, lambda, 1.0);
+        let b = fat_shattering_upper_bound(0.005, lambda, 1.0);
+        let ratio = b / a;
+        let expected = 2f64.powi(lambda as i32 + 1);
+        assert!(
+            ratio > expected * 0.8 && ratio < expected * 2.0,
+            "ratio {ratio}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn n0_decreasing_in_delta() {
+        let n1 = bartlett_long_n0(100.0, 0.1, 0.1, 1.0);
+        let n2 = bartlett_long_n0(100.0, 0.1, 0.01, 1.0);
+        assert!(n2 > n1, "higher confidence needs more samples");
+        // ... but only logarithmically
+        let n3 = bartlett_long_n0(100.0, 0.1, 0.001, 1.0);
+        assert!((n3 - n2) - (n2 - n1) < 1e-6 + (n2 - n1) * 0.01);
+    }
+
+    #[test]
+    fn n0_scales_inverse_square_eps_for_fixed_fat() {
+        let n1 = bartlett_long_n0(50.0, 0.1, 0.1, 1.0);
+        let n2 = bartlett_long_n0(50.0, 0.05, 0.1, 1.0);
+        assert!(n2 / n1 > 3.0, "ratio {} should be ≈ 4 (×log²)", n2 / n1);
+    }
+
+    #[test]
+    fn theorem_exponents_order_query_classes() {
+        // For the same d ≥ 2: halfspaces (λ = d+1) need fewer samples than
+        // balls (d+2), which need fewer than rectangles (2d) for d ≥ 3.
+        let (eps, delta, d) = (0.2, 0.1, 4);
+        let rect = training_set_size(RangeClass::Rect, d, eps, delta);
+        let half = training_set_size(RangeClass::Halfspace, d, eps, delta);
+        let ball = training_set_size(RangeClass::Ball, d, eps, delta);
+        assert!(half < ball, "halfspace {half} < ball {ball}");
+        assert!(ball < rect, "ball {ball} < rect {rect}");
+    }
+
+    #[test]
+    fn dimensionality_curse_is_exponential() {
+        // Section 4.4: the sample complexity is exponential in d.
+        let (eps, delta) = (0.2, 0.1);
+        let n2 = training_set_size(RangeClass::Rect, 2, eps, delta);
+        let n4 = training_set_size(RangeClass::Rect, 4, eps, delta);
+        let n6 = training_set_size(RangeClass::Rect, 6, eps, delta);
+        assert!(n4 / n2 > 10.0);
+        assert!(n6 / n4 > 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0,1)")]
+    fn invalid_gamma_panics() {
+        let _ = fat_shattering_upper_bound(0.0, 2, 1.0);
+    }
+}

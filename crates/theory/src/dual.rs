@@ -1,0 +1,187 @@
+//! Dual range spaces and low-crossing orderings (Lemma 2.4).
+//!
+//! The heart of the paper's upper-bound proof: order the γ-shattered
+//! ranges `R_1, …, R_k` so that **every point crosses few consecutive
+//! pairs** — `x` crosses `(R_i, R_{i+1})` when `x ∈ R_i ⊕ R_{i+1}`
+//! (symmetric difference). Chazelle–Welzl guarantee an ordering with
+//! `O(k^{1−1/λ} log k)` crossings per point when the dual range space has
+//! VC-dimension `λ`. Combined with Lemma 2.3's lower bound `γ(k−1)` on the
+//! *expected* crossings under a shattering distribution, this pins down
+//! `|T_j|` (Lemma 2.5).
+//!
+//! This module provides the crossing-number accounting over a finite
+//! evaluation point set and a greedy nearest-neighbor ordering heuristic
+//! that empirically achieves the sublinear crossing growth (exercised by
+//! the `theory_fat` experiment and the quadtree bench).
+
+use selearn_geom::{Point, Range, RangeQuery};
+
+/// Number of consecutive pairs `(R_i, R_{i+1})` of `ordering` crossed by
+/// the point `x`.
+pub fn crossing_number(ranges: &[Range], ordering: &[usize], x: &Point) -> usize {
+    ordering
+        .windows(2)
+        .filter(|w| ranges[w[0]].contains(x) != ranges[w[1]].contains(x))
+        .count()
+}
+
+/// Maximum crossing number over an evaluation point set — the quantity
+/// Lemma 2.4 bounds by `O(k^{1−1/λ} log k)`.
+pub fn max_point_crossings(ranges: &[Range], ordering: &[usize], points: &[Point]) -> usize {
+    points
+        .iter()
+        .map(|x| crossing_number(ranges, ordering, x))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Greedy low-crossing ordering: start from range 0 and repeatedly append
+/// the unvisited range with the smallest estimated symmetric difference
+/// from the current one, measured by membership disagreements over
+/// `points`. A practical stand-in for the Chazelle–Welzl iterative
+/// reweighting construction.
+pub fn greedy_low_crossing_ordering(ranges: &[Range], points: &[Point]) -> Vec<usize> {
+    let k = ranges.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // membership bitmaps
+    let memb: Vec<Vec<bool>> = ranges
+        .iter()
+        .map(|r| points.iter().map(|p| r.contains(p)).collect())
+        .collect();
+    let dist = |a: usize, b: usize| -> usize {
+        memb[a]
+            .iter()
+            .zip(&memb[b])
+            .filter(|(x, y)| x != y)
+            .count()
+    };
+    let mut order = Vec::with_capacity(k);
+    let mut used = vec![false; k];
+    let mut cur = 0usize;
+    order.push(cur);
+    used[cur] = true;
+    for _ in 1..k {
+        let next = (0..k)
+            .filter(|&j| !used[j])
+            .min_by_key(|&j| (dist(cur, j), j))
+            .expect("unvisited range exists");
+        used[next] = true;
+        order.push(next);
+        cur = next;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use selearn_geom::Rect;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    fn nested_rects(k: usize) -> Vec<Range> {
+        // R_i = [0, (i+1)/k]² — a nested chain.
+        (0..k)
+            .map(|i| {
+                let t = (i + 1) as f64 / k as f64;
+                Rect::new(vec![0.0, 0.0], vec![t, t]).into()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn crossing_number_nested_chain() {
+        let ranges = nested_rects(4);
+        let order: Vec<usize> = (0..4).collect();
+        // a point in the innermost ring crosses 0 pairs (in all ranges)
+        assert_eq!(crossing_number(&ranges, &order, &pt(0.1, 0.1)), 0);
+        // a point between R_0 and R_1 crosses exactly one pair
+        assert_eq!(crossing_number(&ranges, &order, &pt(0.4, 0.4)), 1);
+        // in the outermost ring only: one crossing (R_2 → R_3)
+        assert_eq!(crossing_number(&ranges, &order, &pt(0.99, 0.99)), 1);
+        // outside every range: 0 crossings
+        assert_eq!(crossing_number(&ranges, &order, &pt(1.5, 1.5)), 0);
+    }
+
+    #[test]
+    fn nested_chain_in_sorted_order_has_one_crossing_max() {
+        let ranges = nested_rects(8);
+        let order: Vec<usize> = (0..8).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point> = (0..500).map(|_| pt(rng.gen(), rng.gen())).collect();
+        assert!(max_point_crossings(&ranges, &order, &pts) <= 1);
+    }
+
+    #[test]
+    fn bad_ordering_has_more_crossings() {
+        let ranges = nested_rects(8);
+        // alternating order maximizes boundary crossings for mid points
+        let bad = vec![0usize, 7, 1, 6, 2, 5, 3, 4];
+        let good: Vec<usize> = (0..8).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts: Vec<Point> = (0..500).map(|_| pt(rng.gen(), rng.gen())).collect();
+        assert!(
+            max_point_crossings(&ranges, &bad, &pts)
+                > max_point_crossings(&ranges, &good, &pts)
+        );
+    }
+
+    #[test]
+    fn greedy_recovers_nested_order() {
+        let ranges = nested_rects(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point> = (0..800).map(|_| pt(rng.gen(), rng.gen())).collect();
+        let order = greedy_low_crossing_ordering(&ranges, &pts);
+        // the greedy ordering of a nested chain must be monotone
+        let m = max_point_crossings(&ranges, &order, &pts);
+        assert!(m <= 1, "greedy ordering yields {m} crossings");
+    }
+
+    #[test]
+    fn greedy_beats_random_on_random_rects() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ranges: Vec<Range> = (0..24)
+            .map(|_| {
+                let cx: f64 = rng.gen();
+                let cy: f64 = rng.gen();
+                let w: f64 = rng.gen::<f64>() * 0.5;
+                Rect::new(
+                    vec![(cx - w).max(0.0), (cy - w).max(0.0)],
+                    vec![(cx + w).min(1.0), (cy + w).min(1.0)],
+                )
+                .into()
+            })
+            .collect();
+        let pts: Vec<Point> = (0..600).map(|_| pt(rng.gen(), rng.gen())).collect();
+        let greedy = greedy_low_crossing_ordering(&ranges, &pts);
+        let identity: Vec<usize> = (0..ranges.len()).collect();
+        let g = max_point_crossings(&ranges, &greedy, &pts);
+        let r = max_point_crossings(&ranges, &identity, &pts);
+        assert!(g <= r, "greedy {g} worse than identity {r}");
+    }
+
+    #[test]
+    fn empty_and_singleton_orderings() {
+        assert!(greedy_low_crossing_ordering(&[], &[]).is_empty());
+        let one: Vec<Range> = vec![Rect::unit(2).into()];
+        let order = greedy_low_crossing_ordering(&one, &[pt(0.5, 0.5)]);
+        assert_eq!(order, vec![0]);
+        assert_eq!(max_point_crossings(&one, &order, &[pt(0.5, 0.5)]), 0);
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let ranges = nested_rects(6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pts: Vec<Point> = (0..100).map(|_| pt(rng.gen(), rng.gen())).collect();
+        let mut order = greedy_low_crossing_ordering(&ranges, &pts);
+        order.sort_unstable();
+        assert_eq!(order, (0..6).collect::<Vec<_>>());
+    }
+}

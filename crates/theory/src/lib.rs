@@ -1,0 +1,37 @@
+//! Learning-theory toolkit for Section 2 of the paper.
+//!
+//! The paper's theoretical core (Theorem 2.1) relates three quantities:
+//!
+//! 1. the **VC-dimension** of the range space `Σ = (X, R)` — [`vc`]
+//!    provides exact shattering oracles for rectangles, halfspaces and
+//!    balls over finite point sets, plus an empirical VC-dimension search
+//!    and the construction showing convex polygons shatter arbitrarily
+//!    large sets (`VC = ∞`);
+//! 2. the **γ-fat-shattering dimension** of the selectivity-function
+//!    family `S_{Σ,D}` — [`fat`] implements the γ-shattering test of
+//!    Equation (2) and Lemma 2.7's delta-distribution construction;
+//! 3. the **sample complexity** `n₀(ε, δ)` — [`bounds`] exposes the
+//!    Bartlett–Long bound and the paper's `Õ(1/ε^{λ+3})` training sizes.
+//!
+//! [`dual`] provides the dual-range-space machinery behind Lemma 2.4:
+//! crossing numbers of query orderings, with a greedy low-crossing
+//! ordering heuristic in the spirit of Chazelle–Welzl.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dual;
+pub mod fat;
+pub mod vc;
+
+pub use bounds::{bartlett_long_n0, fat_shattering_upper_bound, training_set_size};
+pub use dual::{crossing_number, greedy_low_crossing_ordering, max_point_crossings};
+pub use fat::{
+    delta_distribution_fat_construction, empirical_fat_lower_bound, is_gamma_shattered,
+    DiscreteDistribution,
+};
+pub use vc::{
+    balls_can_realize, empirical_vc_lower_bound, halfspaces_can_realize, is_shattered_by,
+    rects_can_realize, shattered_circle_points,
+};

@@ -1,0 +1,320 @@
+//! VC-dimension machinery: exact shattering oracles and empirical bounds.
+//!
+//! A subset `P ⊆ X` is *shattered* by a range family `R` if every subset
+//! `E ⊆ P` is realizable as `P ∩ R` for some `R ∈ R` (Section 2.1). The
+//! oracles below decide realizability exactly for the paper's three
+//! running range families:
+//!
+//! * rectangles: `E` is realizable iff the bounding box of `E` contains no
+//!   point of `P ∖ E` — the argument behind Figure 2(ii);
+//! * halfspaces: realizability is linear separability, decided by an LP
+//!   feasibility problem;
+//! * balls: lift `x ↦ (x, ‖x‖²)`; `‖x − a‖ ≤ r` becomes the *linear*
+//!   condition `2a·x − ‖x‖² ≥ ‖a‖² − r²`, so realizability is again LP
+//!   feasibility (in `d + 1` unknowns).
+
+use rand::Rng;
+use selearn_geom::Point;
+use selearn_solver::{linprog, Constraint, ConstraintOp, LpStatus};
+
+/// Can some axis-aligned rectangle contain exactly the points of `P`
+/// indexed by `subset` (a bitmask)?
+pub fn rects_can_realize(points: &[Point], subset: u64) -> bool {
+    let d = points.first().map_or(0, Point::dim);
+    let chosen: Vec<&Point> = mask_iter(points, subset).collect();
+    if chosen.is_empty() {
+        // an empty rectangle away from all points always works (ranges may
+        // sit anywhere in R^d)
+        return true;
+    }
+    // bounding box of the chosen points
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for p in &chosen {
+        for i in 0..d {
+            lo[i] = lo[i].min(p[i]);
+            hi[i] = hi[i].max(p[i]);
+        }
+    }
+    // realizable iff no excluded point falls inside the bounding box
+    for (k, p) in points.iter().enumerate() {
+        if subset >> k & 1 == 0 {
+            let inside = (0..d).all(|i| lo[i] <= p[i] && p[i] <= hi[i]);
+            if inside {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Can some halfspace `a · x ≥ b` contain exactly the indexed subset?
+/// Decided via LP feasibility with unit margin (scaling freedom makes the
+/// margin lossless for strict separability).
+pub fn halfspaces_can_realize(points: &[Point], subset: u64) -> bool {
+    let d = points.first().map_or(0, Point::dim);
+    // unknowns: a⁺, a⁻ (split signs), b⁺, b⁻  →  2d + 2 nonneg variables
+    let nvars = 2 * d + 2;
+    let mut cons = Vec::with_capacity(points.len());
+    for (k, p) in points.iter().enumerate() {
+        let mut row = Vec::with_capacity(nvars);
+        for i in 0..d {
+            row.push(p[i]);
+            row.push(-p[i]);
+        }
+        row.push(-1.0); // −b⁺
+        row.push(1.0); // +b⁻
+        if subset >> k & 1 == 1 {
+            cons.push(Constraint::new(row, ConstraintOp::Ge, 1.0));
+        } else {
+            cons.push(Constraint::new(row, ConstraintOp::Le, -1.0));
+        }
+    }
+    linprog(&vec![0.0; nvars], &cons).status == LpStatus::Optimal
+}
+
+/// Can some Euclidean ball contain exactly the indexed subset? Uses the
+/// paraboloid lifting to reduce to LP feasibility.
+pub fn balls_can_realize(points: &[Point], subset: u64) -> bool {
+    let d = points.first().map_or(0, Point::dim);
+    // Condition: 2a·p − ‖p‖² ≥ c for p ∈ E and ≤ c − margin otherwise,
+    // unknowns a (split), c (split) → 2d + 2 nonneg variables.
+    let nvars = 2 * d + 2;
+    let mut cons = Vec::with_capacity(points.len());
+    for (k, p) in points.iter().enumerate() {
+        let norm_sq: f64 = p.coords().iter().map(|x| x * x).sum();
+        let mut row = Vec::with_capacity(nvars);
+        for i in 0..d {
+            row.push(2.0 * p[i]);
+            row.push(-2.0 * p[i]);
+        }
+        row.push(-1.0); // −c⁺
+        row.push(1.0); // +c⁻
+        if subset >> k & 1 == 1 {
+            cons.push(Constraint::new(row, ConstraintOp::Ge, norm_sq + 1.0));
+        } else {
+            cons.push(Constraint::new(row, ConstraintOp::Le, norm_sq - 1.0));
+        }
+    }
+    linprog(&vec![0.0; nvars], &cons).status == LpStatus::Optimal
+}
+
+/// Is `points` shattered by the family whose realizability oracle is
+/// `can_realize`? Checks all `2^|P|` subsets.
+///
+/// # Panics
+/// Panics for more than 63 points (bitmask width).
+pub fn is_shattered_by<F: Fn(&[Point], u64) -> bool>(points: &[Point], can_realize: F) -> bool {
+    assert!(points.len() < 64, "too many points for bitmask shattering");
+    let n = points.len() as u32;
+    (0..(1u64 << n)).all(|subset| can_realize(points, subset))
+}
+
+/// Randomized empirical **lower bound** on the VC dimension: searches
+/// `attempts` random point configurations per candidate size `k` (points
+/// drawn from `[0,1]^d`), returning the largest `k ≤ max_k` for which a
+/// shattered configuration was found.
+pub fn empirical_vc_lower_bound<F, R>(
+    dim: usize,
+    max_k: usize,
+    attempts: usize,
+    can_realize: F,
+    rng: &mut R,
+) -> usize
+where
+    F: Fn(&[Point], u64) -> bool + Copy,
+    R: Rng + ?Sized,
+{
+    let mut best = 0;
+    for k in 1..=max_k {
+        let mut found = false;
+        for _ in 0..attempts {
+            let pts: Vec<Point> = (0..k)
+                .map(|_| Point::new((0..dim).map(|_| rng.gen()).collect()))
+                .collect();
+            if is_shattered_by(&pts, can_realize) {
+                found = true;
+                break;
+            }
+        }
+        if found {
+            best = k;
+        } else {
+            break; // monotone in practice: stop at first failing size
+        }
+    }
+    best
+}
+
+/// `k` points in convex position (on the unit circle, scaled into
+/// `[0,1]²`). Any subset of points in convex position is the vertex set of
+/// a convex polygon containing exactly that subset, so convex polygons
+/// shatter these points for every `k` — the `VC-dim = ∞` example of
+/// Section 2.2 (cf. Figure 5).
+pub fn shattered_circle_points(k: usize) -> Vec<Point> {
+    (0..k)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / k as f64;
+            Point::new(vec![0.5 + 0.45 * theta.cos(), 0.5 + 0.45 * theta.sin()])
+        })
+        .collect()
+}
+
+fn mask_iter(points: &[Point], subset: u64) -> impl Iterator<Item = &Point> {
+    points
+        .iter()
+        .enumerate()
+        .filter(move |(k, _)| subset >> k & 1 == 1)
+        .map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pt(x: f64, y: f64) -> Point {
+        Point::new(vec![x, y])
+    }
+
+    /// The diamond configuration of Figure 2(i): 4 points shattered by
+    /// rectangles.
+    fn diamond() -> Vec<Point> {
+        vec![pt(0.5, 0.0), pt(1.0, 0.5), pt(0.5, 1.0), pt(0.0, 0.5)]
+    }
+
+    #[test]
+    fn rects_shatter_diamond_figure2() {
+        assert!(is_shattered_by(&diamond(), rects_can_realize));
+    }
+
+    #[test]
+    fn rects_cannot_shatter_five_points_figure2() {
+        // Figure 2(ii): any 5 points in R² have one point inside the
+        // bounding box of the 4 extreme ones.
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..50 {
+            let pts: Vec<Point> = (0..5)
+                .map(|_| pt(rng.gen(), rng.gen()))
+                .collect();
+            assert!(
+                !is_shattered_by(&pts, rects_can_realize),
+                "5 points shattered by rectangles: {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rect_realizability_counterexample() {
+        // middle point inside the bbox of the two outer ones
+        let pts = vec![pt(0.0, 0.0), pt(0.5, 0.5), pt(1.0, 1.0)];
+        // subset {0, 2} is NOT realizable (bbox contains index 1)
+        assert!(!rects_can_realize(&pts, 0b101));
+        // subset {0, 1} is realizable
+        assert!(rects_can_realize(&pts, 0b011));
+        assert!(rects_can_realize(&pts, 0b000));
+        assert!(rects_can_realize(&pts, 0b111));
+    }
+
+    #[test]
+    fn halfspaces_shatter_three_points_2d() {
+        // VC-dim of halfspaces in R² is 3: a triangle is shattered.
+        let pts = vec![pt(0.1, 0.1), pt(0.9, 0.1), pt(0.5, 0.9)];
+        assert!(is_shattered_by(&pts, halfspaces_can_realize));
+    }
+
+    #[test]
+    fn halfspaces_cannot_shatter_xor() {
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 1.0), pt(0.0, 1.0), pt(1.0, 0.0)];
+        // the XOR split {diag} vs {anti-diag} is not linearly separable
+        assert!(!halfspaces_can_realize(&pts, 0b0011));
+        assert!(!is_shattered_by(&pts, halfspaces_can_realize));
+    }
+
+    #[test]
+    fn halfspaces_cannot_shatter_collinear_middle() {
+        let pts = vec![pt(0.0, 0.0), pt(0.5, 0.5), pt(1.0, 1.0)];
+        // {ends} without the middle is not separable
+        assert!(!halfspaces_can_realize(&pts, 0b101));
+    }
+
+    #[test]
+    fn balls_shatter_triangle_but_not_square_2d() {
+        // Discs in the plane have VC-dimension exactly 3 (the paper's
+        // d + 2 = 4 is an upper bound): a triangle is shattered, but the
+        // diagonal 2-2 split of 4 points in convex position never is.
+        let tri = vec![pt(0.1, 0.1), pt(0.9, 0.1), pt(0.5, 0.9)];
+        assert!(is_shattered_by(&tri, balls_can_realize));
+        let square = vec![pt(0.2, 0.2), pt(0.8, 0.25), pt(0.75, 0.8), pt(0.3, 0.7)];
+        assert!(!is_shattered_by(&square, balls_can_realize));
+    }
+
+    #[test]
+    fn empirical_vc_matches_known_bounds_balls_2d() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let vc = empirical_vc_lower_bound(2, 5, 300, balls_can_realize, &mut rng);
+        assert_eq!(vc, 3, "disc VC-dim in 2D is exactly 3");
+    }
+
+    #[test]
+    fn balls_realize_single_and_complement() {
+        let pts = vec![pt(0.1, 0.1), pt(0.9, 0.9)];
+        assert!(balls_can_realize(&pts, 0b01));
+        assert!(balls_can_realize(&pts, 0b10));
+        assert!(balls_can_realize(&pts, 0b11));
+        assert!(balls_can_realize(&pts, 0b00));
+    }
+
+    #[test]
+    fn empirical_vc_matches_known_bounds_rect_2d() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vc = empirical_vc_lower_bound(2, 6, 300, rects_can_realize, &mut rng);
+        assert_eq!(vc, 4, "rect VC-dim in 2D is exactly 4 (Figure 2)");
+    }
+
+    #[test]
+    fn empirical_vc_matches_known_bounds_halfspace_2d() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let vc = empirical_vc_lower_bound(2, 5, 300, halfspaces_can_realize, &mut rng);
+        assert_eq!(vc, 3, "halfspace VC-dim in 2D is d + 1 = 3");
+    }
+
+    #[test]
+    fn circle_points_convex_position() {
+        let pts = shattered_circle_points(8);
+        assert_eq!(pts.len(), 8);
+        // all inside the unit square
+        assert!(pts.iter().all(|p| p.in_unit_cube()));
+        // convex position: every point is outside the convex hull of the
+        // others ⇔ every singleton is halfspace-realizable
+        for k in 0..8u64 {
+            assert!(halfspaces_can_realize(&pts, 1 << k));
+        }
+    }
+
+    #[test]
+    fn circle_points_shattered_by_convex_polygons() {
+        // "Realizing" E with a convex polygon = taking the convex hull of
+        // E; valid iff no excluded point is in that hull. For points in
+        // convex position this always holds; verify via LP (a point is
+        // outside a hull iff separable from it).
+        let pts = shattered_circle_points(6);
+        for subset in 0u64..(1 << 6) {
+            for (k, _) in pts.iter().enumerate() {
+                if subset >> k & 1 == 0 {
+                    // excluded point must be separable from the chosen set
+                    let mut idx: Vec<usize> =
+                        (0..6).filter(|i| subset >> i & 1 == 1).collect();
+                    idx.push(k);
+                    let sub: Vec<Point> = idx.iter().map(|&i| pts[i].clone()).collect();
+                    let mask = (1u64 << (idx.len() - 1)) - 1; // all but last
+                    assert!(
+                        halfspaces_can_realize(&sub, mask),
+                        "point {k} inside hull of subset {subset:b}"
+                    );
+                }
+            }
+        }
+    }
+}

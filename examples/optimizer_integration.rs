@@ -1,0 +1,109 @@
+//! Using a learned estimator inside a toy cost-based query optimizer.
+//!
+//! ```text
+//! cargo run --release --example optimizer_integration
+//! ```
+//!
+//! Selectivity estimation exists to serve plan selection: the optimizer
+//! compares candidate predicate orders by their estimated intermediate
+//! result sizes. This example builds a tiny conjunctive-filter optimizer
+//! on top of the `SelectivityEstimator` trait and shows that plans picked
+//! with QuadHist estimates track the plans picked with true selectivities
+//! far better than the uniformity assumption — the end-to-end payoff the
+//! paper's introduction motivates.
+
+use selearn::prelude::*;
+
+/// Cost of evaluating a conjunction of filters in a given order: each
+/// filter scans the survivors of the previous one. (The classic
+/// independent-predicate cost model; costs are in expected tuple visits.)
+fn plan_cost(selectivities: &[f64], order: &[usize]) -> f64 {
+    let mut live = 1.0;
+    let mut cost = 0.0;
+    for &i in order {
+        cost += live;
+        live *= selectivities[i];
+    }
+    cost
+}
+
+/// Pick the cheapest left-deep order by exhaustive search (3 filters).
+fn best_order(sel: &[f64]) -> Vec<usize> {
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let idx: Vec<usize> = (0..sel.len()).collect();
+    permute(&idx, &mut Vec::new(), &mut |perm| {
+        let c = plan_cost(sel, perm);
+        if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+            best = Some((c, perm.to_vec()));
+        }
+    });
+    best.expect("nonempty").1
+}
+
+fn permute(rest: &[usize], cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    if rest.is_empty() {
+        f(cur);
+        return;
+    }
+    for (k, &v) in rest.iter().enumerate() {
+        let mut next: Vec<usize> = rest.to_vec();
+        next.remove(k);
+        cur.push(v);
+        permute(&next, cur, f);
+        cur.pop();
+    }
+}
+
+fn main() {
+    let data = power_like(50_000, 42).project(&[0, 1, 2]);
+
+    // Train a model from a data-driven workload of 3-D range queries.
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let workload = Workload::generate(&data, &spec, 600, &mut rng);
+    let model = PtsHist::fit(
+        Rect::unit(3),
+        &to_training(&workload),
+        &PtsHistConfig::with_model_size(2400),
+    );
+    let uniform = UniformBaseline::new(Rect::unit(3));
+
+    // 200 random "queries" = conjunctions of three single-attribute
+    // filters; the optimizer must order them.
+    use rand::Rng;
+    let mut learned_regret = 0.0;
+    let mut uniform_regret = 0.0;
+    let mut trials = 0;
+    for _ in 0..200 {
+        // one range filter per attribute
+        let filters: Vec<Range> = (0..3)
+            .map(|dim| {
+                let lo: f64 = rng.gen::<f64>() * 0.8;
+                let hi = lo + rng.gen::<f64>() * (1.0 - lo);
+                let mut l = vec![0.0; 3];
+                let mut h = vec![1.0; 3];
+                l[dim] = lo;
+                h[dim] = hi;
+                Rect::new(l, h).into()
+            })
+            .collect();
+        let truth: Vec<f64> = filters.iter().map(|f| data.selectivity(f)).collect();
+        let learned: Vec<f64> = filters.iter().map(|f| model.estimate(f)).collect();
+        let assumed: Vec<f64> = filters.iter().map(|f| uniform.estimate(f)).collect();
+
+        let oracle_cost = plan_cost(&truth, &best_order(&truth));
+        let learned_cost = plan_cost(&truth, &best_order(&learned));
+        let uniform_cost = plan_cost(&truth, &best_order(&assumed));
+        learned_regret += learned_cost - oracle_cost;
+        uniform_regret += uniform_cost - oracle_cost;
+        trials += 1;
+    }
+
+    println!("predicate-ordering regret vs oracle over {trials} conjunctive queries:");
+    println!("  learned (PtsHist): {:.4} expected extra tuple-visits/query", learned_regret / trials as f64);
+    println!("  uniform assumption: {:.4} expected extra tuple-visits/query", uniform_regret / trials as f64);
+    assert!(
+        learned_regret <= uniform_regret,
+        "learned estimates should order predicates at least as well"
+    );
+}

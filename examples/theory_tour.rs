@@ -1,0 +1,94 @@
+//! A tour of the paper's theory (Section 2), executable.
+//!
+//! ```text
+//! cargo run --release --example theory_tour
+//! ```
+//!
+//! * Figure 2: rectangles shatter 4 points in the plane, never 5;
+//! * VC-dimensions of halfspaces and discs via exact LP oracles;
+//! * Figure 5 / Lemma 2.7: convex polygons γ-shatter arbitrarily many
+//!   ranges using delta distributions — selectivity is NOT learnable;
+//! * Lemma 2.4: low-crossing orderings of query sets;
+//! * Theorem 2.1: the sample-complexity calculator.
+
+use rand::SeedableRng;
+use selearn::prelude::*;
+use selearn::theory;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    // --- VC dimensions (Figure 2 and Section 2.2) ---
+    println!("empirical VC-dimension lower bounds (random search + exact oracles):");
+    let rect2 = theory::empirical_vc_lower_bound(2, 6, 400, theory::rects_can_realize, &mut rng);
+    let half2 =
+        theory::empirical_vc_lower_bound(2, 5, 400, theory::halfspaces_can_realize, &mut rng);
+    let ball2 = theory::empirical_vc_lower_bound(2, 5, 400, theory::balls_can_realize, &mut rng);
+    println!("  rectangles in R^2: {rect2} (known: 2d = 4, Figure 2)");
+    println!("  halfspaces in R^2: {half2} (known: d+1 = 3)");
+    println!("  discs      in R^2: {ball2} (known exact: 3; paper's bound: <= d+2 = 4)");
+    assert_eq!((rect2, half2, ball2), (4, 3, 3));
+
+    // The diamond of Figure 2(i) is shattered; no 5 points ever are.
+    let diamond = vec![
+        Point::new(vec![0.5, 0.0]),
+        Point::new(vec![1.0, 0.5]),
+        Point::new(vec![0.5, 1.0]),
+        Point::new(vec![0.0, 0.5]),
+    ];
+    assert!(theory::is_shattered_by(&diamond, theory::rects_can_realize));
+    println!("  the Figure-2 diamond is shattered by rectangles ✓");
+
+    // --- Non-learnability: convex polygons (Lemma 2.7 / Figure 5) ---
+    println!("\nconvex polygons have VC-dim = ∞ ⇒ fat-shattering dim = ∞:");
+    for k in 1..=3 {
+        let (ranges, sigma, candidates) = theory::delta_distribution_fat_construction(k);
+        let ok = theory::is_gamma_shattered(&ranges, &sigma, 0.49, &candidates);
+        println!("  {k} polygon ranges γ-shattered at γ=0.49 with delta distributions: {ok}");
+        assert!(ok);
+    }
+    println!("  (arbitrary k works: selectivity of polygon ranges is NOT learnable)");
+
+    // --- Low-crossing orderings (Lemma 2.4) ---
+    println!("\nlow-crossing orderings (greedy vs identity, random rect sets):");
+    use rand::Rng;
+    for k in [16usize, 64] {
+        let ranges: Vec<Range> = (0..k)
+            .map(|_| {
+                let cx: f64 = rng.gen();
+                let cy: f64 = rng.gen();
+                let w: f64 = rng.gen::<f64>() * 0.4;
+                Rect::new(
+                    vec![(cx - w).max(0.0), (cy - w).max(0.0)],
+                    vec![(cx + w).min(1.0), (cy + w).min(1.0)],
+                )
+                .into()
+            })
+            .collect();
+        let pts: Vec<Point> = (0..1500)
+            .map(|_| Point::new(vec![rng.gen(), rng.gen()]))
+            .collect();
+        let identity: Vec<usize> = (0..k).collect();
+        let greedy = theory::greedy_low_crossing_ordering(&ranges, &pts);
+        println!(
+            "  k = {k:>3}: identity max-crossings = {:>3}, greedy = {:>3}",
+            theory::max_point_crossings(&ranges, &identity, &pts),
+            theory::max_point_crossings(&ranges, &greedy, &pts),
+        );
+    }
+
+    // --- Sample complexity (Theorem 2.1) ---
+    println!("\nTheorem 2.1 training-set sizes (unit constants, shape exact):");
+    for (class, name) in [
+        (RangeClass::Halfspace, "halfspace (λ = d+1)"),
+        (RangeClass::Ball, "ball      (λ ≤ d+2)"),
+        (RangeClass::Rect, "rect      (λ = 2d) "),
+    ] {
+        print!("  {name}:");
+        for d in [2usize, 4] {
+            print!("  d={d}: 1e{:>5.1}", training_set_size(class, d, 0.1, 0.05).log10());
+        }
+        println!();
+    }
+    println!("\n(exponential growth in d — the curse Section 4.4 measures empirically)");
+}

@@ -1,0 +1,302 @@
+//! `selearn-repl` — an interactive selectivity-estimation shell.
+//!
+//! ```text
+//! cargo run --release --bin selearn-repl
+//! ```
+//!
+//! A minimal optimizer-statistics console over the library: load a
+//! relation (CSV or a built-in synthetic), train a learned estimator from
+//! query feedback, ask it SQL-style predicates, persist it. Commands:
+//!
+//! ```text
+//! synth power|forest|census|dmv [rows] [seed]   generate a dataset
+//! load <path.csv>                               load a relation
+//! project <i> <j> ...                           keep a subset of columns
+//! train quadhist|ptshist|gausshist [n] [seed]   train from n feedback queries
+//! estimate <predicate>                          learned vs true selectivity
+//! save <path> | open <path>                     persist / restore the model
+//! info                                          dataset + model summary
+//! help | quit
+//! ```
+//!
+//! Predicates use the schema's column names, e.g.
+//! `estimate price <= 0.3 AND region = 0.5`.
+
+use selearn::predicate::parse_predicate;
+use selearn::prelude::*;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+
+struct State {
+    data: Option<Dataset>,
+    schema: Vec<String>,
+    categorical: Vec<usize>,
+    model: Option<Box<dyn SelectivityEstimator>>,
+    /// Keep a persistable handle when the model supports it.
+    persistable: Option<PersistHandle>,
+}
+
+enum PersistHandle {
+    Quad(QuadHist),
+    Pts(PtsHist),
+}
+
+fn main() {
+    let stdin = io::stdin();
+    let mut state = State {
+        data: None,
+        schema: Vec::new(),
+        categorical: Vec::new(),
+        model: None,
+        persistable: None,
+    };
+    println!("selearn-repl — type 'help' for commands");
+    prompt();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            prompt();
+            continue;
+        }
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        if let Err(msg) = dispatch(trimmed, &mut state) {
+            println!("error: {msg}");
+        }
+        prompt();
+    }
+    println!("bye");
+}
+
+fn prompt() {
+    print!("> ");
+    io::stdout().flush().ok();
+}
+
+fn dispatch(line: &str, st: &mut State) -> Result<(), String> {
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match cmd {
+        "help" => {
+            println!(
+                "commands: synth <name> [rows] [seed] | load <csv> | project <dims..> |\n\
+                 train <quadhist|ptshist|gausshist> [n] [seed] | estimate <pred> |\n\
+                 save <path> | open <path> | info | quit"
+            );
+            Ok(())
+        }
+        "synth" => synth(rest, st),
+        "load" => load(rest, st),
+        "project" => project(rest, st),
+        "train" => train(rest, st),
+        "estimate" => estimate(rest, st),
+        "save" => save(rest, st),
+        "open" => open(rest, st),
+        "info" => {
+            match &st.data {
+                Some(d) => println!(
+                    "dataset: {} ({} rows x {} attrs; schema {:?}; categorical {:?})",
+                    d.name(),
+                    d.len(),
+                    d.dim(),
+                    st.schema,
+                    st.categorical
+                ),
+                None => println!("no dataset loaded"),
+            }
+            match &st.model {
+                Some(m) => println!("model: {} with {} buckets", m.name(), m.num_buckets()),
+                None => println!("no model trained"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'help')")),
+    }
+}
+
+fn synth(args: &str, st: &mut State) -> Result<(), String> {
+    let mut it = args.split_whitespace();
+    let name = it.next().ok_or("usage: synth <power|forest|census|dmv> [rows] [seed]")?;
+    let rows: usize = it.next().map_or(Ok(20_000), |v| v.parse().map_err(|_| "bad rows"))?;
+    let seed: u64 = it.next().map_or(Ok(42), |v| v.parse().map_err(|_| "bad seed"))?;
+    let (data, categorical) = match name {
+        "power" => (power_like(rows, seed), vec![]),
+        "forest" => (forest_like(rows, seed), vec![]),
+        "census" => (census_like(rows, seed), (0..8).collect()),
+        "dmv" => (dmv_like(rows, seed), (0..10).collect()),
+        _ => return Err("unknown synthetic dataset".into()),
+    };
+    st.schema = (0..data.dim()).map(|i| format!("a{i}")).collect();
+    st.categorical = categorical;
+    println!("generated {} ({} rows x {} attrs)", data.name(), data.len(), data.dim());
+    st.data = Some(data);
+    st.model = None;
+    st.persistable = None;
+    Ok(())
+}
+
+fn load(args: &str, st: &mut State) -> Result<(), String> {
+    let path = args.trim();
+    if path.is_empty() {
+        return Err("usage: load <path.csv>".into());
+    }
+    let (data, schema) = selearn::data::load_csv(path, true).map_err(|e| e.to_string())?;
+    st.schema = schema.names.clone();
+    st.categorical = schema.categorical_dims();
+    println!(
+        "loaded {} rows x {} attrs; schema {:?}; categorical {:?}",
+        data.len(),
+        data.dim(),
+        st.schema,
+        st.categorical
+    );
+    st.data = Some(data);
+    st.model = None;
+    st.persistable = None;
+    Ok(())
+}
+
+fn project(args: &str, st: &mut State) -> Result<(), String> {
+    let data = st.data.as_ref().ok_or("load a dataset first")?;
+    let dims: Vec<usize> = args
+        .split_whitespace()
+        .map(|v| v.parse().map_err(|_| format!("bad index '{v}'")))
+        .collect::<Result<_, _>>()?;
+    if dims.is_empty() {
+        return Err("usage: project <i> <j> ...".into());
+    }
+    if dims.iter().any(|&d| d >= data.dim()) {
+        return Err("projection index out of bounds".into());
+    }
+    let new = data.project(&dims);
+    st.schema = dims.iter().map(|&d| st.schema[d].clone()).collect();
+    st.categorical = dims
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| st.categorical.contains(&d))
+        .map(|(new_i, _)| new_i)
+        .collect();
+    println!("projected to {} attrs: {:?}", new.dim(), st.schema);
+    st.data = Some(new);
+    st.model = None;
+    st.persistable = None;
+    Ok(())
+}
+
+fn train(args: &str, st: &mut State) -> Result<(), String> {
+    let data = st.data.as_ref().ok_or("load a dataset first")?;
+    let mut it = args.split_whitespace();
+    let kind = it.next().ok_or("usage: train <quadhist|ptshist|gausshist> [n] [seed]")?;
+    let n: usize = it.next().map_or(Ok(300), |v| v.parse().map_err(|_| "bad n"))?;
+    let seed: u64 = it.next().map_or(Ok(7), |v| v.parse().map_err(|_| "bad seed"))?;
+
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
+        .with_categorical(st.categorical.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let workload = Workload::generate(data, &spec, n, &mut rng);
+    let queries = to_training(&workload);
+    let root = Rect::unit(data.dim());
+    let target = (4 * n).max(4);
+
+    let t0 = std::time::Instant::now();
+    st.persistable = None;
+    let model: Box<dyn SelectivityEstimator> = match kind {
+        "quadhist" => {
+            let m = QuadHist::fit_with_bucket_target(
+                root,
+                &queries,
+                target,
+                &QuadHistConfig::default(),
+            );
+            st.persistable = Some(PersistHandle::Quad(m.clone()));
+            Box::new(m)
+        }
+        "ptshist" => {
+            let m = PtsHist::fit(root, &queries, &PtsHistConfig::with_model_size(target));
+            st.persistable = Some(PersistHandle::Pts(m.clone()));
+            Box::new(m)
+        }
+        "gausshist" => Box::new(GaussHist::fit(
+            root,
+            &queries,
+            &GaussHistConfig::with_model_size(target),
+        )),
+        _ => return Err("unknown model kind".into()),
+    };
+    println!(
+        "trained {} from {n} feedback queries in {:.1} ms ({} buckets)",
+        model.name(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        model.num_buckets()
+    );
+    st.model = Some(model);
+    Ok(())
+}
+
+fn estimate(args: &str, st: &mut State) -> Result<(), String> {
+    let data = st.data.as_ref().ok_or("load a dataset first")?;
+    let model = st.model.as_ref().ok_or("train or open a model first")?;
+    let names: Vec<&str> = st.schema.iter().map(String::as_str).collect();
+    let range = parse_predicate(args, &names).map_err(|e| e.to_string())?;
+    let est = model.estimate(&range);
+    let truth = data.selectivity(&range);
+    println!(
+        "estimated = {est:.5}   true = {truth:.5}   q-error = {:.3}",
+        selearn::data::q_error(est, truth)
+    );
+    Ok(())
+}
+
+fn save(args: &str, st: &mut State) -> Result<(), String> {
+    let path = args.trim();
+    if path.is_empty() {
+        return Err("usage: save <path>".into());
+    }
+    let handle = st
+        .persistable
+        .as_ref()
+        .ok_or("only quadhist/ptshist models can be saved")?;
+    let f = File::create(path).map_err(|e| e.to_string())?;
+    match handle {
+        PersistHandle::Quad(m) => {
+            selearn::core::save_quadhist(m, f).map_err(|e| e.to_string())?
+        }
+        PersistHandle::Pts(m) => {
+            selearn::core::save_ptshist(m, f).map_err(|e| e.to_string())?
+        }
+    }
+    println!("saved model to {path}");
+    Ok(())
+}
+
+fn open(args: &str, st: &mut State) -> Result<(), String> {
+    let path = args.trim();
+    if path.is_empty() {
+        return Err("usage: open <path>".into());
+    }
+    let f = File::open(path).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(f);
+    // sniff the section header to pick the loader
+    let content = {
+        let mut s = String::new();
+        use std::io::Read;
+        reader.read_to_string(&mut s).map_err(|e| e.to_string())?;
+        s
+    };
+    if content.lines().nth(1).is_some_and(|l| l.starts_with("quadhist")) {
+        let m = selearn::core::load_quadhist(content.as_bytes()).map_err(|e| e.to_string())?;
+        println!("opened QuadHist with {} buckets", m.num_buckets());
+        st.persistable = Some(PersistHandle::Quad(m.clone()));
+        st.model = Some(Box::new(m));
+    } else {
+        let m = selearn::core::load_ptshist(content.as_bytes()).map_err(|e| e.to_string())?;
+        println!("opened PtsHist with {} buckets", m.num_buckets());
+        st.persistable = Some(PersistHandle::Pts(m.clone()));
+        st.model = Some(Box::new(m));
+    }
+    Ok(())
+}

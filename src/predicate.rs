@@ -1,0 +1,604 @@
+//! A SQL-flavored predicate front-end.
+//!
+//! The paper motivates each query class with a SQL shape (Section 1):
+//!
+//! ```sql
+//! WHERE a1 <= A1 AND A1 <= b1 AND a2 <= A2 AND A2 <= b2   -- orthogonal
+//! WHERE t0 + t1*A1 + t2*A2 + ... >= 0                      -- linear
+//! WHERE (A1-a1)^2 + (A2-a2)^2 + ... <= r^2                 -- distance
+//! ```
+//!
+//! [`parse_predicate`] turns such WHERE-clause strings into [`Range`]s
+//! against a named schema, so estimators plug into SQL-ish tooling:
+//!
+//! ```
+//! use selearn::predicate::parse_predicate;
+//! let r = parse_predicate("0.1 <= price AND price <= 0.4 AND qty = 0.5",
+//!                         &["price", "qty"]).unwrap();
+//! assert!(r.as_rect().is_some());
+//! ```
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! * interval conjunctions: `x <= A`, `A <= y`, `A >= x`, `A = v`,
+//!   `A BETWEEN x AND y`, chained with `AND` — produce a [`Rect`]
+//!   (unconstrained attributes span `[0, 1]`);
+//! * a single linear inequality over several attributes:
+//!   `0.3*a - 1.5*b + 0.2 >= 0` (or `<= 0`) — produces a [`Halfspace`];
+//! * a distance predicate: `dist(a, b; 0.3, 0.7) <= 0.25` — produces a
+//!   [`Ball`] centered at the listed coordinates.
+
+use selearn_geom::{Ball, Halfspace, Point, Range, Rect};
+use std::fmt;
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "predicate parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Le,
+    Ge,
+    Eq,
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    And,
+    Between,
+    Dist,
+}
+
+fn tokenize(s: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '<' | '>' | '=' => {
+                if c == '=' {
+                    out.push(Tok::Eq);
+                    i += 1;
+                } else if i + 1 < b.len() && b[i + 1] == '=' {
+                    out.push(if c == '<' { Tok::Le } else { Tok::Ge });
+                    i += 2;
+                } else {
+                    return err(format!("strict comparison '{c}' unsupported; use {c}="));
+                }
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_digit() || b[i] == '.' || b[i] == 'e' || b[i] == 'E'
+                        || ((b[i] == '-' || b[i] == '+')
+                            && i > start
+                            && (b[i - 1] == 'e' || b[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                match text.parse::<f64>() {
+                    Ok(v) => out.push(Tok::Num(v)),
+                    Err(_) => return err(format!("bad number '{text}'")),
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => out.push(Tok::And),
+                    "BETWEEN" => out.push(Tok::Between),
+                    "DIST" => out.push(Tok::Dist),
+                    _ => out.push(Tok::Ident(word)),
+                }
+            }
+            _ => return err(format!("unexpected character '{c}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a WHERE-clause-style predicate against a schema (attribute names
+/// in dimension order). Values are expected in the normalized `[0,1]`
+/// domain used throughout the library.
+pub fn parse_predicate(input: &str, schema: &[&str]) -> Result<Range, ParseError> {
+    let toks = tokenize(input)?;
+    if toks.is_empty() {
+        return err("empty predicate");
+    }
+    // distance predicate?
+    if toks.contains(&Tok::Dist) {
+        return parse_distance(&toks, schema);
+    }
+    // count comparison operators and stars: a '*' or multi-attribute affine
+    // expression on one side signals a linear inequality
+    if is_linear(&toks) {
+        return parse_linear(&toks, schema);
+    }
+    parse_rect(&toks, schema)
+}
+
+fn dim_of(name: &str, schema: &[&str]) -> Result<usize, ParseError> {
+    schema
+        .iter()
+        .position(|a| a.eq_ignore_ascii_case(name))
+        .ok_or_else(|| ParseError(format!("unknown attribute '{name}'")))
+}
+
+fn is_linear(toks: &[Tok]) -> bool {
+    // heuristics: any '*' token, or a '+'/'-' adjacent to an identifier
+    // outside BETWEEN bounds
+    if toks.contains(&Tok::Star) {
+        return true;
+    }
+    let mut idents_in_side = 0usize;
+    for t in toks {
+        match t {
+            Tok::Ident(_) => idents_in_side += 1,
+            Tok::Le | Tok::Ge | Tok::Eq | Tok::And => idents_in_side = 0,
+            _ => {}
+        }
+        if idents_in_side >= 2 {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------- orthogonal conjunctions ----------
+
+fn parse_rect(toks: &[Tok], schema: &[&str]) -> Result<Range, ParseError> {
+    let d = schema.len();
+    let mut lo = vec![0.0f64; d];
+    let mut hi = vec![1.0f64; d];
+    // split on AND
+    for clause in toks.split(|t| *t == Tok::And) {
+        if clause.is_empty() {
+            return err("dangling AND");
+        }
+        match clause {
+            // A BETWEEN x AND y is pre-split by AND; stitch it back below
+            [Tok::Ident(a), Tok::Between, Tok::Num(x)] => {
+                let i = dim_of(a, schema)?;
+                lo[i] = lo[i].max(*x);
+                // the matching upper bound arrives as the next clause; mark
+                // with a sentinel handled by the caller loop — easier: we
+                // disallow this split by rejoining below.
+                return parse_rect_with_between(toks, schema);
+            }
+            [Tok::Num(x), Tok::Le, Tok::Ident(a)] => {
+                let i = dim_of(a, schema)?;
+                lo[i] = lo[i].max(*x);
+            }
+            [Tok::Ident(a), Tok::Ge, Tok::Num(x)] => {
+                let i = dim_of(a, schema)?;
+                lo[i] = lo[i].max(*x);
+            }
+            [Tok::Ident(a), Tok::Le, Tok::Num(x)] => {
+                let i = dim_of(a, schema)?;
+                hi[i] = hi[i].min(*x);
+            }
+            [Tok::Num(x), Tok::Ge, Tok::Ident(a)] => {
+                let i = dim_of(a, schema)?;
+                hi[i] = hi[i].min(*x);
+            }
+            [Tok::Ident(a), Tok::Eq, Tok::Num(x)] => {
+                let i = dim_of(a, schema)?;
+                lo[i] = lo[i].max(*x);
+                hi[i] = hi[i].min(*x);
+            }
+            // x <= A <= y written as one clause
+            [Tok::Num(x), Tok::Le, Tok::Ident(a), Tok::Le, Tok::Num(y)] => {
+                let i = dim_of(a, schema)?;
+                lo[i] = lo[i].max(*x);
+                hi[i] = hi[i].min(*y);
+            }
+            _ => return err(format!("unrecognized clause {clause:?}")),
+        }
+    }
+    finish_rect(lo, hi)
+}
+
+/// Handles `A BETWEEN x AND y` whose `AND` collides with the conjunction
+/// separator: rewrite BETWEEN clauses into two comparisons, then re-parse.
+fn parse_rect_with_between(toks: &[Tok], schema: &[&str]) -> Result<Range, ParseError> {
+    let mut rewritten: Vec<Tok> = Vec::with_capacity(toks.len() + 8);
+    let mut i = 0;
+    while i < toks.len() {
+        if i + 4 < toks.len() {
+            if let (Tok::Ident(a), Tok::Between, Tok::Num(x), Tok::And, Tok::Num(y)) = (
+                &toks[i],
+                &toks[i + 1],
+                &toks[i + 2],
+                &toks[i + 3],
+                &toks[i + 4],
+            ) {
+                rewritten.extend([
+                    Tok::Ident(a.clone()),
+                    Tok::Ge,
+                    Tok::Num(*x),
+                    Tok::And,
+                    Tok::Ident(a.clone()),
+                    Tok::Le,
+                    Tok::Num(*y),
+                ]);
+                i += 5;
+                continue;
+            }
+        }
+        rewritten.push(toks[i].clone());
+        i += 1;
+    }
+    if rewritten.contains(&Tok::Between) {
+        return err("malformed BETWEEN");
+    }
+    parse_rect(&rewritten, schema)
+}
+
+fn finish_rect(lo: Vec<f64>, hi: Vec<f64>) -> Result<Range, ParseError> {
+    for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+        if l > h {
+            return err(format!(
+                "empty interval on attribute {i}: [{l}, {h}]"
+            ));
+        }
+    }
+    Ok(Range::Rect(Rect::new(lo, hi)))
+}
+
+// ---------- linear inequalities ----------
+
+fn parse_linear(toks: &[Tok], schema: &[&str]) -> Result<Range, ParseError> {
+    // expect: affine OP num  (OP ∈ {>=, <=}), num usually 0
+    let op_pos = toks
+        .iter()
+        .position(|t| matches!(t, Tok::Le | Tok::Ge))
+        .ok_or_else(|| ParseError("linear predicate needs <= or >=".into()))?;
+    let (lhs, rest) = toks.split_at(op_pos);
+    let op = &rest[0];
+    let rhs = &rest[1..];
+    let rhs_val = match rhs {
+        [Tok::Num(v)] => *v,
+        [Tok::Minus, Tok::Num(v)] => -*v,
+        _ => return err("linear predicate right-hand side must be a number"),
+    };
+    let (coeffs, constant) = parse_affine(lhs, schema)?;
+    if coeffs.iter().all(|c| c.abs() < 1e-15) {
+        return err("linear predicate has no attribute terms");
+    }
+    // normal·x + constant OP rhs  →  halfspace a·x ≥ b
+    let (normal, offset) = match op {
+        Tok::Ge => (coeffs, rhs_val - constant),
+        Tok::Le => (
+            coeffs.iter().map(|c| -c).collect(),
+            -(rhs_val - constant),
+        ),
+        _ => unreachable!("position found Le/Ge"),
+    };
+    Ok(Range::Halfspace(Halfspace::new(normal, offset)))
+}
+
+/// Parses `t0 + t1*A1 - t2*A2 …` into per-dimension coefficients plus a
+/// constant term.
+fn parse_affine(toks: &[Tok], schema: &[&str]) -> Result<(Vec<f64>, f64), ParseError> {
+    let mut coeffs = vec![0.0f64; schema.len()];
+    let mut constant = 0.0f64;
+    let mut sign = 1.0f64;
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Plus => {
+                sign = 1.0;
+                i += 1;
+            }
+            Tok::Minus => {
+                sign = -sign;
+                i += 1;
+            }
+            Tok::Num(v) => {
+                // NUM or NUM * IDENT
+                if i + 2 < toks.len() && toks[i + 1] == Tok::Star {
+                    if let Tok::Ident(a) = &toks[i + 2] {
+                        coeffs[dim_of(a, schema)?] += sign * v;
+                        i += 3;
+                    } else {
+                        return err("expected attribute after '*'");
+                    }
+                } else {
+                    constant += sign * v;
+                    i += 1;
+                }
+                sign = 1.0;
+            }
+            Tok::Ident(a) => {
+                coeffs[dim_of(a, schema)?] += sign;
+                sign = 1.0;
+                i += 1;
+            }
+            other => return err(format!("unexpected token in affine expression: {other:?}")),
+        }
+    }
+    Ok((coeffs, constant))
+}
+
+// ---------- distance predicates ----------
+
+fn parse_distance(toks: &[Tok], schema: &[&str]) -> Result<Range, ParseError> {
+    // DIST ( a, b, ... ; x, y, ... ) <= r
+    let mut i = 0;
+    if toks[i] != Tok::Dist {
+        return err("distance predicate must start with dist(");
+    }
+    i += 1;
+    if toks.get(i) != Some(&Tok::LParen) {
+        return err("expected '(' after dist");
+    }
+    i += 1;
+    let mut dims = Vec::new();
+    loop {
+        match toks.get(i) {
+            Some(Tok::Ident(a)) => {
+                dims.push(dim_of(a, schema)?);
+                i += 1;
+            }
+            other => return err(format!("expected attribute in dist(), got {other:?}")),
+        }
+        match toks.get(i) {
+            Some(Tok::Comma) => i += 1,
+            Some(Tok::Semi) => {
+                i += 1;
+                break;
+            }
+            other => return err(format!("expected ',' or ';' in dist(), got {other:?}")),
+        }
+    }
+    let mut center_vals = Vec::new();
+    loop {
+        let mut sign = 1.0;
+        if toks.get(i) == Some(&Tok::Minus) {
+            sign = -1.0;
+            i += 1;
+        }
+        match toks.get(i) {
+            Some(Tok::Num(v)) => {
+                center_vals.push(sign * v);
+                i += 1;
+            }
+            other => return err(format!("expected coordinate in dist(), got {other:?}")),
+        }
+        match toks.get(i) {
+            Some(Tok::Comma) => i += 1,
+            Some(Tok::RParen) => {
+                i += 1;
+                break;
+            }
+            other => return err(format!("expected ',' or ')' in dist(), got {other:?}")),
+        }
+    }
+    if dims.len() != center_vals.len() {
+        return err(format!(
+            "dist() lists {} attributes but {} coordinates",
+            dims.len(),
+            center_vals.len()
+        ));
+    }
+    if dims.len() != schema.len() {
+        return err(format!(
+            "dist() must reference every schema attribute ({} of {}); balls are full-dimensional ranges",
+            dims.len(),
+            schema.len()
+        ));
+    }
+    if toks.get(i) != Some(&Tok::Le) {
+        return err("expected '<=' after dist(...)");
+    }
+    i += 1;
+    let radius = match toks.get(i) {
+        Some(Tok::Num(v)) if *v >= 0.0 => *v,
+        other => return err(format!("expected nonnegative radius, got {other:?}")),
+    };
+    if i + 1 != toks.len() {
+        return err("trailing tokens after distance predicate");
+    }
+    // reorder center coordinates into schema dimension order
+    let mut center = vec![0.0f64; schema.len()];
+    for (&dim, &v) in dims.iter().zip(&center_vals) {
+        center[dim] = v;
+    }
+    Ok(Range::Ball(Ball::new(Point::new(center), radius)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selearn_geom::RangeQuery;
+
+    const SCHEMA: &[&str] = &["a1", "a2"];
+
+    #[test]
+    fn simple_interval_conjunction() {
+        let r = parse_predicate("0.1 <= a1 AND a1 <= 0.4 AND 0.2 <= a2 AND a2 <= 0.9", SCHEMA)
+            .unwrap();
+        let rect = r.as_rect().unwrap();
+        assert_eq!(rect.lo(), &[0.1, 0.2]);
+        assert_eq!(rect.hi(), &[0.4, 0.9]);
+    }
+
+    #[test]
+    fn between_syntax() {
+        let r = parse_predicate("a1 BETWEEN 0.25 AND 0.75", SCHEMA).unwrap();
+        let rect = r.as_rect().unwrap();
+        assert_eq!(rect.lo(), &[0.25, 0.0]);
+        assert_eq!(rect.hi(), &[0.75, 1.0]);
+    }
+
+    #[test]
+    fn chained_comparison() {
+        let r = parse_predicate("0.2 <= a2 <= 0.3", SCHEMA).unwrap();
+        let rect = r.as_rect().unwrap();
+        assert_eq!(rect.lo(), &[0.0, 0.2]);
+        assert_eq!(rect.hi(), &[1.0, 0.3]);
+    }
+
+    #[test]
+    fn equality_predicate() {
+        let r = parse_predicate("a1 = 0.5", SCHEMA).unwrap();
+        let rect = r.as_rect().unwrap();
+        assert_eq!(rect.lo()[0], 0.5);
+        assert_eq!(rect.hi()[0], 0.5);
+    }
+
+    #[test]
+    fn reversed_comparisons_and_case() {
+        let r = parse_predicate("0.7 >= a1 and A2 >= 0.3", SCHEMA).unwrap();
+        let rect = r.as_rect().unwrap();
+        assert_eq!(rect.hi()[0], 0.7);
+        assert_eq!(rect.lo()[1], 0.3);
+    }
+
+    #[test]
+    fn tightest_bound_wins() {
+        let r = parse_predicate("a1 <= 0.9 AND a1 <= 0.4 AND a1 >= 0.1 AND a1 >= 0.2", SCHEMA)
+            .unwrap();
+        let rect = r.as_rect().unwrap();
+        assert_eq!(rect.lo()[0], 0.2);
+        assert_eq!(rect.hi()[0], 0.4);
+    }
+
+    #[test]
+    fn empty_interval_rejected() {
+        let e = parse_predicate("a1 >= 0.8 AND a1 <= 0.2", SCHEMA).unwrap_err();
+        assert!(e.0.contains("empty interval"));
+    }
+
+    #[test]
+    fn linear_inequality() {
+        // 0.3 + 1*a1 - 2*a2 >= 0  ⇔ halfspace (1, −2)·x ≥ −0.3
+        let r = parse_predicate("0.3 + 1*a1 - 2*a2 >= 0", SCHEMA).unwrap();
+        let Range::Halfspace(h) = &r else {
+            panic!("expected halfspace")
+        };
+        assert_eq!(h.normal(), &[1.0, -2.0]);
+        assert!((h.offset() + 0.3).abs() < 1e-12);
+        // point checks against the SQL meaning
+        assert!(r.contains(&Point::new(vec![0.5, 0.3]))); // 0.3+0.5−0.6=0.2 ≥ 0
+        assert!(!r.contains(&Point::new(vec![0.1, 0.5]))); // 0.3+0.1−1.0 < 0
+    }
+
+    #[test]
+    fn linear_le_flips_normal() {
+        let r = parse_predicate("a1 + a2 <= 1.0", SCHEMA).unwrap();
+        assert!(r.contains(&Point::new(vec![0.3, 0.3])));
+        assert!(!r.contains(&Point::new(vec![0.8, 0.8])));
+    }
+
+    #[test]
+    fn bare_identifiers_have_unit_coefficient() {
+        let r = parse_predicate("a1 - a2 >= 0.1", SCHEMA).unwrap();
+        let Range::Halfspace(h) = &r else {
+            panic!("expected halfspace")
+        };
+        assert_eq!(h.normal(), &[1.0, -1.0]);
+        assert!((h.offset() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_predicate() {
+        let r = parse_predicate("dist(a1, a2; 0.3, 0.7) <= 0.2", SCHEMA).unwrap();
+        let Range::Ball(b) = &r else { panic!("expected ball") };
+        assert_eq!(b.center().coords(), &[0.3, 0.7]);
+        assert_eq!(b.radius(), 0.2);
+        assert!(r.contains(&Point::new(vec![0.3, 0.6])));
+        assert!(!r.contains(&Point::new(vec![0.6, 0.7])));
+    }
+
+    #[test]
+    fn distance_predicate_attribute_order() {
+        // attributes listed out of schema order still map correctly
+        let r = parse_predicate("dist(a2, a1; 0.9, 0.1) <= 0.05", SCHEMA).unwrap();
+        let Range::Ball(b) = &r else { panic!("expected ball") };
+        assert_eq!(b.center().coords(), &[0.1, 0.9]);
+    }
+
+    #[test]
+    fn error_messages_are_useful() {
+        assert!(parse_predicate("a3 <= 0.5", SCHEMA)
+            .unwrap_err()
+            .0
+            .contains("unknown attribute"));
+        assert!(parse_predicate("a1 < 0.5", SCHEMA)
+            .unwrap_err()
+            .0
+            .contains("strict comparison"));
+        assert!(parse_predicate("", SCHEMA).unwrap_err().0.contains("empty"));
+        assert!(parse_predicate("dist(a1; 0.5) <= 0.1", SCHEMA)
+            .unwrap_err()
+            .0
+            .contains("every schema attribute"));
+    }
+
+    #[test]
+    fn parsed_rect_agrees_with_oracle() {
+        use selearn_data::power_like;
+        let data = power_like(5_000, 61).project(&[0, 2]);
+        let r = parse_predicate("a1 <= 0.3 AND a2 BETWEEN 0.1 AND 0.6", SCHEMA).unwrap();
+        let s = data.selectivity(&r);
+        assert!(s > 0.0 && s < 1.0, "s = {s}");
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let r = parse_predicate("a1 <= 2.5e-1", SCHEMA).unwrap();
+        assert_eq!(r.as_rect().unwrap().hi()[0], 0.25);
+    }
+}

@@ -1,0 +1,199 @@
+//! End-to-end integration tests: full train/evaluate pipelines spanning
+//! all crates, one per estimator and query class.
+
+use selearn::prelude::*;
+
+fn pipeline(
+    data: &Dataset,
+    qt: QueryType,
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> (Vec<TrainingQuery>, Workload) {
+    let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let w = Workload::generate(data, &spec, n_train + n_test, &mut rng);
+    let (train, test) = w.split(n_train);
+    (to_training(&train), test)
+}
+
+#[test]
+fn quadhist_beats_uniform_on_skewed_data() {
+    let data = power_like(20_000, 1).project(&[0, 2]);
+    let (train, test) = pipeline(&data, QueryType::Rect, 200, 100, 2);
+    let quad = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        &train,
+        800,
+        &QuadHistConfig::default(),
+    );
+    let uni = UniformBaseline::new(Rect::unit(2));
+    let rq = evaluate(&quad, &test);
+    let ru = evaluate(&uni, &test);
+    assert!(
+        rq.rms < ru.rms / 5.0,
+        "QuadHist {} should beat Uniform {} by a wide margin",
+        rq.rms,
+        ru.rms
+    );
+}
+
+#[test]
+fn ptshist_high_dimensional_pipeline() {
+    let data = forest_like(20_000, 3).project(&[0, 1, 2, 3, 4, 5]);
+    let (train, test) = pipeline(&data, QueryType::Rect, 400, 100, 4);
+    let pts = PtsHist::fit(
+        Rect::unit(6),
+        &train,
+        &PtsHistConfig::with_model_size(1600),
+    );
+    let r = evaluate(&pts, &test);
+    assert!(r.rms < 0.08, "6-D PtsHist rms = {}", r.rms);
+}
+
+#[test]
+fn quicksel_competitive_in_2d() {
+    let data = power_like(20_000, 5).project(&[0, 2]);
+    let (train, test) = pipeline(&data, QueryType::Rect, 200, 100, 6);
+    let qs = QuickSel::fit(Rect::unit(2), &train, &QuickSelConfig::default());
+    let r = evaluate(&qs, &test);
+    assert!(r.rms < 0.05, "QuickSel rms = {}", r.rms);
+}
+
+#[test]
+fn isomer_accurate_on_small_workloads() {
+    let data = power_like(10_000, 7).project(&[0, 2]);
+    let (train, test) = pipeline(&data, QueryType::Rect, 50, 80, 8);
+    let iso = Isomer::fit(Rect::unit(2), &train, &IsomerConfig::default());
+    let r = evaluate(&iso, &test);
+    assert!(r.rms < 0.06, "Isomer rms = {}", r.rms);
+    // and it uses far more buckets than 4n — the paper's 48–160× pattern
+    assert!(
+        iso.num_buckets() > 4 * train.len(),
+        "Isomer bucket count {} suspiciously small",
+        iso.num_buckets()
+    );
+}
+
+#[test]
+fn halfspace_queries_learnable_end_to_end() {
+    let data = forest_like(20_000, 9).project(&[0, 1, 2]);
+    let (train, test) = pipeline(&data, QueryType::Halfspace, 300, 100, 10);
+    let pts = PtsHist::fit(
+        Rect::unit(3),
+        &train,
+        &PtsHistConfig::with_model_size(1200),
+    );
+    let r = evaluate(&pts, &test);
+    assert!(r.rms < 0.06, "halfspace rms = {}", r.rms);
+}
+
+#[test]
+fn ball_queries_learnable_end_to_end() {
+    let data = forest_like(20_000, 11).project(&[0, 1, 2]);
+    let (train, test) = pipeline(&data, QueryType::Ball, 300, 100, 12);
+    let pts = PtsHist::fit(
+        Rect::unit(3),
+        &train,
+        &PtsHistConfig::with_model_size(1200),
+    );
+    let r = evaluate(&pts, &test);
+    assert!(r.rms < 0.06, "ball rms = {}", r.rms);
+}
+
+#[test]
+fn error_decreases_with_training_size() {
+    // The learnability claim, empirically: ε shrinks as n grows.
+    let data = power_like(20_000, 13).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let w = Workload::generate(&data, &spec, 900, &mut rng);
+    let (pool, test) = w.split(800);
+
+    let mut last = f64::INFINITY;
+    let mut improved = 0;
+    for n in [25usize, 100, 400] {
+        let (train_w, _) = pool.split(n);
+        let model = QuadHist::fit_with_bucket_target(
+            Rect::unit(2),
+            &to_training(&train_w),
+            4 * n,
+            &QuadHistConfig::default(),
+        );
+        let r = evaluate(&model, &test);
+        if r.rms < last {
+            improved += 1;
+        }
+        last = r.rms;
+    }
+    assert!(improved >= 2, "error should shrink along the sweep");
+}
+
+#[test]
+fn categorical_census_pipeline() {
+    let data = census_like(20_000, 15).project(&[0, 8, 12]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
+        .with_categorical(vec![0]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(16);
+    let w = Workload::generate(&data, &spec, 400, &mut rng);
+    let (train, test) = w.split(300);
+    let pts = PtsHist::fit(
+        Rect::unit(3),
+        &to_training(&train),
+        &PtsHistConfig::with_model_size(1200),
+    );
+    let r = evaluate(&pts, &test);
+    assert!(r.rms < 0.1, "census rms = {}", r.rms);
+}
+
+#[test]
+fn training_labels_can_be_noisy_agnostic_setting() {
+    // The agnostic model (Section 2.1 Remark): labels need not come from
+    // any true distribution. Training still minimizes empirical loss and
+    // generalizes to the same noisy label distribution.
+    let data = power_like(10_000, 17).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+    let w = Workload::generate(&data, &spec, 300, &mut rng);
+    use rand::Rng;
+    let noisy: Vec<TrainingQuery> = w
+        .queries()
+        .iter()
+        .map(|q| TrainingQuery {
+            range: q.range.clone(),
+            selectivity: (q.selectivity + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0),
+        })
+        .collect();
+    let (train, test) = (&noisy[..200], &noisy[200..]);
+    let model = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        train,
+        800,
+        &QuadHistConfig::default(),
+    );
+    let est: Vec<f64> = test.iter().map(|q| model.estimate(&q.range)).collect();
+    let truth: Vec<f64> = test.iter().map(|q| q.selectivity).collect();
+    let rms = selearn::data::rms_error(&est, &truth);
+    // can't beat the noise floor (~0.012 RMS), but must stay near it
+    assert!(rms < 0.05, "noisy-label rms = {rms}");
+}
+
+#[test]
+fn all_estimators_stay_in_unit_interval() {
+    let data = power_like(5_000, 19).project(&[0, 2]);
+    let (train, test) = pipeline(&data, QueryType::Rect, 100, 100, 20);
+    let root = Rect::unit(2);
+    let models: Vec<Box<dyn SelectivityEstimator>> = vec![
+        Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default())),
+        Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(200))),
+        Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default())),
+        Box::new(Isomer::fit(root.clone(), &train, &IsomerConfig::default())),
+        Box::new(UniformBaseline::new(root)),
+    ];
+    for m in &models {
+        for q in test.queries() {
+            let e = m.estimate(&q.range);
+            assert!((0.0..=1.0).contains(&e), "{} emitted {e}", m.name());
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's specific claims, encoded as executable assertions.
+//! Each test names the section/lemma/figure it validates.
+
+use selearn::prelude::*;
+use selearn::theory;
+
+/// Lemma A.4: QuadHist's partition is order-independent — at realistic
+/// workload scale, not just toy inputs.
+#[test]
+fn lemma_a4_order_independence_at_scale() {
+    let data = power_like(10_000, 31).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+    let w = Workload::generate(&data, &spec, 120, &mut rng);
+    let mut train = to_training(&w);
+
+    let cfg = QuadHistConfig::with_tau(0.01);
+    let a = QuadHist::design_buckets(&Rect::unit(2), &train, &cfg);
+    train.reverse();
+    let b = QuadHist::design_buckets(&Rect::unit(2), &train, &cfg);
+    // same partition ⇒ same number of leaves and identical sorted boxes
+    assert_eq!(a.num_leaves(), b.num_leaves());
+    let dump = |t: &selearn::core::QuadTree| {
+        let mut v: Vec<String> = t
+            .leaves()
+            .iter()
+            .map(|&l| format!("{:?}", t.rect(l)))
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(dump(&a), dump(&b));
+}
+
+/// Lemma 3.1: the arrangement-based model minimizes training loss over
+/// all histograms; every bounded-complexity model can only do worse.
+#[test]
+fn lemma_3_1_arrangement_optimality() {
+    let data = power_like(5_000, 33).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+    let w = Workload::generate(&data, &spec, 12, &mut rng);
+    let train = to_training(&w);
+
+    let arr = ArrangementHist::fit(Rect::unit(2), &train, &ArrangementHistConfig::default());
+    let arr_loss = arr.training_loss(&train);
+
+    for target in [16usize, 64, 256] {
+        let qh = QuadHist::fit_with_bucket_target(
+            Rect::unit(2),
+            &train,
+            target,
+            &QuadHistConfig::default(),
+        );
+        let qh_loss: f64 = train
+            .iter()
+            .map(|q| (qh.estimate(&q.range) - q.selectivity).powi(2))
+            .sum();
+        assert!(
+            arr_loss <= qh_loss + 1e-7,
+            "arrangement loss {arr_loss} vs QuadHist({target}) {qh_loss}"
+        );
+    }
+    // consistent labels ⇒ the optimum is (near) zero
+    assert!(arr_loss < 1e-6, "arrangement loss {arr_loss}");
+}
+
+/// Section 2.2 / Figure 2: VC-dimension facts for the three query classes.
+#[test]
+fn section_2_2_vc_dimensions() {
+    assert_eq!(RangeClass::Rect.vc_dim(2), 4);
+    assert_eq!(RangeClass::Rect.vc_dim(3), 6);
+    assert_eq!(RangeClass::Halfspace.vc_dim(4), 5);
+    assert_eq!(RangeClass::Ball.vc_dim(4), 6);
+    // Theorem 2.1 exponents quoted in Section 2.2
+    assert_eq!(RangeClass::Rect.sample_exponent(2), 7); // 2d+3
+    assert_eq!(RangeClass::Halfspace.sample_exponent(2), 6); // d+4
+    assert_eq!(RangeClass::Ball.sample_exponent(2), 7); // d+5
+}
+
+/// Lemma 2.7 / Figure 5: infinite VC-dim (convex polygons) gives infinite
+/// fat-shattering dimension via delta distributions.
+#[test]
+fn lemma_2_7_polygons_not_learnable() {
+    for k in 1..=3 {
+        let (ranges, sigma, candidates) = theory::delta_distribution_fat_construction(k);
+        assert!(
+            theory::is_gamma_shattered(&ranges, &sigma, 0.49, &candidates),
+            "construction must γ-shatter k = {k} polygon ranges"
+        );
+        // but NOT for γ > 1/2: selectivities live in [0,1] and σ = 1/2
+        assert!(
+            !theory::is_gamma_shattered(&ranges, &sigma, 0.51, &candidates),
+            "γ > 1/2 must be impossible"
+        );
+    }
+}
+
+/// Section 4.2: learning works even when the query distribution is
+/// independent of the (skewed) data distribution.
+#[test]
+fn section_4_2_random_workload_still_learnable() {
+    let data = power_like(20_000, 35).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(36);
+    let w = Workload::generate(&data, &spec, 500, &mut rng);
+    let (train, test) = w.split(400);
+    let model = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        &to_training(&train),
+        1600,
+        &QuadHistConfig::default(),
+    );
+    let r = evaluate(&model, &test);
+    assert!(r.rms < 0.05, "random-workload rms = {}", r.rms);
+}
+
+/// Section 4.2 (Figure 7 discussion): the weight-assignment step pushes
+/// mass back toward the true data region even when buckets "bleed" into
+/// sparse areas — total learned mass in the data's dense half must
+/// dominate.
+#[test]
+fn figure_7_weight_assignment_recovers_density() {
+    let data = power_like(20_000, 37).project(&[0, 2]);
+    // true mass in the low-x half
+    let low_half: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 1.0]).into();
+    let true_low = data.selectivity(&low_half);
+    assert!(true_low > 0.6, "Power-like data should skew low on attr 0");
+
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(38);
+    let w = Workload::generate(&data, &spec, 500, &mut rng);
+    let model = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        &to_training(&w),
+        2000,
+        &QuadHistConfig::default(),
+    );
+    let learned_low = model.estimate(&low_half);
+    assert!(
+        (learned_low - true_low).abs() < 0.05,
+        "learned low-half mass {learned_low} vs true {true_low}"
+    );
+}
+
+/// Section 4.5: the same generic estimator handles halfspaces and balls —
+/// classes with no traditional histogram methods.
+#[test]
+fn section_4_5_other_query_types_match_rect_quality() {
+    let data = forest_like(20_000, 39).project(&[0, 1]);
+    let mut results = Vec::new();
+    for qt in [QueryType::Rect, QueryType::Halfspace, QueryType::Ball] {
+        let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let w = Workload::generate(&data, &spec, 400, &mut rng);
+        let (train, test) = w.split(300);
+        let model = PtsHist::fit(
+            Rect::unit(2),
+            &to_training(&train),
+            &PtsHistConfig::with_model_size(1200),
+        );
+        results.push((qt, evaluate(&model, &test).rms));
+    }
+    for (qt, rms) in &results {
+        assert!(*rms < 0.06, "{qt:?} rms = {rms}");
+    }
+}
+
+/// Section 4.6: the L2-trained model also controls L∞ test error, while
+/// the L∞-trained model does not reliably control L2 — at minimum, L2
+/// training must not be worse on its own metric.
+#[test]
+fn section_4_6_objective_comparison() {
+    let data = power_like(20_000, 41).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let w = Workload::generate(&data, &spec, 400, &mut rng);
+    let (train_w, test) = w.split(300);
+    let train = to_training(&train_w);
+
+    let l2 = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        &train,
+        800,
+        &QuadHistConfig::default().objective(Objective::L2),
+    );
+    let linf = QuadHist::fit_with_bucket_target(
+        Rect::unit(2),
+        &train,
+        800,
+        &QuadHistConfig::default().objective(Objective::LInfSmoothed),
+    );
+    let r2 = evaluate(&l2, &test);
+    let ri = evaluate(&linf, &test);
+    assert!(
+        r2.rms <= ri.rms * 1.5 + 0.01,
+        "L2-trained should win on RMS: {} vs {}",
+        r2.rms,
+        ri.rms
+    );
+    // both remain usable models
+    assert!(ri.rms < 0.1, "L∞-trained rms = {}", ri.rms);
+}
+
+/// Section 4.1 (Figure 9): with fixed training size, error flattens (or
+/// degrades) as model complexity grows — no free lunch from more buckets.
+#[test]
+fn figure_9_complexity_saturation() {
+    let data = power_like(20_000, 43).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+    let w = Workload::generate(&data, &spec, 160, &mut rng);
+    let (train_w, test) = w.split(60);
+    let train = to_training(&train_w);
+
+    let coarse = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.1));
+    let medium = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.01));
+    let rc = evaluate(&coarse, &test).rms;
+    let rm = evaluate(&medium, &test).rms;
+    // medium complexity beats very coarse
+    assert!(rm < rc, "more buckets should help early: {rm} vs {rc}");
+}
+
+/// The deep-learning pathology the paper excludes by construction
+/// (Section 4, "Methods Compared"): our models are monotone — a larger
+/// query never gets a smaller estimate.
+#[test]
+fn estimates_are_monotone_under_query_containment() {
+    let data = power_like(10_000, 45).project(&[0, 2]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(46);
+    let w = Workload::generate(&data, &spec, 200, &mut rng);
+    let train = to_training(&w);
+    let root = Rect::unit(2);
+    let models: Vec<Box<dyn SelectivityEstimator>> = vec![
+        Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default())),
+        Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(400))),
+        Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default())),
+        Box::new(Isomer::fit(root.clone(), &train, &IsomerConfig::default())),
+    ];
+    use rand::Rng;
+    for _ in 0..50 {
+        let lo = [rng.gen::<f64>() * 0.5, rng.gen::<f64>() * 0.5];
+        let hi = [lo[0] + rng.gen::<f64>() * 0.3, lo[1] + rng.gen::<f64>() * 0.3];
+        let inner: Range = Rect::new(lo.to_vec(), hi.to_vec()).into();
+        let outer: Range = Rect::new(
+            [lo[0] - 0.1, lo[1] - 0.1].iter().map(|v| v.max(0.0)).collect(),
+            [hi[0] + 0.1, hi[1] + 0.1].iter().map(|v| v.min(1.0)).collect(),
+        )
+        .into();
+        for m in &models {
+            let ei = m.estimate(&inner);
+            let eo = m.estimate(&outer);
+            assert!(
+                ei <= eo + 1e-9,
+                "{} violates monotonicity: inner {ei} > outer {eo}",
+                m.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based integration tests (proptest) on cross-crate invariants.
+
+use proptest::prelude::*;
+use selearn::prelude::*;
+
+/// Random training workloads of axis-aligned boxes with plausible labels.
+fn training_strategy(max_q: usize) -> impl Strategy<Value = Vec<TrainingQuery>> {
+    proptest::collection::vec(
+        (
+            0.0f64..0.8,
+            0.0f64..0.8,
+            0.05f64..0.5,
+            0.05f64..0.5,
+            0.0f64..1.0,
+        ),
+        1..max_q,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(x, y, w, h, s)| {
+                TrainingQuery::new(
+                    Rect::new(vec![x, y], vec![(x + w).min(1.0), (y + h).min(1.0)]),
+                    s,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// QuadHist always produces a probability distribution over buckets
+    /// and estimates inside [0, 1], whatever the workload.
+    #[test]
+    fn quadhist_always_valid_distribution(train in training_strategy(12)) {
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &train,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        let total: f64 = qh.buckets().iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-5, "mass = {total}");
+        for q in &train {
+            let e = qh.estimate(&q.range);
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+        // whole-space estimate is exactly the total mass
+        let all: Range = Rect::unit(2).into();
+        prop_assert!((qh.estimate(&all) - 1.0).abs() < 1e-5);
+    }
+
+    /// PtsHist: same invariants, plus the advertised model size.
+    #[test]
+    fn ptshist_always_valid_distribution(train in training_strategy(12)) {
+        let ph = PtsHist::fit(
+            Rect::unit(2),
+            &train,
+            &PtsHistConfig::with_model_size(64),
+        );
+        prop_assert_eq!(ph.num_buckets(), 64);
+        let total: f64 = ph.support().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-5);
+        let all: Range = Rect::unit(2).into();
+        prop_assert!((ph.estimate(&all) - 1.0).abs() < 1e-5);
+    }
+
+    /// Additivity: for QuadHist, disjoint boxes tiling the space receive
+    /// estimates summing to (about) 1.
+    #[test]
+    fn quadhist_estimates_are_additive(
+        train in training_strategy(8),
+        cut_x in 0.1f64..0.9,
+        cut_y in 0.1f64..0.9,
+    ) {
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &train,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        let quads: Vec<Range> = vec![
+            Rect::new(vec![0.0, 0.0], vec![cut_x, cut_y]).into(),
+            Rect::new(vec![cut_x, 0.0], vec![1.0, cut_y]).into(),
+            Rect::new(vec![0.0, cut_y], vec![cut_x, 1.0]).into(),
+            Rect::new(vec![cut_x, cut_y], vec![1.0, 1.0]).into(),
+        ];
+        let total: f64 = quads.iter().map(|r| qh.estimate(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-4, "tiles sum to {total}");
+    }
+
+    /// Monotonicity under query growth, for arbitrary workloads.
+    #[test]
+    fn quadhist_monotone(
+        train in training_strategy(8),
+        x in 0.0f64..0.5, y in 0.0f64..0.5,
+        w in 0.1f64..0.4, h in 0.1f64..0.4,
+        grow in 0.01f64..0.3,
+    ) {
+        let qh = QuadHist::fit(
+            Rect::unit(2),
+            &train,
+            &QuadHistConfig::with_tau(0.05),
+        );
+        let inner: Range = Rect::new(vec![x, y], vec![x + w, y + h]).into();
+        let outer: Range = Rect::new(
+            vec![(x - grow).max(0.0), (y - grow).max(0.0)],
+            vec![(x + w + grow).min(1.0), (y + h + grow).min(1.0)],
+        ).into();
+        prop_assert!(qh.estimate(&inner) <= qh.estimate(&outer) + 1e-9);
+    }
+
+    /// The exact selectivity oracle agrees with a brute-force recount for
+    /// arbitrary boxes.
+    #[test]
+    fn oracle_matches_brute_force(
+        x in 0.0f64..0.9, y in 0.0f64..0.9,
+        w in 0.0f64..0.5, h in 0.0f64..0.5,
+    ) {
+        let data = power_like(2_000, 99).project(&[0, 2]);
+        let r = Rect::new(vec![x, y], vec![(x + w).min(1.0), (y + h).min(1.0)]);
+        let range: Range = r.clone().into();
+        let oracle = data.selectivity(&range);
+        let brute = data
+            .rows()
+            .filter(|row| {
+                row[0] >= r.lo()[0] && row[0] <= r.hi()[0]
+                    && row[1] >= r.lo()[1] && row[1] <= r.hi()[1]
+            })
+            .count() as f64 / data.len() as f64;
+        prop_assert!((oracle - brute).abs() < 1e-12);
+    }
+
+    /// Halfspace exact volume is consistent with containment counting on
+    /// a lattice (coarse agreement; the lattice is the approximation).
+    #[test]
+    fn halfspace_volume_vs_lattice(
+        a in -1.0f64..1.0, b in -1.0f64..1.0, off in -0.5f64..1.5,
+    ) {
+        prop_assume!(a.abs() > 0.05 || b.abs() > 0.05);
+        let h = Halfspace::new(vec![a, b], off);
+        let exact = h.intersection_volume(&Rect::unit(2));
+        let n = 60;
+        let mut hits = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(vec![
+                    (i as f64 + 0.5) / n as f64,
+                    (j as f64 + 0.5) / n as f64,
+                ]);
+                if h.contains(&p) {
+                    hits += 1;
+                }
+            }
+        }
+        let lattice = hits as f64 / (n * n) as f64;
+        prop_assert!((exact - lattice).abs() < 0.03, "exact {exact} vs lattice {lattice}");
+    }
+}

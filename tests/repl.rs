@@ -1,0 +1,68 @@
+//! Drives the `selearn-repl` binary end-to-end through a piped script.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_selearn-repl"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("repl exits");
+    assert!(out.status.success(), "repl crashed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn full_session_train_estimate_persist() {
+    let dir = std::env::temp_dir().join("selearn_repl_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("m.selearn");
+    let script = format!
+        ("synth power 4000 1\nproject 0 2\ntrain quadhist 150 3\nestimate a0 <= 0.3\nsave {p}\nopen {p}\nestimate a0 <= 0.3\ninfo\nquit\n",
+        p = model_path.display()
+    );
+    let out = run_script(&script);
+    assert!(out.contains("generated Power"), "{out}");
+    assert!(out.contains("trained QuadHist"), "{out}");
+    assert!(out.contains("estimated ="), "{out}");
+    assert!(out.contains("saved model"), "{out}");
+    assert!(out.contains("opened QuadHist"), "{out}");
+    // the re-opened model must answer identically: the same line appears
+    // twice in the transcript
+    let estimates: Vec<&str> = out
+        .lines()
+        .filter(|l| l.contains("estimated ="))
+        .collect();
+    assert_eq!(estimates.len(), 2);
+    assert_eq!(estimates[0], estimates[1], "reload changed the estimate");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_not_fatal() {
+    let out = run_script(
+        "estimate a0 <= 0.5\nsynth nosuch\ntrain quadhist\nproject 99\nbogus\nquit\n",
+    );
+    assert!(out.contains("error: load a dataset first"), "{out}");
+    assert!(out.contains("error: unknown synthetic dataset"), "{out}");
+    assert!(out.contains("error: unknown command"), "{out}");
+    assert!(out.contains("bye"), "session must survive errors: {out}");
+}
+
+#[test]
+fn ptshist_pipeline_with_categorical_schema() {
+    let out = run_script(
+        "synth census 4000 2\nproject 0 8\ntrain ptshist 150 5\nestimate a8 BETWEEN 0.2 AND 0.6\nquit\n",
+    );
+    assert!(out.contains("trained PtsHist"), "{out}");
+    assert!(out.contains("q-error"), "{out}");
+}
