@@ -289,7 +289,7 @@ fn fig13_14(scale: &ExperimentScale) {
             "q95",
             "q99",
             "qmax",
-            "train_ms",
+            "train_wall_ms",
         ],
         &rows,
     );
@@ -432,13 +432,13 @@ fn fig17(scale: &ExperimentScale) {
                 r.train_size.to_string(),
                 r.buckets.to_string(),
                 format!("{:.5}", r.rms),
-                format!("{:.1}", r.train_ms),
+                format!("{:.1}", r.train_wall_ms),
             ]);
         }
     }
     emit(
         "fig17",
-        &["dim", "train_size", "buckets", "rms", "train_ms"],
+        &["dim", "train_size", "buckets", "rms", "train_wall_ms"],
         &rows,
     );
 }
@@ -482,7 +482,7 @@ fn fig18_19(scale: &ExperimentScale) {
     }
     emit(
         "fig18_19",
-        &["method", "dim", "buckets", "rms", "train_ms"],
+        &["method", "dim", "buckets", "rms", "train_wall_ms"],
         &rows,
     );
 }
@@ -536,7 +536,7 @@ fn query_type_sweep(id: &str, scale: &ExperimentScale, qt: QueryType) {
     }
     emit(
         id,
-        &["method", "dim", "train_size", "buckets", "rms", "train_ms"],
+        &["method", "dim", "train_size", "buckets", "rms", "train_wall_ms"],
         &rows,
     );
 }
@@ -1025,7 +1025,7 @@ fn extension_models(scale: &ExperimentScale) {
 
     emit(
         "extension_models",
-        &["model", "buckets", "rms", "train_ms"],
+        &["model", "buckets", "rms", "train_wall_ms"],
         &rows,
     );
 }

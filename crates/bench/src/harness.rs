@@ -3,15 +3,17 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
 use selearn_baselines::{Isomer, IsomerConfig, QuickSel, QuickSelConfig, UniformBaseline};
 use selearn_core::{
-    Objective, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, SelectivityEstimator,
-    TrainingQuery, WeightSolver,
+    BoxedEstimator, Objective, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, TrainingQuery,
+    WeightSolver,
 };
 use selearn_data::{
     l_inf_error, q_error_quantiles, rms_error, Dataset, Workload, WorkloadSpec,
 };
-use selearn_geom::Rect;
+use selearn_geom::{Range, Rect};
 use std::time::Instant;
 
 /// Experiment scale knobs; `--quick` shrinks everything so `all` finishes
@@ -88,16 +90,12 @@ impl Method {
         }
     }
 
-    /// Trains the method, returning the model and the training time in
+    /// Trains the method, returning the model and the training wall time in
     /// milliseconds.
-    pub fn fit(
-        self,
-        root: &Rect,
-        train: &[TrainingQuery],
-    ) -> (Box<dyn SelectivityEstimator>, f64) {
+    pub fn fit(self, root: &Rect, train: &[TrainingQuery]) -> (BoxedEstimator, f64) {
         let target = (4 * train.len()).max(4);
         let t0 = Instant::now();
-        let model: Box<dyn SelectivityEstimator> = match self {
+        let model: BoxedEstimator = match self {
             Method::QuadHist => Box::new(QuadHist::fit_with_bucket_target(
                 root.clone(),
                 train,
@@ -155,8 +153,10 @@ pub struct AccuracyRow {
     pub linf: f64,
     /// Q-error quantiles on the test set: 50th, 95th, 99th, max.
     pub q: [f64; 4],
-    /// Training time in milliseconds.
-    pub train_ms: f64,
+    /// Training wall time in milliseconds.
+    pub train_wall_ms: f64,
+    /// Batch-prediction wall time over the whole test set, milliseconds.
+    pub predict_wall_ms: f64,
 }
 
 impl AccuracyRow {
@@ -173,7 +173,8 @@ impl AccuracyRow {
             format!("{:.3}", self.q[1]),
             format!("{:.3}", self.q[2]),
             format!("{:.3}", self.q[3]),
-            format!("{:.1}", self.train_ms),
+            format!("{:.1}", self.train_wall_ms),
+            format!("{:.2}", self.predict_wall_ms),
         ]
     }
 }
@@ -182,7 +183,7 @@ impl AccuracyRow {
 pub fn label_row() -> Vec<&'static str> {
     vec![
         "method", "train_size", "dim", "buckets", "rms", "linf", "q50", "q95", "q99", "qmax",
-        "train_ms",
+        "train_wall_ms", "predict_wall_ms",
     ]
 }
 
@@ -194,6 +195,11 @@ pub fn gen_workload(dataset: &Dataset, spec: &WorkloadSpec, n: usize, seed: u64)
 
 /// Runs a full accuracy sweep: for each training size and method, train on
 /// a fresh prefix workload and evaluate on a shared held-out test set.
+///
+/// With the `parallel` feature the methods of each training size train
+/// concurrently (they are fully independent given the shared workload);
+/// row order and row contents match the serial build exactly — only the
+/// wall-time columns can differ.
 pub fn run_methods(
     dataset: &Dataset,
     spec: &WorkloadSpec,
@@ -206,6 +212,7 @@ pub fn run_methods(
     let all = gen_workload(dataset, spec, max_train + scale.test_n, seed);
     let (train_pool, test) = all.split(max_train);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
+    let test_ranges: Vec<Range> = test.queries().iter().map(|q| q.range.clone()).collect();
 
     let mut rows = Vec::new();
     for &n in scale.train_sizes {
@@ -218,18 +225,16 @@ pub fn run_methods(
                 selectivity: q.selectivity,
             })
             .collect();
-        for &m in methods {
+        let eval_method = |m: Method| -> Option<AccuracyRow> {
             if m == Method::Isomer && n > scale.isomer_limit {
-                continue; // matches the paper: ISOMER times out beyond this
+                return None; // matches the paper: ISOMER times out beyond this
             }
-            let (model, train_ms) = m.fit(&root, &train);
-            let est: Vec<f64> = test
-                .queries()
-                .iter()
-                .map(|q| model.estimate(&q.range))
-                .collect();
+            let (model, train_wall_ms) = m.fit(&root, &train);
+            let t0 = Instant::now();
+            let est = model.estimate_all(&test_ranges);
+            let predict_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             let q = q_error_quantiles(&est, &truth);
-            rows.push(AccuracyRow {
+            Some(AccuracyRow {
                 method: m.name(),
                 train_size: n,
                 dim: dataset.dim(),
@@ -237,9 +242,21 @@ pub fn run_methods(
                 rms: rms_error(&est, &truth),
                 linf: l_inf_error(&est, &truth),
                 q: [q.p50, q.p95, q.p99, q.max],
-                train_ms,
-            });
-        }
+                train_wall_ms,
+                predict_wall_ms,
+            })
+        };
+        #[cfg(feature = "parallel")]
+        let per_method: Vec<Option<AccuracyRow>> =
+            if methods.len() > 1 && rayon::current_num_threads() > 1 {
+                methods.par_iter().map(|&m| eval_method(m)).collect()
+            } else {
+                methods.iter().map(|&m| eval_method(m)).collect()
+            };
+        #[cfg(not(feature = "parallel"))]
+        let per_method: Vec<Option<AccuracyRow>> =
+            methods.iter().map(|&m| eval_method(m)).collect();
+        rows.extend(per_method.into_iter().flatten());
     }
     rows
 }
@@ -272,7 +289,8 @@ mod tests {
             assert!(r.rms >= 0.0 && r.rms <= 1.0);
             assert!(r.buckets >= 1);
             assert!(r.q[0] >= 1.0);
-            assert!(r.train_ms >= 0.0);
+            assert!(r.train_wall_ms >= 0.0);
+            assert!(r.predict_wall_ms >= 0.0);
             assert_eq!(r.cells().len(), label_row().len());
         }
     }

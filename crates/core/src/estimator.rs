@@ -2,6 +2,11 @@
 
 use selearn_geom::Range;
 
+/// Batch size below which parallel `estimate_all` dispatch is skipped — a
+/// scoped thread spawn costs more than a few hundred tree traversals.
+#[cfg(feature = "parallel")]
+const PAR_BATCH_THRESHOLD: usize = 256;
+
 /// One training example `z = (R, s)`: a query range and its observed
 /// selectivity. The agnostic-learning model (Section 2.1) does *not*
 /// require `s = s_D(R)` for any real distribution `D` — labels may be
@@ -37,11 +42,36 @@ pub trait SelectivityEstimator {
     /// Human-readable model name for reports.
     fn name(&self) -> &'static str;
 
-    /// Batch estimation.
-    fn estimate_all(&self, ranges: &[Range]) -> Vec<f64> {
+    /// Batch estimation: one estimate per input range, in input order.
+    fn estimate_all(&self, ranges: &[Range]) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        self.par_estimate_all(ranges)
+    }
+
+    /// Batch estimation that fans out across worker threads when built with
+    /// the `parallel` feature and the batch is large enough to amortize the
+    /// dispatch. Each output element depends only on its own input range
+    /// and evaluation is read-only, so the result is always identical to
+    /// the serial `estimate_all`. Without the feature this *is* the serial
+    /// loop.
+    fn par_estimate_all(&self, ranges: &[Range]) -> Vec<f64>
+    where
+        Self: Sync,
+    {
+        #[cfg(feature = "parallel")]
+        if ranges.len() >= PAR_BATCH_THRESHOLD && rayon::current_num_threads() > 1 {
+            use rayon::prelude::*;
+            return ranges.par_iter().map(|r| self.estimate(r)).collect();
+        }
         ranges.iter().map(|r| self.estimate(r)).collect()
     }
 }
+
+/// The boxed estimator type used wherever models are handled dynamically.
+/// `Send + Sync` so batch estimation can fan out across threads.
+pub type BoxedEstimator = Box<dyn SelectivityEstimator + Send + Sync>;
 
 #[cfg(test)]
 mod tests {

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod arrangement_hist;
+pub(crate) mod assemble;
 pub mod cdf1d;
 pub mod estimator;
 pub mod gausshist;
@@ -43,7 +44,7 @@ pub(crate) fn quadtree_eps() -> f64 {
 
 pub use arrangement_hist::{ArrangementHist, ArrangementHistConfig};
 pub use cdf1d::{Cdf1D, Cdf1DConfig};
-pub use estimator::{SelectivityEstimator, TrainingQuery};
+pub use estimator::{BoxedEstimator, SelectivityEstimator, TrainingQuery};
 pub use gausshist::{GaussHist, GaussHistConfig};
 pub use online::OnlineQuadHist;
 pub use persist::{load_ptshist, load_quadhist, save_ptshist, save_quadhist, PersistError};

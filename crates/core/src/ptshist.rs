@@ -16,12 +16,12 @@
 //! be (Section 3.3, Remarks): the weight-estimation phase makes the model
 //! consistent with the workload.
 
+use crate::assemble::assemble_design_matrix;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::weights::{estimate_weights, Objective, WeightSolver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selearn_geom::{sample_in_rect, KdTree, Point, Range, RangeQuery, Rect, RejectionSampler};
-use selearn_solver::DenseMatrix;
 
 /// PtsHist configuration.
 #[derive(Clone, Debug)]
@@ -142,16 +142,17 @@ impl PtsHist {
         }
 
         // Weight estimation with the indicator design matrix (Equation 7).
-        let mut a = DenseMatrix::zeros(0, 0);
-        let mut s = Vec::with_capacity(queries.len());
-        for q in queries {
-            let row: Vec<f64> = points
+        // Point sampling above is intentionally serial — it threads one RNG
+        // through rejection sampling — but once the support is frozen each
+        // indicator row is a pure function of its query, so assembly
+        // parallelizes across queries.
+        let a = assemble_design_matrix(queries, points.len(), |q| {
+            points
                 .iter()
                 .map(|p| if q.range.contains(p) { 1.0 } else { 0.0 })
-                .collect();
-            a.push_row(&row);
-            s.push(q.selectivity);
-        }
+                .collect()
+        });
+        let s: Vec<f64> = queries.iter().map(|q| q.selectivity).collect();
         let weights = if a.rows() == 0 {
             vec![1.0 / points.len() as f64; points.len()]
         } else {

@@ -11,11 +11,11 @@
 //! Weights then come from the shared estimation phase (Equation 8), and
 //! prediction applies Equation (6) via a pruned tree traversal.
 
+use crate::assemble::assemble_design_matrix;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::quadtree::{NodeId, QuadTree, ROOT};
 use crate::weights::{estimate_weights, Objective, WeightSolver};
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
-use selearn_solver::DenseMatrix;
 
 /// QuadHist configuration.
 #[derive(Clone, Debug)]
@@ -170,10 +170,10 @@ impl QuadHist {
     fn fit_weights(tree: QuadTree, queries: &[TrainingQuery], config: &QuadHistConfig) -> Self {
 
         // Phase 2: weight estimation (Equation 8) over the leaf buckets.
+        // Each design-matrix row is a pure function of one query and the
+        // frozen leaf layout, so assembly parallelizes across queries.
         let leaves = tree.leaves();
-        let mut a = DenseMatrix::zeros(0, 0);
-        let mut s = Vec::with_capacity(queries.len());
-        for q in queries {
+        let a = assemble_design_matrix(queries, leaves.len(), |q| {
             let mut row = Vec::with_capacity(leaves.len());
             for &leaf in &leaves {
                 let cell = tree.rect(leaf);
@@ -185,9 +185,9 @@ impl QuadHist {
                 };
                 row.push(frac.clamp(0.0, 1.0));
             }
-            a.push_row(&row);
-            s.push(q.selectivity);
-        }
+            row
+        });
+        let s: Vec<f64> = queries.iter().map(|q| q.selectivity).collect();
         let w = if leaves.is_empty() {
             Vec::new()
         } else if a.rows() == 0 {

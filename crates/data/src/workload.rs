@@ -137,7 +137,10 @@ impl Workload {
                 }
             })
             .collect();
-        let mut queries = Vec::with_capacity(n);
+        // Phase 1 (serial): draw every range. All randomness happens here,
+        // in a fixed order, so the stream of RNG draws — and therefore the
+        // generated ranges — never depends on the `parallel` feature.
+        let mut ranges = Vec::with_capacity(n);
         for _ in 0..n {
             let center = sample_center(dataset, &spec.center, rng);
             let range = match spec.query_type {
@@ -166,9 +169,17 @@ impl Workload {
                     Range::Halfspace(Halfspace::through_point(&center, normal))
                 }
             };
-            let selectivity = dataset.selectivity(&range);
-            queries.push(LabeledQuery { range, selectivity });
+            ranges.push(range);
         }
+        // Phase 2: label each range with its true selectivity — a pure,
+        // RNG-free scan per range, parallelized across ranges when built
+        // with the `parallel` feature.
+        let labels = label_ranges(dataset, &ranges);
+        let queries = ranges
+            .into_iter()
+            .zip(labels)
+            .map(|(range, selectivity)| LabeledQuery { range, selectivity })
+            .collect();
         Workload { queries, dim: d }
     }
 
@@ -230,6 +241,24 @@ impl Workload {
     pub fn from_queries(queries: Vec<LabeledQuery>, dim: usize) -> Workload {
         Workload { queries, dim }
     }
+}
+
+/// Labeling work (ranges × rows) below which parallel dispatch is skipped.
+#[cfg(feature = "parallel")]
+const PAR_LABEL_THRESHOLD: usize = 262_144;
+
+/// Ground-truth selectivity for each range, in input order. Each label is
+/// an independent read-only scan of the dataset, so the parallel build
+/// returns exactly the serial answer.
+fn label_ranges(dataset: &Dataset, ranges: &[Range]) -> Vec<f64> {
+    #[cfg(feature = "parallel")]
+    if ranges.len() * dataset.len() >= PAR_LABEL_THRESHOLD
+        && rayon::current_num_threads() > 1
+    {
+        use rayon::prelude::*;
+        return ranges.par_iter().map(|r| dataset.selectivity(r)).collect();
+    }
+    ranges.iter().map(|r| dataset.selectivity(r)).collect()
 }
 
 /// Minimum distance between distinct values on attribute `dim` (1.0 when

@@ -31,7 +31,7 @@ struct State {
     data: Option<Dataset>,
     schema: Vec<String>,
     categorical: Vec<usize>,
-    model: Option<Box<dyn SelectivityEstimator>>,
+    model: Option<Box<dyn SelectivityEstimator + Send + Sync>>,
     /// Keep a persistable handle when the model supports it.
     persistable: Option<PersistHandle>,
 }
@@ -204,7 +204,7 @@ fn train(args: &str, st: &mut State) -> Result<(), String> {
 
     let t0 = std::time::Instant::now();
     st.persistable = None;
-    let model: Box<dyn SelectivityEstimator> = match kind {
+    let model: Box<dyn SelectivityEstimator + Send + Sync> = match kind {
         "quadhist" => {
             let m = QuadHist::fit_with_bucket_target(
                 root,

@@ -183,7 +183,7 @@ fn all_estimators_stay_in_unit_interval() {
     let data = power_like(5_000, 19).project(&[0, 2]);
     let (train, test) = pipeline(&data, QueryType::Rect, 100, 100, 20);
     let root = Rect::unit(2);
-    let models: Vec<Box<dyn SelectivityEstimator>> = vec![
+    let models: Vec<Box<dyn SelectivityEstimator + Send + Sync>> = vec![
         Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default())),
         Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(200))),
         Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default())),

@@ -4,7 +4,7 @@
 
 use selearn::prelude::*;
 
-fn all_models(train: &[TrainingQuery], dim: usize) -> Vec<Box<dyn SelectivityEstimator>> {
+fn all_models(train: &[TrainingQuery], dim: usize) -> Vec<Box<dyn SelectivityEstimator + Send + Sync>> {
     let root = Rect::unit(dim);
     vec![
         Box::new(QuadHist::fit(root.clone(), train, &QuadHistConfig::default())),

@@ -232,7 +232,7 @@ fn estimates_are_monotone_under_query_containment() {
     let w = Workload::generate(&data, &spec, 200, &mut rng);
     let train = to_training(&w);
     let root = Rect::unit(2);
-    let models: Vec<Box<dyn SelectivityEstimator>> = vec![
+    let models: Vec<Box<dyn SelectivityEstimator + Send + Sync>> = vec![
         Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default())),
         Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(400))),
         Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default())),

@@ -1,0 +1,448 @@
+//! Offline API-compatible subset of
+//! [`proptest`](https://crates.io/crates/proptest).
+//!
+//! The build environment for this repository has no network access, so the
+//! real `proptest` cannot be fetched. This vendored substitute implements
+//! the surface the workspace's property tests use: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`), [`Strategy`] with
+//! [`Strategy::prop_map`], range / tuple / [`collection::vec`] strategies,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs and panics
+//!   immediately instead of searching for a minimal counterexample.
+//! - **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name (FNV-1a), so failures reproduce across runs without
+//!   a persistence file.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject(String),
+    /// `prop_assert!`-style failure; the test panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result type of one generated case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a hash of a test name; the per-function RNG seed.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample_value(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+int_strategy!(usize, u64, u32, i64, i32);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    /// A length specification: an exact size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_excl: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_excl: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { lo: *r.start(), hi_excl: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a [`VecStrategy`] (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_excl);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Runtime re-exports for the [`proptest!`] macro expansion; callers may
+/// not have `rand` in their own dependency graph.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples inputs and runs the body for the
+/// configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __config.cases {
+                if __rejected > 10 * __config.cases + 256 {
+                    panic!(
+                        "proptest `{}`: too many prop_assume! rejections ({} after {} passes)",
+                        stringify!($name), __rejected, __passed,
+                    );
+                }
+                $(let $arg = $crate::Strategy::sample_value(&($strat), &mut __rng);)+
+                // Rendered before the body runs: the body may move the
+                // inputs, and they must still be reportable on failure.
+                let __inputs: ::std::string::String =
+                    [$(format!("  {} = {:?}", stringify!($arg), &$arg)),+].join("\n");
+                let __outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => { __passed += 1; }
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}\n{}",
+                            stringify!($name),
+                            __passed,
+                            __msg,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body; on failure the case's inputs
+/// are reported and the test panics (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // bound to a bool first so clippy::neg_cmp_op_on_partial_ord does
+        // not fire on float comparisons passed by callers
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Rejects the current case (inputs outside the property's precondition);
+/// the runner draws a fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_strategy_in_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (0.25f64..0.75).sample_value(&mut rng);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_and_elements() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let strat = crate::collection::vec(0.0f64..1.0, 3..7);
+        for _ in 0..100 {
+            let v = strat.sample_value(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+        let exact = crate::collection::vec(0.0f64..1.0, 4);
+        assert_eq!(exact.sample_value(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let strat = (0.0f64..1.0).prop_map(|x| x * 10.0);
+        for _ in 0..50 {
+            let v = strat.sample_value(&mut rng);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_samples_each_component() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let (a, b, c) = (0.0f64..1.0, 5.0f64..6.0, 0usize..3).sample_value(&mut rng);
+        assert!((0.0..1.0).contains(&a));
+        assert!((5.0..6.0).contains(&b));
+        assert!(c < 3);
+    }
+
+    // The macro itself, including config, assume, and multi-arg forms.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_passing_test(x in 0.0f64..1.0, y in 0.0f64..1.0) {
+            prop_assert!(x + y < 2.0);
+            prop_assert!(x + y >= 0.0, "sum was {}", x + y);
+        }
+
+        #[test]
+        fn macro_assume_rejects_without_failing(x in -1.0f64..1.0) {
+            prop_assume!(x > 0.0);
+            prop_assert!(x > 0.0);
+        }
+
+        #[test]
+        fn macro_eq_assertion(v in crate::collection::vec(0.0f64..1.0, 1..5)) {
+            let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x = {} is not negative", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline API-compatible subset of [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no network access, so the
+//! real `rayon` cannot be fetched. This substitute implements the slice of
+//! the parallel-iterator API the workspace's `parallel` feature uses —
+//! `par_iter` / `into_par_iter`, `map`, `for_each`, `collect`, `sum`, and
+//! [`join`] — with genuine data parallelism on `std::thread::scope`.
+//!
+//! Two deliberate semantic choices:
+//!
+//! 1. **Order preservation.** Work is split into contiguous index chunks,
+//!    one per worker; chunk outputs are concatenated in index order, so
+//!    `collect::<Vec<_>>()` always equals the serial result.
+//! 2. **Deterministic reduction.** [`ParMap::sum`] materializes mapped
+//!    values in index order and folds them serially left-to-right. The sum
+//!    is therefore *bitwise identical* to the serial `iter().map().sum()`,
+//!    regardless of thread count — which is what lets the workspace's
+//!    serial-vs-parallel equivalence tests demand exact agreement for
+//!    floating-point accumulations.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`. There is no thread pool; each
+//! parallel call spawns scoped threads. Callers gate small inputs on
+//! [`current_num_threads`] and input size to avoid paying spawn overhead
+//! where the work would not amortize it.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = none.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Configures a [`ThreadPool`], mirroring rayon's builder.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the worker count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this subset; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count policy. There is no persistent pool in this
+/// subset; [`ThreadPool::install`] overrides [`current_num_threads`] for
+/// the duration of the closure on the calling thread, which is exactly
+/// what parallel calls consult. `num_threads(1)` therefore forces fully
+/// serial execution — the workspace's serial-vs-parallel equivalence
+/// tests use that to obtain a serial reference inside a parallel build.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` under this pool's thread-count policy.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.num_threads == 0 {
+            return f();
+        }
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// An indexable, concurrently readable source of items.
+pub trait ParSource: Sync {
+    /// The item produced per index.
+    type Item;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item at index `i` (`i < len`). Called concurrently from worker
+    /// threads, each index exactly once.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+impl ParSource for Range<usize> {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl<'a, T: Sync> ParSource for &'a [T] {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self[i]
+    }
+}
+
+/// Chunked fork-join execution of `f` over `src`, preserving index order.
+fn run_map<S, U, F>(src: &S, f: &F) -> Vec<U>
+where
+    S: ParSource,
+    U: Send,
+    F: Fn(S::Item) -> U + Sync,
+{
+    let n = src.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(|i| f(src.get(i))).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(|i| f(src.get(i))).collect::<Vec<U>>())
+            })
+            .collect();
+        for h in handles {
+            let part = h
+                .join()
+                .unwrap_or_else(|e| std::panic::resume_unwind(e));
+            out.extend(part);
+        }
+    });
+    out
+}
+
+/// A parallel iterator over a [`ParSource`].
+pub struct ParIter<S>(S);
+
+impl<S: ParSource> ParIter<S> {
+    /// Maps each item through `f` (lazy; executed by a terminal op).
+    pub fn map<U, F>(self, f: F) -> ParMap<S, F>
+    where
+        U: Send,
+        F: Fn(S::Item) -> U + Sync,
+    {
+        ParMap { src: self.0, f }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        run_map(&self.0, &|item| f(item));
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S, F> ParMap<S, F> {
+    /// Collects mapped items, preserving index order.
+    pub fn collect<C, U>(self) -> C
+    where
+        S: ParSource,
+        U: Send,
+        F: Fn(S::Item) -> U + Sync,
+        C: FromParallelIterator<U>,
+    {
+        C::from_ordered_vec(run_map(&self.src, &self.f))
+    }
+
+    /// Sums mapped items. Values are materialized in index order and folded
+    /// serially, so floating-point results are bitwise identical to the
+    /// serial sum (see the crate docs).
+    pub fn sum<T, U>(self) -> T
+    where
+        S: ParSource,
+        U: Send,
+        F: Fn(S::Item) -> U + Sync,
+        T: std::iter::Sum<U>,
+    {
+        run_map(&self.src, &self.f).into_iter().sum()
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator<U> {
+    /// Builds the collection from items already in index order.
+    fn from_ordered_vec(v: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelIterator<U> for Vec<U> {
+    fn from_ordered_vec(v: Vec<U>) -> Self {
+        v
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Source type.
+    type Source: ParSource;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Source = Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Source = &'a [T];
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Source = &'a [T];
+    fn into_par_iter(self) -> ParIter<Self::Source> {
+        ParIter(self.as_slice())
+    }
+}
+
+/// Conversion into a parallel iterator over references (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Source type.
+    type Source: ParSource;
+
+    /// A parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Source = &'a [T];
+    fn par_iter(&'a self) -> ParIter<Self::Source> {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Source = &'a [T];
+    fn par_iter(&'a self) -> ParIter<Self::Source> {
+        ParIter(self.as_slice())
+    }
+}
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParSource,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let got: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        let want: Vec<usize> = (0..1000usize).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let v: Vec<f64> = (0..257).map(|i| i as f64 * 0.1).collect();
+        let got: Vec<f64> = v.par_iter().map(|x| x.sin()).collect();
+        let want: Vec<f64> = v.iter().map(|x| x.sin()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sum_is_bitwise_identical_to_serial() {
+        let v: Vec<f64> = (0..10_001).map(|i| (i as f64 * 0.37).cos() / 3.0).collect();
+        let par: f64 = v.par_iter().map(|x| x * x).sum();
+        let ser: f64 = v.iter().map(|x| x * x).sum();
+        assert_eq!(par.to_bits(), ser.to_bits());
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..512usize)
+            .into_par_iter()
+            .for_each(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(count.load(Ordering::Relaxed), 512);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_and_singleton_sources() {
+        let empty: Vec<i32> = (0..0usize).into_par_iter().map(|i| i as i32).collect();
+        assert!(empty.is_empty());
+        let one: Vec<usize> = (5..6usize).into_par_iter().map(|i| i).collect();
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn threads_at_least_one() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_overrides_thread_count_scoped() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let before = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        assert_eq!(current_num_threads(), before);
+        // results are unchanged by the policy
+        let v: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.11).sin()).collect();
+        let serial: Vec<f64> = pool.install(|| v.par_iter().map(|x| x * 2.0).collect());
+        let parallel: Vec<f64> = v.par_iter().map(|x| x * 2.0).collect();
+        assert_eq!(serial, parallel);
+    }
+}
