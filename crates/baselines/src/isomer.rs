@@ -20,7 +20,7 @@
 
 use selearn_core::{SelectivityEstimator, TrainingQuery};
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
-use selearn_solver::{ipf_max_entropy, DenseMatrix, IpfOptions};
+use selearn_solver::{ipf_max_entropy, DenseMatrix, IpfOptions, SolveReport};
 
 /// ISOMER configuration.
 #[derive(Clone, Debug)]
@@ -50,11 +50,13 @@ pub struct Isomer {
     buckets: Vec<Rect>,
     weights: Vec<f64>,
     volume: VolumeEstimator,
+    solve_report: Option<SolveReport>,
 }
 
 impl Isomer {
     /// Trains ISOMER over the data space `root` from query feedback.
     pub fn fit(root: Rect, queries: &[TrainingQuery], config: &IsomerConfig) -> Self {
+        let _span = selearn_obs::span!("fit.isomer");
         // Phase 1: STHoles-style drilling, kept as a disjoint partition.
         let mut buckets: Vec<Rect> = vec![root.clone()];
         for q in queries {
@@ -109,19 +111,22 @@ impl Isomer {
             a.push_row(&row);
             s.push(q.selectivity);
         }
-        let weights = if a.rows() == 0 {
+        let (weights, solve_report) = if a.rows() == 0 {
             // max-entropy with no constraints: uniform density ⇒ weight
             // proportional to bucket volume
             let total: f64 = buckets.iter().map(Rect::volume).sum();
-            buckets.iter().map(|b| b.volume() / total).collect()
+            (buckets.iter().map(|b| b.volume() / total).collect(), None)
         } else {
-            ipf_max_entropy(&a, &s, &config.ipf).weights
+            let result = ipf_max_entropy(&a, &s, &config.ipf);
+            let report = result.report();
+            (result.weights, Some(report))
         };
 
         Self {
             buckets,
             weights,
             volume: config.volume.clone(),
+            solve_report,
         }
     }
 
@@ -191,6 +196,10 @@ impl SelectivityEstimator for Isomer {
 
     fn name(&self) -> &'static str {
         "Isomer"
+    }
+
+    fn solve_report(&self) -> Option<SolveReport> {
+        self.solve_report
     }
 }
 

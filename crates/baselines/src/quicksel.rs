@@ -18,9 +18,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use selearn_core::{estimate_weights, Objective, SelectivityEstimator, TrainingQuery, WeightSolver};
+use selearn_core::{
+    estimate_weights_with_report, Objective, SelectivityEstimator, TrainingQuery, WeightSolver,
+};
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
-use selearn_solver::DenseMatrix;
+use selearn_solver::{DenseMatrix, SolveReport};
 
 /// QuickSel configuration.
 #[derive(Clone, Debug)]
@@ -49,11 +51,13 @@ pub struct QuickSel {
     kernels: Vec<Rect>,
     weights: Vec<f64>,
     volume: VolumeEstimator,
+    solve_report: Option<SolveReport>,
 }
 
 impl QuickSel {
     /// Trains QuickSel over the data space `root`.
     pub fn fit(root: Rect, queries: &[TrainingQuery], config: &QuickSelConfig) -> Self {
+        let _span = selearn_obs::span!("fit.quicksel");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut kernels: Vec<Rect> = Vec::new();
         // the domain-wide kernel catches mass outside all queries
@@ -85,16 +89,17 @@ impl QuickSel {
             a.push_row(&row);
             s.push(q.selectivity);
         }
-        let weights = if a.rows() == 0 {
-            vec![1.0 / kernels.len() as f64; kernels.len()]
+        let (weights, solve_report) = if a.rows() == 0 {
+            (vec![1.0 / kernels.len() as f64; kernels.len()], None)
         } else {
-            estimate_weights(&a, &s, &Objective::L2, &WeightSolver::Fista)
+            estimate_weights_with_report(&a, &s, &Objective::L2, &WeightSolver::Fista)
         };
 
         Self {
             kernels,
             weights,
             volume: config.volume.clone(),
+            solve_report,
         }
     }
 
@@ -142,6 +147,10 @@ impl SelectivityEstimator for QuickSel {
 
     fn name(&self) -> &'static str {
         "QuickSel"
+    }
+
+    fn solve_report(&self) -> Option<SolveReport> {
+        self.solve_report
     }
 }
 

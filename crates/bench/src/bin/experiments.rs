@@ -5,9 +5,15 @@
 //! ```text
 //! cargo run -p selearn-bench --release --bin experiments -- all [--quick]
 //! cargo run -p selearn-bench --release --bin experiments -- fig9 table1 ...
+//! cargo run -p selearn-bench --release --bin experiments -- accuracy --trace-out trace.jsonl
 //! ```
 //!
-//! Each experiment writes `results/<id>.csv` and prints an aligned table.
+//! Each experiment writes `results/<id>.csv`, prints an aligned table,
+//! and finishes with an observability report (span timing tree + counter
+//! dump). `--trace-out <path>` additionally streams every structured
+//! event — spans, counters, histograms, solver iterations and reports,
+//! metrics summaries — as one JSON object per line. Progress logging is
+//! leveled: `SELEARN_LOG=off|info|debug` (default `info`).
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
@@ -33,7 +39,8 @@ use std::time::Instant;
 const SEED: u64 = 0x5e1e_c7ed;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = take_flag_value(&mut args, "--trace-out");
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick {
         ExperimentScale::quick()
@@ -49,10 +56,20 @@ fn main() {
         wanted = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
 
+    // Aggregation (spans/counters/histograms) is on by default in the
+    // driver: it feeds the per-experiment report and costs well under the
+    // 5% overhead budget (DESIGN.md). `SELEARN_OBS=off` turns it off (the
+    // CI overhead check A/Bs the two modes); --trace-out adds streaming.
+    let stats_off = std::env::var("SELEARN_OBS").is_ok_and(|v| v == "off" || v == "0");
+    selearn_obs::enable_stats(!stats_off);
+    if let Some(path) = &trace_out {
+        install_trace_sink(path);
+    }
+
     let t0 = Instant::now();
     for id in &wanted {
         let start = Instant::now();
-        eprintln!("== running {id} ==");
+        selearn_obs::info!("== running {id} ==");
         match id.as_str() {
             "fig7" => fig7(&scale),
             "fig9" => fig9(&scale),
@@ -90,11 +107,56 @@ fn main() {
             "ablation_quadhist_cap" => ablation_quadhist_cap(&scale),
             "ablation_volume" => ablation_volume(),
             "extension_models" => extension_models(&scale),
-            other => eprintln!("unknown experiment id: {other}"),
+            "accuracy" => accuracy(&scale),
+            other => selearn_obs::info!("unknown experiment id: {other}"),
         }
-        eprintln!("== {id} done in {:.1}s ==", start.elapsed().as_secs_f64());
+        selearn_obs::info!("== {id} done in {:.1}s ==", start.elapsed().as_secs_f64());
+        finish_experiment(id);
     }
-    eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+    selearn_obs::info!("total: {:.1}s", t0.elapsed().as_secs_f64());
+    selearn_obs::flush_sink();
+}
+
+/// Removes `flag <value>` from `args`, returning the value when present.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires a path argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+#[cfg(feature = "obs-jsonl")]
+fn install_trace_sink(path: &str) {
+    match selearn_obs::JsonlSink::create(std::path::Path::new(path)) {
+        Ok(sink) => selearn_obs::set_sink(std::sync::Arc::new(sink)),
+        Err(e) => {
+            eprintln!("cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(not(feature = "obs-jsonl"))]
+fn install_trace_sink(_path: &str) {
+    eprintln!("--trace-out requires the `obs-jsonl` feature (enabled by default)");
+    std::process::exit(2);
+}
+
+/// Ends one experiment's observability scope: streams the aggregate
+/// registries into the trace (if any), prints the text report, and clears
+/// the registries so the next experiment starts from zero.
+fn finish_experiment(id: &str) {
+    selearn_obs::flush_aggregates();
+    let report = selearn_obs::report::render();
+    if !report.is_empty() {
+        println!("\n--- {id}: observability ---");
+        print!("{report}");
+    }
+    selearn_obs::reset();
 }
 
 const ALL_IDS: &[&str] = &[
@@ -122,6 +184,7 @@ const ALL_IDS: &[&str] = &[
     "ablation_quadhist_cap",
     "ablation_volume",
     "extension_models",
+    "accuracy",
 ];
 
 // ---------- dataset + spec helpers ----------
@@ -1028,6 +1091,28 @@ fn extension_models(scale: &ExperimentScale) {
         &["model", "buckets", "rms", "train_wall_ms"],
         &rows,
     );
+}
+
+/// Compact accuracy sweep with solver-convergence columns — the canonical
+/// trace-producing experiment (`accuracy --trace-out trace.jsonl`): the
+/// four main methods on Power (data-driven rects), reporting
+/// `solver_iters` / `solver_converged` alongside the error metrics.
+fn accuracy(scale: &ExperimentScale) {
+    let data = power2d(scale);
+    let spec = rect_spec(CenterDistribution::DataDriven);
+    let rows = run_methods(
+        &data,
+        &spec,
+        &[
+            Method::QuadHist,
+            Method::PtsHist,
+            Method::QuickSel,
+            Method::Uniform,
+        ],
+        scale,
+        SEED ^ hash("accuracy"),
+    );
+    emit_accuracy("accuracy", &rows);
 }
 
 fn hash(s: &str) -> u64 {

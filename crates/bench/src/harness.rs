@@ -157,6 +157,11 @@ pub struct AccuracyRow {
     pub train_wall_ms: f64,
     /// Batch-prediction wall time over the whole test set, milliseconds.
     pub predict_wall_ms: f64,
+    /// Iterations the weight solver ran (`None` when the method has no
+    /// iterative solve — e.g. Uniform, or an exact LP path).
+    pub solver_iters: Option<usize>,
+    /// Whether the weight solver met its tolerance within budget.
+    pub solver_converged: Option<bool>,
 }
 
 impl AccuracyRow {
@@ -175,6 +180,10 @@ impl AccuracyRow {
             format!("{:.3}", self.q[3]),
             format!("{:.1}", self.train_wall_ms),
             format!("{:.2}", self.predict_wall_ms),
+            self.solver_iters
+                .map_or_else(|| "-".to_string(), |i| i.to_string()),
+            self.solver_converged
+                .map_or_else(|| "-".to_string(), |c| c.to_string()),
         ]
     }
 }
@@ -183,7 +192,7 @@ impl AccuracyRow {
 pub fn label_row() -> Vec<&'static str> {
     vec![
         "method", "train_size", "dim", "buckets", "rms", "linf", "q50", "q95", "q99", "qmax",
-        "train_wall_ms", "predict_wall_ms",
+        "train_wall_ms", "predict_wall_ms", "solver_iters", "solver_converged",
     ]
 }
 
@@ -234,6 +243,10 @@ pub fn run_methods(
             let est = model.estimate_all(&test_ranges);
             let predict_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             let q = q_error_quantiles(&est, &truth);
+            // Trace and table share this one computation (see
+            // `QErrorSummary::emit`): no second quantile code path.
+            q.emit(&format!("{}.n{}", m.name(), n), truth.len());
+            let report = model.solve_report();
             Some(AccuracyRow {
                 method: m.name(),
                 train_size: n,
@@ -244,6 +257,8 @@ pub fn run_methods(
                 q: [q.p50, q.p95, q.p99, q.max],
                 train_wall_ms,
                 predict_wall_ms,
+                solver_iters: report.map(|r| r.iters),
+                solver_converged: report.map(|r| r.converged),
             })
         };
         #[cfg(feature = "parallel")]
@@ -292,6 +307,9 @@ mod tests {
             assert!(r.train_wall_ms >= 0.0);
             assert!(r.predict_wall_ms >= 0.0);
             assert_eq!(r.cells().len(), label_row().len());
+            // every method here runs an iterative weight solve
+            assert!(r.solver_iters.is_some(), "{} missing report", r.method);
+            assert!(r.solver_converged.is_some());
         }
     }
 

@@ -31,6 +31,8 @@ pub(crate) fn assemble_design_matrix<F>(
 where
     F: Fn(&TrainingQuery) -> Vec<f64> + Sync,
 {
+    let _span = selearn_obs::span!("assemble");
+    selearn_obs::counter_add("design_matrix_entries", (queries.len() * cols) as u64);
     #[cfg(feature = "parallel")]
     if queries.len() * cols >= PAR_ENTRY_THRESHOLD && rayon::current_num_threads() > 1 {
         let rows: Vec<Vec<f64>> = queries.par_iter().map(&build_row).collect();

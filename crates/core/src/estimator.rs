@@ -1,6 +1,7 @@
 //! The estimator interface shared by all learned models.
 
 use selearn_geom::Range;
+use selearn_solver::SolveReport;
 
 /// Batch size below which parallel `estimate_all` dispatch is skipped — a
 /// scoped thread spawn costs more than a few hundred tree traversals.
@@ -42,6 +43,14 @@ pub trait SelectivityEstimator {
     /// Human-readable model name for reports.
     fn name(&self) -> &'static str;
 
+    /// The [`SolveReport`] of the weight-estimation solve this model was
+    /// trained with, if an iterative solver ran and the model retained it.
+    /// Default `None` (closed-form models, loaded models, baselines
+    /// without an iterative phase).
+    fn solve_report(&self) -> Option<SolveReport> {
+        None
+    }
+
     /// Batch estimation: one estimate per input range, in input order.
     fn estimate_all(&self, ranges: &[Range]) -> Vec<f64>
     where
@@ -63,7 +72,38 @@ pub trait SelectivityEstimator {
         #[cfg(feature = "parallel")]
         if ranges.len() >= PAR_BATCH_THRESHOLD && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
+            // Per-query latency histogramming is thread-safe (atomic
+            // buckets), so the parallel path records the same counts as the
+            // serial one — only the wall-clock values differ.
+            if selearn_obs::enabled() {
+                return ranges
+                    .par_iter()
+                    .map(|r| {
+                        let t0 = std::time::Instant::now();
+                        let est = self.estimate(r);
+                        selearn_obs::histogram_record(
+                            "predict.latency_us",
+                            t0.elapsed().as_secs_f64() * 1e6,
+                        );
+                        est
+                    })
+                    .collect();
+            }
             return ranges.par_iter().map(|r| self.estimate(r)).collect();
+        }
+        if selearn_obs::enabled() {
+            return ranges
+                .iter()
+                .map(|r| {
+                    let t0 = std::time::Instant::now();
+                    let est = self.estimate(r);
+                    selearn_obs::histogram_record(
+                        "predict.latency_us",
+                        t0.elapsed().as_secs_f64() * 1e6,
+                    );
+                    est
+                })
+                .collect();
         }
         ranges.iter().map(|r| self.estimate(r)).collect()
     }

@@ -51,4 +51,4 @@ pub use persist::{load_ptshist, load_quadhist, save_ptshist, save_quadhist, Pers
 pub use ptshist::{PtsHist, PtsHistConfig};
 pub use quadhist::{QuadHist, QuadHistConfig};
 pub use quadtree::QuadTree;
-pub use weights::{estimate_weights, Objective, WeightSolver};
+pub use weights::{estimate_weights, estimate_weights_with_report, Objective, WeightSolver};

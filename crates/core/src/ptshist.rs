@@ -18,10 +18,11 @@
 
 use crate::assemble::assemble_design_matrix;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
-use crate::weights::{estimate_weights, Objective, WeightSolver};
+use crate::weights::{estimate_weights_with_report, Objective, WeightSolver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selearn_geom::{sample_in_rect, KdTree, Point, Range, RangeQuery, Rect, RejectionSampler};
+use selearn_solver::SolveReport;
 
 /// PtsHist configuration.
 #[derive(Clone, Debug)]
@@ -93,12 +94,15 @@ pub struct PtsHist {
     weights: Vec<f64>,
     index: KdTree,
     root: Rect,
+    /// Outcome of the weight-estimation solve (None for loaded models).
+    solve_report: Option<SolveReport>,
 }
 
 impl PtsHist {
     /// Trains a PtsHist over the data space `root` from a workload.
     pub fn fit(root: Rect, queries: &[TrainingQuery], config: &PtsHistConfig) -> Self {
         assert!(config.model_size > 0, "model size must be positive");
+        let _span = selearn_obs::span!("fit.ptshist");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let k = config.model_size;
         let k_interior = (config.interior_fraction * k as f64).round() as usize;
@@ -153,10 +157,10 @@ impl PtsHist {
                 .collect()
         });
         let s: Vec<f64> = queries.iter().map(|q| q.selectivity).collect();
-        let weights = if a.rows() == 0 {
-            vec![1.0 / points.len() as f64; points.len()]
+        let (weights, solve_report) = if a.rows() == 0 {
+            (vec![1.0 / points.len() as f64; points.len()], None)
         } else {
-            estimate_weights(&a, &s, &config.objective, &config.solver)
+            estimate_weights_with_report(&a, &s, &config.objective, &config.solver)
         };
 
         let index = KdTree::build(points.clone(), weights.clone());
@@ -165,6 +169,7 @@ impl PtsHist {
             weights,
             index,
             root,
+            solve_report,
         }
     }
 
@@ -191,6 +196,7 @@ impl PtsHist {
             weights,
             index,
             root,
+            solve_report: None,
         }
     }
 }
@@ -208,6 +214,10 @@ impl SelectivityEstimator for PtsHist {
 
     fn name(&self) -> &'static str {
         "PtsHist"
+    }
+
+    fn solve_report(&self) -> Option<SolveReport> {
+        self.solve_report
     }
 }
 

@@ -14,8 +14,9 @@
 use crate::assemble::assemble_design_matrix;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::quadtree::{NodeId, QuadTree, ROOT};
-use crate::weights::{estimate_weights, Objective, WeightSolver};
+use crate::weights::{estimate_weights_with_report, Objective, WeightSolver};
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
+use selearn_solver::SolveReport;
 
 /// QuadHist configuration.
 #[derive(Clone, Debug)]
@@ -83,6 +84,8 @@ pub struct QuadHist {
     node_weight: Vec<f64>,
     num_leaves: usize,
     volume: VolumeEstimator,
+    /// Outcome of the weight-estimation solve (None for loaded models).
+    solve_report: Option<SolveReport>,
 }
 
 impl QuadHist {
@@ -92,6 +95,7 @@ impl QuadHist {
     /// drive volume-based refinement and are skipped during bucket design,
     /// but still participate in weight estimation.
     pub fn fit(root: Rect, queries: &[TrainingQuery], config: &QuadHistConfig) -> Self {
+        let _span = selearn_obs::span!("fit.quadhist");
         let tree = Self::design_buckets(&root, queries, config);
         Self::fit_weights(tree, queries, config)
     }
@@ -106,6 +110,7 @@ impl QuadHist {
         config: &QuadHistConfig,
     ) -> Self {
         assert!(target >= 1, "bucket target must be positive");
+        let _span = selearn_obs::span!("fit.quadhist.calibrate");
         // Bisect log τ: leaf count is monotone nonincreasing in τ. Leaf
         // counts move in jumps (each split adds 2^d − 1 leaves at once), so
         // an exact hit may not exist; we land on the finest τ *above* the
@@ -148,6 +153,7 @@ impl QuadHist {
             config.tau > 0.0 && config.tau < 1.0,
             "tau must be in (0, 1)"
         );
+        let _span = selearn_obs::span!("design_buckets");
         let mut tree = QuadTree::new(root.clone());
         for q in queries {
             let vol_r = q.range.volume_in(root, &config.volume);
@@ -188,12 +194,12 @@ impl QuadHist {
             row
         });
         let s: Vec<f64> = queries.iter().map(|q| q.selectivity).collect();
-        let w = if leaves.is_empty() {
-            Vec::new()
+        let (w, solve_report) = if leaves.is_empty() {
+            (Vec::new(), None)
         } else if a.rows() == 0 {
-            vec![1.0 / leaves.len() as f64; leaves.len()]
+            (vec![1.0 / leaves.len() as f64; leaves.len()], None)
         } else {
-            estimate_weights(&a, &s, &config.objective, &config.solver)
+            estimate_weights_with_report(&a, &s, &config.objective, &config.solver)
         };
 
         let mut node_weight = vec![0.0; tree.num_nodes()];
@@ -205,6 +211,7 @@ impl QuadHist {
             tree,
             node_weight,
             volume: config.volume.clone(),
+            solve_report,
         }
     }
 
@@ -256,6 +263,7 @@ impl QuadHist {
             tree,
             node_weight,
             volume,
+            solve_report: None,
         }
     }
 
@@ -295,6 +303,7 @@ pub(crate) fn update_quad(
             return;
         }
         tree.split(node);
+        selearn_obs::counter_add("quadtree_splits", 1);
     }
     let children: Vec<NodeId> = tree.children(node).collect();
     for c in children {
@@ -330,6 +339,10 @@ impl SelectivityEstimator for QuadHist {
 
     fn name(&self) -> &'static str {
         "QuadHist"
+    }
+
+    fn solve_report(&self) -> Option<SolveReport> {
+        self.solve_report
     }
 }
 

@@ -13,8 +13,8 @@
 //! or `A[i][j] = 1(B_j ∈ R_i)` for discrete support points (Equation 7).
 
 use selearn_solver::{
-    fista_simplex_ls, linf_fit_exact, linf_fit_smoothed, nnls_simplex, DenseMatrix, FistaOptions,
-    LinfOptions, NnlsOptions,
+    fista_simplex_ls, linf_fit_exact, linf_fit_smoothed_with_report, nnls_simplex_with_report,
+    DenseMatrix, FistaOptions, LinfOptions, NnlsOptions, SolveReport,
 };
 
 /// Which algorithm solves the constrained fit.
@@ -53,20 +53,70 @@ pub fn estimate_weights(
     objective: &Objective,
     solver: &WeightSolver,
 ) -> Vec<f64> {
+    estimate_weights_with_report(a, s, objective, solver).0
+}
+
+/// [`estimate_weights`] plus the underlying solver's [`SolveReport`].
+///
+/// `None` when no iterative solver ran: an empty query set (uniform
+/// fallback) or an exact-LP `L∞` fit. A report with `converged == false`
+/// means the solver exhausted its iteration budget and returned the last
+/// iterate — surfaced here with a debug log (not a panic: the iterate is
+/// still feasible and usually near-optimal; see `solver::report`).
+pub fn estimate_weights_with_report(
+    a: &DenseMatrix,
+    s: &[f64],
+    objective: &Objective,
+    solver: &WeightSolver,
+) -> (Vec<f64>, Option<SolveReport>) {
     assert!(a.cols() > 0, "no buckets");
     if a.rows() == 0 {
-        return vec![1.0 / a.cols() as f64; a.cols()];
+        return (vec![1.0 / a.cols() as f64; a.cols()], None);
     }
     assert_eq!(a.rows(), s.len(), "target length mismatch");
-    match objective {
+    let _span = selearn_obs::span!("estimate_weights");
+    let (w, report) = match objective {
         Objective::L2 => match solver {
-            WeightSolver::Fista => fista_simplex_ls(a, s, &FistaOptions::default()).weights,
-            WeightSolver::NnlsPenalty => nnls_simplex(a, s, &NnlsOptions::default()),
+            WeightSolver::Fista => {
+                let r = fista_simplex_ls(a, s, &FistaOptions::default());
+                let report = r.report();
+                (r.weights, Some(report))
+            }
+            WeightSolver::NnlsPenalty => {
+                let (w, report) = nnls_simplex_with_report(a, s, &NnlsOptions::default());
+                (w, Some(report))
+            }
         },
-        Objective::LInfExact => linf_fit_exact(a, s)
-            .unwrap_or_else(|| linf_fit_smoothed(a, s, &LinfOptions::default())),
-        Objective::LInfSmoothed => linf_fit_smoothed(a, s, &LinfOptions::default()),
+        Objective::LInfExact => match linf_fit_exact(a, s) {
+            Some(w) => (w, None), // exact LP: no iterative report
+            None => {
+                let (w, report) = linf_fit_smoothed_with_report(a, s, &LinfOptions::default());
+                (w, Some(report))
+            }
+        },
+        Objective::LInfSmoothed => {
+            let (w, report) = linf_fit_smoothed_with_report(a, s, &LinfOptions::default());
+            (w, Some(report))
+        }
+    };
+    if let Some(r) = &report {
+        if !r.converged {
+            // Deliberately a log, not an assert: budget exhaustion yields a
+            // feasible (if slightly suboptimal) iterate, and some workloads
+            // legitimately hit it. It must be *visible*, not fatal.
+            selearn_obs::debug!(
+                "{} exhausted {}/{} iterations without converging (residual {:.3e}) \
+                 on a {}x{} system",
+                r.solver,
+                r.iters,
+                r.max_iters,
+                r.final_residual,
+                a.rows(),
+                a.cols()
+            );
+        }
     }
+    (w, report)
 }
 
 #[cfg(test)]

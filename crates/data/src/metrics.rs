@@ -68,6 +68,8 @@ pub fn q_error(estimated: f64, truth: f64) -> f64 {
 pub struct QErrorSummary {
     /// 50th percentile (median).
     pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
     /// 95th percentile.
     pub p95: f64,
     /// 99th percentile.
@@ -101,9 +103,31 @@ pub fn q_error_quantiles(estimated: &[f64], truth: &[f64]) -> QErrorSummary {
     qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     QErrorSummary {
         p50: quantile_sorted(&qs, 0.50),
+        p90: quantile_sorted(&qs, 0.90),
         p95: quantile_sorted(&qs, 0.95),
         p99: quantile_sorted(&qs, 0.99),
         max: *qs.last().expect("nonempty"),
+    }
+}
+
+impl QErrorSummary {
+    /// Exports this summary as a [`selearn_obs::Event::MetricsSummary`] so
+    /// traces carry exactly the quantiles the bench tables print — both
+    /// come from the one [`q_error_quantiles`] computation. `name` labels
+    /// the estimator/workload; `count` is the number of test queries.
+    pub fn emit(&self, name: &str, count: usize) {
+        if !selearn_obs::sink_installed() {
+            return;
+        }
+        selearn_obs::emit(&selearn_obs::Event::MetricsSummary {
+            name: format!("q_error.{name}"),
+            count,
+            p50: self.p50,
+            p90: self.p90,
+            p95: self.p95,
+            p99: self.p99,
+            max: self.max,
+        });
     }
 }
 

@@ -125,6 +125,7 @@ impl Workload {
         n: usize,
         rng: &mut R,
     ) -> Workload {
+        let _span = selearn_obs::span!("workload.generate");
         let d = dataset.dim();
         // per-categorical-dim equality-slab widths: a fraction of the
         // observed gap between distinct codes
@@ -174,7 +175,14 @@ impl Workload {
         // Phase 2: label each range with its true selectivity — a pure,
         // RNG-free scan per range, parallelized across ranges when built
         // with the `parallel` feature.
-        let labels = label_ranges(dataset, &ranges);
+        let labels = {
+            let _span = selearn_obs::span!("workload.label");
+            selearn_obs::counter_add(
+                "label_scan_rows",
+                (ranges.len() * dataset.len()) as u64,
+            );
+            label_ranges(dataset, &ranges)
+        };
         let queries = ranges
             .into_iter()
             .zip(labels)

@@ -72,6 +72,9 @@ impl VolumeEstimator {
             return 0.0;
         }
         let VolumeMethod::QuasiMonteCarlo { samples } = self.method;
+        // One bump per call, not per sample: cheap enough to leave on the
+        // hot path, and the trace still reconstructs total QMC work.
+        selearn_obs::counter_add("mc_samples_drawn", samples as u64);
         let d = rect.dim();
         #[cfg(feature = "parallel")]
         if samples >= PAR_SAMPLE_THRESHOLD && rayon::current_num_threads() > 1 {

@@ -1,0 +1,135 @@
+//! Minimal hand-rolled JSON helpers: string escaping, float formatting,
+//! and a small validator used by the golden-file tests.
+//!
+//! The workspace is offline-vendored with no serde, so the event layer
+//! writes JSON by hand; keeping the escaping/formatting rules in one
+//! module makes the wire format auditable.
+
+/// Appends `s` as a JSON string literal (with surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+pub fn fmt_f64_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` round-trips f64 exactly and always includes a decimal
+        // point or exponent, so the token is unambiguously a number.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Structural check that `line` is exactly one JSON object: balanced
+/// braces/brackets outside strings, valid string escapes, and valid
+/// number/keyword tokens. Not a full parser, but strict enough for the
+/// golden-file test to catch any escaping or formatting bug in
+/// [`crate::Event::to_json`].
+pub fn validate_json_object(line: &str) -> bool {
+    let s = line.trim();
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'{') || bytes.last() != Some(&b'}') {
+        return false;
+    }
+    let mut depth_obj = 0i32;
+    let mut depth_arr = 0i32;
+    let mut in_str = false;
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => match chars.next() {
+                    Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                    Some('u') => {
+                        for _ in 0..4 {
+                            match chars.next() {
+                                Some(h) if h.is_ascii_hexdigit() => {}
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                },
+                '"' => in_str = false,
+                c if (c as u32) < 0x20 => return false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => {
+                depth_obj -= 1;
+                if depth_obj < 0 {
+                    return false;
+                }
+            }
+            '[' => depth_arr += 1,
+            ']' => {
+                depth_arr -= 1;
+                if depth_arr < 0 {
+                    return false;
+                }
+            }
+            ':' | ',' | ' ' => {}
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' => {
+            }
+            // keyword letters for true/false/null
+            't' | 'r' | 'u' | 'f' | 'a' | 'l' | 's' | 'n' => {}
+            _ => return false,
+        }
+    }
+    !in_str && depth_obj == 0 && depth_arr == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_control_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn float_formatting() {
+        let mut s = String::new();
+        fmt_f64_into(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+        s.clear();
+        fmt_f64_into(&mut s, f64::NEG_INFINITY);
+        assert_eq!(s, "null");
+        s.clear();
+        fmt_f64_into(&mut s, 1e-300);
+        assert!(s.parse::<f64>().unwrap() == 1e-300);
+    }
+
+    #[test]
+    fn validator_accepts_objects_and_rejects_junk() {
+        assert!(validate_json_object(r#"{"a":1,"b":[1,2],"c":{"d":"e"}}"#));
+        assert!(validate_json_object(r#"{"k":"with \"quotes\" and é"}"#));
+        assert!(!validate_json_object(r#"{"a":1"#));
+        assert!(!validate_json_object(r#"["not","an","object"]"#));
+        assert!(!validate_json_object("{\"a\":\"\u{1}\"}"));
+        assert!(!validate_json_object(r#"{"a": }x"#));
+    }
+}

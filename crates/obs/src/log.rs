@@ -1,0 +1,118 @@
+//! Leveled logging (`SELEARN_LOG=off|info|debug`).
+//!
+//! Replaces the bench harness's ad-hoc `eprintln!` lines: messages at or
+//! below the active level go to stderr prefixed `[selearn]`, and are
+//! mirrored as [`Event::Log`] into the installed sink so traces capture
+//! the narrative alongside the numbers.
+
+use crate::event::Event;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered `Off < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No log output.
+    Off = 0,
+    /// Progress messages (the default).
+    Info = 1,
+    /// Per-phase diagnostics (solver exits, bisection probes, …).
+    Debug = 2,
+}
+
+/// 0..=2 mirror `Level`; 3 = "uninitialised, read SELEARN_LOG on first use".
+const UNINIT: u8 = 3;
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn level_from_env() -> Level {
+    match std::env::var("SELEARN_LOG").as_deref() {
+        Ok("off") | Ok("0") => Level::Off,
+        Ok("debug") | Ok("2") => Level::Debug,
+        // default and explicit "info"/"1" and any unrecognised value
+        _ => Level::Info,
+    }
+}
+
+/// The active level, lazily initialised from `SELEARN_LOG`.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => {
+            let l = level_from_env();
+            LEVEL.store(l as u8, Ordering::Relaxed);
+            l
+        }
+    }
+}
+
+/// Overrides the level programmatically (e.g. a future `--verbose` flag);
+/// wins over `SELEARN_LOG`.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// `true` when messages at `l` would be printed.
+#[inline]
+pub fn log_enabled(l: Level) -> bool {
+    l <= level()
+}
+
+/// Logs `message` at level `l`: stderr line plus a `log` event if a sink
+/// is installed. Prefer the [`crate::info!`]/[`crate::debug!`] macros,
+/// which skip formatting entirely when the level is off.
+pub fn log(l: Level, message: &str) {
+    if !log_enabled(l) {
+        return;
+    }
+    let tag = if l == Level::Debug { "debug" } else { "info" };
+    eprintln!("[selearn] {message}");
+    if crate::sink_installed() {
+        crate::emit(&Event::Log {
+            level: tag,
+            message: message.to_string(),
+        });
+    }
+}
+
+/// Logs at [`Level::Info`]; arguments are only formatted when info
+/// logging is active.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Info) {
+            $crate::log::log($crate::Level::Info, &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]; arguments are only formatted when debug
+/// logging is active.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Debug) {
+            $crate::log::log($crate::Level::Debug, &format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_override() {
+        // set_level wins regardless of env
+        set_level(Level::Off);
+        assert!(!log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(log_enabled(Level::Debug));
+        set_level(Level::Info);
+    }
+}

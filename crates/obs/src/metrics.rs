@@ -1,0 +1,363 @@
+//! Counter, gauge, and histogram registries.
+//!
+//! Registration (first use of a name) takes a `RwLock` write; every
+//! subsequent bump is lock-free on an `Arc<AtomicU64>` fetched under the
+//! read lock, so concurrent bumps from rayon workers never serialise on
+//! a mutex. Registries are `BTreeMap`s so snapshots are deterministically
+//! sorted by name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+type Registry = RwLock<BTreeMap<String, Arc<AtomicU64>>>;
+
+fn counters() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+fn gauges() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+fn histograms() -> &'static RwLock<BTreeMap<String, Arc<Histogram>>> {
+    static REG: OnceLock<RwLock<BTreeMap<String, Arc<Histogram>>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+fn cell(reg: &'static Registry, name: &str) -> Arc<AtomicU64> {
+    if let Some(c) = reg.read().expect("metrics registry poisoned").get(name) {
+        return Arc::clone(c);
+    }
+    let mut w = reg.write().expect("metrics registry poisoned");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+/// Adds `n` to the monotonic counter `name`. No-op while observability is
+/// disabled.
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    cell(counters(), name).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of counter `name` (0 if never bumped).
+pub fn counter_get(name: &str) -> u64 {
+    counters()
+        .read()
+        .expect("metrics registry poisoned")
+        .get(name)
+        .map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// Sets gauge `name` to `value` (last-writer-wins). No-op while disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    cell(gauges(), name).store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Sorted snapshot of every counter.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    counters()
+        .read()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Sorted snapshot of every gauge.
+pub fn gauge_snapshot() -> Vec<(String, f64)> {
+    gauges()
+        .read()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect()
+}
+
+/// Number of log₂ buckets. Bucket `i` holds samples whose magnitude has
+/// binary exponent `i - OFFSET`, spanning ~1e-193 … ~1e+193 — far wider
+/// than any latency or residual we record.
+const BUCKETS: usize = 1284;
+const OFFSET: i32 = 642;
+
+/// Lock-free histogram: log₂ magnitude buckets plus CAS-maintained
+/// min/max/sum, all `AtomicU64`. Non-finite and non-positive samples go
+/// to bucket 0 (they still count; min/max/sum skip non-finite values).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits; ordering maintained by CAS loops.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let exp = v.log2().floor() as i32 + OFFSET;
+    exp.clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+fn bucket_midpoint(i: usize) -> f64 {
+    if i == 0 {
+        return 0.0;
+    }
+    // geometric midpoint of [2^e, 2^(e+1))
+    let e = i as i32 - OFFSET;
+    2f64.powi(e) * std::f64::consts::SQRT_2
+}
+
+impl Histogram {
+    fn record(&self, v: f64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_finite() {
+            return;
+        }
+        // CAS loops for min/max/sum. The sum is *not* deterministic under
+        // parallel interleave (float addition is non-associative), but it
+        // is only used for the mean in reports, never in results.
+        let mut cur = self.min_bits.load(Ordering::Relaxed);
+        while v < f64::from_bits(cur) {
+            match self.min_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_midpoint(i);
+                }
+            }
+            bucket_midpoint(BUCKETS - 1)
+        };
+        HistogramSummary {
+            count,
+            min: if count == 0 || !min.is_finite() { 0.0 } else { min },
+            max: if count == 0 || !max.is_finite() { 0.0 } else { max },
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram. Quantiles are log₂-bucket
+/// midpoints, i.e. accurate to within a factor of √2 — plenty for
+/// latency/residual distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact minimum finite sample (0.0 when empty).
+    pub min: f64,
+    /// Exact maximum finite sample (0.0 when empty).
+    pub max: f64,
+    /// Arithmetic mean of finite samples.
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 90th percentile.
+    pub p90: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+fn histogram_cell(name: &str) -> Arc<Histogram> {
+    if let Some(h) = histograms()
+        .read()
+        .expect("metrics registry poisoned")
+        .get(name)
+    {
+        return Arc::clone(h);
+    }
+    let mut w = histograms().write().expect("metrics registry poisoned");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+/// Records `value` into histogram `name`. No-op while disabled.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    histogram_cell(name).record(value);
+}
+
+/// Like [`histogram_record`] but takes an owned name (for composed
+/// names); still no-op while disabled, checked before use.
+#[inline]
+pub(crate) fn histogram_record_str(name: String, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    histogram_cell(&name).record(value);
+}
+
+/// Sorted snapshot of every histogram's summary.
+pub fn histogram_snapshot() -> Vec<(String, HistogramSummary)> {
+    histograms()
+        .read()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(k, v)| (k.clone(), v.summary()))
+        .collect()
+}
+
+/// Summary of one named histogram, if it exists.
+pub fn histogram_get(name: &str) -> Option<HistogramSummary> {
+    histograms()
+        .read()
+        .expect("metrics registry poisoned")
+        .get(name)
+        .map(|h| h.summary())
+}
+
+/// Clears all three registries.
+pub fn reset() {
+    counters().write().expect("metrics registry poisoned").clear();
+    gauges().write().expect("metrics registry poisoned").clear();
+    histograms()
+        .write()
+        .expect("metrics registry poisoned")
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+
+    #[test]
+    fn histogram_summary_tracks_distribution() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::clear_sink();
+        crate::reset();
+        crate::enable_stats(true);
+        for i in 1..=1000u32 {
+            histogram_record("lat", f64::from(i));
+        }
+        let s = histogram_get("lat").unwrap();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        // log2-bucket quantiles: within a factor of 2 of the truth
+        assert!(s.p50 >= 250.0 && s.p50 <= 1000.0, "p50 = {}", s.p50);
+        assert!(s.p99 >= 495.0 && s.p99 <= 1990.0, "p99 = {}", s.p99);
+        crate::enable_stats(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_samples() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::clear_sink();
+        crate::reset();
+        crate::enable_stats(true);
+        histogram_record("weird", 0.0);
+        histogram_record("weird", -3.0);
+        histogram_record("weird", f64::NAN);
+        histogram_record("weird", 1e-200);
+        let s = histogram_get("weird").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 1e-200);
+        crate::enable_stats(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn counters_accumulate_across_threads() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::clear_sink();
+        crate::reset();
+        crate::enable_stats(true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        counter_add("threaded", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter_get("threaded"), 40_000);
+        crate::enable_stats(false);
+        crate::reset();
+    }
+}

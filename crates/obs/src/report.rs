@@ -1,0 +1,106 @@
+//! End-of-experiment text report: indented timing tree, counter dump,
+//! gauge dump, and histogram summaries — rendered from the aggregate
+//! registries, so it is available even when no sink was installed.
+
+use crate::metrics;
+use crate::span;
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2} ms", ns as f64 / 1e6)
+}
+
+/// Renders the current aggregate state as a human-readable report.
+/// Returns an empty string when nothing was recorded (so callers can
+/// skip printing a header for silent runs).
+pub fn render() -> String {
+    let timings = span::timing_snapshot();
+    let counters = metrics::counter_snapshot();
+    let gauges = metrics::gauge_snapshot();
+    let hists = metrics::histogram_snapshot();
+    if timings.is_empty() && counters.is_empty() && gauges.is_empty() && hists.is_empty() {
+        return String::new();
+    }
+
+    let mut out = String::new();
+    if !timings.is_empty() {
+        out.push_str("timing tree (count, total wall):\n");
+        // BTreeMap ordering puts each parent path immediately before its
+        // children, so indenting by depth renders the tree directly.
+        for (path, stat) in &timings {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            out.push_str(&format!(
+                "  {:indent$}{name:<32} {:>6}x  {:>12}\n",
+                "",
+                stat.count,
+                fmt_ms(stat.total_ns),
+                indent = depth * 2,
+            ));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &counters {
+            out.push_str(&format!("  {name:<34} {value:>14}\n"));
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &gauges {
+            out.push_str(&format!("  {name:<34} {value:>14.6}\n"));
+        }
+    }
+    if !hists.is_empty() {
+        out.push_str("histograms (count / min / p50 / p99 / max):\n");
+        for (name, h) in &hists {
+            out.push_str(&format!(
+                "  {name:<34} {:>8}  {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e}\n",
+                h.count, h.min, h.p50, h.p99, h.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tests::TEST_LOCK;
+
+    #[test]
+    fn report_renders_tree_counters_and_histograms() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::clear_sink();
+        crate::reset();
+        crate::enable_stats(true);
+        {
+            let _a = crate::span("fit");
+            let _b = crate::span("solve");
+        }
+        crate::counter_add("quadtree_splits", 12);
+        crate::histogram_record("predict.latency_us", 3.0);
+        crate::enable_stats(false);
+        let r = super::render();
+        assert!(r.contains("timing tree"));
+        assert!(r.contains("fit"));
+        assert!(r.contains("solve"));
+        assert!(r.contains("quadtree_splits"));
+        assert!(r.contains("predict.latency_us"));
+        // child "solve" is indented deeper than root "fit"
+        let fit_line = r.lines().find(|l| l.trim_start().starts_with("fit")).unwrap();
+        let solve_line = r
+            .lines()
+            .find(|l| l.trim_start().starts_with("solve"))
+            .unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(solve_line) > indent(fit_line));
+        crate::reset();
+    }
+
+    #[test]
+    fn empty_state_renders_empty() {
+        let _g = TEST_LOCK.lock().unwrap();
+        crate::clear_sink();
+        crate::reset();
+        assert!(super::render().is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! (O'Donoghue–Candès) for robustness.
 
 use crate::matrix::DenseMatrix;
+use crate::report::SolveReport;
 use crate::simplex_proj::simplex_projection;
 
 /// FISTA configuration.
@@ -46,6 +47,25 @@ pub struct FistaResult {
     pub loss: f64,
     /// Iterations actually performed.
     pub iters: usize,
+    /// `true` when the relative-improvement criterion fired; `false` when
+    /// `max_iters` was exhausted and the last iterate was returned as-is.
+    pub converged: bool,
+    /// The `max_iters` budget the solve ran with (for the report).
+    pub max_iters: usize,
+}
+
+impl FistaResult {
+    /// This solve's outcome as a [`SolveReport`] (`final_residual` is the
+    /// LS residual norm `‖Aw − s‖`, the square root of [`Self::loss`]).
+    pub fn report(&self) -> SolveReport {
+        SolveReport {
+            solver: "fista",
+            iters: self.iters,
+            max_iters: self.max_iters,
+            converged: self.converged,
+            final_residual: self.loss.max(0.0).sqrt(),
+        }
+    }
 }
 
 /// Minimizes `‖Aw − s‖²` over the probability simplex.
@@ -68,9 +88,13 @@ pub fn fista_simplex_ls(a: &DenseMatrix, s: &[f64], opts: &FistaOptions) -> Fist
     let mut t = 1.0f64;
     let mut loss_prev = a.residual_sq(&w, s);
     let mut iters = 0;
+    let mut converged = false;
 
     for k in 0..opts.max_iters {
         iters = k + 1;
+        if selearn_obs::enabled() {
+            selearn_obs::solver_iteration("fista", k, loss_prev.max(0.0).sqrt(), step);
+        }
         // gradient step at the extrapolated point y
         let r = a.residual(&y, s);
         let g = a.matvec_t(&r); // = ∇f(y) / 2
@@ -101,6 +125,7 @@ pub fn fista_simplex_ls(a: &DenseMatrix, s: &[f64], opts: &FistaOptions) -> Fist
                 y = w.clone();
                 if loss_prev - loss_pg < opts.rel_tol * (loss_prev + 1e-12) {
                     loss_prev = loss_pg;
+                    converged = true;
                     break;
                 }
                 loss_prev = loss_pg;
@@ -120,16 +145,23 @@ pub fn fista_simplex_ls(a: &DenseMatrix, s: &[f64], opts: &FistaOptions) -> Fist
         t = t_next;
         if improved >= 0.0 && improved < opts.rel_tol * (loss_prev + 1e-12) {
             loss_prev = loss;
+            converged = true;
             break;
         }
         loss_prev = loss;
     }
 
-    FistaResult {
+    let result = FistaResult {
         loss: loss_prev,
         weights: w,
         iters,
+        converged,
+        max_iters: opts.max_iters,
+    };
+    if selearn_obs::sink_installed() {
+        result.report().emit();
     }
+    result
 }
 
 #[cfg(test)]
@@ -213,6 +245,30 @@ mod tests {
         };
         let r = fista_simplex_ls(&a, &s, &opts);
         assert!(r.iters <= 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_silent() {
+        // A non-trivial system with a 1-iteration budget cannot meet the
+        // rel_tol criterion; the report must say so instead of pretending.
+        let a = DenseMatrix::from_rows(&[vec![0.8, 0.1], vec![0.3, 0.9], vec![0.5, 0.5]]);
+        let s = vec![0.4, 0.6, 0.55];
+        let opts = FistaOptions {
+            max_iters: 1,
+            ..Default::default()
+        };
+        let r = fista_simplex_ls(&a, &s, &opts);
+        assert!(!r.converged);
+        let rep = r.report();
+        assert_eq!(rep.solver, "fista");
+        assert_eq!(rep.max_iters, 1);
+        assert!(!rep.converged);
+        assert!(rep.final_residual.is_finite());
+
+        // ...and a generous budget converges and reports it.
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        assert!(r.converged);
+        assert!(r.iters < r.max_iters);
     }
 
     proptest::proptest! {

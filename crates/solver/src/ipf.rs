@@ -12,6 +12,7 @@
 //! the constraints are consistent.
 
 use crate::matrix::DenseMatrix;
+use crate::report::SolveReport;
 
 /// IPF configuration.
 #[derive(Clone, Debug)]
@@ -44,6 +45,25 @@ pub struct IpfResult {
     pub max_violation: f64,
     /// Passes performed.
     pub passes: usize,
+    /// `true` when every constraint was met to tolerance; `false` when
+    /// the pass budget ran out (e.g. on inconsistent query feedback).
+    pub converged: bool,
+    /// The `max_passes` budget the solve ran with (for the report).
+    pub max_passes: usize,
+}
+
+impl IpfResult {
+    /// This solve's outcome as a [`SolveReport`] (`final_residual` is the
+    /// worst absolute constraint violation).
+    pub fn report(&self) -> SolveReport {
+        SolveReport {
+            solver: "ipf",
+            iters: self.passes,
+            max_iters: self.max_passes,
+            converged: self.converged,
+            final_residual: self.max_violation,
+        }
+    }
 }
 
 /// Computes max-entropy-style weights satisfying `A w ≈ s`, `Σ w = 1`,
@@ -91,16 +111,25 @@ pub fn ipf_max_entropy(a: &DenseMatrix, s: &[f64], opts: &IpfOptions) -> IpfResu
             }
         }
         max_violation = violation(a, &w, s);
+        if selearn_obs::enabled() {
+            selearn_obs::solver_iteration("ipf", pass, max_violation, 0.0);
+        }
         if max_violation < opts.tol {
             break;
         }
     }
 
-    IpfResult {
+    let result = IpfResult {
         weights: w,
         max_violation,
         passes,
+        converged: max_violation < opts.tol,
+        max_passes: opts.max_passes,
+    };
+    if selearn_obs::sink_installed() {
+        result.report().emit();
     }
+    result
 }
 
 fn violation(a: &DenseMatrix, w: &[f64], s: &[f64]) -> f64 {

@@ -21,6 +21,7 @@ pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
     let mut means: Vec<f64> = Vec::with_capacity(n);
     let mut weights: Vec<f64> = Vec::with_capacity(n);
     let mut counts: Vec<usize> = Vec::with_capacity(n);
+    let mut merges = 0usize;
     for i in 0..n {
         means.push(y[i]);
         weights.push(w[i]);
@@ -31,6 +32,7 @@ pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
                 break;
             }
             // merge the last two blocks
+            merges += 1;
             let wt = weights[k - 2] + weights[k - 1];
             let m = (means[k - 2] * weights[k - 2] + means[k - 1] * weights[k - 1]) / wt;
             means.truncate(k - 1);
@@ -44,6 +46,19 @@ pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(n);
     for (m, c) in means.iter().zip(&counts) {
         out.extend(std::iter::repeat_n(*m, *c));
+    }
+    // PAVA is exact and single-pass: the report records pool-merge work
+    // (its "iterations"), and it always converges.
+    if selearn_obs::enabled() {
+        selearn_obs::counter_add("pava_merges", merges as u64);
+        crate::report::SolveReport {
+            solver: "isotonic",
+            iters: merges,
+            max_iters: n,
+            converged: true,
+            final_residual: 0.0,
+        }
+        .emit();
     }
     out
 }

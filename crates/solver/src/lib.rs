@@ -35,13 +35,15 @@ pub mod linf;
 pub mod linprog;
 pub mod matrix;
 pub mod nnls;
+pub mod report;
 pub mod simplex_proj;
 
 pub use fista::{fista_simplex_ls, FistaOptions, FistaResult};
 pub use ipf::{ipf_max_entropy, IpfOptions, IpfResult};
 pub use isotonic::{isotonic_regression, isotonic_regression_unweighted};
-pub use linf::{linf_fit_exact, linf_fit_smoothed, LinfOptions};
+pub use linf::{linf_fit_exact, linf_fit_smoothed, linf_fit_smoothed_with_report, LinfOptions};
 pub use linprog::{linprog, Constraint, ConstraintOp, LpResult, LpStatus};
 pub use matrix::DenseMatrix;
-pub use nnls::{nnls, nnls_simplex, NnlsOptions};
+pub use nnls::{nnls, nnls_simplex, nnls_simplex_with_report, nnls_with_report, NnlsOptions};
+pub use report::SolveReport;
 pub use simplex_proj::simplex_projection;

@@ -11,6 +11,7 @@
 
 use crate::linprog::{linprog, Constraint, ConstraintOp, LpStatus};
 use crate::matrix::DenseMatrix;
+use crate::report::SolveReport;
 use crate::simplex_proj::simplex_projection;
 
 /// Options for the smoothed solver.
@@ -82,13 +83,30 @@ pub fn linf_fit_exact(a: &DenseMatrix, s: &[f64]) -> Option<Vec<f64>> {
 /// `(1/β) log Σ_i (e^{β r_i} + e^{−β r_i})` of the residuals `r = Aw − s`
 /// with projected gradient descent over the simplex.
 pub fn linf_fit_smoothed(a: &DenseMatrix, s: &[f64], opts: &LinfOptions) -> Vec<f64> {
+    linf_fit_smoothed_with_report(a, s, opts).0
+}
+
+/// [`linf_fit_smoothed`] plus a [`SolveReport`]. The subgradient method
+/// runs a fixed budget and keeps the best iterate seen, so there is no
+/// classic stopping criterion; `converged` is defined as "the best
+/// iterate was found in the first 90% of the budget" — `false` means the
+/// incumbent was still improving at the end and more iterations would
+/// likely help.
+pub fn linf_fit_smoothed_with_report(
+    a: &DenseMatrix,
+    s: &[f64],
+    opts: &LinfOptions,
+) -> (Vec<f64>, SolveReport) {
     assert_eq!(a.rows(), s.len(), "dimension mismatch");
     let m = a.cols();
     let mut w = vec![1.0 / m as f64; m];
     let mut best_w = w.clone();
     let mut best_err = linf_error(a, &w, s);
+    let mut best_iter = 0usize;
+    let mut iters = 0usize;
 
     for k in 0..opts.max_iters {
+        iters = k + 1;
         let r = a.residual(&w, s);
         // softmax weights over ±residuals; subtract the max for stability
         let beta = opts.beta;
@@ -115,12 +133,26 @@ pub fn linf_fit_smoothed(a: &DenseMatrix, s: &[f64], opts: &LinfOptions) -> Vec<
         }
         simplex_projection(&mut w);
         let err = linf_error(a, &w, s);
+        if selearn_obs::enabled() {
+            selearn_obs::solver_iteration("linf-smoothed", k, err, step);
+        }
         if err < best_err {
             best_err = err;
             best_w = w.clone();
+            best_iter = k;
         }
     }
-    best_w
+    let report = SolveReport {
+        solver: "linf-smoothed",
+        iters,
+        max_iters: opts.max_iters,
+        converged: best_iter < (opts.max_iters * 9) / 10,
+        final_residual: best_err,
+    };
+    if selearn_obs::sink_installed() {
+        report.emit();
+    }
+    (best_w, report)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! weighted penalty row `√ρ · 1ᵀ w = √ρ`.
 
 use crate::matrix::DenseMatrix;
+use crate::report::SolveReport;
 
 /// NNLS configuration.
 #[derive(Clone, Debug)]
@@ -38,6 +39,16 @@ impl Default for NnlsOptions {
 /// is accurate for the well-scaled design matrices produced by Equation (6)
 /// (entries in `[0, 1]`).
 pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
+    nnls_with_report(a, b, opts).0
+}
+
+/// [`nnls`] plus a [`SolveReport`]: `converged` is `true` when the KKT
+/// conditions were satisfied, `false` when the active-set budget was
+/// exhausted and the last iterate was returned. Emits per-iteration
+/// convergence events and a terminal `solver-report` event when
+/// observability is enabled; bumps the `active_set_swaps` counter on every
+/// passive-set change.
+pub fn nnls_with_report(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> (Vec<f64>, SolveReport) {
     assert_eq!(a.rows(), b.len(), "dimension mismatch");
     let m = a.cols();
     let max_iters = if opts.max_iters == 0 {
@@ -49,8 +60,12 @@ pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
     let mut x = vec![0.0f64; m];
     let mut passive = vec![false; m];
     let mut n_passive = 0usize;
+    let mut iters = 0usize;
+    let mut converged = false;
+    let mut last_res = f64::NAN;
 
-    for _ in 0..max_iters {
+    for k in 0..max_iters {
+        iters = k + 1;
         // dual w = Aᵀ(b − Ax)
         let r: Vec<f64> = {
             let ax = a.matvec(&x);
@@ -66,11 +81,18 @@ pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
                     best = Some((j, w[j]));
                 }
         }
+        last_res = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if selearn_obs::enabled() {
+            selearn_obs::solver_iteration("nnls", k, last_res, best.map_or(0.0, |(_, v)| v));
+        }
         let Some((enter, _)) = best else {
-            break; // KKT satisfied
+            converged = true; // KKT satisfied
+            iters = k;
+            break;
         };
         passive[enter] = true;
         n_passive += 1;
+        selearn_obs::counter_add("active_set_swaps", 1);
 
         // inner loop: solve LS on the passive set; backtrack if infeasible
         loop {
@@ -111,6 +133,7 @@ pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
                     if passive[j] {
                         passive[j] = false;
                         n_passive -= 1;
+                        selearn_obs::counter_add("active_set_swaps", 1);
                     }
                 }
             }
@@ -119,7 +142,28 @@ pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
             }
         }
     }
-    x
+
+    // On the KKT exit `x` is unchanged since `last_res` was measured; on
+    // budget exhaustion it is not, so recompute (rare, diagnostic path).
+    let final_residual = if converged && last_res.is_finite() {
+        last_res
+    } else {
+        let ax = a.matvec(&x);
+        b.iter()
+            .zip(ax)
+            .map(|(&bi, axi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let report = SolveReport {
+        solver: "nnls",
+        iters,
+        max_iters,
+        converged,
+        final_residual,
+    };
+    report.emit();
+    (x, report)
 }
 
 /// Unconstrained least squares restricted to the columns `idx`, via normal
@@ -159,6 +203,17 @@ fn solve_ls_subset(a: &DenseMatrix, b: &[f64], idx: &[usize]) -> Option<Vec<f64>
 /// with a penalty row: minimize `‖Aw − s‖² + ρ (Σ w − 1)²` over `w ≥ 0`,
 /// then renormalize the tiny residual drift so `Σ w = 1` exactly.
 pub fn nnls_simplex(a: &DenseMatrix, s: &[f64], opts: &NnlsOptions) -> Vec<f64> {
+    nnls_simplex_with_report(a, s, opts).0
+}
+
+/// [`nnls_simplex`] plus the inner solve's [`SolveReport`]. The report's
+/// `final_residual` is re-measured on the *original* system after the
+/// simplex renormalization, so it is directly comparable to FISTA's.
+pub fn nnls_simplex_with_report(
+    a: &DenseMatrix,
+    s: &[f64],
+    opts: &NnlsOptions,
+) -> (Vec<f64>, SolveReport) {
     let m = a.cols();
     let rho = opts.sum_penalty.sqrt();
     let mut aug = DenseMatrix::zeros(0, 0);
@@ -168,7 +223,7 @@ pub fn nnls_simplex(a: &DenseMatrix, s: &[f64], opts: &NnlsOptions) -> Vec<f64> 
     aug.push_row(&vec![rho; m]);
     let mut b = s.to_vec();
     b.push(rho);
-    let mut w = nnls(&aug, &b, opts);
+    let (mut w, mut report) = nnls_with_report(&aug, &b, opts);
     let total: f64 = w.iter().sum();
     if total > 1e-9 {
         for v in &mut w {
@@ -178,7 +233,8 @@ pub fn nnls_simplex(a: &DenseMatrix, s: &[f64], opts: &NnlsOptions) -> Vec<f64> 
         // degenerate: fall back to uniform
         w = vec![1.0 / m as f64; m];
     }
-    w
+    report.final_residual = a.residual_sq(&w, s).sqrt();
+    (w, report)
 }
 
 #[cfg(test)]
@@ -271,6 +327,32 @@ mod tests {
             (l1 - l2).abs() < 1e-4,
             "losses diverge: nnls {l1} vs fista {l2}"
         );
+    }
+
+    #[test]
+    fn report_tracks_kkt_convergence() {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 0.9],
+            vec![0.9, 1.0],
+            vec![0.5, 0.5],
+        ]);
+        let b = vec![1.0, 0.0, 0.3];
+        let (x, rep) = nnls_with_report(&a, &b, &NnlsOptions::default());
+        assert_eq!(rep.solver, "nnls");
+        assert!(rep.converged, "well-posed instance must meet KKT");
+        assert!(rep.iters <= rep.max_iters);
+        // final_residual is the LS residual norm at the solution
+        let expect = a.residual_sq(&x, &b).sqrt();
+        assert!((rep.final_residual - expect).abs() < 1e-9);
+
+        // exhausting a 1-iteration budget must be flagged
+        let tight = NnlsOptions {
+            max_iters: 1,
+            ..Default::default()
+        };
+        let (_, rep) = nnls_with_report(&a, &b, &tight);
+        assert!(!rep.converged);
+        assert_eq!(rep.iters, 1);
     }
 
     #[test]

@@ -107,6 +107,9 @@ pub fn balls_can_realize(points: &[Point], subset: u64) -> bool {
 pub fn is_shattered_by<F: Fn(&[Point], u64) -> bool>(points: &[Point], can_realize: F) -> bool {
     assert!(points.len() < 64, "too many points for bitmask shattering");
     let n = points.len() as u32;
+    // One bump per configuration (2^n oracle calls), so the counter stays
+    // off the inner subset loop.
+    selearn_obs::counter_add("vc_shatter_checks", 1u64 << n);
     (0..(1u64 << n)).all(|subset| can_realize(points, subset))
 }
 

@@ -16,6 +16,7 @@
 //! estimate <predicate>                          learned vs true selectivity
 //! save <path> | open <path>                     persist / restore the model
 //! info                                          dataset + model summary
+//! obs on|off|report|reset                       observability controls
 //! help | quit
 //! ```
 //!
@@ -85,7 +86,7 @@ fn dispatch(line: &str, st: &mut State) -> Result<(), String> {
             println!(
                 "commands: synth <name> [rows] [seed] | load <csv> | project <dims..> |\n\
                  train <quadhist|ptshist|gausshist> [n] [seed] | estimate <pred> |\n\
-                 save <path> | open <path> | info | quit"
+                 save <path> | open <path> | info | obs on|off|report|reset | quit"
             );
             Ok(())
         }
@@ -96,6 +97,7 @@ fn dispatch(line: &str, st: &mut State) -> Result<(), String> {
         "estimate" => estimate(rest, st),
         "save" => save(rest, st),
         "open" => open(rest, st),
+        "obs" => obs(rest),
         "info" => {
             match &st.data {
                 Some(d) => println!(
@@ -233,8 +235,46 @@ fn train(args: &str, st: &mut State) -> Result<(), String> {
         t0.elapsed().as_secs_f64() * 1e3,
         model.num_buckets()
     );
+    if let Some(r) = model.solve_report() {
+        println!(
+            "solver: {} — {}/{} iterations, converged = {}, final residual = {:.3e}",
+            r.solver, r.iters, r.max_iters, r.converged, r.final_residual
+        );
+    }
     st.model = Some(model);
     Ok(())
+}
+
+/// Observability controls: toggle in-process stats collection and print
+/// the aggregated timing-tree / counter report.
+fn obs(args: &str) -> Result<(), String> {
+    match args.trim() {
+        "on" => {
+            selearn_obs::enable_stats(true);
+            println!("observability stats on (spans, counters, histograms)");
+            Ok(())
+        }
+        "off" => {
+            selearn_obs::enable_stats(false);
+            println!("observability stats off");
+            Ok(())
+        }
+        "report" => {
+            let report = selearn_obs::report::render();
+            if report.is_empty() {
+                println!("nothing recorded yet — run 'obs on' and then train/estimate");
+            } else {
+                print!("{report}");
+            }
+            Ok(())
+        }
+        "reset" => {
+            selearn_obs::reset();
+            println!("observability state cleared");
+            Ok(())
+        }
+        _ => Err("usage: obs on|off|report|reset".into()),
+    }
 }
 
 fn estimate(args: &str, st: &mut State) -> Result<(), String> {

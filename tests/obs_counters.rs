@@ -1,0 +1,135 @@
+//! Observability under concurrency: counter atomicity and aggregate
+//! determinism with the forced-thread-count policy of
+//! `parallel_equivalence.rs`, plus the NullSink overhead measurement.
+//!
+//! These tests live in their own integration binary because they toggle
+//! the process-global obs state (`enable_stats`, registries); a file-local
+//! lock serializes them against each other.
+
+use selearn::prelude::*;
+use std::sync::Mutex;
+
+/// Obs state is process-global; tests in this file must not interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+#[cfg(feature = "parallel")]
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+fn fixture_train() -> Vec<TrainingQuery> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let data = selearn_data::power_like(20_000, 11).project(&[0, 1]);
+    let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
+    let mut rng = StdRng::seed_from_u64(42);
+    let w = Workload::generate(&data, &spec, 400, &mut rng);
+    selearn::to_training(&w)
+}
+
+/// Raw atomicity: concurrent bumps from a forced 4-thread pool must never
+/// lose an increment, and histogram recording must never lose a sample.
+#[cfg(feature = "parallel")]
+#[test]
+fn counter_bumps_are_atomic_under_forced_parallelism() {
+    use rayon::prelude::*;
+    let _g = TEST_LOCK.lock().unwrap();
+    selearn_obs::reset();
+    selearn_obs::enable_stats(true);
+
+    const N: usize = 50_000;
+    with_threads(4, || {
+        (0..N).into_par_iter().for_each(|i| {
+            selearn_obs::counter_add("obs_test.atomic", 3);
+            selearn_obs::histogram_record("obs_test.lat", (i % 7) as f64 + 0.5);
+        });
+    });
+
+    assert_eq!(selearn_obs::counter_get("obs_test.atomic"), 3 * N as u64);
+    let h = selearn_obs::metrics::histogram_get("obs_test.lat").expect("histogram exists");
+    assert_eq!(h.count, N as u64);
+    assert!(h.min >= 0.5 && h.max <= 6.5, "min {} max {}", h.min, h.max);
+
+    selearn_obs::enable_stats(false);
+    selearn_obs::reset();
+}
+
+/// Pipeline-level determinism: a 4-thread QuadHist fit must record exactly
+/// the counter values and histogram sample counts of the serial fit — the
+/// bump *set* is identical, only the interleaving differs.
+#[cfg(feature = "parallel")]
+#[test]
+fn pipeline_counters_match_serial_under_forced_parallelism() {
+    let _g = TEST_LOCK.lock().unwrap();
+    let train = fixture_train();
+    let cfg = QuadHistConfig::with_tau(0.01);
+
+    let snapshot = |threads: usize| -> (u64, u64, u64, u64) {
+        selearn_obs::reset();
+        selearn_obs::enable_stats(true);
+        let _model = with_threads(threads, || QuadHist::fit(Rect::unit(2), &train, &cfg));
+        let out = (
+            selearn_obs::counter_get("quadtree_splits"),
+            selearn_obs::counter_get("design_matrix_entries"),
+            selearn_obs::counter_get("mc_samples_drawn"),
+            selearn_obs::metrics::histogram_get("fista.residual").map_or(0, |h| h.count),
+        );
+        selearn_obs::enable_stats(false);
+        selearn_obs::reset();
+        out
+    };
+
+    let ser = snapshot(1);
+    let par = snapshot(4);
+    assert!(ser.0 > 0, "fixture fit must split the quadtree");
+    assert!(ser.3 > 0, "fixture fit must run FISTA iterations");
+    assert_eq!(ser, par, "aggregates diverged between 1 and 4 threads");
+}
+
+/// NullSink overhead measurement on the `speedup_measurement_quadhist_10k`
+/// fixture: with no sink installed, stats-on training must stay within the
+/// 5% budget of stats-off training (DESIGN.md "Overhead budget"). Ignored
+/// by default — it is a wall-clock measurement; CI runs it with
+///
+/// ```sh
+/// cargo test --release --features parallel,obs-jsonl nullsink_overhead -- --ignored --nocapture
+/// ```
+#[test]
+#[ignore = "timing measurement; run explicitly with --ignored --nocapture"]
+fn nullsink_overhead_within_budget() {
+    use std::time::Instant;
+    let _g = TEST_LOCK.lock().unwrap();
+    let train = fixture_train();
+    let cfg = QuadHistConfig::with_tau(0.005);
+
+    // Best-of-N wall time: the minimum over repeats is the stable
+    // estimator of intrinsic cost on a shared/noisy host.
+    let best_ms = |stats_on: bool| -> f64 {
+        selearn_obs::reset();
+        selearn_obs::enable_stats(stats_on);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let model = QuadHist::fit(Rect::unit(2), &train, &cfg);
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert!(model.num_buckets() > 0);
+        }
+        selearn_obs::enable_stats(false);
+        selearn_obs::reset();
+        best
+    };
+
+    let off = best_ms(false);
+    let on = best_ms(true);
+    let ratio = on / off;
+    println!("stats off {off:.1} ms, stats on {on:.1} ms, ratio {ratio:.3}");
+    assert!(
+        ratio < 1.05,
+        "NullSink overhead {:.1}% exceeds the 5% budget ({off:.1} ms -> {on:.1} ms)",
+        (ratio - 1.0) * 100.0
+    );
+}
