@@ -18,7 +18,7 @@
 //! 200–500 queries in the paper; [`IsomerConfig::max_buckets`] is the
 //! corresponding safety valve here).
 
-use selearn_core::{SelectivityEstimator, TrainingQuery};
+use selearn_core::{check_labels, SelearnError, SelectivityEstimator, TrainingQuery};
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
 use selearn_solver::{ipf_max_entropy, DenseMatrix, IpfOptions, SolveReport};
 
@@ -55,8 +55,16 @@ pub struct Isomer {
 
 impl Isomer {
     /// Trains ISOMER over the data space `root` from query feedback.
-    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &IsomerConfig) -> Self {
+    ///
+    /// Returns [`SelearnError::InvalidLabel`] on a non-finite selectivity
+    /// and propagates IPF solver errors.
+    pub fn fit(
+        root: Rect,
+        queries: &[TrainingQuery],
+        config: &IsomerConfig,
+    ) -> Result<Self, SelearnError> {
         let _span = selearn_obs::span!("fit.isomer");
+        check_labels(queries)?;
         // Phase 1: STHoles-style drilling, kept as a disjoint partition.
         let mut buckets: Vec<Rect> = vec![root.clone()];
         for q in queries {
@@ -117,17 +125,17 @@ impl Isomer {
             let total: f64 = buckets.iter().map(Rect::volume).sum();
             (buckets.iter().map(|b| b.volume() / total).collect(), None)
         } else {
-            let result = ipf_max_entropy(&a, &s, &config.ipf);
+            let result = ipf_max_entropy(&a, &s, &config.ipf)?;
             let report = result.report();
             (result.weights, Some(report))
         };
 
-        Self {
+        Ok(Self {
             buckets,
             weights,
             volume: config.volume.clone(),
             solve_report,
-        }
+        })
     }
 
     /// The weighted buckets, for introspection.
@@ -246,7 +254,7 @@ mod tests {
             tq(vec![0.4, 0.0], vec![0.9, 0.5], 0.3),
             tq(vec![0.0, 0.5], vec![0.3, 1.0], 0.2),
         ];
-        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default());
+        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default()).unwrap();
         let bs: Vec<Rect> = iso.buckets().map(|(b, _)| b.clone()).collect();
         let total: f64 = bs.iter().map(Rect::volume).sum();
         assert!((total - 1.0).abs() < 1e-9, "partition volume {total}");
@@ -266,7 +274,7 @@ mod tests {
             tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.7),
             tq(vec![0.5, 0.5], vec![1.0, 1.0], 0.2),
         ];
-        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default());
+        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default()).unwrap();
         for q in &queries {
             let est = iso.estimate(&q.range);
             assert!(
@@ -283,7 +291,7 @@ mod tests {
         // outside, max-entropy spreads uniformly, so a sub-query of half
         // the left side gets ≈ 0.4.
         let queries = vec![tq(vec![0.0, 0.0], vec![0.5, 1.0], 0.8)];
-        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default());
+        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default()).unwrap();
         let sub: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]).into();
         let est = iso.estimate(&sub);
         assert!((est - 0.4).abs() < 1e-3, "est = {est}");
@@ -299,7 +307,7 @@ mod tests {
                 tq(vec![t, t], vec![t + 0.25, t + 0.25], 0.1)
             })
             .collect();
-        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default());
+        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default()).unwrap();
         assert!(
             iso.num_buckets() > 3 * queries.len(),
             "only {} buckets",
@@ -319,13 +327,13 @@ mod tests {
             max_buckets: 100,
             ..Default::default()
         };
-        let iso = Isomer::fit(Rect::unit(2), &queries, &cfg);
+        let iso = Isomer::fit(Rect::unit(2), &queries, &cfg).unwrap();
         assert!(iso.num_buckets() <= 200, "{} buckets", iso.num_buckets());
     }
 
     #[test]
     fn untrained_is_uniform() {
-        let iso = Isomer::fit(Rect::unit(2), &[], &IsomerConfig::default());
+        let iso = Isomer::fit(Rect::unit(2), &[], &IsomerConfig::default()).unwrap();
         let r: Range = Rect::new(vec![0.0, 0.0], vec![0.25, 1.0]).into();
         assert!((iso.estimate(&r) - 0.25).abs() < 1e-9);
     }
@@ -333,7 +341,7 @@ mod tests {
     #[test]
     fn weights_form_distribution() {
         let queries = vec![tq(vec![0.2, 0.3], vec![0.7, 0.8], 0.5)];
-        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default());
+        let iso = Isomer::fit(Rect::unit(2), &queries, &IsomerConfig::default()).unwrap();
         let total: f64 = iso.buckets().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6);
     }

@@ -19,7 +19,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selearn_core::{
-    estimate_weights_with_report, Objective, SelectivityEstimator, TrainingQuery, WeightSolver,
+    check_labels, estimate_weights_with_report, Objective, SelearnError, SelectivityEstimator,
+    TrainingQuery, WeightSolver,
 };
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
 use selearn_solver::{DenseMatrix, SolveReport};
@@ -56,8 +57,16 @@ pub struct QuickSel {
 
 impl QuickSel {
     /// Trains QuickSel over the data space `root`.
-    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &QuickSelConfig) -> Self {
+    ///
+    /// Returns [`SelearnError::InvalidLabel`] on a non-finite selectivity
+    /// and propagates weight-solver errors.
+    pub fn fit(
+        root: Rect,
+        queries: &[TrainingQuery],
+        config: &QuickSelConfig,
+    ) -> Result<Self, SelearnError> {
         let _span = selearn_obs::span!("fit.quicksel");
+        check_labels(queries)?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut kernels: Vec<Rect> = Vec::new();
         // the domain-wide kernel catches mass outside all queries
@@ -92,15 +101,15 @@ impl QuickSel {
         let (weights, solve_report) = if a.rows() == 0 {
             (vec![1.0 / kernels.len() as f64; kernels.len()], None)
         } else {
-            estimate_weights_with_report(&a, &s, &Objective::L2, &WeightSolver::Fista)
+            estimate_weights_with_report(&a, &s, &Objective::L2, &WeightSolver::Fista)?
         };
 
-        Self {
+        Ok(Self {
             kernels,
             weights,
             volume: config.volume.clone(),
             solve_report,
-        }
+        })
     }
 
     /// The weighted kernels, for introspection.
@@ -168,7 +177,7 @@ mod tests {
             tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5),
             tq(vec![0.4, 0.4], vec![0.9, 0.9], 0.3),
         ];
-        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
+        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
         // 4 per query + 1 domain kernel
         assert_eq!(qs.num_buckets(), 9);
     }
@@ -179,7 +188,7 @@ mod tests {
             tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.7),
             tq(vec![0.5, 0.5], vec![1.0, 1.0], 0.2),
         ];
-        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
+        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
         for q in &queries {
             let est = qs.estimate(&q.range);
             assert!(
@@ -193,7 +202,7 @@ mod tests {
     #[test]
     fn weights_form_distribution() {
         let queries = vec![tq(vec![0.2, 0.2], vec![0.8, 0.8], 0.6)];
-        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
+        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
         let total: f64 = qs.kernels().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6);
         assert!(qs.kernels().all(|(_, w)| w >= -1e-9));
@@ -201,7 +210,7 @@ mod tests {
 
     #[test]
     fn untrained_model_is_uniform() {
-        let qs = QuickSel::fit(Rect::unit(2), &[], &QuickSelConfig::default());
+        let qs = QuickSel::fit(Rect::unit(2), &[], &QuickSelConfig::default()).unwrap();
         assert_eq!(qs.num_buckets(), 1);
         let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 1.0]).into();
         assert!((qs.estimate(&r) - 0.5).abs() < 1e-9);
@@ -214,7 +223,7 @@ mod tests {
             TrainingQuery::new(Ball::new(Point::splat(2, 0.4), 0.3), 0.5),
             TrainingQuery::new(Halfspace::new(vec![1.0, 0.0], 0.6), 0.3),
         ];
-        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
+        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
         for q in &queries {
             let est = qs.estimate(&q.range);
             assert!(
@@ -228,8 +237,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let queries = vec![tq(vec![0.1, 0.1], vec![0.6, 0.6], 0.4)];
-        let a = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
-        let b = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
+        let a = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
+        let b = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
         let wa: Vec<f64> = a.kernels().map(|(_, w)| w).collect();
         let wb: Vec<f64> = b.kernels().map(|(_, w)| w).collect();
         assert_eq!(wa, wb);
@@ -241,7 +250,7 @@ mod tests {
             tq(vec![0.3, 0.0], vec![0.3, 1.0], 0.2), // zero-volume box
             tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5),
         ];
-        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default());
+        let qs = QuickSel::fit(Rect::unit(2), &queries, &QuickSelConfig::default()).unwrap();
         // only the non-degenerate query contributes kernels (4) + domain
         assert_eq!(qs.num_buckets(), 5);
     }

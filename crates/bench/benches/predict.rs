@@ -39,9 +39,12 @@ fn bench_predict(c: &mut Criterion) {
         &train,
         800,
         &QuadHistConfig::default(),
-    );
-    let pts = PtsHist::fit(Rect::unit(2), &train, &PtsHistConfig::with_model_size(800));
-    let qs = QuickSel::fit(Rect::unit(2), &train, &QuickSelConfig::default());
+    )
+    .expect("bench workload is valid");
+    let pts = PtsHist::fit(Rect::unit(2), &train, &PtsHistConfig::with_model_size(800))
+        .expect("bench workload is valid");
+    let qs = QuickSel::fit(Rect::unit(2), &train, &QuickSelConfig::default())
+        .expect("bench workload is valid");
 
     let mut g = c.benchmark_group("predict_64_queries");
     g.bench_with_input(BenchmarkId::new("quadhist", quad.num_buckets()), &quad, |b, m| {

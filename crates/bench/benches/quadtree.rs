@@ -33,7 +33,8 @@ fn bench_bucket_design(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("tau", tau.to_string()), &tau, |b, &tau| {
             let cfg = QuadHistConfig::with_tau(tau);
             b.iter(|| {
-                QuadHist::design_buckets(&Rect::unit(2), black_box(&queries), &cfg).num_leaves()
+                QuadHist::design_buckets(&Rect::unit(2), black_box(&queries), &cfg)
+                    .map(|tree| tree.num_leaves())
             })
         });
     }

@@ -17,6 +17,8 @@
 //! See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
+// The panic-free gate: unwrap/expect are banned outside test code.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selearn_bench::harness::{
@@ -24,8 +26,8 @@ use selearn_bench::harness::{
 };
 use selearn_bench::table::{render_table, write_csv};
 use selearn_core::{
-    Objective, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, SelectivityEstimator,
-    TrainingQuery,
+    Objective, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, SelearnError,
+    SelectivityEstimator, TrainingQuery,
 };
 use selearn_data::{
     census_like, dmv_like, forest_like, l_inf_error, power_like, rms_error, CenterDistribution,
@@ -41,12 +43,37 @@ const SEED: u64 = 0x5e1e_c7ed;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace_out = take_flag_value(&mut args, "--trace-out");
+    let rows_override = take_flag_value(&mut args, "--rows");
+    let test_n_override = take_flag_value(&mut args, "--test-n");
+    let train_sizes_override = take_flag_value(&mut args, "--train-sizes");
     let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick {
+    let mut scale = if quick {
         ExperimentScale::quick()
     } else {
         ExperimentScale::full()
     };
+    if let Some(v) = rows_override {
+        scale.rows = parse_count("--rows", &v);
+    }
+    if let Some(v) = test_n_override {
+        scale.test_n = parse_count("--test-n", &v);
+    }
+    if let Some(v) = train_sizes_override {
+        let sizes: Vec<usize> = v
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_count("--train-sizes", s))
+            .collect();
+        scale.train_sizes = Box::leak(sizes.into_boxed_slice());
+    }
+    // Reject degenerate scales here, before any experiment starts: an
+    // empty `train_sizes` used to surface as an unwrap panic deep inside
+    // fig9/fig13 instead of a readable configuration error.
+    if let Err(e) = scale.validate() {
+        eprintln!("invalid experiment configuration: {e}");
+        std::process::exit(2);
+    }
     let mut wanted: BTreeSet<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -70,7 +97,7 @@ fn main() {
     for id in &wanted {
         let start = Instant::now();
         selearn_obs::info!("== running {id} ==");
-        match id.as_str() {
+        let result: Result<(), SelearnError> = match id.as_str() {
             "fig7" => fig7(&scale),
             "fig9" => fig9(&scale),
             "fig10_12" => workload_sweep(
@@ -108,13 +135,33 @@ fn main() {
             "ablation_volume" => ablation_volume(),
             "extension_models" => extension_models(&scale),
             "accuracy" => accuracy(&scale),
-            other => selearn_obs::info!("unknown experiment id: {other}"),
+            other => {
+                selearn_obs::info!("unknown experiment id: {other}");
+                Ok(())
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("experiment {id} failed: {e}");
+            std::process::exit(1);
         }
         selearn_obs::info!("== {id} done in {:.1}s ==", start.elapsed().as_secs_f64());
         finish_experiment(id);
     }
     selearn_obs::info!("total: {:.1}s", t0.elapsed().as_secs_f64());
     selearn_obs::flush_sink();
+}
+
+/// Parses a numeric CLI flag value, exiting with a usage error otherwise.
+/// Range validity (non-zero, non-empty sweep) is checked separately by
+/// `ExperimentScale::validate`.
+fn parse_count(flag: &str, value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{flag} expects a non-negative integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Removes `flag <value>` from `args`, returning the value when present.
@@ -226,25 +273,26 @@ fn to_training(w: &Workload) -> Vec<TrainingQuery> {
         .collect()
 }
 
-fn emit(id: &str, header: &[&str], rows: &[Vec<String>]) {
-    write_csv(format!("results/{id}.csv"), header, rows);
+fn emit(id: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    write_csv(format!("results/{id}.csv"), header, rows)?;
     println!("\n--- {id} ---");
     println!("{}", render_table(header, rows));
+    Ok(())
 }
 
-fn emit_accuracy(id: &str, rows: &[AccuracyRow]) {
+fn emit_accuracy(id: &str, rows: &[AccuracyRow]) -> std::io::Result<()> {
     let cells: Vec<Vec<String>> = rows.iter().map(AccuracyRow::cells).collect();
-    emit(id, &label_row(), &cells);
+    emit(id, &label_row(), &cells)
 }
 
 // ---------- Section 4.1 ----------
 
 /// Figure 9: RMS error vs model complexity, one curve per training size.
-fn fig9(scale: &ExperimentScale) {
+fn fig9(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
-    let max_n = scale.train_sizes.iter().copied().max().unwrap();
-    let all = gen_workload(&data, &spec, max_n + scale.test_n, SEED);
+    let max_n = scale.train_sizes.iter().copied().max().unwrap_or(0);
+    let all = gen_workload(&data, &spec, max_n + scale.test_n, SEED)?;
     let (pool, test) = all.split(max_n);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
     let taus = [0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001];
@@ -254,7 +302,7 @@ fn fig9(scale: &ExperimentScale) {
         let (train_w, _) = pool.split(n);
         let train = to_training(&train_w);
         for &tau in &taus {
-            let qh = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(tau));
+            let qh = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(tau))?;
             let est: Vec<f64> = test
                 .queries()
                 .iter()
@@ -268,7 +316,8 @@ fn fig9(scale: &ExperimentScale) {
             ]);
         }
     }
-    emit("fig9", &["train_size", "tau", "buckets", "rms"], &rows);
+    emit("fig9", &["train_size", "tau", "buckets", "rms"], &rows)?;
+    Ok(())
 }
 
 /// Shared driver for Figures 10–12 / 13 / 15 / 31–45: model complexity,
@@ -279,7 +328,7 @@ fn workload_sweep(
     data: Dataset,
     spec: WorkloadSpec,
     with_isomer: bool,
-) {
+) -> Result<(), SelearnError> {
     let mut methods = vec![
         Method::QuadHist,
         Method::PtsHist,
@@ -289,22 +338,23 @@ fn workload_sweep(
     if with_isomer {
         methods.push(Method::Isomer);
     }
-    let rows = run_methods(&data, &spec, &methods, scale, SEED ^ hash(id));
-    emit_accuracy(id, &rows);
+    let rows = run_methods(&data, &spec, &methods, scale, SEED ^ hash(id))?;
+    emit_accuracy(id, &rows)?;
+    Ok(())
 }
 
 // ---------- Section 4.2 ----------
 
 /// Figures 13/32 + Figure 14: Random workload, all queries and the
 /// non-empty subset.
-fn fig13_14(scale: &ExperimentScale) {
+fn fig13_14(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::Random);
-    workload_sweep("fig13", scale, data.clone(), spec.clone(), true);
+    workload_sweep("fig13", scale, data.clone(), spec.clone(), true)?;
 
     // Figure 14: evaluate on the non-empty test queries only.
-    let max_n = scale.train_sizes.iter().copied().max().unwrap();
-    let all = gen_workload(&data, &spec, max_n + 4 * scale.test_n, SEED ^ 0xf14);
+    let max_n = scale.train_sizes.iter().copied().max().unwrap_or(0);
+    let all = gen_workload(&data, &spec, max_n + 4 * scale.test_n, SEED ^ 0xf14)?;
     let (pool, test_all) = all.split(max_n);
     let test = test_all.filter_nonempty(0.0);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -321,7 +371,7 @@ fn fig13_14(scale: &ExperimentScale) {
             if m == Method::Isomer && n > scale.isomer_limit {
                 continue;
             }
-            let (model, ms) = m.fit(&Rect::unit(2), &train);
+            let (model, ms) = m.fit(&Rect::unit(2), &train)?;
             let est: Vec<f64> = test
                 .queries()
                 .iter()
@@ -355,14 +405,15 @@ fn fig13_14(scale: &ExperimentScale) {
             "train_wall_ms",
         ],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Figure 7: dump the learned bucket structures for visual inspection.
-fn fig7(scale: &ExperimentScale) {
+fn fig7(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::Random);
-    let w = gen_workload(&data, &spec, 1000, SEED ^ 0x7);
+    let w = gen_workload(&data, &spec, 1000, SEED ^ 0x7)?;
     let train = to_training(&w);
 
     // data sample
@@ -372,10 +423,10 @@ fn fig7(scale: &ExperimentScale) {
         .iter()
         .map(|p| vec![format!("{:.5}", p[0]), format!("{:.5}", p[1])])
         .collect();
-    write_csv("results/fig7_data.csv", &["x", "y"], &rows);
+    write_csv("results/fig7_data.csv", &["x", "y"], &rows)?;
 
     // QuadHist buckets (τ = 0.01 as in the figure caption)
-    let qh = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.01));
+    let qh = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.01))?;
     let rows: Vec<Vec<String>> = qh
         .buckets()
         .iter()
@@ -393,14 +444,14 @@ fn fig7(scale: &ExperimentScale) {
         "results/fig7_quadhist.csv",
         &["lo_x", "lo_y", "hi_x", "hi_y", "weight"],
         &rows,
-    );
+    )?;
 
     // PtsHist support of size 1000
     let ph = PtsHist::fit(
         Rect::unit(2),
         &train,
         &PtsHistConfig::with_model_size(1000),
-    );
+    )?;
     let rows: Vec<Vec<String>> = ph
         .support()
         .map(|(p, w)| {
@@ -411,7 +462,7 @@ fn fig7(scale: &ExperimentScale) {
             ]
         })
         .collect();
-    write_csv("results/fig7_ptshist.csv", &["x", "y", "weight"], &rows);
+    write_csv("results/fig7_ptshist.csv", &["x", "y", "weight"], &rows)?;
 
     println!("\n--- fig7 ---");
     println!(
@@ -419,12 +470,13 @@ fn fig7(scale: &ExperimentScale) {
         qh.num_buckets()
     );
     let _ = scale;
+    Ok(())
 }
 
 // ---------- Section 4.3 ----------
 
 /// Figure 16: train/test Gaussian-shift heat map for QuadHist.
-fn fig16(scale: &ExperimentScale) {
+fn fig16(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let means = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
     let n_train = if scale.train_sizes.len() > 2 { 500 } else { 100 };
@@ -445,7 +497,7 @@ fn fig16(scale: &ExperimentScale) {
                 SEED ^ ((mu * 100.0) as u64),
             )
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     let mut rows = Vec::new();
     for (i, &mu_tr) in means.iter().enumerate() {
@@ -456,7 +508,7 @@ fn fig16(scale: &ExperimentScale) {
             &train,
             4 * n_train,
             &QuadHistConfig::default(),
-        );
+        )?;
         for (j, &mu_te) in means.iter().enumerate() {
             let (_, test) = workloads[j].split(n_train);
             let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -472,13 +524,14 @@ fn fig16(scale: &ExperimentScale) {
             ]);
         }
     }
-    emit("fig16", &["train_mean", "test_mean", "rms"], &rows);
+    emit("fig16", &["train_mean", "test_mean", "rms"], &rows)?;
+    Ok(())
 }
 
 // ---------- Section 4.4 ----------
 
 /// Figure 17: PtsHist RMS vs training size across dimensions (Forest).
-fn fig17(scale: &ExperimentScale) {
+fn fig17(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let dims: &[usize] = if scale.train_sizes.len() > 2 {
         &[2, 4, 6, 8, 10]
     } else {
@@ -488,7 +541,7 @@ fn fig17(scale: &ExperimentScale) {
     for &d in dims {
         let data = forest_d(scale, d);
         let spec = rect_spec(CenterDistribution::DataDriven);
-        let sweep = run_methods(&data, &spec, &[Method::PtsHist], scale, SEED ^ d as u64);
+        let sweep = run_methods(&data, &spec, &[Method::PtsHist], scale, SEED ^ d as u64)?;
         for r in sweep {
             rows.push(vec![
                 d.to_string(),
@@ -503,11 +556,12 @@ fn fig17(scale: &ExperimentScale) {
         "fig17",
         &["dim", "train_size", "buckets", "rms", "train_wall_ms"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Figures 18–19: RMS and training time vs dimension at n = 1000.
-fn fig18_19(scale: &ExperimentScale) {
+fn fig18_19(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let dims: &[usize] = if scale.train_sizes.len() > 2 {
         &[2, 4, 6, 8, 10]
     } else {
@@ -518,7 +572,7 @@ fn fig18_19(scale: &ExperimentScale) {
     for &d in dims {
         let data = forest_d(scale, d);
         let spec = rect_spec(CenterDistribution::DataDriven);
-        let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ ((d as u64) << 8));
+        let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ ((d as u64) << 8))?;
         let (train_w, test) = all.split(n);
         let train = to_training(&train_w);
         let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -528,7 +582,7 @@ fn fig18_19(scale: &ExperimentScale) {
             if m == Method::QuadHist && d > 6 {
                 continue;
             }
-            let (model, ms) = m.fit(&Rect::unit(d), &train);
+            let (model, ms) = m.fit(&Rect::unit(d), &train)?;
             let est: Vec<f64> = test
                 .queries()
                 .iter()
@@ -547,13 +601,14 @@ fn fig18_19(scale: &ExperimentScale) {
         "fig18_19",
         &["method", "dim", "buckets", "rms", "train_wall_ms"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 // ---------- Section 4.5 ----------
 
 /// Figures 20–23: halfspace / ball queries across dimensions.
-fn query_type_sweep(id: &str, scale: &ExperimentScale, qt: QueryType) {
+fn query_type_sweep(id: &str, scale: &ExperimentScale, qt: QueryType) -> Result<(), SelearnError> {
     let dims: &[usize] = if scale.train_sizes.len() > 2 {
         &[2, 4, 6, 8]
     } else {
@@ -569,7 +624,7 @@ fn query_type_sweep(id: &str, scale: &ExperimentScale, qt: QueryType) {
                 &spec,
                 n + scale.test_n,
                 SEED ^ hash(id) ^ ((d as u64) << 4) ^ (n as u64),
-            );
+            )?;
             let (train_w, test) = all.split(n);
             let train = to_training(&train_w);
             let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -580,7 +635,7 @@ fn query_type_sweep(id: &str, scale: &ExperimentScale, qt: QueryType) {
                 methods.push(Method::QuadHist);
             }
             for m in methods {
-                let (model, ms) = m.fit(&Rect::unit(d), &train);
+                let (model, ms) = m.fit(&Rect::unit(d), &train)?;
                 let est: Vec<f64> = test
                     .queries()
                     .iter()
@@ -601,18 +656,19 @@ fn query_type_sweep(id: &str, scale: &ExperimentScale, qt: QueryType) {
         id,
         &["method", "dim", "train_size", "buckets", "rms", "train_wall_ms"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 // ---------- Section 4.6 ----------
 
 /// Figures 24–29: L2 vs L∞ training objectives (train/test RMS and L∞
 /// versus model complexity).
-fn fig24_29(scale: &ExperimentScale) {
+fn fig24_29(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
     let n = if scale.train_sizes.len() > 2 { 500 } else { 100 };
-    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0x2429);
+    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0x2429)?;
     let (train_w, test) = all.split(n);
     let train = to_training(&train_w);
     let truth_train: Vec<f64> = train.iter().map(|q| q.selectivity).collect();
@@ -626,7 +682,7 @@ fn fig24_29(scale: &ExperimentScale) {
                 &train,
                 target,
                 &QuadHistConfig::default().objective(obj.clone()),
-            );
+            )?;
             let est_train: Vec<f64> = train.iter().map(|q| qh.estimate(&q.range)).collect();
             let est_test: Vec<f64> = test
                 .queries()
@@ -654,13 +710,14 @@ fn fig24_29(scale: &ExperimentScale) {
             "test_linf",
         ],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 // ---------- Tables 1, 3, 4, 5 ----------
 
 /// Q-error tables over a dataset: workloads × training sizes × methods.
-fn table_qerror(id: &str, scale: &ExperimentScale, data: Dataset, all_workloads: bool) {
+fn table_qerror(id: &str, scale: &ExperimentScale, data: Dataset, all_workloads: bool) -> Result<(), SelearnError> {
     let workloads: Vec<(&str, WorkloadSpec)> = if all_workloads {
         vec![
             ("Data-driven", rect_spec(CenterDistribution::DataDriven)),
@@ -690,7 +747,7 @@ fn table_qerror(id: &str, scale: &ExperimentScale, data: Dataset, all_workloads:
             ],
             scale,
             SEED ^ hash(id) ^ hash(wname),
-        );
+        )?;
         for r in sweep {
             rows.push(vec![
                 wname.to_string(),
@@ -707,69 +764,71 @@ fn table_qerror(id: &str, scale: &ExperimentScale, data: Dataset, all_workloads:
         id,
         &["workload", "method", "train_size", "q50", "q95", "q99", "qmax"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 // ---------- Appendix B ----------
 
 /// Figures 31–51: the complexity/error/time sweeps for the remaining
 /// dataset × workload combinations.
-fn appendix_b(scale: &ExperimentScale) {
+fn appendix_b(scale: &ExperimentScale) -> Result<(), SelearnError> {
     workload_sweep(
         "fig31_33_power_random",
         scale,
         power2d(scale),
         rect_spec(CenterDistribution::Random),
         true,
-    );
+    )?;
     workload_sweep(
         "fig34_36_power_gaussian",
         scale,
         power2d(scale),
         rect_spec(CenterDistribution::default_gaussian()),
         true,
-    );
+    )?;
     workload_sweep(
         "fig37_39_forest_datadriven",
         scale,
         forest2d(scale),
         rect_spec(CenterDistribution::DataDriven),
         true,
-    );
+    )?;
     workload_sweep(
         "fig40_42_forest_random",
         scale,
         forest2d(scale),
         rect_spec(CenterDistribution::Random),
         true,
-    );
+    )?;
     workload_sweep(
         "fig43_45_forest_gaussian",
         scale,
         forest2d(scale),
         rect_spec(CenterDistribution::default_gaussian()),
         true,
-    );
+    )?;
     workload_sweep(
         "fig46_48_dmv_datadriven",
         scale,
         dmv_proj(scale),
         rect_spec(CenterDistribution::DataDriven).with_categorical(vec![0, 1]),
         true,
-    );
+    )?;
     workload_sweep(
         "fig49_51_census_datadriven",
         scale,
         census_proj(scale),
         rect_spec(CenterDistribution::DataDriven).with_categorical(vec![0]),
         true,
-    );
+    )?;
+    Ok(())
 }
 
 // ---------- Theory experiments ----------
 
 /// Section 2.2 claims: empirical VC lower bounds vs known values.
-fn theory_vc() {
+fn theory_vc() -> Result<(), SelearnError> {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut rows = Vec::new();
     for (name, d, known, f) in [
@@ -817,18 +876,19 @@ fn theory_vc() {
         "theory_vc",
         &["range_class", "dim", "known_vc", "empirical_lower_bound"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Lemma 2.7 construction + Lemma 2.4 crossing-number growth.
-fn theory_fat() {
+fn theory_fat() -> Result<(), SelearnError> {
     let mut rows = Vec::new();
     for k in 1..=3usize {
         let (ranges, sigma, cands) = theory::delta_distribution_fat_construction(k);
         let shattered = theory::is_gamma_shattered(&ranges, &sigma, 0.49, &cands);
         rows.push(vec![format!("fat_construction_k{k}"), shattered.to_string()]);
     }
-    emit("theory_fat", &["check", "result"], &rows);
+    emit("theory_fat", &["check", "result"], &rows)?;
 
     // crossing numbers: identity vs greedy orderings on random rects
     let mut rng = StdRng::seed_from_u64(SEED ^ 0xfa7);
@@ -862,11 +922,12 @@ fn theory_fat() {
         "theory_crossings",
         &["k", "identity_max_crossings", "greedy_max_crossings"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Theorem 2.1 sample-size calculator across classes and dimensions.
-fn theory_bounds() {
+fn theory_bounds() -> Result<(), SelearnError> {
     let mut rows = Vec::new();
     for class in [RangeClass::Rect, RangeClass::Halfspace, RangeClass::Ball] {
         for d in [2usize, 4, 6] {
@@ -881,13 +942,14 @@ fn theory_bounds() {
             }
         }
     }
-    emit("theory_bounds", &["class", "dim", "eps", "n0"], &rows);
+    emit("theory_bounds", &["class", "dim", "eps", "n0"], &rows)?;
+    Ok(())
 }
 
 // ---------- Ablations ----------
 
 /// FISTA vs NNLS weight solvers on the same buckets.
-fn ablation_solver(scale: &ExperimentScale) {
+fn ablation_solver(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
     let sizes: &[usize] = if scale.train_sizes.len() > 2 {
@@ -905,16 +967,17 @@ fn ablation_solver(scale: &ExperimentScale) {
         &[Method::QuadHist, Method::QuadHistNnls],
         &small,
         SEED ^ 0xab1,
-    );
-    emit_accuracy("ablation_solver", &rows);
+    )?;
+    emit_accuracy("ablation_solver", &rows)?;
+    Ok(())
 }
 
 /// PtsHist interior/uniform split sweep (paper fixes 0.9/0.1).
-fn ablation_ptshist_split(scale: &ExperimentScale) {
+fn ablation_ptshist_split(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
-    let n = 500.min(*scale.train_sizes.last().unwrap());
-    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0xab2);
+    let n = 500.min(scale.train_sizes.last().copied().unwrap_or(500));
+    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0xab2)?;
     let (train_w, test) = all.split(n);
     let train = to_training(&train_w);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -924,7 +987,7 @@ fn ablation_ptshist_split(scale: &ExperimentScale) {
             Rect::unit(2),
             &train,
             &PtsHistConfig::with_model_size(4 * n).interior_fraction(frac),
-        );
+        )?;
         let est: Vec<f64> = test
             .queries()
             .iter()
@@ -935,15 +998,16 @@ fn ablation_ptshist_split(scale: &ExperimentScale) {
             format!("{:.5}", rms_error(&est, &truth)),
         ]);
     }
-    emit("ablation_ptshist_split", &["interior_fraction", "rms"], &rows);
+    emit("ablation_ptshist_split", &["interior_fraction", "rms"], &rows)?;
+    Ok(())
 }
 
 /// τ-driven vs cap-driven QuadHist model-size control.
-fn ablation_quadhist_cap(scale: &ExperimentScale) {
+fn ablation_quadhist_cap(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
     let n = 200;
-    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0xab3);
+    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0xab3)?;
     let (train_w, test) = all.split(n);
     let train = to_training(&train_w);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -955,11 +1019,11 @@ fn ablation_quadhist_cap(scale: &ExperimentScale) {
             &train,
             target,
             &QuadHistConfig::default(),
-        );
+        )?;
         // knob B: tiny fixed τ + hard cap only (first-come refinement)
         let mut cfg = QuadHistConfig::with_tau(1e-4);
         cfg.max_leaves = target;
-        let b = QuadHist::fit(Rect::unit(2), &train, &cfg);
+        let b = QuadHist::fit(Rect::unit(2), &train, &cfg)?;
         for (knob, model) in [("calibrated_tau", &a), ("cap_only", &b)] {
             let est: Vec<f64> = test
                 .queries()
@@ -978,11 +1042,12 @@ fn ablation_quadhist_cap(scale: &ExperimentScale) {
         "ablation_quadhist_cap",
         &["knob", "target", "buckets", "rms"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Exact Irwin–Hall halfspace volumes vs quasi-Monte-Carlo.
-fn ablation_volume() {
+fn ablation_volume() -> Result<(), SelearnError> {
     use selearn_geom::Halfspace;
     let mut rng = StdRng::seed_from_u64(SEED ^ 0xab4);
     let mut rows = Vec::new();
@@ -1019,19 +1084,20 @@ fn ablation_volume() {
         "ablation_volume",
         &["dim", "max_abs_diff", "exact_ms_per_50", "qmc_ms_per_50"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Extensions beyond the paper: GaussHist (the conclusion's
 /// Gaussian-mixture open problem) and OnlineQuadHist (streaming feedback),
 /// benchmarked against the batch estimators, plus a GaussHist bandwidth
 /// sweep.
-fn extension_models(scale: &ExperimentScale) {
+fn extension_models(scale: &ExperimentScale) -> Result<(), SelearnError> {
     use selearn_core::{GaussHist, GaussHistConfig, OnlineQuadHist};
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
-    let n = 500.min(*scale.train_sizes.last().unwrap());
-    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0xe7);
+    let n = 500.min(scale.train_sizes.last().copied().unwrap_or(500));
+    let all = gen_workload(&data, &spec, n + scale.test_n, SEED ^ 0xe7)?;
     let (train_w, test) = all.split(n);
     let train = to_training(&train_w);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
@@ -1053,7 +1119,7 @@ fn extension_models(scale: &ExperimentScale) {
     };
 
     for m in [Method::QuadHist, Method::PtsHist] {
-        let (model, ms) = m.fit(&Rect::unit(2), &train);
+        let (model, ms) = m.fit(&Rect::unit(2), &train)?;
         add(m.name().to_string(), model.as_ref(), ms);
     }
     for bw in [0.01f64, 0.03, 0.05, 0.1] {
@@ -1062,7 +1128,7 @@ fn extension_models(scale: &ExperimentScale) {
             Rect::unit(2),
             &train,
             &GaussHistConfig::with_model_size(4 * n).bandwidth(bw),
-        );
+        )?;
         add(
             format!("GaussHist(bw={bw})"),
             &gh,
@@ -1075,11 +1141,11 @@ fn extension_models(scale: &ExperimentScale) {
         Rect::unit(2),
         QuadHistConfig::with_tau(0.005),
         usize::MAX / 2, // refit once at the end
-    );
+    )?;
     for q in &train {
-        online.observe(q.clone());
+        online.observe(q.clone())?;
     }
-    online.refit();
+    online.refit()?;
     add(
         "OnlineQuadHist".to_string(),
         &online,
@@ -1090,14 +1156,15 @@ fn extension_models(scale: &ExperimentScale) {
         "extension_models",
         &["model", "buckets", "rms", "train_wall_ms"],
         &rows,
-    );
+    )?;
+    Ok(())
 }
 
 /// Compact accuracy sweep with solver-convergence columns — the canonical
 /// trace-producing experiment (`accuracy --trace-out trace.jsonl`): the
 /// four main methods on Power (data-driven rects), reporting
 /// `solver_iters` / `solver_converged` alongside the error metrics.
-fn accuracy(scale: &ExperimentScale) {
+fn accuracy(scale: &ExperimentScale) -> Result<(), SelearnError> {
     let data = power2d(scale);
     let spec = rect_spec(CenterDistribution::DataDriven);
     let rows = run_methods(
@@ -1111,8 +1178,9 @@ fn accuracy(scale: &ExperimentScale) {
         ],
         scale,
         SEED ^ hash("accuracy"),
-    );
-    emit_accuracy("accuracy", &rows);
+    )?;
+    emit_accuracy("accuracy", &rows)?;
+    Ok(())
 }
 
 fn hash(s: &str) -> u64 {

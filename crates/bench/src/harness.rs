@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use selearn_baselines::{Isomer, IsomerConfig, QuickSel, QuickSelConfig, UniformBaseline};
 use selearn_core::{
-    BoxedEstimator, Objective, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, TrainingQuery,
-    WeightSolver,
+    BoxedEstimator, Objective, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, SelearnError,
+    TrainingQuery, WeightSolver,
 };
 use selearn_data::{
     l_inf_error, q_error_quantiles, rms_error, Dataset, Workload, WorkloadSpec,
@@ -55,6 +55,39 @@ impl ExperimentScale {
             isomer_limit: 50,
         }
     }
+
+    /// Rejects degenerate scales before any experiment runs.
+    ///
+    /// An empty or zero-containing `train_sizes` (and a zero `rows` or
+    /// `test_n`) would otherwise only surface as a panic deep inside a
+    /// sweep; drivers call this right after parsing their configuration.
+    pub fn validate(&self) -> Result<(), SelearnError> {
+        if self.train_sizes.is_empty() {
+            return Err(SelearnError::InvalidConfig {
+                model: "experiment scale",
+                what: "train_sizes must be non-empty",
+            });
+        }
+        if self.train_sizes.contains(&0) {
+            return Err(SelearnError::InvalidConfig {
+                model: "experiment scale",
+                what: "train_sizes entries must be positive",
+            });
+        }
+        if self.rows == 0 {
+            return Err(SelearnError::InvalidConfig {
+                model: "experiment scale",
+                what: "rows must be positive",
+            });
+        }
+        if self.test_n == 0 {
+            return Err(SelearnError::InvalidConfig {
+                model: "experiment scale",
+                what: "test_n must be positive",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Estimator registry entry used by the sweeps.
@@ -91,8 +124,12 @@ impl Method {
     }
 
     /// Trains the method, returning the model and the training wall time in
-    /// milliseconds.
-    pub fn fit(self, root: &Rect, train: &[TrainingQuery]) -> (BoxedEstimator, f64) {
+    /// milliseconds, or the typed training error.
+    pub fn fit(
+        self,
+        root: &Rect,
+        train: &[TrainingQuery],
+    ) -> Result<(BoxedEstimator, f64), SelearnError> {
         let target = (4 * train.len()).max(4);
         let t0 = Instant::now();
         let model: BoxedEstimator = match self {
@@ -101,38 +138,38 @@ impl Method {
                 train,
                 target,
                 &QuadHistConfig::default(),
-            )),
+            )?),
             Method::QuadHistLInf => Box::new(QuadHist::fit_with_bucket_target(
                 root.clone(),
                 train,
                 target,
                 &QuadHistConfig::default().objective(Objective::LInfSmoothed),
-            )),
+            )?),
             Method::QuadHistNnls => Box::new(QuadHist::fit_with_bucket_target(
                 root.clone(),
                 train,
                 target,
                 &QuadHistConfig::default().solver(WeightSolver::NnlsPenalty),
-            )),
+            )?),
             Method::PtsHist => Box::new(PtsHist::fit(
                 root.clone(),
                 train,
                 &PtsHistConfig::with_model_size(target),
-            )),
+            )?),
             Method::QuickSel => Box::new(QuickSel::fit(
                 root.clone(),
                 train,
                 &QuickSelConfig::default(),
-            )),
+            )?),
             Method::Isomer => Box::new(Isomer::fit(
                 root.clone(),
                 train,
                 &IsomerConfig::default(),
-            )),
+            )?),
             Method::Uniform => Box::new(UniformBaseline::new(root.clone())),
         };
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        (model, ms)
+        Ok((model, ms))
     }
 }
 
@@ -197,7 +234,12 @@ pub fn label_row() -> Vec<&'static str> {
 }
 
 /// Generates a labeled workload deterministically from `(spec, n, seed)`.
-pub fn gen_workload(dataset: &Dataset, spec: &WorkloadSpec, n: usize, seed: u64) -> Workload {
+pub fn gen_workload(
+    dataset: &Dataset,
+    spec: &WorkloadSpec,
+    n: usize,
+    seed: u64,
+) -> Result<Workload, SelearnError> {
     let mut rng = StdRng::seed_from_u64(seed);
     Workload::generate(dataset, spec, n, &mut rng)
 }
@@ -215,10 +257,10 @@ pub fn run_methods(
     methods: &[Method],
     scale: &ExperimentScale,
     seed: u64,
-) -> Vec<AccuracyRow> {
+) -> Result<Vec<AccuracyRow>, SelearnError> {
     let root = Rect::unit(dataset.dim());
     let max_train = scale.train_sizes.iter().copied().max().unwrap_or(0);
-    let all = gen_workload(dataset, spec, max_train + scale.test_n, seed);
+    let all = gen_workload(dataset, spec, max_train + scale.test_n, seed)?;
     let (train_pool, test) = all.split(max_train);
     let truth: Vec<f64> = test.queries().iter().map(|q| q.selectivity).collect();
     let test_ranges: Vec<Range> = test.queries().iter().map(|q| q.range.clone()).collect();
@@ -234,11 +276,11 @@ pub fn run_methods(
                 selectivity: q.selectivity,
             })
             .collect();
-        let eval_method = |m: Method| -> Option<AccuracyRow> {
+        let eval_method = |m: Method| -> Result<Option<AccuracyRow>, SelearnError> {
             if m == Method::Isomer && n > scale.isomer_limit {
-                return None; // matches the paper: ISOMER times out beyond this
+                return Ok(None); // matches the paper: ISOMER times out beyond this
             }
-            let (model, train_wall_ms) = m.fit(&root, &train);
+            let (model, train_wall_ms) = m.fit(&root, &train)?;
             let t0 = Instant::now();
             let est = model.estimate_all(&test_ranges);
             let predict_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -247,7 +289,7 @@ pub fn run_methods(
             // `QErrorSummary::emit`): no second quantile code path.
             q.emit(&format!("{}.n{}", m.name(), n), truth.len());
             let report = model.solve_report();
-            Some(AccuracyRow {
+            Ok(Some(AccuracyRow {
                 method: m.name(),
                 train_size: n,
                 dim: dataset.dim(),
@@ -259,21 +301,25 @@ pub fn run_methods(
                 predict_wall_ms,
                 solver_iters: report.map(|r| r.iters),
                 solver_converged: report.map(|r| r.converged),
-            })
+            }))
         };
         #[cfg(feature = "parallel")]
-        let per_method: Vec<Option<AccuracyRow>> =
+        let per_method: Vec<Result<Option<AccuracyRow>, SelearnError>> =
             if methods.len() > 1 && rayon::current_num_threads() > 1 {
                 methods.par_iter().map(|&m| eval_method(m)).collect()
             } else {
                 methods.iter().map(|&m| eval_method(m)).collect()
             };
         #[cfg(not(feature = "parallel"))]
-        let per_method: Vec<Option<AccuracyRow>> =
+        let per_method: Vec<Result<Option<AccuracyRow>, SelearnError>> =
             methods.iter().map(|&m| eval_method(m)).collect();
-        rows.extend(per_method.into_iter().flatten());
+        for r in per_method {
+            if let Some(row) = r? {
+                rows.push(row);
+            }
+        }
     }
-    rows
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -297,7 +343,8 @@ mod tests {
             &[Method::QuadHist, Method::PtsHist, Method::Isomer],
             &scale,
             1,
-        );
+        )
+        .unwrap();
         // Isomer only runs at n = 20 (limit), others at both sizes → 5 rows
         assert_eq!(rows.len(), 5);
         for r in &rows {
@@ -323,7 +370,7 @@ mod tests {
             test_n: 100,
             isomer_limit: 0,
         };
-        let rows = run_methods(&data, &spec, &[Method::QuadHist], &scale, 2);
+        let rows = run_methods(&data, &spec, &[Method::QuadHist], &scale, 2).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(
             rows[1].rms <= rows[0].rms * 1.2,
@@ -337,8 +384,8 @@ mod tests {
     fn workload_generation_is_deterministic() {
         let data = power_like(1_000, 9).project(&[0, 1]);
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
-        let a = gen_workload(&data, &spec, 10, 3);
-        let b = gen_workload(&data, &spec, 10, 3);
+        let a = gen_workload(&data, &spec, 10, 3).unwrap();
+        let b = gen_workload(&data, &spec, 10, 3).unwrap();
         for (x, y) in a.queries().iter().zip(b.queries()) {
             assert_eq!(x.selectivity, y.selectivity);
         }

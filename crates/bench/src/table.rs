@@ -5,10 +5,14 @@ use std::path::Path;
 
 /// Writes rows (already stringified) as a CSV file with the given header,
 /// creating parent directories as needed.
-pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) {
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir).expect("create results dir");
+        fs::create_dir_all(dir)?;
     }
     let mut out = String::new();
     out.push_str(&header.join(","));
@@ -17,7 +21,7 @@ pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<String>]) 
         out.push_str(&row.join(","));
         out.push('\n');
     }
-    fs::write(path, out).expect("write csv");
+    fs::write(path, out)
 }
 
 /// Renders rows as an aligned plain-text table.
@@ -73,7 +77,8 @@ mod tests {
             &path,
             &["a", "b"],
             &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
-        );
+        )
+        .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "a,b\n1,2\n3,4\n");
         std::fs::remove_dir_all(&dir).ok();

@@ -13,6 +13,7 @@
 //! canonical grid refinement; a `max_cells` guard fails fast instead of
 //! exhausting memory.
 
+use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::weights::{estimate_weights, Objective, WeightSolver};
 use rand::rngs::StdRng;
@@ -23,7 +24,8 @@ use selearn_solver::DenseMatrix;
 /// Configuration for [`ArrangementHist`].
 #[derive(Clone, Debug)]
 pub struct ArrangementHistConfig {
-    /// Abort (panic) if the arrangement would exceed this many cells.
+    /// Abort (with [`SelearnError::ResourceExhausted`]) if the arrangement
+    /// would exceed this many cells.
     pub max_cells: usize,
     /// Build the discrete variant (one random point per cell, Equation 7)
     /// instead of the histogram variant (Equation 6).
@@ -62,26 +64,34 @@ impl ArrangementHist {
     /// Trains over the data space `root`. Only orthogonal-range training
     /// queries are supported.
     ///
-    /// # Panics
-    /// Panics if a training range is not a rectangle, or if the
-    /// arrangement exceeds `config.max_cells` cells.
-    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &ArrangementHistConfig) -> Self {
-        let rects: Vec<Rect> = queries
-            .iter()
-            .map(|q| {
-                q.range
-                    .as_rect()
-                    .expect("ArrangementHist supports orthogonal ranges only")
-                    .clone()
-            })
-            .collect();
+    /// Returns a typed [`SelearnError`] if a training range is not a
+    /// rectangle, a label is non-finite, or the arrangement exceeds
+    /// `config.max_cells` cells.
+    pub fn fit(
+        root: Rect,
+        queries: &[TrainingQuery],
+        config: &ArrangementHistConfig,
+    ) -> Result<Self, SelearnError> {
+        crate::error::check_labels(queries)?;
+        let mut rects: Vec<Rect> = Vec::with_capacity(queries.len());
+        for (i, q) in queries.iter().enumerate() {
+            let Some(r) = q.range.as_rect() else {
+                return Err(SelearnError::UnsupportedQuery {
+                    model: "arrangement",
+                    query: i,
+                    what: "orthogonal ranges only",
+                });
+            };
+            rects.push(r.clone());
+        }
         let arrangement = grid_arrangement(&rects, &root);
-        assert!(
-            arrangement.num_cells() <= config.max_cells,
-            "arrangement of {} cells exceeds the {}-cell guard; use QuadHist/PtsHist",
-            arrangement.num_cells(),
-            config.max_cells
-        );
+        if arrangement.num_cells() > config.max_cells {
+            return Err(SelearnError::ResourceExhausted {
+                what: "arrangement cells",
+                limit: config.max_cells,
+                got: arrangement.num_cells(),
+            });
+        }
         let cells: Vec<Rect> = arrangement.to_cells();
 
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -95,7 +105,7 @@ impl ArrangementHist {
         // entries are (numerically) 0/1 in histogram mode too.
         let mut a = DenseMatrix::zeros(0, 0);
         let mut s = Vec::with_capacity(queries.len());
-        for q in queries {
+        for (q, rect) in queries.iter().zip(&rects) {
             let row: Vec<f64> = if config.discrete {
                 points
                     .iter()
@@ -109,7 +119,6 @@ impl ArrangementHist {
                         if cv <= EPS {
                             0.0
                         } else {
-                            let rect = q.range.as_rect().expect("checked above");
                             (rect.intersection_volume(c) / cv).clamp(0.0, 1.0)
                         }
                     })
@@ -121,15 +130,15 @@ impl ArrangementHist {
         let weights = if a.rows() == 0 {
             vec![1.0 / cells.len() as f64; cells.len()]
         } else {
-            estimate_weights(&a, &s, &config.objective, &config.solver)
+            estimate_weights(&a, &s, &config.objective, &config.solver)?
         };
 
-        Self {
+        Ok(Self {
             cells,
             points,
             weights,
             discrete: config.discrete,
-        }
+        })
     }
 
     /// Training loss `Σ_i (ŝ(R_i) − s_i)²` of the fitted model on a
@@ -212,7 +221,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &ArrangementHistConfig::default(),
-        );
+        ).unwrap();
         let loss = ah.training_loss(&queries);
         assert!(loss < 1e-6, "loss = {loss}");
     }
@@ -229,7 +238,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &ArrangementHistConfig::default(),
-        );
+        ).unwrap();
         let disc = ArrangementHist::fit(
             Rect::unit(2),
             &queries,
@@ -237,7 +246,7 @@ mod tests {
                 discrete: true,
                 ..Default::default()
             },
-        );
+        ).unwrap();
         let lh = hist.training_loss(&queries);
         let ld = disc.training_loss(&queries);
         assert!((lh - ld).abs() < 1e-6, "hist {lh} vs discrete {ld}");
@@ -257,12 +266,12 @@ mod tests {
             Rect::unit(2),
             &queries,
             &ArrangementHistConfig::default(),
-        );
+        ).unwrap();
         let qh = QuadHist::fit(
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.01),
-        );
+        ).unwrap();
         let qh_loss: f64 = queries
             .iter()
             .map(|q| (qh.estimate(&q.range) - q.selectivity).powi(2))
@@ -286,25 +295,35 @@ mod tests {
             max_cells: 100,
             ..Default::default()
         };
-        let r = std::panic::catch_unwind(|| {
-            ArrangementHist::fit(Rect::unit(2), &queries, &cfg)
-        });
-        assert!(r.is_err(), "guard should trip");
+        let err = ArrangementHist::fit(Rect::unit(2), &queries, &cfg).unwrap_err();
+        assert!(
+            matches!(err, SelearnError::ResourceExhausted { limit: 100, .. }),
+            "guard should trip, got {err}"
+        );
     }
 
     #[test]
     fn empty_workload_is_uniform() {
-        let ah = ArrangementHist::fit(Rect::unit(2), &[], &ArrangementHistConfig::default());
+        let ah = ArrangementHist::fit(Rect::unit(2), &[], &ArrangementHistConfig::default()).unwrap();
         assert_eq!(ah.num_buckets(), 1);
         let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 1.0]).into();
         assert!((ah.estimate(&r) - 0.5).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "orthogonal ranges only")]
-    fn non_rect_training_query_panics() {
+    fn non_rect_training_query_is_typed_error() {
         use selearn_geom::{Ball, Point};
         let q = TrainingQuery::new(Ball::new(Point::splat(2, 0.5), 0.2), 0.1);
-        let _ = ArrangementHist::fit(Rect::unit(2), &[q], &ArrangementHistConfig::default());
+        let err =
+            ArrangementHist::fit(Rect::unit(2), &[q], &ArrangementHistConfig::default())
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            SelearnError::UnsupportedQuery {
+                model: "arrangement",
+                query: 0,
+                ..
+            }
+        ));
     }
 }

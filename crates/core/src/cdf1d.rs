@@ -11,6 +11,7 @@
 //! computed exactly by PAVA (isotonic regression) — so it inherits
 //! Lemma 3.1's optimality in the 1-D case.
 
+use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use selearn_geom::{Range, RangeQuery, Rect};
 use selearn_solver::isotonic_regression;
@@ -45,15 +46,22 @@ pub struct Cdf1D {
 impl Cdf1D {
     /// Fits the CDF to a workload of 1-D interval queries.
     ///
-    /// # Panics
-    /// Panics if any training range is not one-dimensional.
-    pub fn fit(queries: &[TrainingQuery], config: &Cdf1DConfig) -> Self {
+    /// Returns a typed [`SelearnError`] if a training range is not
+    /// one-dimensional or a label is non-finite.
+    pub fn fit(queries: &[TrainingQuery], config: &Cdf1DConfig) -> Result<Self, SelearnError> {
+        crate::error::check_labels(queries)?;
         // knots: all clipped interval endpoints + domain boundaries
         let unit = Rect::unit(1);
         let mut knots = vec![0.0, 1.0];
         let mut intervals: Vec<(f64, f64, f64)> = Vec::with_capacity(queries.len());
-        for q in queries {
-            assert_eq!(q.range.dim(), 1, "Cdf1D requires 1-D ranges");
+        for (i, q) in queries.iter().enumerate() {
+            if q.range.dim() != 1 {
+                return Err(SelearnError::UnsupportedQuery {
+                    model: "cdf1d",
+                    query: i,
+                    what: "1-D ranges required",
+                });
+            }
             // every 1-D range (box, halfline, ball) clips to an interval
             if let Some(seg) = q.range.bounding_box(&unit) {
                 let (a, b) = (seg.lo()[0], seg.hi()[0]);
@@ -65,12 +73,12 @@ impl Cdf1D {
                 // carries no constraint on F within [0,1]
             }
         }
-        knots.sort_by(|a, b| a.partial_cmp(b).expect("finite endpoints"));
+        knots.sort_by(f64::total_cmp);
         knots.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
         let m = knots.len();
         let index_of = |x: f64| -> usize {
             knots
-                .binary_search_by(|k| k.partial_cmp(&x).expect("finite"))
+                .binary_search_by(|k| k.total_cmp(&x))
                 .unwrap_or_else(|i| i.min(m - 1))
         };
         let constraints: Vec<(usize, usize, f64)> = intervals
@@ -123,7 +131,7 @@ impl Cdf1D {
             // exact projection: pin anchors, isotonic-project, clamp
             f[0] = 0.0;
             f[m - 1] = 1.0;
-            f = isotonic_regression(&f, &weights);
+            f = isotonic_regression(&f, &weights)?;
             for v in f.iter_mut() {
                 *v = v.clamp(0.0, 1.0);
             }
@@ -138,7 +146,7 @@ impl Cdf1D {
             prev = cur;
         }
 
-        Self { knots, values: f }
+        Ok(Self { knots, values: f })
     }
 
     /// The learned CDF at `x` (piecewise-linear between knots; 0 below the
@@ -182,8 +190,12 @@ impl Cdf1D {
 }
 
 impl SelectivityEstimator for Cdf1D {
+    /// Estimates the selectivity of a 1-D range. A range of any other
+    /// dimensionality cannot intersect the learned domain and estimates 0.
     fn estimate(&self, range: &Range) -> f64 {
-        assert_eq!(range.dim(), 1, "Cdf1D answers 1-D ranges");
+        if range.dim() != 1 {
+            return 0.0;
+        }
         match range.bounding_box(&Rect::unit(1)) {
             Some(seg) => (self.cdf(seg.hi()[0]) - self.cdf(seg.lo()[0])).clamp(0.0, 1.0),
             None => 0.0,
@@ -222,7 +234,7 @@ mod tests {
         .iter()
         .map(|&(a, b)| iv(a, b, truth(a, b)))
         .collect();
-        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default()).unwrap();
         let loss = cdf.training_loss(&queries);
         assert!(loss < 1e-8, "loss = {loss}");
         // knots pinned by a query touching the anchored boundary match the
@@ -236,7 +248,7 @@ mod tests {
     #[test]
     fn cdf_is_monotone_and_anchored() {
         let queries = vec![iv(0.2, 0.4, 0.7), iv(0.5, 0.9, 0.1), iv(0.0, 0.3, 0.5)];
-        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default()).unwrap();
         assert_eq!(cdf.cdf(0.0), 0.0);
         assert_eq!(cdf.cdf(1.0), 1.0);
         let mut prev = 0.0;
@@ -252,7 +264,7 @@ mod tests {
     #[test]
     fn contradictory_feedback_compromises() {
         let queries = vec![iv(0.2, 0.8, 0.9), iv(0.2, 0.8, 0.1)];
-        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default()).unwrap();
         let e = cdf.estimate(&Range::Rect(Rect::new(vec![0.2], vec![0.8])));
         assert!((e - 0.5).abs() < 0.05, "compromise = {e}");
     }
@@ -260,7 +272,7 @@ mod tests {
     #[test]
     fn answers_halfspace_and_ball_ranges() {
         let queries = vec![iv(0.0, 0.5, 0.8), iv(0.5, 1.0, 0.2)];
-        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default()).unwrap();
         // x ≥ 0.5 should get ≈ 0.2
         let h: Range = Halfspace::new(vec![1.0], 0.5).into();
         assert!((cdf.estimate(&h) - 0.2).abs() < 0.02);
@@ -271,7 +283,7 @@ mod tests {
 
     #[test]
     fn empty_workload_is_uniform() {
-        let cdf = Cdf1D::fit(&[], &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&[], &Cdf1DConfig::default()).unwrap();
         assert!((cdf.cdf(0.3) - 0.3).abs() < 1e-12);
         let r: Range = Rect::new(vec![0.25], vec![0.75]).into();
         assert!((cdf.estimate(&r) - 0.5).abs() < 1e-12);
@@ -290,13 +302,13 @@ mod tests {
                 iv(a, b, truth(a, b))
             })
             .collect();
-        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default()).unwrap();
         let qh = QuadHist::fit_with_bucket_target(
             Rect::unit(1),
             &queries,
             cdf.num_buckets(),
             &QuadHistConfig::default(),
-        );
+        ).unwrap();
         let qh_loss: f64 = queries
             .iter()
             .map(|q| (qh.estimate(&q.range) - q.selectivity).powi(2))
@@ -311,15 +323,29 @@ mod tests {
     #[test]
     fn out_of_domain_ranges() {
         let queries = vec![iv(0.0, 1.0, 1.0)];
-        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default());
+        let cdf = Cdf1D::fit(&queries, &Cdf1DConfig::default()).unwrap();
         let far: Range = Ball::new(Point::new(vec![5.0]), 0.5).into();
         assert_eq!(cdf.estimate(&far), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "1-D")]
     fn rejects_multidimensional_ranges() {
         let q = TrainingQuery::new(Rect::unit(2), 0.5);
-        let _ = Cdf1D::fit(&[q], &Cdf1DConfig::default());
+        let err = Cdf1D::fit(&[q], &Cdf1DConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            SelearnError::UnsupportedQuery {
+                model: "cdf1d",
+                query: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_labels() {
+        let q = iv(0.2, 0.8, f64::NAN);
+        let err = Cdf1D::fit(&[q], &Cdf1DConfig::default()).unwrap_err();
+        assert!(matches!(err, SelearnError::InvalidLabel { query: 0, .. }));
     }
 }

@@ -20,6 +20,7 @@
 //! halfspaces (a 1-D normal CDF along the normal direction), and
 //! deterministic quasi-Monte-Carlo for balls and semi-algebraic ranges.
 
+use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::weights::{estimate_weights, Objective, WeightSolver};
 use rand::rngs::StdRng;
@@ -99,8 +100,34 @@ pub struct GaussHist {
 
 impl GaussHist {
     /// Trains a GaussHist over the data space `root` from a workload.
-    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &GaussHistConfig) -> Self {
-        assert!(config.model_size > 0, "model size must be positive");
+    ///
+    /// Returns a typed [`SelearnError`] on `k = 0`, a non-positive or
+    /// non-finite bandwidth, an interior fraction outside `[0, 1]`, or a
+    /// non-finite training label.
+    pub fn fit(
+        root: Rect,
+        queries: &[TrainingQuery],
+        config: &GaussHistConfig,
+    ) -> Result<Self, SelearnError> {
+        if config.model_size == 0 {
+            return Err(SelearnError::InvalidConfig {
+                model: "gausshist",
+                what: "model size must be >= 1",
+            });
+        }
+        if !(config.bandwidth.is_finite() && config.bandwidth > 0.0) {
+            return Err(SelearnError::InvalidConfig {
+                model: "gausshist",
+                what: "bandwidth must be finite and positive",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.interior_fraction) {
+            return Err(SelearnError::InvalidConfig {
+                model: "gausshist",
+                what: "interior fraction must be in [0, 1]",
+            });
+        }
+        crate::error::check_labels(queries)?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let k = config.model_size;
         let k_interior = (config.interior_fraction * k as f64).round() as usize;
@@ -145,9 +172,9 @@ impl GaussHist {
         let weights = if a.rows() == 0 {
             vec![1.0 / probe.centers.len() as f64; probe.centers.len()]
         } else {
-            estimate_weights(&a, &s, &config.objective, &config.solver)
+            estimate_weights(&a, &s, &config.objective, &config.solver)?
         };
-        GaussHist { weights, ..probe }
+        Ok(GaussHist { weights, ..probe })
     }
 
     /// The mixture components `(center, weight)`; every component has the
@@ -244,7 +271,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &GaussHistConfig::with_model_size(300),
-        );
+        ).unwrap();
         for q in &queries {
             let est = gh.estimate(&q.range);
             assert!(
@@ -262,7 +289,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &GaussHistConfig::with_model_size(100),
-        );
+        ).unwrap();
         let total: f64 = gh.components().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6);
         assert!(gh.components().all(|(_, w)| w >= -1e-9));
@@ -280,7 +307,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &GaussHistConfig::with_model_size(200).bandwidth(0.1),
-        );
+        ).unwrap();
         let all: Range = Rect::unit(2).into();
         let est = gh.estimate(&all);
         assert!(est > 0.85 && est <= 1.0, "est = {est}");
@@ -339,7 +366,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &GaussHistConfig::with_model_size(200).bandwidth(0.08),
-        );
+        ).unwrap();
         let mid: Range = Rect::new(vec![0.4, 0.4], vec![0.6, 0.6]).into();
         let est = gh.estimate(&mid);
         assert!(est > 0.001 && est < 0.5, "est = {est}");
@@ -349,8 +376,8 @@ mod tests {
     fn deterministic_per_seed() {
         let queries = vec![tq(vec![0.1, 0.1], vec![0.7, 0.7], 0.4)];
         let cfg = GaussHistConfig::with_model_size(64).seed(5);
-        let a = GaussHist::fit(Rect::unit(2), &queries, &cfg);
-        let b = GaussHist::fit(Rect::unit(2), &queries, &cfg);
+        let a = GaussHist::fit(Rect::unit(2), &queries, &cfg).unwrap();
+        let b = GaussHist::fit(Rect::unit(2), &queries, &cfg).unwrap();
         let wa: Vec<f64> = a.components().map(|(_, w)| w).collect();
         let wb: Vec<f64> = b.components().map(|(_, w)| w).collect();
         assert_eq!(wa, wb);
@@ -358,7 +385,7 @@ mod tests {
 
     #[test]
     fn empty_workload_uniform_mixture() {
-        let gh = GaussHist::fit(Rect::unit(2), &[], &GaussHistConfig::with_model_size(32));
+        let gh = GaussHist::fit(Rect::unit(2), &[], &GaussHistConfig::with_model_size(32)).unwrap();
         let total: f64 = gh.components().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }

@@ -24,10 +24,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The panic-free gate: unwrap/expect are banned outside test code
+// (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arrangement_hist;
 pub(crate) mod assemble;
 pub mod cdf1d;
+pub mod error;
 pub mod estimator;
 pub mod gausshist;
 pub mod online;
@@ -44,6 +48,7 @@ pub(crate) fn quadtree_eps() -> f64 {
 
 pub use arrangement_hist::{ArrangementHist, ArrangementHistConfig};
 pub use cdf1d::{Cdf1D, Cdf1DConfig};
+pub use error::{check_labels, SelearnError};
 pub use estimator::{BoxedEstimator, SelectivityEstimator, TrainingQuery};
 pub use gausshist::{GaussHist, GaussHistConfig};
 pub use online::OnlineQuadHist;

@@ -14,6 +14,7 @@
 //! leaves inherit their parent's mass proportionally to volume, so
 //! estimates remain a valid distribution at all times.
 
+use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::quadhist::{update_quad, QuadHist, QuadHistConfig};
 use crate::quadtree::{QuadTree, ROOT};
@@ -38,10 +39,28 @@ pub struct OnlineQuadHist {
 impl OnlineQuadHist {
     /// Creates an empty online estimator over the data space `root` that
     /// re-runs weight estimation every `refit_every` observations.
-    pub fn new(root: Rect, config: QuadHistConfig, refit_every: usize) -> Self {
-        assert!(refit_every > 0, "refit interval must be positive");
+    ///
+    /// Returns [`SelearnError::InvalidConfig`] on a zero refit interval or
+    /// a `τ` outside `(0, 1)`.
+    pub fn new(
+        root: Rect,
+        config: QuadHistConfig,
+        refit_every: usize,
+    ) -> Result<Self, SelearnError> {
+        if refit_every == 0 {
+            return Err(SelearnError::InvalidConfig {
+                model: "online-quadhist",
+                what: "refit interval must be >= 1",
+            });
+        }
+        if !(config.tau > 0.0 && config.tau < 1.0) {
+            return Err(SelearnError::InvalidConfig {
+                model: "online-quadhist",
+                what: "tau must be in (0, 1)",
+            });
+        }
         let tree = QuadTree::new(root.clone());
-        Self {
+        Ok(Self {
             config,
             root,
             node_weight: vec![1.0; 1], // single leaf carries all mass
@@ -49,12 +68,22 @@ impl OnlineQuadHist {
             history: Vec::new(),
             observed_since_refit: 0,
             refit_every,
-        }
+        })
     }
 
     /// Ingests one piece of query feedback: refines the partition
     /// (Algorithm 2) and schedules a weight refit.
-    pub fn observe(&mut self, feedback: TrainingQuery) {
+    ///
+    /// Returns [`SelearnError::InvalidLabel`] on a non-finite selectivity
+    /// (the model is left unchanged), or a solver error from a scheduled
+    /// refit.
+    pub fn observe(&mut self, feedback: TrainingQuery) -> Result<(), SelearnError> {
+        if !feedback.selectivity.is_finite() {
+            return Err(SelearnError::InvalidLabel {
+                query: self.history.len(),
+                value: feedback.selectivity,
+            });
+        }
         let nodes_before = self.tree.num_nodes();
         let vol_r = feedback.range.volume_in(&self.root, &self.config.volume);
         if vol_r > EPS {
@@ -110,17 +139,21 @@ impl OnlineQuadHist {
         self.history.push(feedback);
         self.observed_since_refit += 1;
         if self.observed_since_refit >= self.refit_every {
-            self.refit();
+            self.refit()?;
         }
+        Ok(())
     }
 
     /// Re-runs the weight-estimation phase (Equation 8) over the full
     /// observation history on the current partition.
-    pub fn refit(&mut self) {
+    ///
+    /// On a solver error the interim (still distribution-valid) weights
+    /// are kept and the error is returned.
+    pub fn refit(&mut self) -> Result<(), SelearnError> {
         self.observed_since_refit = 0;
         let leaves = self.tree.leaves();
         if leaves.is_empty() || self.history.is_empty() {
-            return;
+            return Ok(());
         }
         let mut a = DenseMatrix::zeros(0, 0);
         let mut s = Vec::with_capacity(self.history.len());
@@ -141,11 +174,12 @@ impl OnlineQuadHist {
             a.push_row(&row);
             s.push(q.selectivity);
         }
-        let w = estimate_weights(&a, &s, &self.config.objective, &self.config.solver);
+        let w = estimate_weights(&a, &s, &self.config.objective, &self.config.solver)?;
         self.node_weight = vec![0.0; self.tree.num_nodes()];
         for (k, &leaf) in leaves.iter().enumerate() {
             self.node_weight[leaf] = w[k];
         }
+        Ok(())
     }
 
     /// Number of feedback records ingested so far.
@@ -154,8 +188,8 @@ impl OnlineQuadHist {
     }
 
     /// Converts into a frozen batch model (refitting first).
-    pub fn freeze(mut self) -> QuadHist {
-        self.refit();
+    pub fn freeze(mut self) -> Result<QuadHist, SelearnError> {
+        self.refit()?;
         QuadHist::fit(self.root, &self.history, &self.config)
     }
 }
@@ -211,9 +245,9 @@ mod tests {
 
     #[test]
     fn mass_stays_valid_without_refit() {
-        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.02), 1000);
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.02), 1000).unwrap();
         for q in stream() {
-            m.observe(q);
+            m.observe(q).unwrap();
             // interim estimates remain a distribution: whole space ≈ 1
             let all: Range = Rect::unit(2).into();
             let e = m.estimate(&all);
@@ -227,11 +261,11 @@ mod tests {
         // must agree with the batch model (same τ, same queries) — a
         // consequence of Lemma A.4 plus shared weight estimation.
         let cfg = QuadHistConfig::with_tau(0.02);
-        let mut online = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 1);
+        let mut online = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 1).unwrap();
         for q in stream() {
-            online.observe(q);
+            online.observe(q).unwrap();
         }
-        let batch = QuadHist::fit(Rect::unit(2), &stream(), &cfg);
+        let batch = QuadHist::fit(Rect::unit(2), &stream(), &cfg).unwrap();
         assert_eq!(online.num_buckets(), batch.num_buckets());
         for q in stream() {
             let a = online.estimate(&q.range);
@@ -242,16 +276,16 @@ mod tests {
 
     #[test]
     fn accuracy_improves_along_the_stream() {
-        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.02), 2);
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.02), 2).unwrap();
         let qs = stream();
         let probe = &qs[0];
         let mut err_first = None;
         for q in &qs {
-            m.observe(q.clone());
+            m.observe(q.clone()).unwrap();
             let e = (m.estimate(&probe.range) - 0.6f64).abs();
             err_first.get_or_insert(e);
         }
-        m.refit();
+        m.refit().unwrap();
         let final_err = (m.estimate(&probe.range) - 0.6f64).abs();
         assert!(final_err <= err_first.unwrap() + 1e-9);
         assert!(final_err < 0.05, "final error {final_err}");
@@ -261,18 +295,18 @@ mod tests {
     #[test]
     fn freeze_produces_equivalent_batch_model() {
         let cfg = QuadHistConfig::with_tau(0.05);
-        let mut online = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 3);
+        let mut online = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 3).unwrap();
         for q in stream() {
-            online.observe(q);
+            online.observe(q).unwrap();
         }
-        let frozen = online.freeze();
-        let batch = QuadHist::fit(Rect::unit(2), &stream(), &cfg);
+        let frozen = online.freeze().unwrap();
+        let batch = QuadHist::fit(Rect::unit(2), &stream(), &cfg).unwrap();
         assert_eq!(frozen.num_buckets(), batch.num_buckets());
     }
 
     #[test]
     fn empty_online_model_is_uniform() {
-        let m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::default(), 10);
+        let m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::default(), 10).unwrap();
         let half: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 1.0]).into();
         assert!((m.estimate(&half) - 0.5).abs() < 1e-9);
         assert_eq!(m.num_buckets(), 1);
@@ -281,9 +315,9 @@ mod tests {
 
     #[test]
     fn degenerate_feedback_is_tolerated() {
-        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::default(), 2);
-        m.observe(tq(vec![0.3, 0.0], vec![0.3, 1.0], 0.2)); // zero volume
-        m.observe(tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5));
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::default(), 2).unwrap();
+        m.observe(tq(vec![0.3, 0.0], vec![0.3, 1.0], 0.2)).unwrap(); // zero volume
+        m.observe(tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5)).unwrap();
         let all: Range = Rect::unit(2).into();
         assert!((m.estimate(&all) - 1.0).abs() < 1e-6);
     }

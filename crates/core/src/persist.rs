@@ -141,16 +141,15 @@ pub fn load_quadhist<R: BufRead>(r: R) -> Result<QuadHist, PersistError> {
             .map(|t| dec(t))
             .collect::<Result<_, _>>()?;
         let weight = dec(toks[2 * d])?;
-        buckets.push((Rect::new(lo, hi), weight));
+        let rect = Rect::try_new(lo, hi)
+            .map_err(|e| PersistError::Format(format!("bad bucket box: {e}")))?;
+        buckets.push((rect, weight));
     }
     if next()? != "end" {
         return bad("missing trailer");
     }
-    Ok(QuadHist::from_buckets(
-        root,
-        &buckets,
-        VolumeEstimator::default(),
-    ))
+    QuadHist::from_buckets(root, &buckets, VolumeEstimator::default())
+        .map_err(|e| PersistError::Format(e.to_string()))
 }
 
 /// Serializes a PtsHist.
@@ -216,13 +215,17 @@ pub fn load_ptshist<R: BufRead>(r: R) -> Result<PtsHist, PersistError> {
             return bad(format!("point line has {} fields", toks.len()));
         }
         let coords: Vec<f64> = toks[..d].iter().map(|t| dec(t)).collect::<Result<_, _>>()?;
+        if let Some(c) = coords.iter().find(|c| !c.is_finite()) {
+            return bad(format!("non-finite point coordinate {c}"));
+        }
         points.push(Point::new(coords));
         weights.push(dec(toks[d])?);
     }
     if next()? != "end" {
         return bad("missing trailer");
     }
-    Ok(PtsHist::from_support(root, points, weights))
+    PtsHist::from_support(root, points, weights)
+        .map_err(|e| PersistError::Format(e.to_string()))
 }
 
 fn parse_rect_line(line: &str, tag: &str, d: usize) -> Result<Rect, PersistError> {
@@ -235,7 +238,7 @@ fn parse_rect_line(line: &str, tag: &str, d: usize) -> Result<Rect, PersistError
     }
     let lo: Vec<f64> = toks[..d].iter().map(|t| dec(t)).collect::<Result<_, _>>()?;
     let hi: Vec<f64> = toks[d..].iter().map(|t| dec(t)).collect::<Result<_, _>>()?;
-    Ok(Rect::new(lo, hi))
+    Rect::try_new(lo, hi).map_err(|e| PersistError::Format(format!("bad {tag} box: {e}")))
 }
 
 #[cfg(test)]
@@ -268,7 +271,7 @@ mod tests {
             Rect::unit(2),
             &workload(),
             &QuadHistConfig::with_tau(0.02),
-        );
+        ).unwrap();
         let mut buf = Vec::new();
         save_quadhist(&qh, &mut buf).unwrap();
         let back = load_quadhist(&buf[..]).unwrap();
@@ -284,7 +287,7 @@ mod tests {
             Rect::unit(2),
             &workload(),
             &PtsHistConfig::with_model_size(64),
-        );
+        ).unwrap();
         let mut buf = Vec::new();
         save_ptshist(&ph, &mut buf).unwrap();
         let back = load_ptshist(&buf[..]).unwrap();
@@ -301,7 +304,7 @@ mod tests {
         let e = load_quadhist("selearn-model v1\nptshist 2\n".as_bytes()).unwrap_err();
         assert!(e.to_string().contains("quadhist"));
         // truncated file
-        let qh = QuadHist::fit(Rect::unit(2), &workload(), &QuadHistConfig::with_tau(0.05));
+        let qh = QuadHist::fit(Rect::unit(2), &workload(), &QuadHistConfig::with_tau(0.05)).unwrap();
         let mut buf = Vec::new();
         save_quadhist(&qh, &mut buf).unwrap();
         let cut = &buf[..buf.len() / 2];
@@ -322,12 +325,12 @@ mod tests {
             Rect::unit(2),
             &workload(),
             &QuadHistConfig::with_tau(0.01),
-        );
+        ).unwrap();
         let rebuilt = QuadHist::from_buckets(
             Rect::unit(2),
             &qh.buckets(),
             VolumeEstimator::default(),
-        );
+        ).unwrap();
         assert_eq!(rebuilt.num_buckets(), qh.num_buckets());
         let total: f64 = rebuilt.buckets().iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6);

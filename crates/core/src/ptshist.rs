@@ -17,6 +17,7 @@
 //! consistent with the workload.
 
 use crate::assemble::assemble_design_matrix;
+use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::weights::{estimate_weights_with_report, Objective, WeightSolver};
 use rand::rngs::StdRng;
@@ -100,21 +101,45 @@ pub struct PtsHist {
 
 impl PtsHist {
     /// Trains a PtsHist over the data space `root` from a workload.
-    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &PtsHistConfig) -> Self {
-        assert!(config.model_size > 0, "model size must be positive");
+    ///
+    /// Returns a typed [`SelearnError`] on `k = 0`, an interior fraction
+    /// outside `[0, 1]`, or a non-finite training label; an empty workload
+    /// is fine (uniform model).
+    pub fn fit(
+        root: Rect,
+        queries: &[TrainingQuery],
+        config: &PtsHistConfig,
+    ) -> Result<Self, SelearnError> {
+        if config.model_size == 0 {
+            return Err(SelearnError::InvalidConfig {
+                model: "ptshist",
+                what: "model size must be >= 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&config.interior_fraction) {
+            return Err(SelearnError::InvalidConfig {
+                model: "ptshist",
+                what: "interior fraction must be in [0, 1]",
+            });
+        }
+        crate::error::check_labels(queries)?;
         let _span = selearn_obs::span!("fit.ptshist");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let k = config.model_size;
         let k_interior = (config.interior_fraction * k as f64).round() as usize;
 
         // Step 1: interior points, shares proportional to selectivity.
+        // Labels are clamped at zero for the allocation only: finite
+        // out-of-band labels are legal in the agnostic setting, but a
+        // negative share would let one query's floor exceed k_interior
+        // and underflow the shortfall below.
         let mut points: Vec<Point> = Vec::with_capacity(k);
-        let total_s: f64 = queries.iter().map(|q| q.selectivity).sum();
+        let total_s: f64 = queries.iter().map(|q| q.selectivity.max(0.0)).sum();
         if total_s > 0.0 && k_interior > 0 {
             // Largest-remainder allocation of k_interior shares.
             let raw: Vec<f64> = queries
                 .iter()
-                .map(|q| q.selectivity / total_s * k_interior as f64)
+                .map(|q| q.selectivity.max(0.0) / total_s * k_interior as f64)
                 .collect();
             let mut alloc: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
             let mut remainder: Vec<(usize, f64)> = raw
@@ -122,8 +147,8 @@ impl PtsHist {
                 .enumerate()
                 .map(|(i, r)| (i, r - r.floor()))
                 .collect();
-            remainder.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-            let mut short = k_interior - alloc.iter().sum::<usize>();
+            remainder.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut short = k_interior.saturating_sub(alloc.iter().sum::<usize>());
             for (i, _) in remainder {
                 if short == 0 {
                     break;
@@ -160,17 +185,17 @@ impl PtsHist {
         let (weights, solve_report) = if a.rows() == 0 {
             (vec![1.0 / points.len() as f64; points.len()], None)
         } else {
-            estimate_weights_with_report(&a, &s, &config.objective, &config.solver)
+            estimate_weights_with_report(&a, &s, &config.objective, &config.solver)?
         };
 
         let index = KdTree::build(points.clone(), weights.clone());
-        Self {
+        Ok(Self {
             points,
             weights,
             index,
             root,
             solve_report,
-        }
+        })
     }
 
     /// The weighted support, for introspection (Figure 7 renders these).
@@ -186,18 +211,33 @@ impl PtsHist {
     /// Reconstructs a model from its weighted support (the inverse of
     /// [`PtsHist::support`], used when loading persisted models).
     ///
-    /// # Panics
-    /// Panics if lengths differ.
-    pub fn from_support(root: Rect, points: Vec<Point>, weights: Vec<f64>) -> Self {
-        assert_eq!(points.len(), weights.len(), "length mismatch");
+    /// Returns a typed [`SelearnError`] if lengths differ or a weight is
+    /// non-finite.
+    pub fn from_support(
+        root: Rect,
+        points: Vec<Point>,
+        weights: Vec<f64>,
+    ) -> Result<Self, SelearnError> {
+        if points.len() != weights.len() {
+            return Err(SelearnError::LengthMismatch {
+                what: "ptshist support",
+                expected: points.len(),
+                got: weights.len(),
+            });
+        }
+        if let Some((i, w)) = weights.iter().enumerate().find(|(_, w)| !w.is_finite()) {
+            return Err(SelearnError::CorruptModel {
+                what: format!("support point {i} has non-finite weight {w}"),
+            });
+        }
         let index = KdTree::build(points.clone(), weights.clone());
-        Self {
+        Ok(Self {
             points,
             weights,
             index,
             root,
             solve_report: None,
-        }
+        })
     }
 }
 
@@ -237,7 +277,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(100),
-        );
+        ).unwrap();
         assert_eq!(ph.num_buckets(), 100);
     }
 
@@ -253,7 +293,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(1000),
-        );
+        ).unwrap();
         let r0 = queries[0].range.clone();
         let r1 = queries[1].range.clone();
         let in0 = ph.support().filter(|(p, _)| r0.contains(p)).count();
@@ -271,7 +311,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(500),
-        );
+        ).unwrap();
         let outside = ph
             .support()
             .filter(|(p, _)| !queries[0].range.contains(p))
@@ -289,7 +329,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(200),
-        );
+        ).unwrap();
         let total: f64 = ph.support().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6);
         assert!(ph.support().all(|(_, w)| w >= -1e-9));
@@ -305,7 +345,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(400),
-        );
+        ).unwrap();
         for q in &queries {
             let est = ph.estimate(&q.range);
             assert!(
@@ -320,8 +360,8 @@ mod tests {
     fn deterministic_given_seed() {
         let queries = vec![tq(vec![0.1, 0.1], vec![0.7, 0.7], 0.5)];
         let cfg = PtsHistConfig::with_model_size(100).seed(7);
-        let a = PtsHist::fit(Rect::unit(2), &queries, &cfg);
-        let b = PtsHist::fit(Rect::unit(2), &queries, &cfg);
+        let a = PtsHist::fit(Rect::unit(2), &queries, &cfg).unwrap();
+        let b = PtsHist::fit(Rect::unit(2), &queries, &cfg).unwrap();
         let ra: Vec<f64> = a.support().map(|(_, w)| w).collect();
         let rb: Vec<f64> = b.support().map(|(_, w)| w).collect();
         assert_eq!(ra, rb);
@@ -339,7 +379,7 @@ mod tests {
             Rect::unit(d),
             &queries,
             &PtsHistConfig::with_model_size(300),
-        );
+        ).unwrap();
         for q in &queries {
             let est = ph.estimate(&q.range);
             assert!((est - q.selectivity).abs() < 0.05, "est = {est}");
@@ -356,7 +396,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(400),
-        );
+        ).unwrap();
         for q in &queries {
             let est = ph.estimate(&q.range);
             assert!(
@@ -369,7 +409,7 @@ mod tests {
 
     #[test]
     fn empty_workload_gives_uniform_weights() {
-        let ph = PtsHist::fit(Rect::unit(3), &[], &PtsHistConfig::with_model_size(50));
+        let ph = PtsHist::fit(Rect::unit(3), &[], &PtsHistConfig::with_model_size(50)).unwrap();
         assert_eq!(ph.num_buckets(), 50);
         let total: f64 = ph.support().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -387,7 +427,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &PtsHistConfig::with_model_size(200),
-        );
+        ).unwrap();
         let est = ph.estimate(&queries[0].range);
         assert!(est < 0.05, "est = {est}");
     }

@@ -12,6 +12,7 @@
 //! prediction applies Equation (6) via a pruned tree traversal.
 
 use crate::assemble::assemble_design_matrix;
+use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::quadtree::{NodeId, QuadTree, ROOT};
 use crate::weights::{estimate_weights_with_report, Objective, WeightSolver};
@@ -94,9 +95,16 @@ impl QuadHist {
     /// Training queries whose clipped volume is (numerically) zero cannot
     /// drive volume-based refinement and are skipped during bucket design,
     /// but still participate in weight estimation.
-    pub fn fit(root: Rect, queries: &[TrainingQuery], config: &QuadHistConfig) -> Self {
+    ///
+    /// Returns a typed [`SelearnError`] on a `τ` outside `(0, 1)` or a
+    /// non-finite training label; an empty workload is fine (uniform model).
+    pub fn fit(
+        root: Rect,
+        queries: &[TrainingQuery],
+        config: &QuadHistConfig,
+    ) -> Result<Self, SelearnError> {
         let _span = selearn_obs::span!("fit.quadhist");
-        let tree = Self::design_buckets(&root, queries, config);
+        let tree = Self::design_buckets(&root, queries, config)?;
         Self::fit_weights(tree, queries, config)
     }
 
@@ -108,8 +116,15 @@ impl QuadHist {
         queries: &[TrainingQuery],
         target: usize,
         config: &QuadHistConfig,
-    ) -> Self {
-        assert!(target >= 1, "bucket target must be positive");
+    ) -> Result<Self, SelearnError> {
+        if target == 0 {
+            return Err(SelearnError::InvalidConfig {
+                model: "quadhist",
+                what: "bucket target must be >= 1",
+            });
+        }
+        // Validate once up front so the probe closure cannot fail.
+        Self::validate(queries, config)?;
         let _span = selearn_obs::span!("fit.quadhist.calibrate");
         // Bisect log τ: leaf count is monotone nonincreasing in τ. Leaf
         // counts move in jumps (each split adds 2^d − 1 leaves at once), so
@@ -124,7 +139,7 @@ impl QuadHist {
             let mut cand = config.clone();
             cand.tau = tau;
             cand.max_leaves = target;
-            Self::design_buckets(&root, queries, &cand).num_leaves()
+            Self::design_buckets_unchecked(&root, queries, &cand).num_leaves()
         };
         for _ in 0..24 {
             let mid = 0.5 * (lo + hi);
@@ -142,17 +157,35 @@ impl QuadHist {
         Self::fit(root, queries, &best)
     }
 
+    /// Rejects the config/workload combinations `fit` cannot handle:
+    /// `τ ∉ (0, 1)` (NaN included) and non-finite labels.
+    fn validate(queries: &[TrainingQuery], config: &QuadHistConfig) -> Result<(), SelearnError> {
+        if !(config.tau > 0.0 && config.tau < 1.0) {
+            return Err(SelearnError::InvalidConfig {
+                model: "quadhist",
+                what: "tau must be in (0, 1)",
+            });
+        }
+        crate::error::check_labels(queries)
+    }
+
     /// Phase 1 only: the bucket-design pass (Algorithm 1), exposed for
     /// calibration and benchmarking.
     pub fn design_buckets(
         root: &Rect,
         queries: &[TrainingQuery],
         config: &QuadHistConfig,
+    ) -> Result<QuadTree, SelearnError> {
+        Self::validate(queries, config)?;
+        Ok(Self::design_buckets_unchecked(root, queries, config))
+    }
+
+    /// [`QuadHist::design_buckets`] after validation has already run.
+    fn design_buckets_unchecked(
+        root: &Rect,
+        queries: &[TrainingQuery],
+        config: &QuadHistConfig,
     ) -> QuadTree {
-        assert!(
-            config.tau > 0.0 && config.tau < 1.0,
-            "tau must be in (0, 1)"
-        );
         let _span = selearn_obs::span!("design_buckets");
         let mut tree = QuadTree::new(root.clone());
         for q in queries {
@@ -173,7 +206,11 @@ impl QuadHist {
     }
 
     /// Phase 2 only: weight estimation over an existing partition.
-    fn fit_weights(tree: QuadTree, queries: &[TrainingQuery], config: &QuadHistConfig) -> Self {
+    fn fit_weights(
+        tree: QuadTree,
+        queries: &[TrainingQuery],
+        config: &QuadHistConfig,
+    ) -> Result<Self, SelearnError> {
 
         // Phase 2: weight estimation (Equation 8) over the leaf buckets.
         // Each design-matrix row is a pure function of one query and the
@@ -199,20 +236,20 @@ impl QuadHist {
         } else if a.rows() == 0 {
             (vec![1.0 / leaves.len() as f64; leaves.len()], None)
         } else {
-            estimate_weights_with_report(&a, &s, &config.objective, &config.solver)
+            estimate_weights_with_report(&a, &s, &config.objective, &config.solver)?
         };
 
         let mut node_weight = vec![0.0; tree.num_nodes()];
         for (k, &leaf) in leaves.iter().enumerate() {
             node_weight[leaf] = w[k];
         }
-        Self {
+        Ok(Self {
             num_leaves: leaves.len(),
             tree,
             node_weight,
             volume: config.volume.clone(),
             solve_report,
-        }
+        })
     }
 
     /// The underlying partition tree.
@@ -229,42 +266,61 @@ impl QuadHist {
     /// pairs as produced by [`QuadHist::buckets`]) — the inverse used when
     /// loading persisted models.
     ///
-    /// # Panics
-    /// Panics if the boxes do not form a quadtree partition of `root`.
-    pub fn from_buckets(root: Rect, buckets: &[(Rect, f64)], volume: VolumeEstimator) -> Self {
+    /// Returns [`SelearnError::CorruptModel`] if the boxes do not form a
+    /// quadtree partition of `root` or carry non-finite weights.
+    pub fn from_buckets(
+        root: Rect,
+        buckets: &[(Rect, f64)],
+        volume: VolumeEstimator,
+    ) -> Result<Self, SelearnError> {
+        if let Some((i, (_, w))) = buckets
+            .iter()
+            .enumerate()
+            .find(|(_, (_, w))| !w.is_finite())
+        {
+            return Err(SelearnError::CorruptModel {
+                what: format!("bucket {i} has non-finite weight {w}"),
+            });
+        }
         let leaf_boxes: Vec<Rect> = buckets.iter().map(|(r, _)| r.clone()).collect();
-        let tree = QuadTree::from_leaf_boxes(root, &leaf_boxes);
+        let tree = QuadTree::from_leaf_boxes(root, &leaf_boxes)?;
         let mut node_weight = vec![0.0; tree.num_nodes()];
         let leaves = tree.leaves();
-        assert_eq!(
-            leaves.len(),
-            buckets.len(),
-            "bucket list does not match the reconstructed partition"
-        );
+        if leaves.len() != buckets.len() {
+            return Err(SelearnError::CorruptModel {
+                what: format!(
+                    "bucket list does not match the reconstructed partition \
+                     ({} buckets, {} leaves)",
+                    buckets.len(),
+                    leaves.len()
+                ),
+            });
+        }
         for &leaf in &leaves {
             let cell = tree.rect(leaf);
-            let (_, w) = buckets
-                .iter()
-                .find(|(r, _)| {
-                    r.lo()
+            let Some((_, w)) = buckets.iter().find(|(r, _)| {
+                r.lo()
+                    .iter()
+                    .zip(cell.lo())
+                    .all(|(a, b)| (a - b).abs() < 1e-9)
+                    && r.hi()
                         .iter()
-                        .zip(cell.lo())
+                        .zip(cell.hi())
                         .all(|(a, b)| (a - b).abs() < 1e-9)
-                        && r.hi()
-                            .iter()
-                            .zip(cell.hi())
-                            .all(|(a, b)| (a - b).abs() < 1e-9)
-                })
-                .expect("every reconstructed leaf must appear in the dump");
+            }) else {
+                return Err(SelearnError::CorruptModel {
+                    what: format!("reconstructed leaf {cell:?} missing from the dump"),
+                });
+            };
             node_weight[leaf] = *w;
         }
-        Self {
+        Ok(Self {
             num_leaves: leaves.len(),
             tree,
             node_weight,
             volume,
             solve_report: None,
-        }
+        })
     }
 
     /// `(bucket, weight)` pairs, for introspection (Figure 7 renders these).
@@ -357,7 +413,7 @@ mod tests {
 
     #[test]
     fn no_queries_uniform_model() {
-        let qh = QuadHist::fit(Rect::unit(2), &[], &QuadHistConfig::default());
+        let qh = QuadHist::fit(Rect::unit(2), &[], &QuadHistConfig::default()).unwrap();
         assert_eq!(qh.num_buckets(), 1);
         let r: Range = Rect::new(vec![0.0, 0.0], vec![0.5, 0.5]).into();
         // single uniform bucket: estimate = covered fraction = 0.25
@@ -372,7 +428,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.05),
-        );
+        ).unwrap();
         assert!(qh.num_buckets() > 1, "expected refinement");
         // the learned model reproduces the training selectivity well
         let est = qh.estimate(&queries[0].range);
@@ -389,10 +445,10 @@ mod tests {
             tq(vec![0.1, 0.55], vec![0.4, 0.95], 0.15),
         ];
         let cfg = QuadHistConfig::with_tau(0.02);
-        let a = QuadHist::fit(Rect::unit(2), &queries, &cfg);
+        let a = QuadHist::fit(Rect::unit(2), &queries, &cfg).unwrap();
         let mut rev = queries.clone();
         rev.reverse();
-        let b = QuadHist::fit(Rect::unit(2), &rev, &cfg);
+        let b = QuadHist::fit(Rect::unit(2), &rev, &cfg).unwrap();
         let mut ra: Vec<String> = a
             .buckets()
             .iter()
@@ -418,12 +474,12 @@ mod tests {
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.2),
-        );
+        ).unwrap();
         let fine = QuadHist::fit(
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.01),
-        );
+        ).unwrap();
         assert!(fine.num_buckets() > coarse.num_buckets());
     }
 
@@ -431,7 +487,7 @@ mod tests {
     fn leaf_cap_respected() {
         let queries = vec![tq(vec![0.0, 0.0], vec![0.1, 0.1], 0.99)];
         let cfg = QuadHistConfig::with_tau(0.001).max_leaves(16);
-        let qh = QuadHist::fit(Rect::unit(2), &queries, &cfg);
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &cfg).unwrap();
         assert!(qh.num_buckets() <= 16, "{} leaves", qh.num_buckets());
     }
 
@@ -445,7 +501,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.05),
-        );
+        ).unwrap();
         let total: f64 = qh.buckets().iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-6, "total mass {total}");
         assert!(qh.buckets().iter().all(|(_, w)| *w >= -1e-9));
@@ -462,7 +518,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.05),
-        );
+        ).unwrap();
         assert!((qh.estimate(&queries[0].range) - 0.75).abs() < 1e-3);
         assert!((qh.estimate(&queries[1].range) - 0.25).abs() < 1e-3);
     }
@@ -470,7 +526,7 @@ mod tests {
     #[test]
     fn estimate_clamped_to_unit_interval() {
         let queries = vec![tq(vec![0.0, 0.0], vec![1.0, 1.0], 1.0)];
-        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default());
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default()).unwrap();
         let r: Range = Rect::unit(2).into();
         let est = qh.estimate(&r);
         assert!((0.0..=1.0).contains(&est));
@@ -480,7 +536,7 @@ mod tests {
     #[test]
     fn query_outside_root_estimates_zero() {
         let queries = vec![tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5)];
-        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default());
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default()).unwrap();
         let outside: Range = Ball::new(Point::new(vec![5.0, 5.0]), 0.1).into();
         assert_eq!(qh.estimate(&outside), 0.0);
     }
@@ -493,7 +549,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.05),
-        );
+        ).unwrap();
         let est = qh.estimate(&Range::Halfspace(h));
         assert!((est - 0.5).abs() < 0.05, "est = {est}");
     }
@@ -506,7 +562,7 @@ mod tests {
             Rect::unit(2),
             &queries,
             &QuadHistConfig::with_tau(0.05),
-        );
+        ).unwrap();
         let est = qh.estimate(&Range::Ball(b));
         assert!((est - 0.4).abs() < 0.05, "est = {est}");
     }
@@ -518,7 +574,7 @@ mod tests {
             Rect::new(vec![0.3, 0.0], vec![0.3, 1.0]),
             0.2,
         )];
-        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default());
+        let qh = QuadHist::fit(Rect::unit(2), &queries, &QuadHistConfig::default()).unwrap();
         assert_eq!(qh.num_buckets(), 1);
     }
 
@@ -536,7 +592,7 @@ mod tests {
                 &queries,
                 target,
                 &QuadHistConfig::default(),
-            );
+            ).unwrap();
             assert!(
                 qh.num_buckets() <= target,
                 "target {target}, got {}",
@@ -561,7 +617,7 @@ mod tests {
             Rect::unit(2),
             std::slice::from_ref(&q),
             &QuadHistConfig::with_tau(0.026),
-        );
+        ).unwrap();
         // every leaf must satisfy the stopping rule of Algorithm 2
         for (cell, _) in qh.buckets() {
             let p = q.range.intersection_volume(&cell, &VolumeEstimator::default()) / vol_r * 0.2;

@@ -6,6 +6,7 @@
 //! third remark) that the quadtree "doubles up as a convenient data
 //! structure for speeding up" range operations.
 
+use crate::error::SelearnError;
 use selearn_geom::Rect;
 
 #[derive(Clone, Debug)]
@@ -134,13 +135,13 @@ impl QuadTree {
     /// (used when loading persisted models): splits any node that strictly
     /// contains a smaller leaf box until every leaf box is realized.
     ///
-    /// # Panics
-    /// Panics if the boxes do not form a quadtree partition of `root`
-    /// (detected as an attempt to split below the finest leaf).
-    pub fn from_leaf_boxes(root: Rect, leaves: &[Rect]) -> Self {
+    /// Returns [`SelearnError::CorruptModel`] if the boxes do not form a
+    /// quadtree partition of `root` (detected as an attempt to split below
+    /// the finest leaf).
+    pub fn from_leaf_boxes(root: Rect, leaves: &[Rect]) -> Result<Self, SelearnError> {
         let mut tree = QuadTree::new(root);
         if leaves.len() <= 1 {
-            return tree;
+            return Ok(tree);
         }
         let min_width = leaves
             .iter()
@@ -155,17 +156,18 @@ impl QuadTree {
                     && cell.contains_rect(l)
             });
             if needs_split {
-                assert!(
-                    cell.width(0) > min_width + crate::quadtree_eps(),
-                    "boxes do not form a quadtree partition"
-                );
+                if cell.width(0) <= min_width + crate::quadtree_eps() {
+                    return Err(SelearnError::CorruptModel {
+                        what: "leaf boxes do not form a quadtree partition".into(),
+                    });
+                }
                 let first = tree.split(id);
                 for k in 0..(1usize << tree.dim()) {
                     stack.push(first + k);
                 }
             }
         }
-        tree
+        Ok(tree)
     }
 }
 

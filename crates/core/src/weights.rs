@@ -14,8 +14,10 @@
 
 use selearn_solver::{
     fista_simplex_ls, linf_fit_exact, linf_fit_smoothed_with_report, nnls_simplex_with_report,
-    DenseMatrix, FistaOptions, LinfOptions, NnlsOptions, SolveReport,
+    DenseMatrix, FistaOptions, LinfOptions, NnlsOptions, SolveReport, SolverError,
 };
+
+use crate::error::SelearnError;
 
 /// Which algorithm solves the constrained fit.
 #[derive(Clone, Debug, Default)]
@@ -44,16 +46,16 @@ pub enum Objective {
 /// Solves the weight-estimation program over the design matrix `a`
 /// (rows = training queries, columns = buckets) and targets `s`.
 ///
-/// Returns weights on the probability simplex. An empty bucket set is a
-/// caller bug and panics; an empty query set returns the uniform
-/// distribution (no information).
+/// Returns weights on the probability simplex. An empty bucket set or a
+/// non-finite entry is a typed [`SelearnError`]; an empty query set
+/// returns the uniform distribution (no information).
 pub fn estimate_weights(
     a: &DenseMatrix,
     s: &[f64],
     objective: &Objective,
     solver: &WeightSolver,
-) -> Vec<f64> {
-    estimate_weights_with_report(a, s, objective, solver).0
+) -> Result<Vec<f64>, SelearnError> {
+    Ok(estimate_weights_with_report(a, s, objective, solver)?.0)
 }
 
 /// [`estimate_weights`] plus the underlying solver's [`SolveReport`].
@@ -68,34 +70,42 @@ pub fn estimate_weights_with_report(
     s: &[f64],
     objective: &Objective,
     solver: &WeightSolver,
-) -> (Vec<f64>, Option<SolveReport>) {
-    assert!(a.cols() > 0, "no buckets");
-    if a.rows() == 0 {
-        return (vec![1.0 / a.cols() as f64; a.cols()], None);
+) -> Result<(Vec<f64>, Option<SolveReport>), SelearnError> {
+    if a.cols() == 0 {
+        return Err(SolverError::EmptyProblem {
+            solver: "estimate-weights",
+        }
+        .into());
     }
-    assert_eq!(a.rows(), s.len(), "target length mismatch");
+    if a.rows() == 0 {
+        return Ok((vec![1.0 / a.cols() as f64; a.cols()], None));
+    }
     let _span = selearn_obs::span!("estimate_weights");
     let (w, report) = match objective {
         Objective::L2 => match solver {
             WeightSolver::Fista => {
-                let r = fista_simplex_ls(a, s, &FistaOptions::default());
+                let r = fista_simplex_ls(a, s, &FistaOptions::default())?;
                 let report = r.report();
                 (r.weights, Some(report))
             }
             WeightSolver::NnlsPenalty => {
-                let (w, report) = nnls_simplex_with_report(a, s, &NnlsOptions::default());
+                let (w, report) = nnls_simplex_with_report(a, s, &NnlsOptions::default())?;
                 (w, Some(report))
             }
         },
         Objective::LInfExact => match linf_fit_exact(a, s) {
-            Some(w) => (w, None), // exact LP: no iterative report
-            None => {
-                let (w, report) = linf_fit_smoothed_with_report(a, s, &LinfOptions::default());
+            Ok(w) => (w, None), // exact LP: no iterative report
+            // The LP failing to reach an optimum (degenerate pivoting) is
+            // recoverable: fall back to the smoothed solver. Real input
+            // errors propagate.
+            Err(SolverError::LpNotOptimal { .. }) => {
+                let (w, report) = linf_fit_smoothed_with_report(a, s, &LinfOptions::default())?;
                 (w, Some(report))
             }
+            Err(e) => return Err(e.into()),
         },
         Objective::LInfSmoothed => {
-            let (w, report) = linf_fit_smoothed_with_report(a, s, &LinfOptions::default());
+            let (w, report) = linf_fit_smoothed_with_report(a, s, &LinfOptions::default())?;
             (w, Some(report))
         }
     };
@@ -116,7 +126,7 @@ pub fn estimate_weights_with_report(
             );
         }
     }
-    (w, report)
+    Ok((w, report))
 }
 
 #[cfg(test)]
@@ -136,8 +146,8 @@ mod tests {
     #[test]
     fn l2_solvers_agree() {
         let (a, s) = design();
-        let w1 = estimate_weights(&a, &s, &Objective::L2, &WeightSolver::Fista);
-        let w2 = estimate_weights(&a, &s, &Objective::L2, &WeightSolver::NnlsPenalty);
+        let w1 = estimate_weights(&a, &s, &Objective::L2, &WeightSolver::Fista).unwrap();
+        let w2 = estimate_weights(&a, &s, &Objective::L2, &WeightSolver::NnlsPenalty).unwrap();
         assert!((a.residual_sq(&w1, &s) - a.residual_sq(&w2, &s)).abs() < 1e-5);
     }
 
@@ -145,7 +155,7 @@ mod tests {
     fn linf_variants_feasible() {
         let (a, s) = design();
         for obj in [Objective::LInfExact, Objective::LInfSmoothed] {
-            let w = estimate_weights(&a, &s, &obj, &WeightSolver::Fista);
+            let w = estimate_weights(&a, &s, &obj, &WeightSolver::Fista).unwrap();
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-6);
             assert!(w.iter().all(|&v| v >= -1e-9));
         }
@@ -154,16 +164,45 @@ mod tests {
     #[test]
     fn no_queries_gives_uniform() {
         let a = DenseMatrix::zeros(0, 4);
-        let w = estimate_weights(&a, &[], &Objective::L2, &WeightSolver::Fista);
+        let w = estimate_weights(&a, &[], &Objective::L2, &WeightSolver::Fista).unwrap();
         for &v in &w {
             assert!((v - 0.25).abs() < 1e-12);
         }
     }
 
     #[test]
-    #[should_panic(expected = "no buckets")]
-    fn zero_buckets_panics() {
+    fn zero_buckets_is_typed_error() {
         let a = DenseMatrix::zeros(1, 0);
-        let _ = estimate_weights(&a, &[0.5], &Objective::L2, &WeightSolver::Fista);
+        let err = estimate_weights(&a, &[0.5], &Objective::L2, &WeightSolver::Fista).unwrap_err();
+        assert!(matches!(
+            err,
+            SelearnError::Solver(SolverError::EmptyProblem { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_labels_are_typed_errors() {
+        let (a, _) = design();
+        let s = vec![0.3, f64::NAN, 1.0];
+        for obj in [Objective::L2, Objective::LInfExact, Objective::LInfSmoothed] {
+            let err = estimate_weights(&a, &s, &obj, &WeightSolver::Fista).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SelearnError::Solver(SolverError::NonFiniteInput { .. })
+                ),
+                "{obj:?} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_typed_error() {
+        let (a, _) = design();
+        let err = estimate_weights(&a, &[0.5], &Objective::L2, &WeightSolver::Fista).unwrap_err();
+        assert!(matches!(
+            err,
+            SelearnError::Solver(SolverError::DimensionMismatch { .. })
+        ));
     }
 }

@@ -72,7 +72,7 @@ proptest! {
         query_pool in proptest::collection::vec(0.01f64..1.0, 60),
     ) {
         let train = training_2d(&train_pool);
-        let model = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.05));
+        let model = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.05)).unwrap();
         let pairs: Vec<_> = query_pool.chunks_exact(6).map(nested_pair).collect();
         check_model(&model, &pairs)?;
     }
@@ -86,7 +86,7 @@ proptest! {
         let train = training_2d(&train_pool);
         let mut cfg = PtsHistConfig::with_model_size(64);
         cfg.seed = seed;
-        let model = PtsHist::fit(Rect::unit(2), &train, &cfg);
+        let model = PtsHist::fit(Rect::unit(2), &train, &cfg).unwrap();
         let pairs: Vec<_> = query_pool.chunks_exact(6).map(nested_pair).collect();
         check_model(&model, &pairs)?;
     }
@@ -105,7 +105,7 @@ proptest! {
                 TrainingQuery::new(Rect::new(vec![lo], vec![hi]), c[2])
             })
             .collect();
-        let model = Cdf1D::fit(&train, &Cdf1DConfig::default());
+        let model = Cdf1D::fit(&train, &Cdf1DConfig::default()).unwrap();
         let pairs: Vec<_> = query_pool
             .chunks_exact(4)
             .map(|c| {

@@ -7,10 +7,15 @@
 //! (Section 4): numeric attributes are min–max normalized into `[0, 1]`;
 //! non-numeric (categorical) attributes are dictionary-encoded onto the
 //! lattice `{0, 1/(k−1), …, 1}` in sorted category order.
+//!
+//! All loader failures are typed [`SelearnError`]s: file-level problems
+//! (unreadable file, ragged rows) use [`SelearnError::Dataset`], and
+//! malformed cells use [`SelearnError::Csv`] carrying the zero-based data
+//! row and column indices of the offending cell.
 
 use crate::dataset::Dataset;
+use selearn_core::SelearnError;
 use std::collections::BTreeMap;
-use std::fmt;
 use std::path::Path;
 
 /// Per-column metadata produced by the loader.
@@ -52,17 +57,11 @@ impl CsvSchema {
     }
 }
 
-/// CSV load failure.
-#[derive(Debug)]
-pub struct CsvError(pub String);
-
-impl fmt::Display for CsvError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "csv load error: {}", self.0)
+fn dataset_err(message: impl Into<String>) -> SelearnError {
+    SelearnError::Dataset {
+        message: message.into(),
     }
 }
-
-impl std::error::Error for CsvError {}
 
 /// Loads a comma-separated file into a normalized [`Dataset`].
 ///
@@ -71,9 +70,12 @@ impl std::error::Error for CsvError {}
 /// * empty cells become the column's minimum (numeric) or their own
 ///   category (categorical);
 /// * constant numeric columns map to 0.5 (min = max carries no signal).
-pub fn load_csv(path: impl AsRef<Path>, has_header: bool) -> Result<(Dataset, CsvSchema), CsvError> {
+pub fn load_csv(
+    path: impl AsRef<Path>,
+    has_header: bool,
+) -> Result<(Dataset, CsvSchema), SelearnError> {
     let text = std::fs::read_to_string(path.as_ref())
-        .map_err(|e| CsvError(format!("{}: {e}", path.as_ref().display())))?;
+        .map_err(|e| dataset_err(format!("{}: {e}", path.as_ref().display())))?;
     parse_csv(&text, has_header, path.as_ref().display().to_string())
 }
 
@@ -82,26 +84,26 @@ pub fn parse_csv(
     text: &str,
     has_header: bool,
     name: String,
-) -> Result<(Dataset, CsvSchema), CsvError> {
+) -> Result<(Dataset, CsvSchema), SelearnError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
     let mut names: Vec<String> = Vec::new();
     if has_header {
-        let header = lines.next().ok_or_else(|| CsvError("empty file".into()))?;
+        let header = lines.next().ok_or_else(|| dataset_err("empty file"))?;
         names = header.split(',').map(|s| s.trim().to_string()).collect();
     }
     let rows: Vec<Vec<String>> = lines
         .map(|l| l.split(',').map(|s| s.trim().to_string()).collect())
         .collect();
     if rows.is_empty() {
-        return Err(CsvError("no data rows".into()));
+        return Err(dataset_err("no data rows"));
     }
     let width = rows[0].len();
     if width == 0 {
-        return Err(CsvError("zero-width rows".into()));
+        return Err(dataset_err("zero-width rows"));
     }
     for (i, r) in rows.iter().enumerate() {
         if r.len() != width {
-            return Err(CsvError(format!(
+            return Err(dataset_err(format!(
                 "row {i} has {} fields, expected {width}",
                 r.len()
             )));
@@ -110,7 +112,7 @@ pub fn parse_csv(
     if names.is_empty() {
         names = (0..width).map(|i| format!("col{i}")).collect();
     } else if names.len() != width {
-        return Err(CsvError(format!(
+        return Err(dataset_err(format!(
             "header has {} names but rows have {width} fields",
             names.len()
         )));
@@ -150,16 +152,21 @@ pub fn parse_csv(
         }
     }
 
-    // encode
+    // encode; classification above makes the per-cell failures below
+    // unreachable, but a typed error beats trusting that at a distance
     let mut data = Vec::with_capacity(rows.len() * width);
-    for r in &rows {
+    for (ri, r) in rows.iter().enumerate() {
         for (c, kind) in kinds.iter().enumerate() {
             let v = match kind {
                 ColumnKind::Numeric { min, max } => {
                     let raw = if r[c].is_empty() {
                         *min
                     } else {
-                        r[c].parse::<f64>().expect("pre-validated numeric")
+                        r[c].parse::<f64>().map_err(|_| SelearnError::Csv {
+                            row: ri,
+                            col: c,
+                            message: format!("not a number: '{}'", r[c]),
+                        })?
                     };
                     if max > min {
                         (raw - min) / (max - min)
@@ -168,9 +175,14 @@ pub fn parse_csv(
                     }
                 }
                 ColumnKind::Categorical { dictionary } => {
-                    let idx = dictionary
-                        .binary_search(&r[c])
-                        .expect("dictionary covers all values");
+                    let idx =
+                        dictionary
+                            .binary_search(&r[c])
+                            .map_err(|_| SelearnError::Csv {
+                                row: ri,
+                                col: c,
+                                message: format!("value '{}' missing from dictionary", r[c]),
+                            })?;
                     if dictionary.len() == 1 {
                         0.5
                     } else {
@@ -246,7 +258,8 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let e = parse_csv("a,b\n1,2\n3\n", true, "t".into()).unwrap_err();
-        assert!(e.0.contains("fields"));
+        assert!(matches!(e, SelearnError::Dataset { .. }), "{e}");
+        assert!(e.to_string().contains("fields"), "{e}");
     }
 
     #[test]

@@ -100,13 +100,13 @@ pub fn q_error_quantiles(estimated: &[f64], truth: &[f64]) -> QErrorSummary {
         .zip(truth)
         .map(|(&e, &t)| q_error(e, t))
         .collect();
-    qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    qs.sort_by(f64::total_cmp);
     QErrorSummary {
         p50: quantile_sorted(&qs, 0.50),
         p90: quantile_sorted(&qs, 0.90),
         p95: quantile_sorted(&qs, 0.95),
         p99: quantile_sorted(&qs, 0.99),
-        max: *qs.last().expect("nonempty"),
+        max: qs[qs.len() - 1],
     }
 }
 

@@ -185,7 +185,7 @@ mod tests {
         let d = census_like(5_000, 11);
         // attribute 6 (sex) takes exactly two values {0, 1}
         let mut vals: Vec<f64> = d.rows().map(|r| r[6]).collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         vals.dedup();
         assert_eq!(vals.len(), 2, "{vals:?}");
     }

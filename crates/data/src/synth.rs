@@ -49,53 +49,63 @@ pub fn generate<R: Rng + ?Sized>(
 ) -> Dataset {
     let d = specs.len();
     assert!(d > 0, "need at least one attribute");
-    // Pre-normalize mixture weights and Zipf tables.
-    let zipf_cdfs: Vec<Option<Vec<f64>>> = specs
+    // Per-attribute sampling plan with weights/CDFs pre-normalized, so the
+    // inner loop never has to re-derive (or trust) a parallel lookup table.
+    enum Prepared {
+        Uniform,
+        Mixture(Vec<(f64, f64, f64)>),
+        Zipf { k: usize, cdf: Vec<f64> },
+        Correlated { a: f64, b: f64, sigma: f64 },
+    }
+    let prepared: Vec<Prepared> = specs
         .iter()
         .map(|s| match s {
-            AttrSpec::Zipf { k, s } => Some(zipf_cdf(*k, *s)),
-            _ => None,
-        })
-        .collect();
-    let mixtures: Vec<Option<Vec<(f64, f64, f64)>>> = specs
-        .iter()
-        .map(|s| match s {
+            AttrSpec::Uniform => Prepared::Uniform,
             AttrSpec::GaussianMixture(comps) => {
                 let total: f64 = comps.iter().map(|c| c.0).sum();
                 assert!(total > 0.0, "mixture weights must be positive");
-                Some(
+                Prepared::Mixture(
                     comps
                         .iter()
                         .map(|&(w, m, sd)| (w / total, m, sd))
                         .collect(),
                 )
             }
-            _ => None,
+            AttrSpec::Zipf { k, s } => Prepared::Zipf {
+                k: *k,
+                cdf: zipf_cdf(*k, *s),
+            },
+            AttrSpec::Correlated { a, b, sigma } => Prepared::Correlated {
+                a: *a,
+                b: *b,
+                sigma: *sigma,
+            },
         })
         .collect();
 
     let mut data = Vec::with_capacity(n * d);
     for _ in 0..n {
         let latent: f64 = rng.gen();
-        for (j, spec) in specs.iter().enumerate() {
-            let v = match spec {
-                AttrSpec::Uniform => rng.gen(),
-                AttrSpec::GaussianMixture(_) => {
-                    let comps = mixtures[j].as_ref().expect("precomputed");
+        for plan in &prepared {
+            let v = match plan {
+                Prepared::Uniform => rng.gen(),
+                Prepared::Mixture(comps) => {
                     let mut pick: f64 = rng.gen();
-                    let mut chosen = comps.last().expect("nonempty mixture");
-                    for c in comps {
-                        if pick < c.0 {
-                            chosen = c;
+                    let mut value = 0.5;
+                    for (i, c) in comps.iter().enumerate() {
+                        // fall through to the last component when rounding
+                        // leaves `pick` past the normalized weights
+                        if pick < c.0 || i + 1 == comps.len() {
+                            let (_, mean, sd) = *c;
+                            value =
+                                (mean + sd * sample_standard_normal(rng)).clamp(0.0, 1.0);
                             break;
                         }
                         pick -= c.0;
                     }
-                    let (_, mean, sd) = *chosen;
-                    (mean + sd * sample_standard_normal(rng)).clamp(0.0, 1.0)
+                    value
                 }
-                AttrSpec::Zipf { k, .. } => {
-                    let cdf = zipf_cdfs[j].as_ref().expect("precomputed");
+                Prepared::Zipf { k, cdf } => {
                     let u: f64 = rng.gen();
                     let idx = cdf.partition_point(|&c| c < u).min(*k - 1);
                     if *k == 1 {
@@ -104,7 +114,7 @@ pub fn generate<R: Rng + ?Sized>(
                         idx as f64 / (*k as f64 - 1.0)
                     }
                 }
-                AttrSpec::Correlated { a, b, sigma } => {
+                Prepared::Correlated { a, b, sigma } => {
                     (a * latent + b + sigma * sample_standard_normal(rng)).clamp(0.0, 1.0)
                 }
             };

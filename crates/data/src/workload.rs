@@ -18,6 +18,7 @@
 use crate::dataset::Dataset;
 use crate::synth::standard_normal;
 use rand::Rng;
+use selearn_core::SelearnError;
 use selearn_geom::{Ball, Halfspace, Point, Range, Rect};
 
 /// Query shape family (Section 2.2's three running examples).
@@ -119,13 +120,37 @@ pub struct Workload {
 
 impl Workload {
     /// Generates `n` labeled queries against `dataset` under `spec`.
+    ///
+    /// Returns [`SelearnError::Dataset`] on an empty dataset (there is
+    /// nothing to sample centers or labels from) and
+    /// [`SelearnError::InvalidConfig`] on a non-finite Gaussian center
+    /// distribution or a categorical width outside `(0, 1]`.
     pub fn generate<R: Rng + ?Sized>(
         dataset: &Dataset,
         spec: &WorkloadSpec,
         n: usize,
         rng: &mut R,
-    ) -> Workload {
+    ) -> Result<Workload, SelearnError> {
         let _span = selearn_obs::span!("workload.generate");
+        if dataset.is_empty() {
+            return Err(SelearnError::Dataset {
+                message: "cannot generate a workload over an empty dataset".into(),
+            });
+        }
+        if !(spec.categorical_width > 0.0 && spec.categorical_width <= 1.0) {
+            return Err(SelearnError::InvalidConfig {
+                model: "workload",
+                what: "categorical width must be in (0, 1]",
+            });
+        }
+        if let CenterDistribution::Gaussian { mean, std } = spec.center {
+            if !(mean.is_finite() && std.is_finite() && std >= 0.0) {
+                return Err(SelearnError::InvalidConfig {
+                    model: "workload",
+                    what: "gaussian center distribution needs finite mean and std >= 0",
+                });
+            }
+        }
         let d = dataset.dim();
         // per-categorical-dim equality-slab widths: a fraction of the
         // observed gap between distinct codes
@@ -188,7 +213,7 @@ impl Workload {
             .zip(labels)
             .map(|(range, selectivity)| LabeledQuery { range, selectivity })
             .collect();
-        Workload { queries, dim: d }
+        Ok(Workload { queries, dim: d })
     }
 
     /// The labeled queries.
@@ -274,7 +299,7 @@ fn label_ranges(dataset: &Dataset, ranges: &[Range]) -> Vec<f64> {
 /// categorical column.
 fn category_gap(dataset: &Dataset, dim: usize) -> f64 {
     let mut vals: Vec<f64> = dataset.rows().map(|r| r[dim]).collect();
-    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    vals.sort_by(f64::total_cmp);
     vals.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
     vals.windows(2)
         .map(|w| w[1] - w[0])
@@ -329,7 +354,7 @@ mod tests {
         let d = data2d();
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
         let mut rng = StdRng::seed_from_u64(1);
-        let w = Workload::generate(&d, &spec, 50, &mut rng);
+        let w = Workload::generate(&d, &spec, 50, &mut rng).unwrap();
         assert_eq!(w.len(), 50);
         for q in w.queries() {
             assert!((0.0..=1.0).contains(&q.selectivity));
@@ -344,7 +369,7 @@ mod tests {
         let d = data2d();
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
         let mut rng = StdRng::seed_from_u64(2);
-        let w = Workload::generate(&d, &spec, 100, &mut rng);
+        let w = Workload::generate(&d, &spec, 100, &mut rng).unwrap();
         for q in w.queries() {
             assert!(q.selectivity > 0.0);
         }
@@ -357,7 +382,7 @@ mod tests {
         let d = data2d();
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
         let mut rng = StdRng::seed_from_u64(3);
-        let w = Workload::generate(&d, &spec, 300, &mut rng);
+        let w = Workload::generate(&d, &spec, 300, &mut rng).unwrap();
         let tiny = w
             .queries()
             .iter()
@@ -382,7 +407,7 @@ mod tests {
             },
         );
         let mut rng = StdRng::seed_from_u64(4);
-        let w = Workload::generate(&d, &spec, 200, &mut rng);
+        let w = Workload::generate(&d, &spec, 200, &mut rng).unwrap();
         let mut mean = [0.0f64; 2];
         for q in w.queries() {
             if let Range::Ball(b) = &q.range {
@@ -401,7 +426,7 @@ mod tests {
         let d = data2d();
         let spec = WorkloadSpec::new(QueryType::Halfspace, CenterDistribution::Random);
         let mut rng = StdRng::seed_from_u64(5);
-        let w = Workload::generate(&d, &spec, 20, &mut rng);
+        let w = Workload::generate(&d, &spec, 20, &mut rng).unwrap();
         for q in w.queries() {
             let Range::Halfspace(h) = &q.range else {
                 panic!("expected halfspace")
@@ -419,7 +444,7 @@ mod tests {
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
             .with_categorical(vec![0]);
         let mut rng = StdRng::seed_from_u64(6);
-        let w = Workload::generate(&d, &spec, 50, &mut rng);
+        let w = Workload::generate(&d, &spec, 50, &mut rng).unwrap();
         for q in w.queries() {
             let r = q.range.as_rect().unwrap();
             assert!(
@@ -441,7 +466,7 @@ mod tests {
         let d = data2d();
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
         let mut rng = StdRng::seed_from_u64(8);
-        let w = Workload::generate(&d, &spec, 30, &mut rng);
+        let w = Workload::generate(&d, &spec, 30, &mut rng).unwrap();
         let (train, test) = w.split(20);
         assert_eq!(train.len(), 20);
         assert_eq!(test.len(), 10);
@@ -455,8 +480,8 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let d = data2d();
         let spec = WorkloadSpec::new(QueryType::Ball, CenterDistribution::Random);
-        let a = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9));
-        let b = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9));
+        let a = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9)).unwrap();
         for (x, y) in a.queries().iter().zip(b.queries()) {
             assert_eq!(x.selectivity, y.selectivity);
         }
@@ -468,7 +493,7 @@ mod tests {
         for qt in [QueryType::Rect, QueryType::Halfspace, QueryType::Ball] {
             let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
             let mut rng = StdRng::seed_from_u64(10);
-            let w = Workload::generate(&d, &spec, 5, &mut rng);
+            let w = Workload::generate(&d, &spec, 5, &mut rng).unwrap();
             for q in w.queries() {
                 assert_eq!(q.range.dim(), 2);
             }

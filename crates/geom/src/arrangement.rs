@@ -109,7 +109,7 @@ pub fn grid_arrangement(rects: &[Rect], clip: &Rect) -> Arrangement {
         }
     }
     for b in &mut breaks {
-        b.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        b.sort_by(|a, c| a.total_cmp(c));
         b.dedup_by(|a, c| (*a - *c).abs() < crate::EPS);
     }
     Arrangement {

@@ -4,6 +4,7 @@
 //! VC-dimension at most `d + 2`, hence its selectivity functions are
 //! learnable with `Õ(1/ε^{d+5})` training queries.
 
+use crate::error::{first_non_finite, GeomError};
 use crate::point::Point;
 use crate::rect::Rect;
 use crate::volume::{adaptive_simpson, unit_ball_volume, VolumeEstimator};
@@ -24,6 +25,23 @@ impl Ball {
     pub fn new(center: Point, radius: f64) -> Self {
         assert!(radius >= 0.0, "negative radius {radius}");
         Self { center, radius }
+    }
+
+    /// Validating constructor for untrusted input: rejects non-finite
+    /// centers and negative/NaN radii with a typed [`GeomError`] instead of
+    /// panicking.
+    pub fn try_new(center: Point, radius: f64) -> Result<Self, GeomError> {
+        if let Some((index, value)) = first_non_finite(center.coords()) {
+            return Err(GeomError::NonFinite {
+                what: "Ball center",
+                index,
+                value,
+            });
+        }
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(GeomError::InvalidRadius(radius));
+        }
+        Ok(Self { center, radius })
     }
 
     /// Dimensionality.

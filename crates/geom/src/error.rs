@@ -1,0 +1,87 @@
+//! Typed errors for the geometry substrate.
+//!
+//! Every fallible public constructor and routine in this crate reports
+//! failures through [`GeomError`] instead of panicking, so that untrusted
+//! query feedback (NaN coordinates, inverted corners, zero normals) degrades
+//! into a recoverable error at the pipeline boundary. The workspace-wide
+//! `SelearnError` in `selearn-core` wraps this type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric constructors and routines.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GeomError {
+    /// A coordinate or parameter was NaN or infinite.
+    NonFinite {
+        /// Which object or argument carried the value.
+        what: &'static str,
+        /// Index of the offending component (0 for scalars).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two objects that must share a dimension did not.
+    DimensionMismatch {
+        /// The operation that failed.
+        what: &'static str,
+        /// Expected dimensionality.
+        expected: usize,
+        /// Actual dimensionality.
+        got: usize,
+    },
+    /// A rectangle with `lo[i] > hi[i]`.
+    InvertedCorners {
+        /// Dimension where the corners are inverted.
+        index: usize,
+        /// Lower corner coordinate.
+        lo: f64,
+        /// Upper corner coordinate.
+        hi: f64,
+    },
+    /// A halfspace whose normal vector is (numerically) zero.
+    ZeroNormal,
+    /// A ball with a negative (or NaN) radius.
+    InvalidRadius(f64),
+    /// A probability/quantile argument outside its domain.
+    OutOfDomain {
+        /// The function rejecting the argument.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::NonFinite { what, index, value } => {
+                write!(f, "non-finite {what}: component {index} is {value}")
+            }
+            GeomError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "dimension mismatch in {what}: expected {expected}, got {got}"),
+            GeomError::InvertedCorners { index, lo, hi } => {
+                write!(f, "invalid rectangle: lo[{index}] = {lo} > hi[{index}] = {hi}")
+            }
+            GeomError::ZeroNormal => write!(f, "halfspace normal must be nonzero"),
+            GeomError::InvalidRadius(r) => write!(f, "invalid ball radius {r}"),
+            GeomError::OutOfDomain { what, value } => {
+                write!(f, "argument {value} outside the domain of {what}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+/// Returns the index and value of the first non-finite entry, if any.
+pub(crate) fn first_non_finite(values: &[f64]) -> Option<(usize, f64)> {
+    values
+        .iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+        .map(|(i, &v)| (i, v))
+}

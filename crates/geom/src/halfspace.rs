@@ -7,6 +7,7 @@
 //! smallest-bounding-box computation of Appendix A.2 used for rejection
 //! sampling.
 
+use crate::error::{first_non_finite, GeomError};
 use crate::point::Point;
 use crate::rect::Rect;
 use crate::EPS;
@@ -30,6 +31,30 @@ impl Halfspace {
             "halfspace normal must be nonzero"
         );
         Self { normal, offset }
+    }
+
+    /// Validating constructor for untrusted input: rejects non-finite
+    /// coefficients and (numerically) zero normals with a typed
+    /// [`GeomError`] instead of panicking.
+    pub fn try_new(normal: Vec<f64>, offset: f64) -> Result<Self, GeomError> {
+        if let Some((index, value)) = first_non_finite(&normal) {
+            return Err(GeomError::NonFinite {
+                what: "Halfspace normal",
+                index,
+                value,
+            });
+        }
+        if !offset.is_finite() {
+            return Err(GeomError::NonFinite {
+                what: "Halfspace offset",
+                index: 0,
+                value: offset,
+            });
+        }
+        if !normal.iter().any(|&a| a.abs() > EPS) {
+            return Err(GeomError::ZeroNormal);
+        }
+        Ok(Self { normal, offset })
     }
 
     /// Builds a halfspace whose boundary hyperplane passes through `point`
@@ -194,7 +219,7 @@ fn uniform_sum_cdf(c: &[f64], t: f64) -> f64 {
     // are bounded by (Σc)^n); plain Kahan summation keeps error low.
     let mut sum = 0.0;
     let mut comp = 0.0;
-    terms.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+    terms.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
     for v in terms {
         let y = v - comp;
         let tally = sum + y;

@@ -67,9 +67,7 @@ impl KdTree {
         let axis = depth % d;
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            self.points[a][axis]
-                .partial_cmp(&self.points[b][axis])
-                .expect("finite coordinates")
+            self.points[a][axis].total_cmp(&self.points[b][axis])
         });
         let item = idx[mid];
         // compute subtree bbox and weight over the whole slice

@@ -24,9 +24,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The panic-free gate: unwrap/expect are banned outside test code
+// (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arrangement;
 pub mod ball;
+pub mod error;
 pub mod halfspace;
 pub mod kdtree;
 pub mod point;
@@ -39,6 +43,7 @@ pub mod volume;
 
 pub use arrangement::{grid_arrangement, Arrangement};
 pub use ball::Ball;
+pub use error::GeomError;
 pub use halfspace::Halfspace;
 pub use kdtree::KdTree;
 pub use point::Point;

@@ -4,6 +4,7 @@
 //! (Section 2.2), histogram buckets (Section 3.1), and quadtree cells
 //! (Section 3.2). All of them are closed boxes `×_{i=1}^d [lo_i, hi_i]`.
 
+use crate::error::{first_non_finite, GeomError};
 use crate::point::Point;
 use crate::EPS;
 
@@ -18,7 +19,8 @@ impl Rect {
     /// Creates a rectangle from lower and upper corner coordinates.
     ///
     /// # Panics
-    /// Panics if the corner dimensions differ or if `lo_i > hi_i` for some `i`.
+    /// Panics if the corner dimensions differ or if `lo_i > hi_i` for some
+    /// `i`. Untrusted input should go through [`Rect::try_new`] instead.
     pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
         assert_eq!(lo.len(), hi.len(), "corner dimension mismatch");
         for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
@@ -28,6 +30,43 @@ impl Rect {
             );
         }
         Self { lo, hi }
+    }
+
+    /// Validating constructor for untrusted input: rejects dimension
+    /// mismatches, NaN/infinite coordinates, and inverted corners with a
+    /// typed [`GeomError`] instead of panicking.
+    pub fn try_new(lo: Vec<f64>, hi: Vec<f64>) -> Result<Self, GeomError> {
+        if lo.len() != hi.len() {
+            return Err(GeomError::DimensionMismatch {
+                what: "Rect corners",
+                expected: lo.len(),
+                got: hi.len(),
+            });
+        }
+        if let Some((index, value)) = first_non_finite(&lo) {
+            return Err(GeomError::NonFinite {
+                what: "Rect lower corner",
+                index,
+                value,
+            });
+        }
+        if let Some((index, value)) = first_non_finite(&hi) {
+            return Err(GeomError::NonFinite {
+                what: "Rect upper corner",
+                index,
+                value,
+            });
+        }
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            if l > h {
+                return Err(GeomError::InvertedCorners {
+                    index: i,
+                    lo: l,
+                    hi: h,
+                });
+            }
+        }
+        Ok(Self { lo, hi })
     }
 
     /// The unit cube `[0, 1]^d`, the normalized data space of Section 4.

@@ -48,8 +48,19 @@ pub fn normal_mass(mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
 /// Inverse of the standard normal CDF (quantile function), via Acklam's
 /// rational approximation refined by one Halley step — accurate to
 /// ~1e-15 over `(0, 1)`.
+///
+/// Out-of-domain arguments degrade gracefully instead of panicking, in the
+/// usual libm convention: `p ≤ 0 → −∞`, `p ≥ 1 → +∞`, `NaN → NaN`.
 pub fn inv_std_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1)");
+    if p.is_nan() {
+        return f64::NAN;
+    }
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -288,9 +299,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quantile argument")]
-    fn inverse_cdf_rejects_boundaries() {
-        let _ = inv_std_normal_cdf(0.0);
+    fn inverse_cdf_boundaries_saturate() {
+        assert_eq!(inv_std_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_std_normal_cdf(1.0), f64::INFINITY);
+        assert_eq!(inv_std_normal_cdf(-3.0), f64::NEG_INFINITY);
+        assert!(inv_std_normal_cdf(f64::NAN).is_nan());
     }
 
     #[test]

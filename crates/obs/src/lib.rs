@@ -40,6 +40,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The panic-free gate: unwrap/expect are banned outside test code
+// (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod event;
 pub mod json;
@@ -95,14 +98,14 @@ pub fn enable_stats(on: bool) {
 
 /// Installs the global event sink, replacing any previous one.
 pub fn set_sink(sink: Arc<dyn ObsSink>) {
-    *sink_slot().write().expect("obs sink lock poisoned") = Some(sink);
+    *sink_slot().write().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sink);
     SINK_INSTALLED.store(true, Ordering::Relaxed);
 }
 
 /// Removes the global event sink (reverting to the implicit null sink).
 pub fn clear_sink() {
     SINK_INSTALLED.store(false, Ordering::Relaxed);
-    *sink_slot().write().expect("obs sink lock poisoned") = None;
+    *sink_slot().write().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
 }
 
 /// Records one event into the installed sink, if any.
@@ -110,7 +113,7 @@ pub fn emit(event: &Event) {
     if !sink_installed() {
         return;
     }
-    if let Some(sink) = sink_slot().read().expect("obs sink lock poisoned").as_ref() {
+    if let Some(sink) = sink_slot().read().unwrap_or_else(std::sync::PoisonError::into_inner).as_ref() {
         sink.record(event);
     }
 }
@@ -120,7 +123,7 @@ pub fn flush_sink() {
     if !sink_installed() {
         return;
     }
-    if let Some(sink) = sink_slot().read().expect("obs sink lock poisoned").as_ref() {
+    if let Some(sink) = sink_slot().read().unwrap_or_else(std::sync::PoisonError::into_inner).as_ref() {
         sink.flush();
     }
 }

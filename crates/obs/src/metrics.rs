@@ -28,10 +28,10 @@ fn histograms() -> &'static RwLock<BTreeMap<String, Arc<Histogram>>> {
 }
 
 fn cell(reg: &'static Registry, name: &str) -> Arc<AtomicU64> {
-    if let Some(c) = reg.read().expect("metrics registry poisoned").get(name) {
+    if let Some(c) = reg.read().unwrap_or_else(std::sync::PoisonError::into_inner).get(name) {
         return Arc::clone(c);
     }
-    let mut w = reg.write().expect("metrics registry poisoned");
+    let mut w = reg.write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(w.entry(name.to_string()).or_default())
 }
 
@@ -49,7 +49,7 @@ pub fn counter_add(name: &str, n: u64) {
 pub fn counter_get(name: &str) -> u64 {
     counters()
         .read()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(name)
         .map_or(0, |c| c.load(Ordering::Relaxed))
 }
@@ -67,7 +67,7 @@ pub fn gauge_set(name: &str, value: f64) {
 pub fn counter_snapshot() -> Vec<(String, u64)> {
     counters()
         .read()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
         .collect()
@@ -77,7 +77,7 @@ pub fn counter_snapshot() -> Vec<(String, u64)> {
 pub fn gauge_snapshot() -> Vec<(String, f64)> {
     gauges()
         .read()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
         .collect()
@@ -240,12 +240,12 @@ pub struct HistogramSummary {
 fn histogram_cell(name: &str) -> Arc<Histogram> {
     if let Some(h) = histograms()
         .read()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(name)
     {
         return Arc::clone(h);
     }
-    let mut w = histograms().write().expect("metrics registry poisoned");
+    let mut w = histograms().write().unwrap_or_else(std::sync::PoisonError::into_inner);
     Arc::clone(w.entry(name.to_string()).or_default())
 }
 
@@ -272,7 +272,7 @@ pub(crate) fn histogram_record_str(name: String, value: f64) {
 pub fn histogram_snapshot() -> Vec<(String, HistogramSummary)> {
     histograms()
         .read()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), v.summary()))
         .collect()
@@ -282,18 +282,18 @@ pub fn histogram_snapshot() -> Vec<(String, HistogramSummary)> {
 pub fn histogram_get(name: &str) -> Option<HistogramSummary> {
     histograms()
         .read()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .get(name)
         .map(|h| h.summary())
 }
 
 /// Clears all three registries.
 pub fn reset() {
-    counters().write().expect("metrics registry poisoned").clear();
-    gauges().write().expect("metrics registry poisoned").clear();
+    counters().write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    gauges().write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     histograms()
         .write()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clear();
 }
 

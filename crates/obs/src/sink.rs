@@ -43,17 +43,17 @@ impl MemorySink {
 
     /// Returns a snapshot of every event recorded so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
     }
 
     /// Drains and returns the recorded events.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink poisoned").len()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// `true` when no events have been recorded.
@@ -66,7 +66,7 @@ impl ObsSink for MemorySink {
     fn record(&self, event: &Event) {
         self.events
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(event.clone());
     }
 }

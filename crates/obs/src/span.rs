@@ -67,7 +67,7 @@ impl Drop for SpanGuard {
             (path, stack.len())
         });
         {
-            let mut reg = registry().lock().expect("span registry poisoned");
+            let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             let stat = reg.entry(path.clone()).or_default();
             stat.count += 1;
             stat.total_ns += elapsed.as_nanos() as u64;
@@ -93,7 +93,7 @@ macro_rules! span {
 pub fn timing_snapshot() -> Vec<(String, SpanStat)> {
     registry()
         .lock()
-        .expect("span registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(k, v)| (k.clone(), *v))
         .collect()
@@ -102,7 +102,7 @@ pub fn timing_snapshot() -> Vec<(String, SpanStat)> {
 /// Clears the timing registry (the thread-local stacks empty themselves
 /// as guards drop).
 pub fn reset_timings() {
-    registry().lock().expect("span registry poisoned").clear();
+    registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
 }
 
 #[cfg(test)]

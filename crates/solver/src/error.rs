@@ -1,0 +1,125 @@
+//! Typed errors for the optimization substrate.
+//!
+//! Served deployments feed the solvers with query-driven data (Equation 8's
+//! design matrix and selectivity labels) that the library does not control.
+//! Every public solver entry point validates its inputs and reports
+//! problems through [`SolverError`] — carrying the solver name and the
+//! offending component — instead of panicking mid-iteration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// An input vector or matrix entry was NaN or infinite.
+    NonFiniteInput {
+        /// The solver that rejected the input.
+        solver: &'static str,
+        /// Which argument carried the value (`"design matrix"`, `"labels"`, …).
+        what: &'static str,
+        /// Flat index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two arguments that must agree in size did not.
+    DimensionMismatch {
+        /// The solver that rejected the input.
+        solver: &'static str,
+        /// What was being matched.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        got: usize,
+    },
+    /// The problem has no variables (zero columns / empty vector).
+    EmptyProblem {
+        /// The solver that rejected the input.
+        solver: &'static str,
+    },
+    /// An options field was invalid (non-positive tolerance, NaN penalty, …).
+    InvalidOptions {
+        /// The solver that rejected its options.
+        solver: &'static str,
+        /// Which field was invalid.
+        what: &'static str,
+    },
+    /// Cholesky factorization broke down: the matrix is not SPD to tolerance.
+    NotSpd,
+    /// The inner LP terminated without an optimal solution.
+    LpNotOptimal {
+        /// The solver that ran the LP.
+        solver: &'static str,
+        /// Terminal LP status, rendered (`"infeasible"` / `"unbounded"`).
+        status: &'static str,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NonFiniteInput {
+                solver,
+                what,
+                index,
+                value,
+            } => write!(f, "{solver}: non-finite {what} entry {index}: {value}"),
+            SolverError::DimensionMismatch {
+                solver,
+                what,
+                expected,
+                got,
+            } => write!(f, "{solver}: {what} size mismatch: expected {expected}, got {got}"),
+            SolverError::EmptyProblem { solver } => {
+                write!(f, "{solver}: problem has no variables")
+            }
+            SolverError::InvalidOptions { solver, what } => {
+                write!(f, "{solver}: invalid option {what}")
+            }
+            SolverError::NotSpd => write!(f, "matrix is not symmetric positive definite"),
+            SolverError::LpNotOptimal { solver, status } => {
+                write!(f, "{solver}: inner LP terminated {status}")
+            }
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+/// Validates that every entry of `x` is finite.
+pub(crate) fn check_finite(
+    solver: &'static str,
+    what: &'static str,
+    x: &[f64],
+) -> Result<(), SolverError> {
+    match x.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(SolverError::NonFiniteInput {
+            solver,
+            what,
+            index,
+            value: x[index],
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Validates that `got == expected`.
+pub(crate) fn check_len(
+    solver: &'static str,
+    what: &'static str,
+    expected: usize,
+    got: usize,
+) -> Result<(), SolverError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(SolverError::DimensionMismatch {
+            solver,
+            what,
+            expected,
+            got,
+        })
+    }
+}

@@ -7,6 +7,7 @@
 //! struggle. Uses the Beck–Teboulle momentum schedule with adaptive restart
 //! (O'Donoghue–Candès) for robustness.
 
+use crate::error::{check_finite, check_len, SolverError};
 use crate::matrix::DenseMatrix;
 use crate::report::SolveReport;
 use crate::simplex_proj::simplex_projection;
@@ -70,11 +71,32 @@ impl FistaResult {
 
 /// Minimizes `‖Aw − s‖²` over the probability simplex.
 ///
-/// # Panics
-/// Panics if `a` has zero columns or the row count differs from `s`.
-pub fn fista_simplex_ls(a: &DenseMatrix, s: &[f64], opts: &FistaOptions) -> FistaResult {
-    assert!(a.cols() > 0, "need at least one bucket");
-    assert_eq!(a.rows(), s.len(), "dimension mismatch");
+/// Returns a typed [`SolverError`] when `a` has zero columns, the row
+/// count differs from `s`, or any input entry is NaN/infinite.
+pub fn fista_simplex_ls(
+    a: &DenseMatrix,
+    s: &[f64],
+    opts: &FistaOptions,
+) -> Result<FistaResult, SolverError> {
+    if a.cols() == 0 {
+        return Err(SolverError::EmptyProblem { solver: "fista" });
+    }
+    check_len("fista", "labels", a.rows(), s.len())?;
+    if let Some((index, value)) = a.first_non_finite() {
+        return Err(SolverError::NonFiniteInput {
+            solver: "fista",
+            what: "design matrix",
+            index,
+            value,
+        });
+    }
+    check_finite("fista", "labels", s)?;
+    if !opts.rel_tol.is_finite() || opts.rel_tol < 0.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "fista",
+            what: "rel_tol",
+        });
+    }
     let m = a.cols();
 
     // Lipschitz constant of ∇f(w) = 2Aᵀ(Aw − s) is 2 λ_max(AᵀA).
@@ -161,7 +183,7 @@ pub fn fista_simplex_ls(a: &DenseMatrix, s: &[f64], opts: &FistaOptions) -> Fist
     if selearn_obs::sink_installed() {
         result.report().emit();
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -177,7 +199,7 @@ mod tests {
         // A = I, s on the simplex ⇒ w = s exactly, loss 0.
         let a = DenseMatrix::identity(3);
         let s = vec![0.2, 0.3, 0.5];
-        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap();
         assert!(on_simplex(&r.weights));
         assert!(r.loss < 1e-12, "loss = {}", r.loss);
         for (w, t) in r.weights.iter().zip(&s) {
@@ -190,7 +212,7 @@ mod tests {
         // s outside the simplex image: best fit is the simplex projection.
         let a = DenseMatrix::identity(2);
         let s = vec![2.0, 0.0];
-        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap();
         assert!(on_simplex(&r.weights));
         // projection of (2, 0) onto the simplex is (1, 0)
         assert!((r.weights[0] - 1.0).abs() < 1e-6, "{:?}", r.weights);
@@ -205,7 +227,7 @@ mod tests {
             vec![1.0, 1.0],
         ]);
         let s = vec![0.25, 0.75, 1.0];
-        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap();
         assert!(r.loss < 1e-10, "loss = {}", r.loss);
         assert!((r.weights[0] - 0.25).abs() < 1e-5);
         assert!((r.weights[1] - 0.75).abs() < 1e-5);
@@ -216,7 +238,7 @@ mod tests {
         // Dense 1-D sweep over the 1-simplex validates global optimality.
         let a = DenseMatrix::from_rows(&[vec![0.8, 0.1], vec![0.3, 0.9], vec![0.5, 0.5]]);
         let s = vec![0.4, 0.6, 0.55];
-        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap();
         let mut best = f64::INFINITY;
         for i in 0..=10_000 {
             let w0 = i as f64 / 10_000.0;
@@ -230,7 +252,7 @@ mod tests {
     fn zero_matrix_stays_feasible() {
         let a = DenseMatrix::zeros(2, 3);
         let s = vec![0.5, 0.5];
-        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap();
         assert!(on_simplex(&r.weights));
         assert!((r.loss - 0.5).abs() < 1e-12); // residual is −s regardless
     }
@@ -243,7 +265,7 @@ mod tests {
             max_iters: 3,
             ..Default::default()
         };
-        let r = fista_simplex_ls(&a, &s, &opts);
+        let r = fista_simplex_ls(&a, &s, &opts).unwrap();
         assert!(r.iters <= 3);
     }
 
@@ -257,7 +279,7 @@ mod tests {
             max_iters: 1,
             ..Default::default()
         };
-        let r = fista_simplex_ls(&a, &s, &opts);
+        let r = fista_simplex_ls(&a, &s, &opts).unwrap();
         assert!(!r.converged);
         let rep = r.report();
         assert_eq!(rep.solver, "fista");
@@ -266,7 +288,7 @@ mod tests {
         assert!(rep.final_residual.is_finite());
 
         // ...and a generous budget converges and reports it.
-        let r = fista_simplex_ls(&a, &s, &FistaOptions::default());
+        let r = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap();
         assert!(r.converged);
         assert!(r.iters < r.max_iters);
     }
@@ -282,7 +304,7 @@ mod tests {
             let n = rows.len();
             let a = DenseMatrix::from_rows(&rows);
             let s = &s[..n];
-            let r = fista_simplex_ls(&a, s, &FistaOptions::default());
+            let r = fista_simplex_ls(&a, s, &FistaOptions::default()).unwrap();
             proptest::prop_assert!(on_simplex(&r.weights));
             let uniform = vec![0.25; 4];
             proptest::prop_assert!(r.loss <= a.residual_sq(&uniform, s) + 1e-8);

@@ -11,6 +11,7 @@
 //! binary-membership case and converges to the max-entropy solution when
 //! the constraints are consistent.
 
+use crate::error::{check_finite, check_len, SolverError};
 use crate::matrix::DenseMatrix;
 use crate::report::SolveReport;
 
@@ -69,10 +70,40 @@ impl IpfResult {
 /// Computes max-entropy-style weights satisfying `A w ≈ s`, `Σ w = 1`,
 /// `w ≥ 0`, where `A[i][j] ∈ [0, 1]` is the fraction of bucket `j` covered
 /// by query `i`.
-pub fn ipf_max_entropy(a: &DenseMatrix, s: &[f64], opts: &IpfOptions) -> IpfResult {
-    assert_eq!(a.rows(), s.len(), "dimension mismatch");
+///
+/// Returns a typed [`SolverError`] on empty problems, shape mismatches,
+/// non-finite inputs, or invalid options.
+pub fn ipf_max_entropy(
+    a: &DenseMatrix,
+    s: &[f64],
+    opts: &IpfOptions,
+) -> Result<IpfResult, SolverError> {
     let m = a.cols();
-    assert!(m > 0, "need at least one bucket");
+    if m == 0 {
+        return Err(SolverError::EmptyProblem { solver: "ipf" });
+    }
+    check_len("ipf", "labels", a.rows(), s.len())?;
+    if let Some((index, value)) = a.first_non_finite() {
+        return Err(SolverError::NonFiniteInput {
+            solver: "ipf",
+            what: "coverage matrix",
+            index,
+            value,
+        });
+    }
+    check_finite("ipf", "labels", s)?;
+    if !opts.tol.is_finite() || opts.tol < 0.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "ipf",
+            what: "tol",
+        });
+    }
+    if !opts.max_factor.is_finite() || opts.max_factor < 1.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "ipf",
+            what: "max_factor",
+        });
+    }
     let mut w = vec![1.0 / m as f64; m];
     let mut passes = 0;
     let mut max_violation = violation(a, &w, s);
@@ -129,7 +160,7 @@ pub fn ipf_max_entropy(a: &DenseMatrix, s: &[f64], opts: &IpfOptions) -> IpfResu
     if selearn_obs::sink_installed() {
         result.report().emit();
     }
-    result
+    Ok(result)
 }
 
 fn violation(a: &DenseMatrix, w: &[f64], s: &[f64]) -> f64 {
@@ -144,7 +175,7 @@ mod tests {
     fn single_binary_constraint() {
         // Buckets {1, 2}; query covers bucket 1 fully with s = 0.3.
         let a = DenseMatrix::from_rows(&[vec![1.0, 0.0]]);
-        let r = ipf_max_entropy(&a, &[0.3], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.3], &IpfOptions::default()).unwrap();
         assert!(r.max_violation < 1e-6);
         assert!((r.weights[0] - 0.3).abs() < 1e-5);
         assert!((r.weights[1] - 0.7).abs() < 1e-5);
@@ -155,7 +186,7 @@ mod tests {
         // 3 buckets; query covers buckets 1–2 with s = 0.5. Max-entropy
         // splits 0.5 evenly inside and leaves 0.5 on bucket 3.
         let a = DenseMatrix::from_rows(&[vec![1.0, 1.0, 0.0]]);
-        let r = ipf_max_entropy(&a, &[0.5], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.5], &IpfOptions::default()).unwrap();
         assert!(r.max_violation < 1e-6);
         assert!((r.weights[0] - 0.25).abs() < 1e-4);
         assert!((r.weights[1] - 0.25).abs() < 1e-4);
@@ -167,7 +198,7 @@ mod tests {
         // Buckets {a, b, c}; q1 = {a, b} with s = 0.6, q2 = {b, c} with 0.7.
         // Consistency: w_a + w_b = 0.6, w_b + w_c = 0.7, Σ = 1 ⇒ w_b = 0.3.
         let a = DenseMatrix::from_rows(&[vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0]]);
-        let r = ipf_max_entropy(&a, &[0.6, 0.7], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.6, 0.7], &IpfOptions::default()).unwrap();
         assert!(r.max_violation < 1e-5, "violation {}", r.max_violation);
         assert!((r.weights[1] - 0.3).abs() < 1e-3, "{:?}", r.weights);
     }
@@ -178,7 +209,7 @@ mod tests {
             vec![1.0, 0.5, 0.0, 0.2],
             vec![0.0, 0.5, 1.0, 0.8],
         ]);
-        let r = ipf_max_entropy(&a, &[0.4, 0.5], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.4, 0.5], &IpfOptions::default()).unwrap();
         let total: f64 = r.weights.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(r.weights.iter().all(|&v| v >= 0.0));
@@ -188,7 +219,7 @@ mod tests {
     fn inconsistent_constraints_dont_blow_up() {
         // Contradictory: same bucket must have weight 0.2 and 0.8.
         let a = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0]]);
-        let r = ipf_max_entropy(&a, &[0.2, 0.8], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.2, 0.8], &IpfOptions::default()).unwrap();
         assert!(r.weights.iter().all(|v| v.is_finite()));
         let total: f64 = r.weights.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -198,7 +229,7 @@ mod tests {
     fn fractional_coverage() {
         // Query covers half of bucket 1 (f = 0.5): 0.5 w1 = 0.2 ⇒ w1 = 0.4.
         let a = DenseMatrix::from_rows(&[vec![0.5, 0.0]]);
-        let r = ipf_max_entropy(&a, &[0.2], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.2], &IpfOptions::default()).unwrap();
         assert!(r.max_violation < 1e-5);
         assert!((r.weights[0] - 0.4).abs() < 1e-3, "{:?}", r.weights);
     }
@@ -206,7 +237,7 @@ mod tests {
     #[test]
     fn zero_selectivity_query_empties_buckets() {
         let a = DenseMatrix::from_rows(&[vec![1.0, 0.0, 0.0]]);
-        let r = ipf_max_entropy(&a, &[0.0], &IpfOptions::default());
+        let r = ipf_max_entropy(&a, &[0.0], &IpfOptions::default()).unwrap();
         assert!(r.weights[0] < 1e-6);
         assert!((r.weights[1] - 0.5).abs() < 1e-4);
     }

@@ -5,17 +5,26 @@
 //! fitted values to be **monotone nondecreasing**; PAVA computes the
 //! weighted least-squares projection onto that cone in `O(n)`.
 
+use crate::error::{check_finite, check_len, SolverError};
+
 /// Weighted isotonic regression: returns the nondecreasing `g` minimizing
 /// `Σ w_i (g_i − y_i)²`.
 ///
-/// # Panics
-/// Panics if lengths differ or any weight is non-positive.
-pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
-    assert_eq!(y.len(), w.len(), "length mismatch");
-    assert!(w.iter().all(|&v| v > 0.0), "weights must be positive");
+/// Returns a typed [`SolverError`] when lengths differ, any value is
+/// NaN/infinite, or any weight is not strictly positive and finite.
+pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Result<Vec<f64>, SolverError> {
+    check_len("isotonic", "weights", y.len(), w.len())?;
+    check_finite("isotonic", "values", y)?;
+    check_finite("isotonic", "weights", w)?;
+    if w.iter().any(|&v| v <= 0.0) {
+        return Err(SolverError::InvalidOptions {
+            solver: "isotonic",
+            what: "weights (must be strictly positive)",
+        });
+    }
     let n = y.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Blocks represented by (mean, weight, count), merged on violation.
     let mut means: Vec<f64> = Vec::with_capacity(n);
@@ -31,16 +40,17 @@ pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
             if means[k - 2] <= means[k - 1] {
                 break;
             }
-            // merge the last two blocks
+            // merge the last two blocks (indexing stays in bounds: k ≥ 2)
             merges += 1;
             let wt = weights[k - 2] + weights[k - 1];
             let m = (means[k - 2] * weights[k - 2] + means[k - 1] * weights[k - 1]) / wt;
+            let c = counts[k - 1];
             means.truncate(k - 1);
             weights.truncate(k - 1);
-            let c = counts.pop().expect("nonempty");
-            *means.last_mut().expect("nonempty") = m;
-            *weights.last_mut().expect("nonempty") = wt;
-            *counts.last_mut().expect("nonempty") += c;
+            counts.truncate(k - 1);
+            means[k - 2] = m;
+            weights[k - 2] = wt;
+            counts[k - 2] += c;
         }
     }
     let mut out = Vec::with_capacity(n);
@@ -60,11 +70,11 @@ pub fn isotonic_regression(y: &[f64], w: &[f64]) -> Vec<f64> {
         }
         .emit();
     }
-    out
+    Ok(out)
 }
 
 /// Unweighted isotonic regression.
-pub fn isotonic_regression_unweighted(y: &[f64]) -> Vec<f64> {
+pub fn isotonic_regression_unweighted(y: &[f64]) -> Result<Vec<f64>, SolverError> {
     isotonic_regression(y, &vec![1.0; y.len()])
 }
 
@@ -81,19 +91,19 @@ mod tests {
     #[test]
     fn already_monotone_unchanged() {
         let y = vec![0.1, 0.2, 0.5, 0.9];
-        assert_eq!(isotonic_regression_unweighted(&y), y);
+        assert_eq!(isotonic_regression_unweighted(&y).unwrap(), y);
     }
 
     #[test]
     fn single_violation_pooled() {
         // (3, 1) pools to (2, 2)
-        let g = isotonic_regression_unweighted(&[3.0, 1.0]);
+        let g = isotonic_regression_unweighted(&[3.0, 1.0]).unwrap();
         assert_eq!(g, vec![2.0, 2.0]);
     }
 
     #[test]
     fn textbook_example() {
-        let g = isotonic_regression_unweighted(&[1.0, 3.0, 2.0, 4.0]);
+        let g = isotonic_regression_unweighted(&[1.0, 3.0, 2.0, 4.0]).unwrap();
         assert_eq!(g, vec![1.0, 2.5, 2.5, 4.0]);
         assert_monotone(&g);
     }
@@ -101,7 +111,7 @@ mod tests {
     #[test]
     fn decreasing_input_pools_to_mean() {
         let y = vec![5.0, 4.0, 3.0, 2.0, 1.0];
-        let g = isotonic_regression_unweighted(&y);
+        let g = isotonic_regression_unweighted(&y).unwrap();
         for v in &g {
             assert!((v - 3.0).abs() < 1e-12);
         }
@@ -110,15 +120,15 @@ mod tests {
     #[test]
     fn weights_shift_pooled_means() {
         // heavy first element dominates the pooled block
-        let g = isotonic_regression(&[2.0, 0.0], &[3.0, 1.0]);
+        let g = isotonic_regression(&[2.0, 0.0], &[3.0, 1.0]).unwrap();
         assert!((g[0] - 1.5).abs() < 1e-12);
         assert_eq!(g[0], g[1]);
     }
 
     #[test]
     fn empty_and_singleton() {
-        assert!(isotonic_regression_unweighted(&[]).is_empty());
-        assert_eq!(isotonic_regression_unweighted(&[7.0]), vec![7.0]);
+        assert!(isotonic_regression_unweighted(&[]).unwrap().is_empty());
+        assert_eq!(isotonic_regression_unweighted(&[7.0]).unwrap(), vec![7.0]);
     }
 
     proptest::proptest! {
@@ -126,7 +136,7 @@ mod tests {
         fn prop_output_monotone_and_mean_preserving(
             y in proptest::collection::vec(-10.0f64..10.0, 1..60)
         ) {
-            let g = isotonic_regression_unweighted(&y);
+            let g = isotonic_regression_unweighted(&y).unwrap();
             proptest::prop_assert_eq!(g.len(), y.len());
             for w in g.windows(2) {
                 proptest::prop_assert!(w[0] <= w[1] + 1e-9);
@@ -143,7 +153,7 @@ mod tests {
         ) {
             // The PAVA output must beat any monotone candidate built by
             // cummax/cummin perturbations of y itself.
-            let g = isotonic_regression_unweighted(&y);
+            let g = isotonic_regression_unweighted(&y).unwrap();
             let loss = |v: &[f64]| -> f64 {
                 v.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum()
             };

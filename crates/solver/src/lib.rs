@@ -27,7 +27,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The panic-free gate: unwrap/expect are banned outside test code
+// (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod error;
 pub mod fista;
 pub mod ipf;
 pub mod isotonic;
@@ -38,6 +42,7 @@ pub mod nnls;
 pub mod report;
 pub mod simplex_proj;
 
+pub use error::SolverError;
 pub use fista::{fista_simplex_ls, FistaOptions, FistaResult};
 pub use ipf::{ipf_max_entropy, IpfOptions, IpfResult};
 pub use isotonic::{isotonic_regression, isotonic_regression_unweighted};
@@ -46,4 +51,4 @@ pub use linprog::{linprog, Constraint, ConstraintOp, LpResult, LpStatus};
 pub use matrix::DenseMatrix;
 pub use nnls::{nnls, nnls_simplex, nnls_simplex_with_report, nnls_with_report, NnlsOptions};
 pub use report::SolveReport;
-pub use simplex_proj::simplex_projection;
+pub use simplex_proj::{simplex_projection, try_simplex_projection};

@@ -9,6 +9,7 @@
 //! * [`linf_fit_smoothed`] — a scalable smoothed variant minimizing the
 //!   log-sum-exp soft maximum with projected gradient descent.
 
+use crate::error::{check_finite, check_len, SolverError};
 use crate::linprog::{linprog, Constraint, ConstraintOp, LpStatus};
 use crate::matrix::DenseMatrix;
 use crate::report::SolveReport;
@@ -46,10 +47,12 @@ pub fn linf_error(a: &DenseMatrix, w: &[f64], s: &[f64]) -> f64 {
 /// Exactly minimizes `max_i |(Aw)_i − s_i|` over the probability simplex
 /// via LP: variables `(w, z)`, minimize `z` s.t. `±(Aw − s) ≤ z`, `Σw = 1`.
 ///
-/// Returns `None` if the LP solver fails (it should not on well-formed
-/// inputs — the feasible set is nonempty and bounded).
-pub fn linf_fit_exact(a: &DenseMatrix, s: &[f64]) -> Option<Vec<f64>> {
-    assert_eq!(a.rows(), s.len(), "dimension mismatch");
+/// Returns a typed [`SolverError`] on invalid input, or
+/// [`SolverError::LpNotOptimal`] if the inner LP fails to find an optimum
+/// (it should not on well-formed inputs — the feasible set is nonempty and
+/// bounded).
+pub fn linf_fit_exact(a: &DenseMatrix, s: &[f64]) -> Result<Vec<f64>, SolverError> {
+    validate_linf("linf-exact", a, s)?;
     let n = a.rows();
     let m = a.cols();
     let mut cons = Vec::with_capacity(2 * n + 1);
@@ -69,21 +72,49 @@ pub fn linf_fit_exact(a: &DenseMatrix, s: &[f64]) -> Option<Vec<f64>> {
     cons.push(Constraint::new(sum_row, ConstraintOp::Eq, 1.0));
     let mut c = vec![0.0; m];
     c.push(1.0);
-    let r = linprog(&c, &cons);
+    let r = linprog(&c, &cons)?;
     if r.status != LpStatus::Optimal {
-        return None;
+        return Err(SolverError::LpNotOptimal {
+            solver: "linf-exact",
+            status: match r.status {
+                LpStatus::Infeasible => "infeasible",
+                LpStatus::Unbounded => "unbounded",
+                LpStatus::Optimal => "optimal",
+            },
+        });
     }
     let mut w = r.x[..m].to_vec();
     // Clean up numerical drift.
     simplex_projection(&mut w);
-    Some(w)
+    Ok(w)
+}
+
+/// Shared input validation for the `L∞` fitters.
+fn validate_linf(solver: &'static str, a: &DenseMatrix, s: &[f64]) -> Result<(), SolverError> {
+    if a.cols() == 0 {
+        return Err(SolverError::EmptyProblem { solver });
+    }
+    check_len(solver, "labels", a.rows(), s.len())?;
+    if let Some((index, value)) = a.first_non_finite() {
+        return Err(SolverError::NonFiniteInput {
+            solver,
+            what: "design matrix",
+            index,
+            value,
+        });
+    }
+    check_finite(solver, "labels", s)
 }
 
 /// Scalable smoothed `L∞` fit: minimizes the soft maximum
 /// `(1/β) log Σ_i (e^{β r_i} + e^{−β r_i})` of the residuals `r = Aw − s`
 /// with projected gradient descent over the simplex.
-pub fn linf_fit_smoothed(a: &DenseMatrix, s: &[f64], opts: &LinfOptions) -> Vec<f64> {
-    linf_fit_smoothed_with_report(a, s, opts).0
+pub fn linf_fit_smoothed(
+    a: &DenseMatrix,
+    s: &[f64],
+    opts: &LinfOptions,
+) -> Result<Vec<f64>, SolverError> {
+    Ok(linf_fit_smoothed_with_report(a, s, opts)?.0)
 }
 
 /// [`linf_fit_smoothed`] plus a [`SolveReport`]. The subgradient method
@@ -96,8 +127,20 @@ pub fn linf_fit_smoothed_with_report(
     a: &DenseMatrix,
     s: &[f64],
     opts: &LinfOptions,
-) -> (Vec<f64>, SolveReport) {
-    assert_eq!(a.rows(), s.len(), "dimension mismatch");
+) -> Result<(Vec<f64>, SolveReport), SolverError> {
+    validate_linf("linf-smoothed", a, s)?;
+    if !opts.beta.is_finite() || opts.beta <= 0.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "linf-smoothed",
+            what: "beta",
+        });
+    }
+    if !opts.step0.is_finite() || opts.step0 <= 0.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "linf-smoothed",
+            what: "step0",
+        });
+    }
     let m = a.cols();
     let mut w = vec![1.0 / m as f64; m];
     let mut best_w = w.clone();
@@ -152,7 +195,7 @@ pub fn linf_fit_smoothed_with_report(
     if selearn_obs::sink_installed() {
         report.emit();
     }
-    (best_w, report)
+    Ok((best_w, report))
 }
 
 #[cfg(test)]
@@ -201,7 +244,7 @@ mod tests {
         ]);
         let s = vec![0.4, 0.6, 0.3, 0.7];
         let we = linf_fit_exact(&a, &s).unwrap();
-        let ws = linf_fit_smoothed(&a, &s, &LinfOptions::default());
+        let ws = linf_fit_smoothed(&a, &s, &LinfOptions::default()).unwrap();
         let ee = linf_error(&a, &we, &s);
         let es = linf_error(&a, &ws, &s);
         assert!(
@@ -213,7 +256,7 @@ mod tests {
     #[test]
     fn smoothed_output_on_simplex() {
         let a = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
-        let w = linf_fit_smoothed(&a, &[0.4, 0.6], &LinfOptions::default());
+        let w = linf_fit_smoothed(&a, &[0.4, 0.6], &LinfOptions::default()).unwrap();
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-7);
         assert!(w.iter().all(|&v| v >= 0.0));
         assert!(linf_error(&a, &w, &[0.4, 0.6]) < 1e-2);

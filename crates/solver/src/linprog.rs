@@ -6,6 +6,8 @@
 //! termination; the dense tableau is appropriate for the small/medium
 //! instances that need *exact* answers.
 
+use crate::error::{check_finite, SolverError};
+
 /// Direction of a linear constraint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConstraintOp {
@@ -60,11 +62,32 @@ pub struct LpResult {
 const TOL: f64 = 1e-9;
 
 /// Minimizes `cᵀx` subject to the given constraints and `x ≥ 0`.
-pub fn linprog(c: &[f64], constraints: &[Constraint]) -> LpResult {
+///
+/// Returns a typed [`SolverError`] when a constraint's arity disagrees
+/// with the objective or any coefficient is NaN/infinite; infeasibility
+/// and unboundedness are normal outcomes reported via [`LpStatus`].
+pub fn linprog(c: &[f64], constraints: &[Constraint]) -> Result<LpResult, SolverError> {
     let n = c.len();
     let m = constraints.len();
+    check_finite("linprog", "objective", c)?;
     for con in constraints {
-        assert_eq!(con.coeffs.len(), n, "constraint arity mismatch");
+        if con.coeffs.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                solver: "linprog",
+                what: "constraint coefficients",
+                expected: n,
+                got: con.coeffs.len(),
+            });
+        }
+        check_finite("linprog", "constraint coefficients", &con.coeffs)?;
+        if !con.rhs.is_finite() {
+            return Err(SolverError::NonFiniteInput {
+                solver: "linprog",
+                what: "constraint rhs",
+                index: 0,
+                value: con.rhs,
+            });
+        }
     }
 
     // Standard form: flip rows so every RHS is nonnegative, then add slack
@@ -143,14 +166,24 @@ pub fn linprog(c: &[f64], constraints: &[Constraint]) -> LpResult {
         match simplex_core(&mut tab, &mut basis, &c1, total) {
             SimplexOutcome::Optimal(obj) => {
                 if obj > 1e-7 {
-                    return LpResult {
+                    return Ok(LpResult {
                         status: LpStatus::Infeasible,
                         x: vec![0.0; n],
                         objective: f64::INFINITY,
-                    };
+                    });
                 }
             }
-            SimplexOutcome::Unbounded => unreachable!("phase-1 objective is bounded below by 0"),
+            // Phase 1 minimizes a sum of nonnegative variables, so it cannot
+            // be unbounded with the finite inputs validated above; if the
+            // tableau is ever driven there by pathological round-off, report
+            // infeasible instead of aborting the process.
+            SimplexOutcome::Unbounded => {
+                return Ok(LpResult {
+                    status: LpStatus::Infeasible,
+                    x: vec![0.0; n],
+                    objective: f64::INFINITY,
+                });
+            }
         }
         // Drive any artificial still in the basis out (degenerate case).
         for i in 0..m {
@@ -180,17 +213,17 @@ pub fn linprog(c: &[f64], constraints: &[Constraint]) -> LpResult {
                 }
             }
             let objective = x.iter().zip(c).map(|(a, b)| a * b).sum();
-            LpResult {
+            Ok(LpResult {
                 status: LpStatus::Optimal,
                 x,
                 objective,
-            }
+            })
         }
-        SimplexOutcome::Unbounded => LpResult {
+        SimplexOutcome::Unbounded => Ok(LpResult {
             status: LpStatus::Unbounded,
             x: vec![0.0; n],
             objective: f64::NEG_INFINITY,
-        },
+        }),
     }
 }
 
@@ -283,7 +316,7 @@ mod tests {
                 Constraint::new(vec![0.0, 2.0], ConstraintOp::Le, 12.0),
                 Constraint::new(vec![3.0, 2.0], ConstraintOp::Le, 18.0),
             ],
-        );
+        ).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.x[0] - 2.0).abs() < 1e-7, "{:?}", r.x);
         assert!((r.x[1] - 6.0).abs() < 1e-7);
@@ -299,7 +332,7 @@ mod tests {
                 Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 1.0),
                 Constraint::new(vec![1.0, -1.0], ConstraintOp::Eq, 0.0),
             ],
-        );
+        ).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.x[0] - 0.5).abs() < 1e-7);
         assert!((r.x[1] - 0.5).abs() < 1e-7);
@@ -314,7 +347,7 @@ mod tests {
                 Constraint::new(vec![1.0, 1.0], ConstraintOp::Ge, 4.0),
                 Constraint::new(vec![1.0, 0.0], ConstraintOp::Ge, 1.0),
             ],
-        );
+        ).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective - 8.0).abs() < 1e-7, "{:?}", r);
     }
@@ -327,21 +360,21 @@ mod tests {
                 Constraint::new(vec![1.0], ConstraintOp::Le, 1.0),
                 Constraint::new(vec![1.0], ConstraintOp::Ge, 2.0),
             ],
-        );
+        ).unwrap();
         assert_eq!(r.status, LpStatus::Infeasible);
     }
 
     #[test]
     fn unbounded_detected() {
         // min −x s.t. x ≥ 0 (no upper bound).
-        let r = linprog(&[-1.0], &[Constraint::new(vec![1.0], ConstraintOp::Ge, 0.0)]);
+        let r = linprog(&[-1.0], &[Constraint::new(vec![1.0], ConstraintOp::Ge, 0.0)]).unwrap();
         assert_eq!(r.status, LpStatus::Unbounded);
     }
 
     #[test]
     fn negative_rhs_handled() {
         // min x s.t. −x ≤ −3  ⇔ x ≥ 3.
-        let r = linprog(&[1.0], &[Constraint::new(vec![-1.0], ConstraintOp::Le, -3.0)]);
+        let r = linprog(&[1.0], &[Constraint::new(vec![-1.0], ConstraintOp::Le, -3.0)]).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.x[0] - 3.0).abs() < 1e-7);
     }
@@ -356,7 +389,7 @@ mod tests {
                 Constraint::new(vec![1.0, 1.0], ConstraintOp::Eq, 1.0),
                 Constraint::new(vec![1.0, 0.0], ConstraintOp::Le, 1.0),
             ],
-        );
+        ).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.objective - 1.0).abs() < 1e-7);
     }
@@ -373,7 +406,7 @@ mod tests {
             Constraint::new(vec![0.0, -1.0, -1.0], ConstraintOp::Le, -0.3),
             Constraint::new(vec![1.0, 1.0, 0.0], ConstraintOp::Eq, 1.0),
         ];
-        let r = linprog(&[0.0, 0.0, 1.0], &cons);
+        let r = linprog(&[0.0, 0.0, 1.0], &cons).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!(r.objective.abs() < 1e-7);
         assert!((r.x[0] - 0.7).abs() < 1e-6);
@@ -400,7 +433,7 @@ mod tests {
                     -1.0,
                 ));
             }
-            linprog(&[0.0; 6], &cons).status == LpStatus::Optimal
+            linprog(&[0.0; 6], &cons).unwrap().status == LpStatus::Optimal
         };
         assert!(sep(&[(0.0, 0.0)], &[(1.0, 1.0)]));
         // XOR configuration is not separable.

@@ -13,6 +13,8 @@
 //! iterates (and hence the trained weights) do not change with the feature
 //! or the thread count.
 
+use crate::error::SolverError;
+
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
@@ -213,12 +215,36 @@ impl DenseMatrix {
         lambda
     }
 
-    /// Solves the symmetric positive-definite system `M x = b` in place via
-    /// Cholesky, where `M` is `self` (must be square SPD). Returns `None`
-    /// when the factorization breaks down (matrix not SPD to tolerance).
-    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
-        assert_eq!(self.rows, self.cols, "matrix must be square");
-        assert_eq!(b.len(), self.rows, "dimension mismatch");
+    /// Index (flat, row-major) and value of the first non-finite entry.
+    pub fn first_non_finite(&self) -> Option<(usize, f64)> {
+        self.data
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(i, &v)| (i, v))
+    }
+
+    /// Solves the symmetric positive-definite system `M x = b` via
+    /// Cholesky, where `M` is `self` (must be square SPD). Returns
+    /// [`SolverError::NotSpd`] when the factorization breaks down (matrix
+    /// not SPD to tolerance) and a dimension error on shape mismatches.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        if self.rows != self.cols {
+            return Err(SolverError::DimensionMismatch {
+                solver: "solve_spd",
+                what: "matrix must be square",
+                expected: self.rows,
+                got: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(SolverError::DimensionMismatch {
+                solver: "solve_spd",
+                what: "right-hand side",
+                expected: self.rows,
+                got: b.len(),
+            });
+        }
         let n = self.rows;
         // Cholesky factor L (lower), column-oriented.
         let mut l = vec![0.0f64; n * n];
@@ -227,8 +253,9 @@ impl DenseMatrix {
             for k in 0..j {
                 diag -= l[j * n + k] * l[j * n + k];
             }
-            if diag <= 1e-14 {
-                return None;
+            if diag.is_nan() || diag <= 1e-14 {
+                // non-positive or NaN pivot: not SPD to tolerance
+                return Err(SolverError::NotSpd);
             }
             let dj = diag.sqrt();
             l[j * n + j] = dj;
@@ -258,7 +285,7 @@ impl DenseMatrix {
             }
             x[i] /= l[i * n + i];
         }
-        Some(x)
+        Ok(x)
     }
 }
 
@@ -328,7 +355,27 @@ mod tests {
     #[test]
     fn spd_solve_rejects_indefinite() {
         let m = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
-        assert!(m.solve_spd(&[1.0, 1.0]).is_none());
+        assert_eq!(m.solve_spd(&[1.0, 1.0]), Err(SolverError::NotSpd));
+    }
+
+    #[test]
+    fn spd_solve_rejects_shape_mismatch() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            m.solve_spd(&[1.0]),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            rect.solve_spd(&[1.0, 1.0]),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn spd_solve_nan_matrix_is_error_not_panic() {
+        let m = DenseMatrix::from_rows(&[vec![f64::NAN, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(m.solve_spd(&[1.0, 1.0]), Err(SolverError::NotSpd));
     }
 
     #[test]

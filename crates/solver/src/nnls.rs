@@ -7,6 +7,7 @@
 //! enforced the same way the authors' code does it: by appending a heavily
 //! weighted penalty row `√ρ · 1ᵀ w = √ρ`.
 
+use crate::error::{check_finite, check_len, SolverError};
 use crate::matrix::DenseMatrix;
 use crate::report::SolveReport;
 
@@ -34,12 +35,40 @@ impl Default for NnlsOptions {
 
 /// Solves `min ‖Ax − b‖²` subject to `x ≥ 0` (Lawson–Hanson).
 ///
-/// Returns the nonnegative least-squares solution. The passive-set
-/// subproblems are solved through the normal equations with Cholesky, which
-/// is accurate for the well-scaled design matrices produced by Equation (6)
-/// (entries in `[0, 1]`).
-pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
-    nnls_with_report(a, b, opts).0
+/// Returns the nonnegative least-squares solution, or a typed
+/// [`SolverError`] on shape mismatches and NaN/infinite input. The
+/// passive-set subproblems are solved through the normal equations with
+/// Cholesky, which is accurate for the well-scaled design matrices produced
+/// by Equation (6) (entries in `[0, 1]`).
+pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Result<Vec<f64>, SolverError> {
+    Ok(nnls_with_report(a, b, opts)?.0)
+}
+
+/// Shared input validation for the NNLS entry points.
+fn validate_nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Result<(), SolverError> {
+    check_len("nnls", "labels", a.rows(), b.len())?;
+    if let Some((index, value)) = a.first_non_finite() {
+        return Err(SolverError::NonFiniteInput {
+            solver: "nnls",
+            what: "design matrix",
+            index,
+            value,
+        });
+    }
+    check_finite("nnls", "labels", b)?;
+    if !opts.tol.is_finite() || opts.tol < 0.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "nnls",
+            what: "tol",
+        });
+    }
+    if !opts.sum_penalty.is_finite() || opts.sum_penalty <= 0.0 {
+        return Err(SolverError::InvalidOptions {
+            solver: "nnls",
+            what: "sum_penalty",
+        });
+    }
+    Ok(())
 }
 
 /// [`nnls`] plus a [`SolveReport`]: `converged` is `true` when the KKT
@@ -48,8 +77,12 @@ pub fn nnls(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> Vec<f64> {
 /// convergence events and a terminal `solver-report` event when
 /// observability is enabled; bumps the `active_set_swaps` counter on every
 /// passive-set change.
-pub fn nnls_with_report(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> (Vec<f64>, SolveReport) {
-    assert_eq!(a.rows(), b.len(), "dimension mismatch");
+pub fn nnls_with_report(
+    a: &DenseMatrix,
+    b: &[f64],
+    opts: &NnlsOptions,
+) -> Result<(Vec<f64>, SolveReport), SolverError> {
+    validate_nnls(a, b, opts)?;
     let m = a.cols();
     let max_iters = if opts.max_iters == 0 {
         3 * m.max(1)
@@ -163,7 +196,7 @@ pub fn nnls_with_report(a: &DenseMatrix, b: &[f64], opts: &NnlsOptions) -> (Vec<
         final_residual,
     };
     report.emit();
-    (x, report)
+    Ok((x, report))
 }
 
 /// Unconstrained least squares restricted to the columns `idx`, via normal
@@ -196,14 +229,20 @@ fn solve_ls_subset(a: &DenseMatrix, b: &[f64], idx: &[usize]) -> Option<Vec<f64>
             gram[(j, i)] = gram[(i, j)];
         }
     }
-    gram.solve_spd(&rhs)
+    // A singular subproblem is a normal active-set event (backtrack), not
+    // an input error, so the typed error collapses back to Option here.
+    gram.solve_spd(&rhs).ok()
 }
 
 /// Solves Equation (8) — simplex-constrained least squares — through NNLS
 /// with a penalty row: minimize `‖Aw − s‖² + ρ (Σ w − 1)²` over `w ≥ 0`,
 /// then renormalize the tiny residual drift so `Σ w = 1` exactly.
-pub fn nnls_simplex(a: &DenseMatrix, s: &[f64], opts: &NnlsOptions) -> Vec<f64> {
-    nnls_simplex_with_report(a, s, opts).0
+pub fn nnls_simplex(
+    a: &DenseMatrix,
+    s: &[f64],
+    opts: &NnlsOptions,
+) -> Result<Vec<f64>, SolverError> {
+    Ok(nnls_simplex_with_report(a, s, opts)?.0)
 }
 
 /// [`nnls_simplex`] plus the inner solve's [`SolveReport`]. The report's
@@ -213,8 +252,12 @@ pub fn nnls_simplex_with_report(
     a: &DenseMatrix,
     s: &[f64],
     opts: &NnlsOptions,
-) -> (Vec<f64>, SolveReport) {
+) -> Result<(Vec<f64>, SolveReport), SolverError> {
+    validate_nnls(a, s, opts)?;
     let m = a.cols();
+    if m == 0 {
+        return Err(SolverError::EmptyProblem { solver: "nnls" });
+    }
     let rho = opts.sum_penalty.sqrt();
     let mut aug = DenseMatrix::zeros(0, 0);
     for i in 0..a.rows() {
@@ -223,7 +266,7 @@ pub fn nnls_simplex_with_report(
     aug.push_row(&vec![rho; m]);
     let mut b = s.to_vec();
     b.push(rho);
-    let (mut w, mut report) = nnls_with_report(&aug, &b, opts);
+    let (mut w, mut report) = nnls_with_report(&aug, &b, opts)?;
     let total: f64 = w.iter().sum();
     if total > 1e-9 {
         for v in &mut w {
@@ -234,7 +277,7 @@ pub fn nnls_simplex_with_report(
         w = vec![1.0 / m as f64; m];
     }
     report.final_residual = a.residual_sq(&w, s).sqrt();
-    (w, report)
+    Ok((w, report))
 }
 
 #[cfg(test)]
@@ -246,7 +289,7 @@ mod tests {
         // A = I, b ≥ 0 ⇒ x = b.
         let a = DenseMatrix::identity(3);
         let b = vec![1.0, 2.0, 3.0];
-        let x = nnls(&a, &b, &NnlsOptions::default());
+        let x = nnls(&a, &b, &NnlsOptions::default()).unwrap();
         for (xi, bi) in x.iter().zip(&b) {
             assert!((xi - bi).abs() < 1e-9);
         }
@@ -256,7 +299,7 @@ mod tests {
     fn clips_negative_components() {
         // A = I, b = (1, −1) ⇒ x = (1, 0).
         let a = DenseMatrix::identity(2);
-        let x = nnls(&a, &[1.0, -1.0], &NnlsOptions::default());
+        let x = nnls(&a, &[1.0, -1.0], &NnlsOptions::default()).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-9);
         assert_eq!(x[1], 0.0);
     }
@@ -265,7 +308,7 @@ mod tests {
     fn overdetermined_regression() {
         // Fit y = 2u with design [[1],[2],[3]] and b = [2,4,6].
         let a = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
-        let x = nnls(&a, &[2.0, 4.0, 6.0], &NnlsOptions::default());
+        let x = nnls(&a, &[2.0, 4.0, 6.0], &NnlsOptions::default()).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);
     }
 
@@ -278,7 +321,7 @@ mod tests {
             vec![0.5, 0.5],
         ]);
         let b = vec![1.0, 0.0, 0.3];
-        let x = nnls(&a, &b, &NnlsOptions::default());
+        let x = nnls(&a, &b, &NnlsOptions::default()).unwrap();
         assert!(x.iter().all(|&v| v >= 0.0));
         // KKT: dual Aᵀ(b − Ax) must be ≤ tol on active, ≈ 0 on passive.
         let r: Vec<f64> = {
@@ -302,7 +345,7 @@ mod tests {
             vec![0.0, 1.0, 0.5],
         ]);
         let s = vec![0.3, 0.7];
-        let w = nnls_simplex(&a, &s, &NnlsOptions::default());
+        let w = nnls_simplex(&a, &s, &NnlsOptions::default()).unwrap();
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(w.iter().all(|&v| v >= 0.0));
         // achieved loss should be near-zero: w = (0.3, 0.7, 0) works
@@ -319,8 +362,8 @@ mod tests {
             vec![0.3, 0.3, 0.9],
         ]);
         let s = vec![0.35, 0.55, 0.4, 0.5];
-        let w1 = nnls_simplex(&a, &s, &NnlsOptions::default());
-        let w2 = fista_simplex_ls(&a, &s, &FistaOptions::default()).weights;
+        let w1 = nnls_simplex(&a, &s, &NnlsOptions::default()).unwrap();
+        let w2 = fista_simplex_ls(&a, &s, &FistaOptions::default()).unwrap().weights;
         let l1 = a.residual_sq(&w1, &s);
         let l2 = a.residual_sq(&w2, &s);
         assert!(
@@ -337,7 +380,7 @@ mod tests {
             vec![0.5, 0.5],
         ]);
         let b = vec![1.0, 0.0, 0.3];
-        let (x, rep) = nnls_with_report(&a, &b, &NnlsOptions::default());
+        let (x, rep) = nnls_with_report(&a, &b, &NnlsOptions::default()).unwrap();
         assert_eq!(rep.solver, "nnls");
         assert!(rep.converged, "well-posed instance must meet KKT");
         assert!(rep.iters <= rep.max_iters);
@@ -350,7 +393,7 @@ mod tests {
             max_iters: 1,
             ..Default::default()
         };
-        let (_, rep) = nnls_with_report(&a, &b, &tight);
+        let (_, rep) = nnls_with_report(&a, &b, &tight).unwrap();
         assert!(!rep.converged);
         assert_eq!(rep.iters, 1);
     }
@@ -360,7 +403,7 @@ mod tests {
         // With a zero design every simplex point is equally optimal; the
         // active-set method picks a vertex — we only require feasibility.
         let a = DenseMatrix::zeros(2, 4);
-        let w = nnls_simplex(&a, &[0.5, 0.5], &NnlsOptions::default());
+        let w = nnls_simplex(&a, &[0.5, 0.5], &NnlsOptions::default()).unwrap();
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(w.iter().all(|&v| v >= 0.0));
     }
@@ -375,7 +418,7 @@ mod tests {
         ) {
             let a = DenseMatrix::from_rows(&rows);
             let b = &b[..rows.len()];
-            let x = nnls(&a, b, &NnlsOptions::default());
+            let x = nnls(&a, b, &NnlsOptions::default()).unwrap();
             proptest::prop_assert!(x.iter().all(|&v| v >= 0.0));
             // objective no worse than the zero vector
             let zero = vec![0.0; 3];

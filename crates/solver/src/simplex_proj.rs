@@ -5,13 +5,28 @@
 //! the sort-based algorithm of Duchi, Shalev-Shwartz, Singer & Chandra
 //! (ICML 2008), `O(m log m)`.
 
+use crate::error::{check_finite, SolverError};
+
 /// Projects `v` onto the probability simplex in place.
+///
+/// NaN entries cannot occur on the validated solver paths (every public
+/// solver checks its inputs first); if one slips in anyway the NaN-total
+/// ordering keeps the sort deterministic instead of panicking, and the
+/// output degrades to NaN rather than aborting the process. Untrusted
+/// input should go through [`try_simplex_projection`].
+///
+/// An empty vector is a no-op (the zero-dimensional simplex is empty, so
+/// there is nothing to project — callers that need to treat this as an
+/// error use the checked variant).
 pub fn simplex_projection(v: &mut [f64]) {
-    let n = v.len();
-    assert!(n > 0, "cannot project an empty vector");
-    // Sort a copy in descending order.
+    if v.is_empty() {
+        return;
+    }
+    // Sort a copy in descending order. `total_cmp` is NaN-safe: NaNs sort
+    // to a deterministic position instead of violating the comparator
+    // contract and panicking inside `sort_by`.
     let mut u = v.to_vec();
-    u.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    u.sort_by(|a, b| b.total_cmp(a));
     // Find ρ = max{ j : u_j − (Σ_{k≤j} u_k − 1)/j > 0 }.
     let mut cumsum = 0.0;
     let mut rho = 0usize;
@@ -28,6 +43,20 @@ pub fn simplex_projection(v: &mut [f64]) {
     for w in v.iter_mut() {
         *w = (*w - theta).max(0.0);
     }
+}
+
+/// Validating projection for untrusted input: rejects empty and non-finite
+/// vectors with a typed [`SolverError`] instead of panicking or silently
+/// producing NaN weights.
+pub fn try_simplex_projection(v: &mut [f64]) -> Result<(), SolverError> {
+    if v.is_empty() {
+        return Err(SolverError::EmptyProblem {
+            solver: "simplex-projection",
+        });
+    }
+    check_finite("simplex-projection", "input vector", v)?;
+    simplex_projection(v);
+    Ok(())
 }
 
 #[cfg(test)]

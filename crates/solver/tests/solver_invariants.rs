@@ -55,7 +55,7 @@ proptest! {
         c in 1usize..MAX_COLS,
     ) {
         let a = matrix_from(&entries, r, c);
-        let out = fista_simplex_ls(&a, &s_pool[..r], &FistaOptions::default());
+        let out = fista_simplex_ls(&a, &s_pool[..r], &FistaOptions::default()).unwrap();
         assert_on_simplex(&out.weights, c)?;
         prop_assert!(out.loss >= 0.0);
     }
@@ -68,7 +68,7 @@ proptest! {
         c in 1usize..MAX_COLS,
     ) {
         let a = matrix_from(&entries, r, c);
-        let w = nnls_simplex(&a, &s_pool[..r], &NnlsOptions::default());
+        let w = nnls_simplex(&a, &s_pool[..r], &NnlsOptions::default()).unwrap();
         assert_on_simplex(&w, c)?;
     }
 
@@ -78,7 +78,7 @@ proptest! {
         w_pool in proptest::collection::vec(0.1f64..5.0, 50),
     ) {
         let w = &w_pool[..y.len()];
-        let g = isotonic_regression(&y, w);
+        let g = isotonic_regression(&y, w).unwrap();
         prop_assert_eq!(g.len(), y.len());
         for pair in g.windows(2) {
             prop_assert!(pair[0] <= pair[1] + 1e-9, "not monotone: {pair:?}");

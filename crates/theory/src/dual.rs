@@ -63,10 +63,14 @@ pub fn greedy_low_crossing_ordering(ranges: &[Range], points: &[Point]) -> Vec<u
     order.push(cur);
     used[cur] = true;
     for _ in 1..k {
-        let next = (0..k)
+        // one range is consumed per iteration, so an unvisited one always
+        // remains; break instead of trusting that across refactors
+        let Some(next) = (0..k)
             .filter(|&j| !used[j])
             .min_by_key(|&j| (dist(cur, j), j))
-            .expect("unvisited range exists");
+        else {
+            break;
+        };
         used[next] = true;
         order.push(next);
         cur = next;

@@ -160,7 +160,7 @@ fn convex_hull_range(members: &[&Point]) -> Range {
     ordered.sort_by(|a, b| {
         let ta = (a[1] - cy).atan2(a[0] - cx);
         let tb = (b[1] - cy).atan2(b[0] - cx);
-        ta.partial_cmp(&tb).expect("finite angles")
+        ta.total_cmp(&tb)
     });
     let mut atoms = Vec::with_capacity(ordered.len());
     let n = ordered.len();

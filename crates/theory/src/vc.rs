@@ -70,7 +70,7 @@ pub fn halfspaces_can_realize(points: &[Point], subset: u64) -> bool {
             cons.push(Constraint::new(row, ConstraintOp::Le, -1.0));
         }
     }
-    linprog(&vec![0.0; nvars], &cons).status == LpStatus::Optimal
+    linprog(&vec![0.0; nvars], &cons).is_ok_and(|r| r.status == LpStatus::Optimal)
 }
 
 /// Can some Euclidean ball contain exactly the indexed subset? Uses the
@@ -96,7 +96,7 @@ pub fn balls_can_realize(points: &[Point], subset: u64) -> bool {
             cons.push(Constraint::new(row, ConstraintOp::Le, norm_sq - 1.0));
         }
     }
-    linprog(&vec![0.0; nvars], &cons).status == LpStatus::Optimal
+    linprog(&vec![0.0; nvars], &cons).is_ok_and(|r| r.status == LpStatus::Optimal)
 }
 
 /// Is `points` shattered by the family whose realizability oracle is

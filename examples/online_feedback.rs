@@ -19,12 +19,12 @@
 
 use selearn::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelearnError> {
     let data = power_like(40_000, 42).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-    let stream = Workload::generate(&data, &spec, 500, &mut rng);
-    let test = Workload::generate(&data, &spec, 200, &mut rng);
+    let stream = Workload::generate(&data, &spec, 500, &mut rng)?;
+    let test = Workload::generate(&data, &spec, 200, &mut rng)?;
 
     // --- online learning curve ---
     println!("online QuadHist: test RMS along the feedback stream");
@@ -32,14 +32,14 @@ fn main() {
         Rect::unit(2),
         selearn::core::QuadHistConfig::with_tau(0.005),
         50, // refit every 50 observations
-    );
+    )?;
     let mut prev_rms = f64::INFINITY;
     let mut improvements = 0;
     for (i, q) in stream.queries().iter().enumerate() {
         online.observe(TrainingQuery {
             range: q.range.clone(),
             selectivity: q.selectivity,
-        });
+        })?;
         if (i + 1) % 100 == 0 {
             let r = evaluate(&online, &test);
             println!(
@@ -63,17 +63,17 @@ fn main() {
         &train,
         2000,
         &QuadHistConfig::default(),
-    );
+    )?;
     let pts = PtsHist::fit(
         Rect::unit(2),
         &train,
         &PtsHistConfig::with_model_size(2000),
-    );
+    )?;
     let gauss = GaussHist::fit(
         Rect::unit(2),
         &train,
         &GaussHistConfig::with_model_size(2000).bandwidth(0.03),
-    );
+    )?;
     println!("\nbatch models on the same 500-query workload:");
     for m in [
         &quad as &dyn SelectivityEstimator,
@@ -107,4 +107,5 @@ fn main() {
             quad.estimate(&range),
         );
     }
+    Ok(())
 }

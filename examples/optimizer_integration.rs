@@ -54,18 +54,18 @@ fn permute(rest: &[usize], cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
     }
 }
 
-fn main() {
+fn main() -> Result<(), SelearnError> {
     let data = power_like(50_000, 42).project(&[0, 1, 2]);
 
     // Train a model from a data-driven workload of 3-D range queries.
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-    let workload = Workload::generate(&data, &spec, 600, &mut rng);
+    let workload = Workload::generate(&data, &spec, 600, &mut rng)?;
     let model = PtsHist::fit(
         Rect::unit(3),
         &to_training(&workload),
         &PtsHistConfig::with_model_size(2400),
-    );
+    )?;
     let uniform = UniformBaseline::new(Rect::unit(3));
 
     // 200 random "queries" = conjunctions of three single-attribute
@@ -106,4 +106,5 @@ fn main() {
         learned_regret <= uniform_regret,
         "learned estimates should order predicates at least as well"
     );
+    Ok(())
 }

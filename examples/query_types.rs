@@ -14,10 +14,10 @@
 
 use selearn::prelude::*;
 
-fn run_class(data: &Dataset, qt: QueryType, label: &str) {
+fn run_class(data: &Dataset, qt: QueryType, label: &str) -> Result<(), SelearnError> {
     let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let workload = Workload::generate(data, &spec, 500, &mut rng);
+    let workload = Workload::generate(data, &spec, 500, &mut rng)?;
     let (train_w, test) = workload.split(400);
     let train = to_training(&train_w);
 
@@ -25,7 +25,7 @@ fn run_class(data: &Dataset, qt: QueryType, label: &str) {
         Rect::unit(data.dim()),
         &train,
         &PtsHistConfig::with_model_size(4 * train.len()),
-    );
+    )?;
     let r = evaluate(&model, &test);
     println!(
         "{label:<22} dim={} rms={:.5}  q-error(p95)={:.3}  (Theorem 2.1 exponent: {})",
@@ -38,15 +38,16 @@ fn run_class(data: &Dataset, qt: QueryType, label: &str) {
             QueryType::Ball => RangeClass::Ball.sample_exponent(data.dim()),
         }
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), SelearnError> {
     let data4 = forest_like(30_000, 5).project(&[0, 1, 2, 3]);
 
     println!("PtsHist on three learnable query classes (Forest-like, 4-D):\n");
-    run_class(&data4, QueryType::Rect, "orthogonal range");
-    run_class(&data4, QueryType::Halfspace, "linear inequality");
-    run_class(&data4, QueryType::Ball, "distance-based (ball)");
+    run_class(&data4, QueryType::Rect, "orthogonal range")?;
+    run_class(&data4, QueryType::Halfspace, "linear inequality")?;
+    run_class(&data4, QueryType::Ball, "distance-based (ball)")?;
 
     // --- Semi-algebraic ranges: the disc-intersection query of Figure 3.
     // Objects are discs (x, y, radius) mapped to points in R^3; the query
@@ -83,10 +84,11 @@ fn main() {
         Rect::unit(3),
         &train,
         &PtsHistConfig::with_model_size(1200),
-    );
+    )?;
     let est: Vec<f64> = test.iter().map(|q| model.estimate(&q.range)).collect();
     let truth: Vec<f64> = test.iter().map(|q| q.selectivity).collect();
     let rms = selearn::data::rms_error(&est, &truth);
     println!("  300 training queries -> test RMS = {rms:.5}");
     assert!(rms < 0.2, "semi-algebraic learning should work");
+    Ok(())
 }

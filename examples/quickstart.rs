@@ -10,7 +10,7 @@
 
 use selearn::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelearnError> {
     // 1. The hidden data distribution. In a real DBMS this is the table;
     //    the estimator never reads it — it only sees query feedback.
     let data = power_like(50_000, 42).project(&[0, 2]);
@@ -26,7 +26,7 @@ fn main() {
     //    selectivities by the query-execution feedback loop.
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let workload = Workload::generate(&data, &spec, 700, &mut rng);
+    let workload = Workload::generate(&data, &spec, 700, &mut rng)?;
     let (train_w, test) = workload.split(500);
     let train = to_training(&train_w);
     println!("workload: {} training + {} test queries", train.len(), test.len());
@@ -37,12 +37,12 @@ fn main() {
         &train,
         4 * train.len(),
         &QuadHistConfig::default(),
-    );
+    )?;
     let pts = PtsHist::fit(
         Rect::unit(2),
         &train,
         &PtsHistConfig::with_model_size(4 * train.len()),
-    );
+    )?;
     let uniform = UniformBaseline::new(Rect::unit(2));
 
     // 4. Evaluate on held-out queries from the same distribution.
@@ -79,4 +79,5 @@ fn main() {
         training_set_size(RangeClass::Rect, 2, 0.1, 0.05).log10(),
         RangeClass::Rect.sample_exponent(2),
     );
+    Ok(())
 }

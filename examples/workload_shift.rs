@@ -13,7 +13,7 @@
 
 use selearn::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SelearnError> {
     let data = power_like(50_000, 42).project(&[0, 2]);
     let sigma = 0.182; // paper: covariance 0.033
     let means = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
@@ -31,7 +31,7 @@ fn main() {
             let mut rng = rand::rngs::StdRng::seed_from_u64(100 + (mu * 10.0) as u64);
             Workload::generate(&data, &spec, n_train + n_test, &mut rng)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     println!("RMS error heat map (rows = train mean, cols = test mean):\n");
     print!("{:>8}", "");
@@ -50,7 +50,7 @@ fn main() {
             &to_training(&train_w),
             4 * n_train,
             &QuadHistConfig::default(),
-        );
+        )?;
         print!("{mu_tr:>8.1}");
         for (j, _) in means.iter().enumerate() {
             let (_, test) = workloads[j].split(n_train);
@@ -73,4 +73,5 @@ fn main() {
     );
     println!("(matched < shifted, but even shifted beats the uniform assumption)");
     assert!(diag <= off, "matched workloads should be easiest");
+    Ok(())
 }

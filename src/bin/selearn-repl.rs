@@ -23,6 +23,8 @@
 //! Predicates use the schema's column names, e.g.
 //! `estimate price <= 0.3 AND region = 0.5`.
 
+// The panic-free gate: unwrap/expect are banned outside test code.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 use selearn::predicate::parse_predicate;
 use selearn::prelude::*;
 use std::fs::File;
@@ -199,7 +201,7 @@ fn train(args: &str, st: &mut State) -> Result<(), String> {
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
         .with_categorical(st.categorical.clone());
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let workload = Workload::generate(data, &spec, n, &mut rng);
+    let workload = Workload::generate(data, &spec, n, &mut rng).map_err(|e| e.to_string())?;
     let queries = to_training(&workload);
     let root = Rect::unit(data.dim());
     let target = (4 * n).max(4);
@@ -213,20 +215,21 @@ fn train(args: &str, st: &mut State) -> Result<(), String> {
                 &queries,
                 target,
                 &QuadHistConfig::default(),
-            );
+            )
+            .map_err(|e| e.to_string())?;
             st.persistable = Some(PersistHandle::Quad(m.clone()));
             Box::new(m)
         }
         "ptshist" => {
-            let m = PtsHist::fit(root, &queries, &PtsHistConfig::with_model_size(target));
+            let m = PtsHist::fit(root, &queries, &PtsHistConfig::with_model_size(target))
+                .map_err(|e| e.to_string())?;
             st.persistable = Some(PersistHandle::Pts(m.clone()));
             Box::new(m)
         }
-        "gausshist" => Box::new(GaussHist::fit(
-            root,
-            &queries,
-            &GaussHistConfig::with_model_size(target),
-        )),
+        "gausshist" => Box::new(
+            GaussHist::fit(root, &queries, &GaussHistConfig::with_model_size(target))
+                .map_err(|e| e.to_string())?,
+        ),
         _ => return Err("unknown model kind".into()),
     };
     println!(

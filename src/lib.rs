@@ -24,7 +24,7 @@
 //! // Generate a workload of labeled training queries.
 //! let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let workload = Workload::generate(&data, &spec, 300, &mut rng);
+//! let workload = Workload::generate(&data, &spec, 300, &mut rng)?;
 //! let (train, test) = workload.split(200);
 //!
 //! // Train QuadHist from the workload alone.
@@ -32,11 +32,12 @@
 //!     Rect::unit(2),
 //!     &to_training(&train),
 //!     &QuadHistConfig::with_tau(0.01),
-//! );
+//! )?;
 //!
 //! // Evaluate on held-out queries.
 //! let report = evaluate(&model, &test);
 //! assert!(report.rms < 0.1, "rms = {}", report.rms);
+//! # Ok::<(), SelearnError>(())
 //! ```
 //!
 //! ## Crate map
@@ -52,6 +53,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The panic-free gate: unwrap/expect are banned outside test code
+// (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod predicate;
 
@@ -115,7 +119,7 @@ pub mod prelude {
     pub use crate::predicate::parse_predicate;
     pub use selearn_core::{
         ArrangementHist, ArrangementHistConfig, Cdf1D, Cdf1DConfig, GaussHist, GaussHistConfig,
-        Objective, OnlineQuadHist, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig,
+        Objective, OnlineQuadHist, PtsHist, PtsHistConfig, QuadHist, QuadHistConfig, SelearnError,
         SelectivityEstimator, TrainingQuery, WeightSolver,
     };
     pub use selearn_data::{
@@ -138,13 +142,14 @@ mod tests {
         let data = power_like(5_000, 1).project(&[0, 1]);
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let w = Workload::generate(&data, &spec, 150, &mut rng);
+        let w = Workload::generate(&data, &spec, 150, &mut rng).unwrap();
         let (train, test) = w.split(100);
         let model = QuadHist::fit(
             Rect::unit(2),
             &to_training(&train),
             &QuadHistConfig::with_tau(0.02),
-        );
+        )
+        .unwrap();
         let report = evaluate(&model, &test);
         assert!(report.rms < 0.15, "rms = {}", report.rms);
         assert_eq!(report.n, 50);
@@ -156,7 +161,7 @@ mod tests {
         let data = power_like(1_000, 3).project(&[0, 1]);
         let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let w = Workload::generate(&data, &spec, 10, &mut rng);
+        let w = Workload::generate(&data, &spec, 10, &mut rng).unwrap();
         let t = to_training(&w);
         assert_eq!(t.len(), 10);
         for (a, b) in t.iter().zip(w.queries()) {

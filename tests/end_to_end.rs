@@ -12,7 +12,7 @@ fn pipeline(
 ) -> (Vec<TrainingQuery>, Workload) {
     let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let w = Workload::generate(data, &spec, n_train + n_test, &mut rng);
+    let w = Workload::generate(data, &spec, n_train + n_test, &mut rng).unwrap();
     let (train, test) = w.split(n_train);
     (to_training(&train), test)
 }
@@ -26,7 +26,8 @@ fn quadhist_beats_uniform_on_skewed_data() {
         &train,
         800,
         &QuadHistConfig::default(),
-    );
+    )
+    .unwrap();
     let uni = UniformBaseline::new(Rect::unit(2));
     let rq = evaluate(&quad, &test);
     let ru = evaluate(&uni, &test);
@@ -46,7 +47,8 @@ fn ptshist_high_dimensional_pipeline() {
         Rect::unit(6),
         &train,
         &PtsHistConfig::with_model_size(1600),
-    );
+    )
+    .unwrap();
     let r = evaluate(&pts, &test);
     assert!(r.rms < 0.08, "6-D PtsHist rms = {}", r.rms);
 }
@@ -55,7 +57,7 @@ fn ptshist_high_dimensional_pipeline() {
 fn quicksel_competitive_in_2d() {
     let data = power_like(20_000, 5).project(&[0, 2]);
     let (train, test) = pipeline(&data, QueryType::Rect, 200, 100, 6);
-    let qs = QuickSel::fit(Rect::unit(2), &train, &QuickSelConfig::default());
+    let qs = QuickSel::fit(Rect::unit(2), &train, &QuickSelConfig::default()).unwrap();
     let r = evaluate(&qs, &test);
     assert!(r.rms < 0.05, "QuickSel rms = {}", r.rms);
 }
@@ -64,7 +66,7 @@ fn quicksel_competitive_in_2d() {
 fn isomer_accurate_on_small_workloads() {
     let data = power_like(10_000, 7).project(&[0, 2]);
     let (train, test) = pipeline(&data, QueryType::Rect, 50, 80, 8);
-    let iso = Isomer::fit(Rect::unit(2), &train, &IsomerConfig::default());
+    let iso = Isomer::fit(Rect::unit(2), &train, &IsomerConfig::default()).unwrap();
     let r = evaluate(&iso, &test);
     assert!(r.rms < 0.06, "Isomer rms = {}", r.rms);
     // and it uses far more buckets than 4n — the paper's 48–160× pattern
@@ -83,7 +85,8 @@ fn halfspace_queries_learnable_end_to_end() {
         Rect::unit(3),
         &train,
         &PtsHistConfig::with_model_size(1200),
-    );
+    )
+    .unwrap();
     let r = evaluate(&pts, &test);
     assert!(r.rms < 0.06, "halfspace rms = {}", r.rms);
 }
@@ -96,7 +99,8 @@ fn ball_queries_learnable_end_to_end() {
         Rect::unit(3),
         &train,
         &PtsHistConfig::with_model_size(1200),
-    );
+    )
+    .unwrap();
     let r = evaluate(&pts, &test);
     assert!(r.rms < 0.06, "ball rms = {}", r.rms);
 }
@@ -107,7 +111,7 @@ fn error_decreases_with_training_size() {
     let data = power_like(20_000, 13).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(14);
-    let w = Workload::generate(&data, &spec, 900, &mut rng);
+    let w = Workload::generate(&data, &spec, 900, &mut rng).unwrap();
     let (pool, test) = w.split(800);
 
     let mut last = f64::INFINITY;
@@ -119,7 +123,8 @@ fn error_decreases_with_training_size() {
             &to_training(&train_w),
             4 * n,
             &QuadHistConfig::default(),
-        );
+        )
+        .unwrap();
         let r = evaluate(&model, &test);
         if r.rms < last {
             improved += 1;
@@ -135,13 +140,14 @@ fn categorical_census_pipeline() {
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
         .with_categorical(vec![0]);
     let mut rng = rand::rngs::StdRng::seed_from_u64(16);
-    let w = Workload::generate(&data, &spec, 400, &mut rng);
+    let w = Workload::generate(&data, &spec, 400, &mut rng).unwrap();
     let (train, test) = w.split(300);
     let pts = PtsHist::fit(
         Rect::unit(3),
         &to_training(&train),
         &PtsHistConfig::with_model_size(1200),
-    );
+    )
+    .unwrap();
     let r = evaluate(&pts, &test);
     assert!(r.rms < 0.1, "census rms = {}", r.rms);
 }
@@ -154,7 +160,7 @@ fn training_labels_can_be_noisy_agnostic_setting() {
     let data = power_like(10_000, 17).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(18);
-    let w = Workload::generate(&data, &spec, 300, &mut rng);
+    let w = Workload::generate(&data, &spec, 300, &mut rng).unwrap();
     use rand::Rng;
     let noisy: Vec<TrainingQuery> = w
         .queries()
@@ -170,7 +176,8 @@ fn training_labels_can_be_noisy_agnostic_setting() {
         train,
         800,
         &QuadHistConfig::default(),
-    );
+    )
+    .unwrap();
     let est: Vec<f64> = test.iter().map(|q| model.estimate(&q.range)).collect();
     let truth: Vec<f64> = test.iter().map(|q| q.selectivity).collect();
     let rms = selearn::data::rms_error(&est, &truth);
@@ -184,10 +191,10 @@ fn all_estimators_stay_in_unit_interval() {
     let (train, test) = pipeline(&data, QueryType::Rect, 100, 100, 20);
     let root = Rect::unit(2);
     let models: Vec<Box<dyn SelectivityEstimator + Send + Sync>> = vec![
-        Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default())),
-        Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(200))),
-        Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default())),
-        Box::new(Isomer::fit(root.clone(), &train, &IsomerConfig::default())),
+        Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default()).unwrap()),
+        Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(200)).unwrap()),
+        Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default()).unwrap()),
+        Box::new(Isomer::fit(root.clone(), &train, &IsomerConfig::default()).unwrap()),
         Box::new(UniformBaseline::new(root)),
     ];
     for m in &models {

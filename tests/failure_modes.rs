@@ -7,14 +7,10 @@ use selearn::prelude::*;
 fn all_models(train: &[TrainingQuery], dim: usize) -> Vec<Box<dyn SelectivityEstimator + Send + Sync>> {
     let root = Rect::unit(dim);
     vec![
-        Box::new(QuadHist::fit(root.clone(), train, &QuadHistConfig::default())),
-        Box::new(PtsHist::fit(
-            root.clone(),
-            train,
-            &PtsHistConfig::with_model_size(100),
-        )),
-        Box::new(QuickSel::fit(root.clone(), train, &QuickSelConfig::default())),
-        Box::new(Isomer::fit(root, train, &IsomerConfig::default())),
+        Box::new(QuadHist::fit(root.clone(), train, &QuadHistConfig::default()).unwrap()),
+        Box::new(PtsHist::fit(root.clone(), train, &PtsHistConfig::with_model_size(100)).unwrap()),
+        Box::new(QuickSel::fit(root.clone(), train, &QuickSelConfig::default()).unwrap()),
+        Box::new(Isomer::fit(root, train, &IsomerConfig::default()).unwrap()),
     ]
 }
 
@@ -136,7 +132,7 @@ fn labels_at_extremes_dont_break_solvers() {
                 QuadHistConfig::default().objective(Objective::LInfExact),
             ),
         ] {
-            let qh = QuadHist::fit(Rect::unit(2), &train, &cfg);
+            let qh = QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap();
             let total: f64 = qh.buckets().iter().map(|(_, w)| w).sum();
             assert!(
                 (total - 1.0).abs() < 1e-5,
@@ -170,8 +166,8 @@ fn queries_partially_outside_domain() {
         TrainingQuery::new(Halfspace::new(vec![1.0, 1.0], 1.7), 0.02),
     ];
     let root = Rect::unit(2);
-    let qh = QuadHist::fit(root.clone(), &train, &QuadHistConfig::with_tau(0.02));
-    let ph = PtsHist::fit(root, &train, &PtsHistConfig::with_model_size(200));
+    let qh = QuadHist::fit(root.clone(), &train, &QuadHistConfig::with_tau(0.02)).unwrap();
+    let ph = PtsHist::fit(root, &train, &PtsHistConfig::with_model_size(200)).unwrap();
     for q in &train {
         for (name, e) in [("quad", qh.estimate(&q.range)), ("pts", ph.estimate(&q.range))] {
             assert!(
@@ -190,13 +186,14 @@ fn one_dimensional_dataset_pipeline() {
     let data = power_like(5_000, 51).project(&[0]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(52);
-    let w = Workload::generate(&data, &spec, 150, &mut rng);
+    let w = Workload::generate(&data, &spec, 150, &mut rng).unwrap();
     let (train, test) = w.split(100);
     let qh = QuadHist::fit(
         Rect::unit(1),
         &to_training(&train),
         &QuadHistConfig::with_tau(0.01),
-    );
+    )
+    .unwrap();
     let r = evaluate(&qh, &test);
     assert!(r.rms < 0.05, "1-D rms = {}", r.rms);
 }
@@ -213,7 +210,8 @@ fn large_bucket_targets_cap_gracefully() {
         &train,
         100_000,
         &QuadHistConfig::default(),
-    );
+    )
+    .unwrap();
     assert!(qh.num_buckets() >= 4);
     assert!(qh.num_buckets() <= 100_000);
 }

@@ -27,7 +27,7 @@ fn fixture_train() -> Vec<TrainingQuery> {
     let data = selearn_data::power_like(20_000, 11).project(&[0, 1]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = StdRng::seed_from_u64(42);
-    let w = Workload::generate(&data, &spec, 400, &mut rng);
+    let w = Workload::generate(&data, &spec, 400, &mut rng).unwrap();
     selearn::to_training(&w)
 }
 
@@ -114,7 +114,7 @@ fn nullsink_overhead_within_budget() {
         let mut best = f64::INFINITY;
         for _ in 0..3 {
             let t0 = Instant::now();
-            let model = QuadHist::fit(Rect::unit(2), &train, &cfg);
+            let model = QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap();
             best = best.min(t0.elapsed().as_secs_f64() * 1e3);
             assert!(model.num_buckets() > 0);
         }

@@ -11,13 +11,13 @@ fn lemma_a4_order_independence_at_scale() {
     let data = power_like(10_000, 31).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(32);
-    let w = Workload::generate(&data, &spec, 120, &mut rng);
+    let w = Workload::generate(&data, &spec, 120, &mut rng).unwrap();
     let mut train = to_training(&w);
 
     let cfg = QuadHistConfig::with_tau(0.01);
-    let a = QuadHist::design_buckets(&Rect::unit(2), &train, &cfg);
+    let a = QuadHist::design_buckets(&Rect::unit(2), &train, &cfg).unwrap();
     train.reverse();
-    let b = QuadHist::design_buckets(&Rect::unit(2), &train, &cfg);
+    let b = QuadHist::design_buckets(&Rect::unit(2), &train, &cfg).unwrap();
     // same partition ⇒ same number of leaves and identical sorted boxes
     assert_eq!(a.num_leaves(), b.num_leaves());
     let dump = |t: &selearn::core::QuadTree| {
@@ -39,10 +39,10 @@ fn lemma_3_1_arrangement_optimality() {
     let data = power_like(5_000, 33).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(34);
-    let w = Workload::generate(&data, &spec, 12, &mut rng);
+    let w = Workload::generate(&data, &spec, 12, &mut rng).unwrap();
     let train = to_training(&w);
 
-    let arr = ArrangementHist::fit(Rect::unit(2), &train, &ArrangementHistConfig::default());
+    let arr = ArrangementHist::fit(Rect::unit(2), &train, &ArrangementHistConfig::default()).unwrap();
     let arr_loss = arr.training_loss(&train);
 
     for target in [16usize, 64, 256] {
@@ -51,7 +51,8 @@ fn lemma_3_1_arrangement_optimality() {
             &train,
             target,
             &QuadHistConfig::default(),
-        );
+        )
+        .unwrap();
         let qh_loss: f64 = train
             .iter()
             .map(|q| (qh.estimate(&q.range) - q.selectivity).powi(2))
@@ -103,14 +104,15 @@ fn section_4_2_random_workload_still_learnable() {
     let data = power_like(20_000, 35).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
     let mut rng = rand::rngs::StdRng::seed_from_u64(36);
-    let w = Workload::generate(&data, &spec, 500, &mut rng);
+    let w = Workload::generate(&data, &spec, 500, &mut rng).unwrap();
     let (train, test) = w.split(400);
     let model = QuadHist::fit_with_bucket_target(
         Rect::unit(2),
         &to_training(&train),
         1600,
         &QuadHistConfig::default(),
-    );
+    )
+    .unwrap();
     let r = evaluate(&model, &test);
     assert!(r.rms < 0.05, "random-workload rms = {}", r.rms);
 }
@@ -129,13 +131,14 @@ fn figure_7_weight_assignment_recovers_density() {
 
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
     let mut rng = rand::rngs::StdRng::seed_from_u64(38);
-    let w = Workload::generate(&data, &spec, 500, &mut rng);
+    let w = Workload::generate(&data, &spec, 500, &mut rng).unwrap();
     let model = QuadHist::fit_with_bucket_target(
         Rect::unit(2),
         &to_training(&w),
         2000,
         &QuadHistConfig::default(),
-    );
+    )
+    .unwrap();
     let learned_low = model.estimate(&low_half);
     assert!(
         (learned_low - true_low).abs() < 0.05,
@@ -152,13 +155,14 @@ fn section_4_5_other_query_types_match_rect_quality() {
     for qt in [QueryType::Rect, QueryType::Halfspace, QueryType::Ball] {
         let spec = WorkloadSpec::new(qt, CenterDistribution::DataDriven);
         let mut rng = rand::rngs::StdRng::seed_from_u64(40);
-        let w = Workload::generate(&data, &spec, 400, &mut rng);
+        let w = Workload::generate(&data, &spec, 400, &mut rng).unwrap();
         let (train, test) = w.split(300);
         let model = PtsHist::fit(
             Rect::unit(2),
             &to_training(&train),
             &PtsHistConfig::with_model_size(1200),
-        );
+        )
+        .unwrap();
         results.push((qt, evaluate(&model, &test).rms));
     }
     for (qt, rms) in &results {
@@ -174,7 +178,7 @@ fn section_4_6_objective_comparison() {
     let data = power_like(20_000, 41).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-    let w = Workload::generate(&data, &spec, 400, &mut rng);
+    let w = Workload::generate(&data, &spec, 400, &mut rng).unwrap();
     let (train_w, test) = w.split(300);
     let train = to_training(&train_w);
 
@@ -183,13 +187,15 @@ fn section_4_6_objective_comparison() {
         &train,
         800,
         &QuadHistConfig::default().objective(Objective::L2),
-    );
+    )
+    .unwrap();
     let linf = QuadHist::fit_with_bucket_target(
         Rect::unit(2),
         &train,
         800,
         &QuadHistConfig::default().objective(Objective::LInfSmoothed),
-    );
+    )
+    .unwrap();
     let r2 = evaluate(&l2, &test);
     let ri = evaluate(&linf, &test);
     assert!(
@@ -209,12 +215,12 @@ fn figure_9_complexity_saturation() {
     let data = power_like(20_000, 43).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(44);
-    let w = Workload::generate(&data, &spec, 160, &mut rng);
+    let w = Workload::generate(&data, &spec, 160, &mut rng).unwrap();
     let (train_w, test) = w.split(60);
     let train = to_training(&train_w);
 
-    let coarse = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.1));
-    let medium = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.01));
+    let coarse = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.1)).unwrap();
+    let medium = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.01)).unwrap();
     let rc = evaluate(&coarse, &test).rms;
     let rm = evaluate(&medium, &test).rms;
     // medium complexity beats very coarse
@@ -229,14 +235,14 @@ fn estimates_are_monotone_under_query_containment() {
     let data = power_like(10_000, 45).project(&[0, 2]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = rand::rngs::StdRng::seed_from_u64(46);
-    let w = Workload::generate(&data, &spec, 200, &mut rng);
+    let w = Workload::generate(&data, &spec, 200, &mut rng).unwrap();
     let train = to_training(&w);
     let root = Rect::unit(2);
     let models: Vec<Box<dyn SelectivityEstimator + Send + Sync>> = vec![
-        Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default())),
-        Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(400))),
-        Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default())),
-        Box::new(Isomer::fit(root.clone(), &train, &IsomerConfig::default())),
+        Box::new(QuadHist::fit(root.clone(), &train, &QuadHistConfig::default()).unwrap()),
+        Box::new(PtsHist::fit(root.clone(), &train, &PtsHistConfig::with_model_size(400)).unwrap()),
+        Box::new(QuickSel::fit(root.clone(), &train, &QuickSelConfig::default()).unwrap()),
+        Box::new(Isomer::fit(root.clone(), &train, &IsomerConfig::default()).unwrap()),
     ];
     use rand::Rng;
     for _ in 0..50 {

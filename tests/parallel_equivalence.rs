@@ -32,7 +32,7 @@ fn fixture() -> (Dataset, Vec<TrainingQuery>, Vec<Range>) {
     let data = power_like(20_000, 11).project(&[0, 1]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = StdRng::seed_from_u64(42);
-    let w = Workload::generate(&data, &spec, 1_400, &mut rng);
+    let w = Workload::generate(&data, &spec, 1_400, &mut rng).unwrap();
     let (train_w, test_w) = w.split(400);
     let train = selearn::to_training(&train_w);
     let test: Vec<Range> = test_w.queries().iter().map(|q| q.range.clone()).collect();
@@ -44,8 +44,8 @@ fn fixture() -> (Dataset, Vec<TrainingQuery>, Vec<Range>) {
 fn quadhist_weights_and_estimates_match_serial() {
     let (_, train, test) = fixture();
     let cfg = QuadHistConfig::with_tau(0.01);
-    let par = with_threads(4, || QuadHist::fit(Rect::unit(2), &train, &cfg));
-    let ser = with_threads(1, || QuadHist::fit(Rect::unit(2), &train, &cfg));
+    let par = with_threads(4, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
+    let ser = with_threads(1, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
 
     let pb = par.buckets();
     let sb = ser.buckets();
@@ -67,8 +67,8 @@ fn quadhist_weights_and_estimates_match_serial() {
 fn ptshist_weights_and_estimates_match_serial() {
     let (_, train, test) = fixture();
     let cfg = PtsHistConfig::with_model_size(256);
-    let par = with_threads(4, || PtsHist::fit(Rect::unit(2), &train, &cfg));
-    let ser = with_threads(1, || PtsHist::fit(Rect::unit(2), &train, &cfg));
+    let par = with_threads(4, || PtsHist::fit(Rect::unit(2), &train, &cfg).unwrap());
+    let ser = with_threads(1, || PtsHist::fit(Rect::unit(2), &train, &cfg).unwrap());
 
     let ps: Vec<_> = par.support().collect();
     let ss: Vec<_> = ser.support().collect();
@@ -89,7 +89,7 @@ fn ptshist_weights_and_estimates_match_serial() {
 #[test]
 fn estimate_all_matches_per_query_loop() {
     let (_, train, test) = fixture();
-    let model = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.02));
+    let model = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.02)).unwrap();
     // batch is ≥ the dispatch threshold, so with 4 threads this takes the
     // parallel path; the per-query loop is serial by construction
     let batch = with_threads(4, || model.estimate_all(&test));
@@ -105,10 +105,10 @@ fn workload_generation_matches_serial() {
     let data = power_like(20_000, 13).project(&[0, 1]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random);
     let par = with_threads(4, || {
-        Workload::generate(&data, &spec, 400, &mut StdRng::seed_from_u64(7))
+        Workload::generate(&data, &spec, 400, &mut StdRng::seed_from_u64(7)).unwrap()
     });
     let ser = with_threads(1, || {
-        Workload::generate(&data, &spec, 400, &mut StdRng::seed_from_u64(7))
+        Workload::generate(&data, &spec, 400, &mut StdRng::seed_from_u64(7)).unwrap()
     });
     for (a, b) in par.queries().iter().zip(ser.queries()) {
         assert_eq!(a.selectivity.to_bits(), b.selectivity.to_bits());
@@ -130,7 +130,7 @@ fn speedup_measurement_quadhist_10k() {
     let data = power_like(50_000, 11).project(&[0, 1]);
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven);
     let mut rng = StdRng::seed_from_u64(42);
-    let w = Workload::generate(&data, &spec, 10_000, &mut rng);
+    let w = Workload::generate(&data, &spec, 10_000, &mut rng).unwrap();
     let train = selearn::to_training(&w);
     let test: Vec<Range> = w.queries().iter().map(|q| q.range.clone()).collect();
     let cfg = QuadHistConfig::with_tau(0.005);
@@ -139,7 +139,7 @@ fn speedup_measurement_quadhist_10k() {
     let mut timings = Vec::new();
     for threads in [1usize, cores.max(4)] {
         let t0 = Instant::now();
-        let model = with_threads(threads, || QuadHist::fit(Rect::unit(2), &train, &cfg));
+        let model = with_threads(threads, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
         let fit_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
         let est = with_threads(threads, || model.estimate_all(&test));
@@ -166,8 +166,8 @@ fn quadhist_linf_and_nnls_solvers_match_serial() {
         QuadHistConfig::with_tau(0.02).objective(Objective::LInfSmoothed),
         QuadHistConfig::with_tau(0.02).solver(WeightSolver::NnlsPenalty),
     ] {
-        let par = with_threads(4, || QuadHist::fit(Rect::unit(2), &train, &cfg));
-        let ser = with_threads(1, || QuadHist::fit(Rect::unit(2), &train, &cfg));
+        let par = with_threads(4, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
+        let ser = with_threads(1, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
         let pe = with_threads(4, || par.estimate_all(&test));
         let se = with_threads(1, || ser.estimate_all(&test));
         for (a, b) in pe.iter().zip(&se) {

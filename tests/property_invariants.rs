@@ -39,7 +39,8 @@ proptest! {
             Rect::unit(2),
             &train,
             &QuadHistConfig::with_tau(0.05),
-        );
+        )
+        .unwrap();
         let total: f64 = qh.buckets().iter().map(|(_, w)| w).sum();
         prop_assert!((total - 1.0).abs() < 1e-5, "mass = {total}");
         for q in &train {
@@ -58,7 +59,8 @@ proptest! {
             Rect::unit(2),
             &train,
             &PtsHistConfig::with_model_size(64),
-        );
+        )
+        .unwrap();
         prop_assert_eq!(ph.num_buckets(), 64);
         let total: f64 = ph.support().map(|(_, w)| w).sum();
         prop_assert!((total - 1.0).abs() < 1e-5);
@@ -78,7 +80,8 @@ proptest! {
             Rect::unit(2),
             &train,
             &QuadHistConfig::with_tau(0.05),
-        );
+        )
+        .unwrap();
         let quads: Vec<Range> = vec![
             Rect::new(vec![0.0, 0.0], vec![cut_x, cut_y]).into(),
             Rect::new(vec![cut_x, 0.0], vec![1.0, cut_y]).into(),
@@ -101,7 +104,8 @@ proptest! {
             Rect::unit(2),
             &train,
             &QuadHistConfig::with_tau(0.05),
-        );
+        )
+        .unwrap();
         let inner: Range = Rect::new(vec![x, y], vec![x + w, y + h]).into();
         let outer: Range = Rect::new(
             vec![(x - grow).max(0.0), (y - grow).max(0.0)],

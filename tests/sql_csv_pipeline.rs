@@ -41,13 +41,14 @@ fn csv_to_sql_estimation_pipeline() {
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
         .with_categorical(schema.categorical_dims());
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let workload = Workload::generate(&data, &spec, 400, &mut rng);
+    let workload = Workload::generate(&data, &spec, 400, &mut rng).unwrap();
     let (train, test) = workload.split(300);
     let model = PtsHist::fit(
         Rect::unit(3),
         &to_training(&train),
         &PtsHistConfig::with_model_size(1200),
-    );
+    )
+    .unwrap();
     let report = evaluate(&model, &test);
     assert!(report.rms < 0.1, "rms = {}", report.rms);
 
@@ -74,7 +75,7 @@ fn csv_loader_and_workloads_respect_categorical_codes() {
     let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven)
         .with_categorical(schema.categorical_dims());
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-    let w = Workload::generate(&data, &spec, 60, &mut rng);
+    let w = Workload::generate(&data, &spec, 60, &mut rng).unwrap();
     // region has 3 codes {0, 0.5, 1}; each equality slab must select
     // exactly one, so selectivity equals that region's frequency
     for q in w.queries() {
