@@ -135,6 +135,7 @@ fn main() {
             "ablation_volume" => ablation_volume(),
             "extension_models" => extension_models(&scale),
             "accuracy" => accuracy(&scale),
+            "serve_export" => serve_export(&scale),
             other => {
                 selearn_obs::info!("unknown experiment id: {other}");
                 Ok(())
@@ -232,6 +233,7 @@ const ALL_IDS: &[&str] = &[
     "ablation_volume",
     "extension_models",
     "accuracy",
+    "serve_export",
 ];
 
 // ---------- dataset + spec helpers ----------
@@ -1180,6 +1182,79 @@ fn accuracy(scale: &ExperimentScale) -> Result<(), SelearnError> {
         SEED ^ hash("accuracy"),
     )?;
     emit_accuracy("accuracy", &rows)?;
+    Ok(())
+}
+
+/// Serving artifacts: trains a QuadHist on the power workload and writes
+/// `results/serve_model.model` (for `selearn-serve --model`) plus
+/// `results/serve_workload.jsonl` — one protocol request line per held-out
+/// test query (for `selearn-load --workload`).
+fn serve_export(scale: &ExperimentScale) -> Result<(), SelearnError> {
+    use selearn_obs::json::fmt_f64_into;
+
+    let data = power2d(scale);
+    let spec = rect_spec(CenterDistribution::DataDriven);
+    let train_n = scale.train_sizes.iter().copied().max().unwrap_or(1000);
+    let train = gen_workload(&data, &spec, train_n, SEED ^ hash("serve_export"))?;
+    let queries: Vec<TrainingQuery> = train
+        .queries()
+        .iter()
+        .map(|q| TrainingQuery::new(q.range.clone(), q.selectivity))
+        .collect();
+    let model = QuadHist::fit(
+        Rect::unit(data.dim()),
+        &queries,
+        &QuadHistConfig::default(),
+    )?;
+
+    std::fs::create_dir_all("results")?;
+    let mut file =
+        std::io::BufWriter::new(std::fs::File::create("results/serve_model.model")?);
+    selearn_core::save_quadhist(&model, &mut file)?;
+    std::io::Write::flush(&mut file)?;
+
+    let test = gen_workload(&data, &spec, scale.test_n, SEED ^ hash("serve_export_test"))?;
+    let mut out = String::new();
+    let mut exported = 0usize;
+    for q in test.queries() {
+        // The serving protocol speaks boxes; non-rectangular ranges
+        // cannot appear in this rect-spec workload, but skip defensively.
+        let Some(rect) = q.range.as_rect() else {
+            continue;
+        };
+        out.push_str("{\"lo\":[");
+        for (i, v) in rect.lo().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            fmt_f64_into(&mut out, *v);
+        }
+        out.push_str("],\"hi\":[");
+        for (i, v) in rect.hi().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            fmt_f64_into(&mut out, *v);
+        }
+        out.push_str("]}\n");
+        exported += 1;
+    }
+    std::fs::write("results/serve_workload.jsonl", out)?;
+
+    emit(
+        "serve_export",
+        &["artifact", "value"],
+        &[
+            vec!["model_buckets".into(), model.num_buckets().to_string()],
+            vec!["train_queries".into(), queries.len().to_string()],
+            vec!["workload_requests".into(), exported.to_string()],
+            vec!["model_file".into(), "results/serve_model.model".into()],
+            vec![
+                "workload_file".into(),
+                "results/serve_workload.jsonl".into(),
+            ],
+        ],
+    )?;
     Ok(())
 }
 

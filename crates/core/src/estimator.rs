@@ -113,6 +113,12 @@ pub trait SelectivityEstimator {
 /// `Send + Sync` so batch estimation can fan out across threads.
 pub type BoxedEstimator = Box<dyn SelectivityEstimator + Send + Sync>;
 
+/// The reference-counted estimator type used where one trained model is
+/// shared across threads without ownership — the serving layer clones one
+/// of these per request so a background hot-swap never blocks or
+/// invalidates in-flight readers.
+pub type SharedEstimator = std::sync::Arc<dyn SelectivityEstimator + Send + Sync>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

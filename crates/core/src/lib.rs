@@ -39,21 +39,18 @@ pub mod persist;
 pub mod ptshist;
 pub mod quadhist;
 pub mod quadtree;
+pub mod quantize;
 pub mod weights;
-
-/// Geometric tolerance used by quadtree reconstruction.
-pub(crate) fn quadtree_eps() -> f64 {
-    1e-12
-}
 
 pub use arrangement_hist::{ArrangementHist, ArrangementHistConfig};
 pub use cdf1d::{Cdf1D, Cdf1DConfig};
 pub use error::{check_labels, SelearnError};
-pub use estimator::{BoxedEstimator, SelectivityEstimator, TrainingQuery};
+pub use estimator::{BoxedEstimator, SelectivityEstimator, SharedEstimator, TrainingQuery};
 pub use gausshist::{GaussHist, GaussHistConfig};
 pub use online::OnlineQuadHist;
 pub use persist::{load_ptshist, load_quadhist, save_ptshist, save_quadhist, PersistError};
 pub use ptshist::{PtsHist, PtsHistConfig};
 pub use quadhist::{QuadHist, QuadHistConfig};
 pub use quadtree::QuadTree;
+pub use quantize::quantize_rect_key;
 pub use weights::{estimate_weights, estimate_weights_with_report, Objective, WeightSolver};

@@ -14,13 +14,14 @@
 //! leaves inherit their parent's mass proportionally to volume, so
 //! estimates remain a valid distribution at all times.
 
+use crate::assemble::assemble_design_matrix;
 use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
 use crate::quadhist::{update_quad, QuadHist, QuadHistConfig};
 use crate::quadtree::{QuadTree, ROOT};
 use crate::weights::estimate_weights;
 use selearn_geom::{Range, RangeQuery, Rect, EPS};
-use selearn_solver::DenseMatrix;
+use std::collections::VecDeque;
 
 /// An incrementally trained QuadHist.
 #[derive(Clone, Debug)]
@@ -31,7 +32,18 @@ pub struct OnlineQuadHist {
     /// Weight per node; kept distribution-valid between refits by pushing
     /// mass down to new leaves on split.
     node_weight: Vec<f64>,
-    history: Vec<TrainingQuery>,
+    /// Sliding window of the most recent feedback (all of it when
+    /// `history_cap` is 0). A long-running server otherwise accumulates
+    /// unbounded memory *and* pays an ever-growing refit bill.
+    history: VecDeque<TrainingQuery>,
+    /// Window cap; 0 = unbounded.
+    history_cap: usize,
+    /// Lifetime feedback count (keeps counting past evictions).
+    total_observed: usize,
+    /// Per-node volume cache: `node_volume[id] == tree.rect(id).volume()`.
+    /// Volumes are immutable once a node exists, so the cache only ever
+    /// appends — refits stop recomputing `∏(hi−lo)` for every leaf × query.
+    node_volume: Vec<f64>,
     observed_since_refit: usize,
     refit_every: usize,
 }
@@ -60,15 +72,39 @@ impl OnlineQuadHist {
             });
         }
         let tree = QuadTree::new(root.clone());
+        let root_volume = root.volume();
         Ok(Self {
             config,
             root,
             node_weight: vec![1.0; 1], // single leaf carries all mass
             tree,
-            history: Vec::new(),
+            history: VecDeque::new(),
+            history_cap: 0,
+            total_observed: 0,
+            node_volume: vec![root_volume],
             observed_since_refit: 0,
             refit_every,
         })
+    }
+
+    /// Caps the feedback window at `cap` records (0 = unbounded, the
+    /// default): once full, each new observation evicts the oldest one, so
+    /// a long-running server holds bounded memory and each refit costs
+    /// `O(cap · leaves)` instead of `O(total · leaves)`. Evicted feedback
+    /// still left its mark on the partition — only weight estimation
+    /// forgets it.
+    pub fn with_history_cap(mut self, cap: usize) -> Self {
+        self.history_cap = cap;
+        self.trim_history();
+        self
+    }
+
+    fn trim_history(&mut self) {
+        if self.history_cap > 0 {
+            while self.history.len() > self.history_cap {
+                self.history.pop_front();
+            }
+        }
     }
 
     /// Ingests one piece of query feedback: refines the partition
@@ -80,7 +116,7 @@ impl OnlineQuadHist {
     pub fn observe(&mut self, feedback: TrainingQuery) -> Result<(), SelearnError> {
         if !feedback.selectivity.is_finite() {
             return Err(SelearnError::InvalidLabel {
-                query: self.history.len(),
+                query: self.total_observed,
                 value: feedback.selectivity,
             });
         }
@@ -99,19 +135,18 @@ impl OnlineQuadHist {
         // keep the interim weights a valid distribution: push split mass
         // down to children proportionally to volume
         if self.tree.num_nodes() > nodes_before {
+            for id in self.node_volume.len()..self.tree.num_nodes() {
+                self.node_volume.push(self.tree.rect(id).volume());
+            }
             self.node_weight.resize(self.tree.num_nodes(), 0.0);
             for id in 0..nodes_before {
                 if !self.tree.is_leaf(id) && self.node_weight[id] > 0.0 {
                     let w = std::mem::take(&mut self.node_weight[id]);
-                    let total: f64 = self
-                        .tree
-                        .children(id)
-                        .map(|c| self.tree.rect(c).volume())
-                        .sum();
+                    let total: f64 = self.tree.children(id).map(|c| self.node_volume[c]).sum();
                     let kids: Vec<_> = self.tree.children(id).collect();
                     for c in kids {
                         let share = if total > 0.0 {
-                            self.tree.rect(c).volume() / total
+                            self.node_volume[c] / total
                         } else {
                             0.0
                         };
@@ -124,10 +159,10 @@ impl OnlineQuadHist {
                 if !self.tree.is_leaf(id) && self.node_weight[id] > 0.0 {
                     let w = std::mem::take(&mut self.node_weight[id]);
                     let kids: Vec<_> = self.tree.children(id).collect();
-                    let total: f64 = kids.iter().map(|&c| self.tree.rect(c).volume()).sum();
+                    let total: f64 = kids.iter().map(|&c| self.node_volume[c]).sum();
                     for c in kids {
                         let share = if total > 0.0 {
-                            self.tree.rect(c).volume() / total
+                            self.node_volume[c] / total
                         } else {
                             0.0
                         };
@@ -136,7 +171,9 @@ impl OnlineQuadHist {
                 }
             }
         }
-        self.history.push(feedback);
+        self.history.push_back(feedback);
+        self.total_observed += 1;
+        self.trim_history();
         self.observed_since_refit += 1;
         if self.observed_since_refit >= self.refit_every {
             self.refit()?;
@@ -144,36 +181,40 @@ impl OnlineQuadHist {
         Ok(())
     }
 
-    /// Re-runs the weight-estimation phase (Equation 8) over the full
-    /// observation history on the current partition.
+    /// Re-runs the weight-estimation phase (Equation 8) over the retained
+    /// feedback window on the current partition. Matrix assembly goes
+    /// through [`crate::assemble`], so it picks up the parallel row-build
+    /// path under the `parallel` feature, and per-leaf volumes come from
+    /// the node-volume cache instead of being recomputed per row.
     ///
     /// On a solver error the interim (still distribution-valid) weights
     /// are kept and the error is returned.
     pub fn refit(&mut self) -> Result<(), SelearnError> {
+        let _span = selearn_obs::span!("refit.online");
         self.observed_since_refit = 0;
         let leaves = self.tree.leaves();
         if leaves.is_empty() || self.history.is_empty() {
             return Ok(());
         }
-        let mut a = DenseMatrix::zeros(0, 0);
-        let mut s = Vec::with_capacity(self.history.len());
-        for q in &self.history {
-            let row: Vec<f64> = leaves
+        let window = self.history.make_contiguous();
+        let tree = &self.tree;
+        let node_volume = &self.node_volume;
+        let volume = &self.config.volume;
+        let a = assemble_design_matrix(window, leaves.len(), |q| {
+            leaves
                 .iter()
                 .map(|&leaf| {
-                    let cell = self.tree.rect(leaf);
-                    let cv = cell.volume();
+                    let cv = node_volume[leaf];
                     if cv <= EPS {
                         0.0
                     } else {
-                        (q.range.intersection_volume(cell, &self.config.volume) / cv)
+                        (q.range.intersection_volume(tree.rect(leaf), volume) / cv)
                             .clamp(0.0, 1.0)
                     }
                 })
-                .collect();
-            a.push_row(&row);
-            s.push(q.selectivity);
-        }
+                .collect()
+        });
+        let s: Vec<f64> = window.iter().map(|q| q.selectivity).collect();
         let w = estimate_weights(&a, &s, &self.config.objective, &self.config.solver)?;
         self.node_weight = vec![0.0; self.tree.num_nodes()];
         for (k, &leaf) in leaves.iter().enumerate() {
@@ -182,15 +223,24 @@ impl OnlineQuadHist {
         Ok(())
     }
 
-    /// Number of feedback records ingested so far.
+    /// Lifetime number of feedback records ingested (not reduced by
+    /// window eviction).
     pub fn observations(&self) -> usize {
+        self.total_observed
+    }
+
+    /// Number of feedback records currently retained for refits — at most
+    /// the [`OnlineQuadHist::with_history_cap`] window.
+    pub fn history_len(&self) -> usize {
         self.history.len()
     }
 
-    /// Converts into a frozen batch model (refitting first).
+    /// Converts into a frozen batch model (refitting first). With a
+    /// history cap, the batch model is trained on the retained window.
     pub fn freeze(mut self) -> Result<QuadHist, SelearnError> {
         self.refit()?;
-        QuadHist::fit(self.root, &self.history, &self.config)
+        let window: Vec<TrainingQuery> = self.history.into_iter().collect();
+        QuadHist::fit(self.root, &window, &self.config)
     }
 }
 
@@ -311,6 +361,50 @@ mod tests {
         assert!((m.estimate(&half) - 0.5).abs() < 1e-9);
         assert_eq!(m.num_buckets(), 1);
         assert_eq!(m.name(), "OnlineQuadHist");
+    }
+
+    #[test]
+    fn history_cap_bounds_retained_window() {
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.05), 1000)
+            .unwrap()
+            .with_history_cap(3);
+        for _ in 0..4 {
+            for q in stream() {
+                m.observe(q).unwrap();
+            }
+        }
+        assert_eq!(m.observations(), 24, "lifetime count keeps counting");
+        assert_eq!(m.history_len(), 3, "window stays capped");
+        m.refit().unwrap();
+        // weights refit on the window still form a distribution
+        let all: Range = Rect::unit(2).into();
+        assert!((m.estimate(&all) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windowed_refit_matches_window_only_weights() {
+        // Same partition + same retained window ⇒ same weights, no matter
+        // how much older feedback was evicted along the way.
+        let cfg = QuadHistConfig::with_tau(0.02);
+        let qs = stream();
+        let cap = 3;
+        let mut windowed = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), usize::MAX)
+            .unwrap()
+            .with_history_cap(cap);
+        let mut unbounded = OnlineQuadHist::new(Rect::unit(2), cfg, usize::MAX).unwrap();
+        for q in &qs {
+            windowed.observe(q.clone()).unwrap();
+            unbounded.observe(q.clone()).unwrap();
+        }
+        // rebuild the unbounded model's history down to the same window
+        let unbounded = unbounded.with_history_cap(cap);
+        let (mut a, mut b) = (windowed, unbounded);
+        a.refit().unwrap();
+        b.refit().unwrap();
+        for q in &qs {
+            let (ea, eb) = (a.estimate(&q.range), b.estimate(&q.range));
+            assert!((ea - eb).abs() < 1e-12, "windowed {ea} vs trimmed {eb}");
+        }
     }
 
     #[test]

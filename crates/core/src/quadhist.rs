@@ -14,7 +14,7 @@
 use crate::assemble::assemble_design_matrix;
 use crate::error::SelearnError;
 use crate::estimator::{SelectivityEstimator, TrainingQuery};
-use crate::quadtree::{NodeId, QuadTree, ROOT};
+use crate::quadtree::{cell_key, cells_match, CellKey, NodeId, QuadTree, ROOT};
 use crate::weights::{estimate_weights_with_report, Objective, WeightSolver};
 use selearn_geom::{Range, RangeQuery, Rect, VolumeEstimator, EPS};
 use selearn_solver::SolveReport;
@@ -266,6 +266,17 @@ impl QuadHist {
     /// pairs as produced by [`QuadHist::buckets`]) — the inverse used when
     /// loading persisted models.
     ///
+    /// Every cell of a quadtree partition is uniquely identified by its
+    /// depth plus its integer lattice position within the root, so the
+    /// bucket list is indexed by that key once (`O(n)`) and each
+    /// reconstructed leaf is looked up in `O(1)` — restoring the
+    /// 10k-bucket models of Figure 9 used to take a quadratic `find` scan
+    /// per leaf. Matching tolerates coordinate error up to a small
+    /// fraction of the cell width plus an absolute term scaled by the
+    /// root's coordinate magnitude, so dumps written with decimal-rounded
+    /// coordinates load on any domain scale (a `[0, 1e9]` CSV domain as
+    /// well as sub-1e-9 cells of the unit cube).
+    ///
     /// Returns [`SelearnError::CorruptModel`] if the boxes do not form a
     /// quadtree partition of `root` or carry non-finite weights.
     pub fn from_buckets(
@@ -273,6 +284,7 @@ impl QuadHist {
         buckets: &[(Rect, f64)],
         volume: VolumeEstimator,
     ) -> Result<Self, SelearnError> {
+        let _span = selearn_obs::span!("restore.quadhist");
         if let Some((i, (_, w))) = buckets
             .iter()
             .enumerate()
@@ -280,6 +292,19 @@ impl QuadHist {
         {
             return Err(SelearnError::CorruptModel {
                 what: format!("bucket {i} has non-finite weight {w}"),
+            });
+        }
+        if let Some((i, (r, _))) = buckets
+            .iter()
+            .enumerate()
+            .find(|(_, (r, _))| r.dim() != root.dim())
+        {
+            return Err(SelearnError::CorruptModel {
+                what: format!(
+                    "bucket {i} has dimension {}, root has {}",
+                    r.dim(),
+                    root.dim()
+                ),
             });
         }
         let leaf_boxes: Vec<Rect> = buckets.iter().map(|(r, _)| r.clone()).collect();
@@ -296,23 +321,32 @@ impl QuadHist {
                 ),
             });
         }
+        let root_rect = tree.rect(ROOT).clone();
+        let mut index: std::collections::HashMap<CellKey, usize> =
+            std::collections::HashMap::with_capacity(buckets.len());
+        for (i, (r, _)) in buckets.iter().enumerate() {
+            let Some(key) = cell_key(&root_rect, r) else {
+                return Err(SelearnError::CorruptModel {
+                    what: format!("bucket {i} ({r:?}) is not a quadtree cell of the root"),
+                });
+            };
+            if index.insert(key, i).is_some() {
+                return Err(SelearnError::CorruptModel {
+                    what: format!("bucket {i} ({r:?}) duplicates another bucket's cell"),
+                });
+            }
+        }
         for &leaf in &leaves {
             let cell = tree.rect(leaf);
-            let Some((_, w)) = buckets.iter().find(|(r, _)| {
-                r.lo()
-                    .iter()
-                    .zip(cell.lo())
-                    .all(|(a, b)| (a - b).abs() < 1e-9)
-                    && r.hi()
-                        .iter()
-                        .zip(cell.hi())
-                        .all(|(a, b)| (a - b).abs() < 1e-9)
-            }) else {
+            let matched = cell_key(&root_rect, cell)
+                .and_then(|key| index.get(&key))
+                .filter(|&&i| cells_match(&root_rect, &buckets[i].0, cell));
+            let Some(&i) = matched else {
                 return Err(SelearnError::CorruptModel {
                     what: format!("reconstructed leaf {cell:?} missing from the dump"),
                 });
             };
-            node_weight[leaf] = *w;
+            node_weight[leaf] = buckets[i].1;
         }
         Ok(Self {
             num_leaves: leaves.len(),
@@ -605,6 +639,104 @@ mod tests {
                 qh.num_buckets()
             );
         }
+    }
+
+    /// Builds a pure partition of `root` with `target` leaves (uniform
+    /// weights) by breadth-first splitting — no training involved, so
+    /// tests can produce large bucket dumps instantly.
+    fn synthetic_buckets(root: &Rect, target: usize) -> Vec<(Rect, f64)> {
+        let mut tree = crate::quadtree::QuadTree::new(root.clone());
+        let mut frontier = std::collections::VecDeque::from([ROOT]);
+        while tree.num_leaves() < target {
+            let Some(id) = frontier.pop_front() else { break };
+            let first = tree.split(id);
+            for k in 0..(1usize << tree.dim()) {
+                frontier.push_back(first + k);
+            }
+        }
+        let n = tree.num_leaves() as f64;
+        tree.leaves()
+            .into_iter()
+            .map(|l| (tree.rect(l).clone(), 1.0 / n))
+            .collect()
+    }
+
+    #[test]
+    fn restore_accepts_decimal_rounded_dump_on_large_domain() {
+        // Regression: the old absolute 1e-9 match rejected valid dumps on
+        // unnormalized (CSV-scale) domains, where writing coordinates in
+        // decimal loses far more than 1e-9 of absolute precision.
+        let root = Rect::new(vec![0.0, 0.0], vec![1e9, 1e9]);
+        let buckets = synthetic_buckets(&root, 64);
+        // perturb inward by 1e-5 — what a %.12g dump of 1e9-scale
+        // coordinates can lose, and 10^4 times the old tolerance
+        let perturbed: Vec<(Rect, f64)> = buckets
+            .iter()
+            .map(|(r, w)| {
+                let lo: Vec<f64> = r.lo().iter().map(|&c| c + 1e-5).collect();
+                let hi: Vec<f64> = r.hi().iter().map(|&c| c - 1e-5).collect();
+                (Rect::new(lo, hi), *w)
+            })
+            .collect();
+        let restored =
+            QuadHist::from_buckets(root, &perturbed, VolumeEstimator::default()).unwrap();
+        assert_eq!(restored.num_buckets(), buckets.len());
+    }
+
+    #[test]
+    fn restore_rejects_off_lattice_buckets() {
+        // A box shifted by half a cell is NOT the same cell — the relative
+        // tolerance must not degenerate into "accept anything".
+        let root = Rect::unit(2);
+        let mut buckets = synthetic_buckets(&root, 16);
+        let shift = buckets[0].0.width(0) * 0.5;
+        let (r, w) = buckets[0].clone();
+        let lo: Vec<f64> = r.lo().iter().map(|&c| c + shift).collect();
+        let hi: Vec<f64> = r.hi().iter().map(|&c| c + shift).collect();
+        buckets[0] = (Rect::new(lo, hi), w);
+        let err = QuadHist::from_buckets(root, &buckets, VolumeEstimator::default());
+        assert!(matches!(err, Err(SelearnError::CorruptModel { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_cells() {
+        let root = Rect::unit(2);
+        let mut buckets = synthetic_buckets(&root, 16);
+        buckets[1] = buckets[0].clone();
+        let err = QuadHist::from_buckets(root, &buckets, VolumeEstimator::default());
+        assert!(matches!(err, Err(SelearnError::CorruptModel { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_dimension_mismatch() {
+        let err = QuadHist::from_buckets(
+            Rect::unit(2),
+            &[(Rect::unit(3), 1.0)],
+            VolumeEstimator::default(),
+        );
+        assert!(matches!(err, Err(SelearnError::CorruptModel { .. })));
+    }
+
+    #[test]
+    fn restore_round_trips_deep_unit_domain_partition() {
+        // sub-cell tolerance must stay relative: a fine partition of the
+        // unit cube restores exactly, cell-for-cell.
+        let root = Rect::unit(2);
+        let buckets = synthetic_buckets(&root, 1000);
+        let restored =
+            QuadHist::from_buckets(root, &buckets, VolumeEstimator::default()).unwrap();
+        let mut got: Vec<String> = restored
+            .buckets()
+            .iter()
+            .map(|(r, w)| format!("{r:?}|{w}"))
+            .collect();
+        let mut want: Vec<String> = buckets
+            .iter()
+            .map(|(r, w)| format!("{r:?}|{w}"))
+            .collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Cache-key quantization for serving-time estimate caches.
+//!
+//! A selectivity estimate cache cannot key on raw `f64` coordinates —
+//! floating-point queries essentially never repeat bit-for-bit. Instead,
+//! the serving layer snaps each query box to a uniform grid over the data
+//! space and keys on the integer grid cell indices: queries that agree to
+//! within one grid cell share a cache entry.
+//!
+//! **Accuracy tradeoff.** Two queries with the same key differ by at most
+//! `width_d / grid` per corner coordinate, so the cached estimate can be
+//! off by at most the selectivity mass of a one-cell-thick shell around
+//! the box — `O(2d/grid)` for near-uniform data, and bounded by the
+//! model's per-region mass in general. `grid = 64` keeps that error well
+//! below typical model error at a high hit rate; raise `grid` for more
+//! precision (fewer hits), lower it for more hits (coarser answers).
+//! DESIGN.md's "Serving" section discusses the choice.
+
+use selearn_geom::Rect;
+
+/// Quantized cache key of a query box inside `root`: the `2d` grid
+/// indices of its clamped lower and upper corners on a `grid`-way uniform
+/// grid per dimension. Returns `None` when the corner lists do not match
+/// the root's dimension (such requests bypass the cache and fail model
+/// lookup later with a proper error).
+pub fn quantize_rect_key(root: &Rect, lo: &[f64], hi: &[f64], grid: u32) -> Option<Vec<u32>> {
+    let d = root.dim();
+    if lo.len() != d || hi.len() != d || grid == 0 {
+        return None;
+    }
+    let mut key = Vec::with_capacity(2 * d);
+    for (corner, round_up) in [(lo, false), (hi, true)] {
+        for (i, &c) in corner.iter().enumerate() {
+            let w = root.width(i);
+            let frac = if w > 0.0 {
+                ((c - root.lo()[i]) / w).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let scaled = frac * grid as f64;
+            // floor for lo, ceil for hi: snapping never flips which side
+            // of a grid line a corner is on, so degenerate (zero-width)
+            // queries stay degenerate and keys are monotone in the box
+            let cell = if round_up { scaled.ceil() } else { scaled.floor() };
+            key.push(cell as u32);
+        }
+    }
+    Some(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_cell_same_key_across_jitter() {
+        let root = Rect::unit(2);
+        let a = quantize_rect_key(&root, &[0.101, 0.201], &[0.502, 0.601], 64);
+        let b = quantize_rect_key(&root, &[0.102, 0.202], &[0.503, 0.602], 64);
+        assert_eq!(a, b, "sub-cell jitter must not change the key");
+    }
+
+    #[test]
+    fn different_cells_different_keys() {
+        let root = Rect::unit(2);
+        let a = quantize_rect_key(&root, &[0.1, 0.2], &[0.5, 0.6], 64);
+        let b = quantize_rect_key(&root, &[0.1, 0.2], &[0.6, 0.6], 64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn coordinates_outside_root_clamp() {
+        let root = Rect::unit(2);
+        let a = quantize_rect_key(&root, &[-5.0, 0.0], &[2.0, 1.0], 16);
+        let b = quantize_rect_key(&root, &[0.0, 0.0], &[1.0, 1.0], 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_none() {
+        let root = Rect::unit(2);
+        assert!(quantize_rect_key(&root, &[0.1], &[0.5, 0.6], 64).is_none());
+        assert!(quantize_rect_key(&root, &[0.1, 0.2, 0.3], &[0.5, 0.6, 0.7], 64).is_none());
+        assert!(quantize_rect_key(&root, &[0.1, 0.2], &[0.5, 0.6], 0).is_none());
+    }
+
+    #[test]
+    fn unnormalized_domain_scales() {
+        let root = Rect::new(vec![0.0], vec![1e9]);
+        let a = quantize_rect_key(&root, &[1.0e8], &[5.2e8], 64);
+        let b = quantize_rect_key(&root, &[1.01e8], &[5.21e8], 64);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,134 @@
+//! `selearn-load` — load generator for `selearn-serve`.
+//!
+//! ```text
+//! # closed loop: 4 connections, 10k requests, synthetic 2-d pool
+//! selearn-load --addr 127.0.0.1:7878 --synthetic 2 --requests 10000 --conns 4
+//!
+//! # open loop at 5000 req/s replaying an exported workload file
+//! selearn-load --addr 127.0.0.1:7878 --workload results/serve_workload.jsonl \
+//!              --requests 20000 --rate 5000
+//! ```
+//!
+//! The workload file holds one protocol request per line (the format the
+//! experiments binary's `serve_export` writes). The pool is cycled when
+//! `--requests` exceeds it — deliberately, so the server's estimate cache
+//! sees repeats. Prints a single JSON summary line with latency
+//! percentiles and throughput; exits 1 when any response was a
+//! protocol-level error (or the run died early).
+
+use selearn_serve::{run_load, LoadOptions, Request};
+
+const USAGE: &str = "usage: selearn-load --addr HOST:PORT \
+(--workload FILE | --synthetic DIM) [--requests N] [--conns N] \
+[--rate RPS] [--pool N] [--allow-errors]";
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = take_flag_value(&mut args, "--addr");
+    let workload = take_flag_value(&mut args, "--workload");
+    let synthetic = take_flag_value(&mut args, "--synthetic");
+    let requests = parse_num::<usize>(take_flag_value(&mut args, "--requests"), "--requests");
+    let conns = parse_num::<usize>(take_flag_value(&mut args, "--conns"), "--conns");
+    let rate = parse_num::<f64>(take_flag_value(&mut args, "--rate"), "--rate");
+    let pool = parse_num::<usize>(take_flag_value(&mut args, "--pool"), "--pool");
+    let allow_errors = take_flag(&mut args, "--allow-errors");
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}\n{USAGE}");
+        std::process::exit(2);
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr is required\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    let pool_size = pool.unwrap_or(256);
+    let requests_pool: Vec<Request> = match (workload, synthetic) {
+        (Some(path), None) => match load_workload(&path) {
+            Ok(pool) => pool,
+            Err(e) => {
+                eprintln!("cannot load workload {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        (None, Some(dim)) => {
+            let dim: usize = match dim.parse() {
+                Ok(d) if (1..=6).contains(&d) => d,
+                _ => {
+                    eprintln!("--synthetic DIM must be an integer in 1..=6");
+                    std::process::exit(2);
+                }
+            };
+            selearn_serve::synth::synthetic_requests(dim, pool_size, 23)
+        }
+        _ => {
+            eprintln!("exactly one of --workload or --synthetic is required\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if requests_pool.is_empty() {
+        eprintln!("request pool is empty");
+        std::process::exit(2);
+    }
+
+    let options = LoadOptions {
+        connections: conns.unwrap_or(4),
+        total_requests: requests.unwrap_or(1000),
+        rate,
+    };
+    match run_load(&addr, &requests_pool, &options) {
+        Ok(report) => {
+            println!("{}", report.to_json());
+            if report.errors > 0 && !allow_errors {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reads a one-request-per-line workload file, skipping blank lines.
+fn load_workload(path: &str) -> Result<Vec<Request>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            selearn_serve::parse_request(line).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires an argument\n{USAGE}");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> Option<T> {
+    value.map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{flag} requires a number, got {v:?}");
+            std::process::exit(2);
+        }
+    })
+}

@@ -1,0 +1,198 @@
+//! `selearn-serve` — serve a selectivity model over TCP.
+//!
+//! ```text
+//! selearn-serve --model results/serve_model.model --addr 127.0.0.1:7878
+//! selearn-serve --synthetic 2 --run-secs 30 --trace-out trace.jsonl
+//! ```
+//!
+//! The model comes either from a persisted QuadHist dump (`--model FILE`,
+//! the format written by `selearn_core::save_quadhist` / the experiments
+//! binary's `serve_export`) or from a self-contained synthetic fit
+//! (`--synthetic DIM`). The server registers it under the name
+//! `"default"` and prints one JSON line with the bound address so
+//! scripts can scrape the OS-assigned port.
+
+use selearn_serve::{start, ServerConfig};
+use std::sync::Arc;
+
+const USAGE: &str = "usage: selearn-serve (--model FILE | --synthetic DIM) \
+[--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N] \
+[--cache-grid N] [--deadline-ms N] [--run-secs N] [--stats] [--trace-out FILE]";
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let model_path = take_flag_value(&mut args, "--model");
+    let synthetic = take_flag_value(&mut args, "--synthetic");
+    let addr = take_flag_value(&mut args, "--addr");
+    let workers = parse_num::<usize>(take_flag_value(&mut args, "--workers"), "--workers");
+    let queue = parse_num::<usize>(take_flag_value(&mut args, "--queue"), "--queue");
+    let cache_capacity = parse_num::<usize>(
+        take_flag_value(&mut args, "--cache-capacity"),
+        "--cache-capacity",
+    );
+    let cache_grid = parse_num::<u32>(take_flag_value(&mut args, "--cache-grid"), "--cache-grid");
+    let deadline_ms =
+        parse_num::<u64>(take_flag_value(&mut args, "--deadline-ms"), "--deadline-ms");
+    let run_secs = parse_num::<u64>(take_flag_value(&mut args, "--run-secs"), "--run-secs");
+    let stats = take_flag(&mut args, "--stats");
+    let trace_out = take_flag_value(&mut args, "--trace-out");
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    if stats || trace_out.is_some() {
+        selearn_obs::enable_stats(true);
+    }
+    if let Some(path) = &trace_out {
+        install_trace_sink(path);
+    }
+
+    let (model, root): (selearn_core::SharedEstimator, selearn_geom::Rect) =
+        match (model_path, synthetic) {
+            (Some(path), None) => {
+                let file = match std::fs::File::open(&path) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("cannot open model file {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                match selearn_core::load_quadhist(std::io::BufReader::new(file)) {
+                    Ok(m) => {
+                        let root = m.root().clone();
+                        (Arc::new(m), root)
+                    }
+                    Err(e) => {
+                        eprintln!("cannot load model {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            (None, Some(dim)) => {
+                let dim: usize = match dim.parse() {
+                    Ok(d) if (1..=6).contains(&d) => d,
+                    _ => {
+                        eprintln!("--synthetic DIM must be an integer in 1..=6");
+                        std::process::exit(2);
+                    }
+                };
+                match selearn_serve::synth::synthetic_model(dim, 400, 17) {
+                    Ok((m, root)) => (Arc::new(m), root),
+                    Err(e) => {
+                        eprintln!("synthetic fit failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!("exactly one of --model or --synthetic is required\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+
+    let mut config = ServerConfig::default();
+    if let Some(addr) = addr {
+        config.addr = addr;
+    }
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    if let Some(queue) = queue {
+        config.queue_capacity = queue;
+    }
+    if let Some(cap) = cache_capacity {
+        config.cache_capacity = cap;
+    }
+    if let Some(grid) = cache_grid {
+        config.cache_grid = grid;
+    }
+    if let Some(ms) = deadline_ms {
+        config.deadline = std::time::Duration::from_millis(ms);
+    }
+
+    let registry = Arc::new(selearn_serve::ModelRegistry::new());
+    registry.register(selearn_serve::DEFAULT_MODEL, model, root);
+    let handle = match start(config, registry) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Machine-readable startup line: scripts scrape the bound address.
+    println!("{{\"listening\":\"{}\"}}", handle.addr());
+
+    match run_secs {
+        // Bounded run: serve for N seconds, then drain and summarize —
+        // how the CI smoke test gets a clean exit (and a flushed trace).
+        Some(secs) if secs > 0 => {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let stats_snapshot = Arc::clone(handle.stats());
+            let (hits, misses) = (handle.cache().hits(), handle.cache().misses());
+            handle.shutdown();
+            selearn_obs::flush_aggregates();
+            selearn_obs::flush_sink();
+            println!(
+                "{{\"requests\":{},\"model\":{},\"cached\":{},\"degraded\":{},\"errors\":{},\"cache_hits\":{hits},\"cache_misses\":{misses}}}",
+                stats_snapshot.requests(),
+                stats_snapshot.model_answers(),
+                stats_snapshot.cache_answers(),
+                stats_snapshot.degraded(),
+                stats_snapshot.errors(),
+            );
+        }
+        // Unbounded run: park forever (terminate with a signal).
+        _ => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires an argument\n{USAGE}");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> Option<T> {
+    value.map(|v| match v.parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{flag} requires a number, got {v:?}");
+            std::process::exit(2);
+        }
+    })
+}
+
+#[cfg(feature = "obs-jsonl")]
+fn install_trace_sink(path: &str) {
+    match selearn_obs::JsonlSink::create(std::path::Path::new(path)) {
+        Ok(sink) => selearn_obs::set_sink(std::sync::Arc::new(sink)),
+        Err(e) => {
+            eprintln!("cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(not(feature = "obs-jsonl"))]
+fn install_trace_sink(_path: &str) {
+    eprintln!("--trace-out requires the obs-jsonl feature");
+    std::process::exit(2);
+}

@@ -1,0 +1,248 @@
+//! Sharded LRU cache for selectivity estimates.
+//!
+//! Keys are [`quantized`](selearn_core::quantize_rect_key) query rects plus
+//! the model name and model *generation* (bumped on every hot-swap), so a
+//! swap implicitly invalidates all cached answers for that model without a
+//! stop-the-world clear. Entries are sharded by key hash across
+//! independently locked LRU lists, keeping contention between worker
+//! threads on different shards at zero.
+//!
+//! Each shard is a slab-backed intrusive doubly-linked list: `HashMap`
+//! from key to slab index, `prev`/`next` links inside the slab, O(1)
+//! lookup, promotion, and eviction — no allocation churn after warm-up.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Cache key: model name, model generation, quantized query rect.
+pub type CacheKey = (String, u64, Vec<u32>);
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    value: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: slab + index + head/tail of the recency list.
+struct Shard {
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Entry>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (eviction candidate).
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list (it must be linked).
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slab[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<f64> {
+        let i = *self.map.get(key)?;
+        self.unlink(i);
+        self.link_front(i);
+        Some(self.slab[i].value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: f64) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return;
+        }
+        let i = if self.slab.len() < self.capacity {
+            self.slab.push(Entry {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Evict the LRU entry and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim].key = key.clone();
+            self.slab[victim].value = value;
+            victim
+        };
+        self.map.insert(key, i);
+        self.link_front(i);
+    }
+}
+
+/// A sharded LRU estimate cache with hit/miss accounting.
+pub struct EstimateCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Creates a cache of `capacity` total entries spread over `shards`
+    /// locks (both clamped to at least 1; per-shard capacity rounds up).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a cached estimate, promoting it to most-recently-used and
+    /// bumping the hit/miss counters (local and `serve.cache_*` obs).
+    pub fn get(&self, key: &CacheKey) -> Option<f64> {
+        let got = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key);
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            selearn_obs::counter_add("serve.cache_hits", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            selearn_obs::counter_add("serve.cache_misses", 1);
+        }
+        got
+    }
+
+    /// Inserts (or refreshes) an estimate, evicting the shard's LRU entry
+    /// when full.
+    pub fn insert(&self, key: CacheKey, value: f64) {
+        self.shard(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, value);
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
+            .sum()
+    }
+
+    /// `true` when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(gen: u64, cells: &[u32]) -> CacheKey {
+        ("default".to_string(), gen, cells.to_vec())
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = EstimateCache::new(8, 2);
+        assert_eq!(c.get(&key(0, &[1, 2])), None);
+        c.insert(key(0, &[1, 2]), 0.25);
+        assert_eq!(c.get(&key(0, &[1, 2])), Some(0.25));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let c = EstimateCache::new(8, 1);
+        c.insert(key(0, &[1]), 0.5);
+        assert_eq!(c.get(&key(1, &[1])), None, "new generation, new key");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = EstimateCache::new(2, 1);
+        c.insert(key(0, &[1]), 0.1);
+        c.insert(key(0, &[2]), 0.2);
+        assert_eq!(c.get(&key(0, &[1])), Some(0.1)); // promote [1]
+        c.insert(key(0, &[3]), 0.3); // evicts [2]
+        assert_eq!(c.get(&key(0, &[2])), None);
+        assert_eq!(c.get(&key(0, &[1])), Some(0.1));
+        assert_eq!(c.get(&key(0, &[3])), Some(0.3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let c = EstimateCache::new(4, 1);
+        c.insert(key(0, &[1]), 0.1);
+        c.insert(key(0, &[1]), 0.9);
+        assert_eq!(c.get(&key(0, &[1])), Some(0.9));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_churn_stays_bounded() {
+        let c = EstimateCache::new(16, 4);
+        for i in 0..1000u32 {
+            c.insert(key(0, &[i]), f64::from(i));
+        }
+        assert!(c.len() <= 20, "len {} exceeds sharded capacity", c.len());
+        // The most recent key per shard must still be resident.
+        assert_eq!(c.get(&key(0, &[999])), Some(999.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! `selearn-serve` — the production serving layer for learned selectivity
+//! estimators.
+//!
+//! A trained model (Section 3 of the paper) is only useful to a query
+//! optimizer if it can answer over the wire at query-planning latencies.
+//! This crate turns any [`selearn_core::SelectivityEstimator`] into a TCP
+//! service with the operational affordances a planner-facing component
+//! needs:
+//!
+//! * **Wire protocol** ([`protocol`]) — one JSON object per line in, one
+//!   per line out; dependency-free parsing ([`json`]) and rendering.
+//! * **Worker pool + bounded queue** ([`server`], [`queue`]) — a fixed
+//!   number of evaluation threads behind an admission-controlled queue.
+//! * **Hot-swap registry** ([`registry`]) — named models behind
+//!   `RwLock<Arc<dyn …>>`; refits swap in atomically, in-flight requests
+//!   keep their handle, and a worker that loses the swap race *degrades*
+//!   instead of blocking.
+//! * **Estimate cache** ([`cache`]) — sharded LRU keyed by
+//!   [quantized](selearn_core::quantize_rect_key) query rects and model
+//!   generation.
+//! * **Graceful degradation** — overload, queue-deadline expiry, and
+//!   swap races all answer with the uniform-selectivity fallback, flagged
+//!   `"degraded":true` with a reason, never with silence.
+//! * **Load generation** ([`client`]) — closed- and open-loop replay with
+//!   client-observed latency percentiles, driving the `selearn-load` bin.
+//!
+//! Observability rides on `selearn-obs`: `serve.qps` / `serve.queue_depth`
+//! gauges, `serve.latency_us` histogram, and `serve.cache_hits` /
+//! `serve.cache_misses` / `serve.requests_shed` (and friends) counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The panic-free gate: unwrap/expect are banned outside test code
+// (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod synth;
+
+pub use cache::EstimateCache;
+pub use client::{parse_response, run_load, Client, LoadOptions, LoadReport};
+pub use protocol::{parse_request, DegradeReason, Request, Response, DEFAULT_MODEL};
+pub use queue::BoundedQueue;
+pub use registry::{uniform_fallback, ModelRegistry, ModelSlot};
+pub use server::{start, ServeStats, ServerConfig, ServerHandle};

@@ -1,0 +1,292 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line:
+//!
+//! ```text
+//! → {"est":"quadhist","lo":[0.1,0.2],"hi":[0.5,0.6],"id":7}
+//! ← {"id":7,"est":"QuadHist","sel":0.1234,"us":18.2,"degraded":false,"cached":false}
+//! ```
+//!
+//! * `est` — registry name of the model to query (default `"default"`);
+//! * `lo` / `hi` — corners of the query box, one number per dimension;
+//! * `id` — optional client-chosen correlation id, echoed verbatim. The
+//!   worker pool may answer pipelined requests **out of order**, so any
+//!   client with more than one request in flight must use ids.
+//!
+//! Responses carry `"degraded":true` plus a `"reason"` (`"shed"`,
+//! `"deadline"`, or `"swap"`) when admission control answered with the
+//! uniform-selectivity fallback instead of the model, and `"cached":true`
+//! when the answer came from the estimate cache. Malformed or unservable
+//! requests get `{"id":…,"error":"…"}` — the connection stays open.
+
+use crate::json::{parse, Json};
+use selearn_obs::json::{escape_into, fmt_f64_into};
+
+/// Registry name used when a request omits `"est"`.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// A parsed estimate request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Model name (`"default"` when omitted).
+    pub est: String,
+    /// Lower corner of the query box.
+    pub lo: Vec<f64>,
+    /// Upper corner of the query box.
+    pub hi: Vec<f64>,
+    /// Client correlation id, echoed in the response.
+    pub id: Option<u64>,
+}
+
+impl Request {
+    /// Renders the request as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"est\":");
+        escape_into(&mut out, &self.est);
+        out.push_str(",\"lo\":[");
+        for (i, v) in self.lo.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            fmt_f64_into(&mut out, *v);
+        }
+        out.push_str("],\"hi\":[");
+        for (i, v) in self.hi.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            fmt_f64_into(&mut out, *v);
+        }
+        out.push(']');
+        if let Some(id) = self.id {
+            out.push_str(&format!(",\"id\":{id}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Parses one request line. The error string is safe to echo back to the
+/// client (it never contains request content, only positions/shapes).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line)?;
+    if !matches!(v, Json::Obj(_)) {
+        return Err("request must be a JSON object".into());
+    }
+    let est = match v.get("est") {
+        None => DEFAULT_MODEL.to_string(),
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(_) => return Err("\"est\" must be a non-empty string".into()),
+    };
+    let corner = |key: &str| -> Result<Vec<f64>, String> {
+        let arr = v
+            .get(key)
+            .ok_or_else(|| format!("missing \"{key}\""))?
+            .as_arr()
+            .ok_or_else(|| format!("\"{key}\" must be an array of numbers"))?;
+        if arr.is_empty() {
+            return Err(format!("\"{key}\" must not be empty"));
+        }
+        arr.iter()
+            .map(|x| {
+                x.as_num()
+                    .ok_or_else(|| format!("\"{key}\" must contain finite numbers"))
+            })
+            .collect()
+    };
+    let lo = corner("lo")?;
+    let hi = corner("hi")?;
+    if lo.len() != hi.len() {
+        return Err(format!(
+            "\"lo\" has {} coordinates, \"hi\" has {}",
+            lo.len(),
+            hi.len()
+        ));
+    }
+    let id = match v.get("id") {
+        None | Some(Json::Null) => None,
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Some(*n as u64)
+        }
+        Some(_) => return Err("\"id\" must be a non-negative integer".into()),
+    };
+    Ok(Request { est, lo, hi, id })
+}
+
+/// Why a response fell back to the uniform-selectivity answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The bounded request queue was full (load shedding).
+    Shed,
+    /// The request waited past its deadline in the queue.
+    Deadline,
+    /// The model was mid-hot-swap when the worker tried to read it.
+    Swap,
+}
+
+impl DegradeReason {
+    /// Wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::Shed => "shed",
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::Swap => "swap",
+        }
+    }
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A served estimate (model, cache, or degraded fallback).
+    Estimate {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// Model name answering (the estimator's `name()`, or the registry
+        /// name for degraded fallbacks).
+        est: String,
+        /// The selectivity estimate in `[0, 1]`.
+        sel: f64,
+        /// Server-side handling latency in microseconds (queue wait
+        /// included).
+        us: f64,
+        /// `Some(reason)` when this is a uniform fallback.
+        degraded: Option<DegradeReason>,
+        /// `true` when served from the estimate cache.
+        cached: bool,
+    },
+    /// A per-request error (connection stays open).
+    Error {
+        /// Echoed request id, when the line parsed far enough to have one.
+        id: Option<u64>,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        match self {
+            Response::Estimate {
+                id,
+                est,
+                sel,
+                us,
+                degraded,
+                cached,
+            } => {
+                out.push('{');
+                push_id(&mut out, *id);
+                out.push_str("\"est\":");
+                escape_into(&mut out, est);
+                out.push_str(",\"sel\":");
+                fmt_f64_into(&mut out, *sel);
+                out.push_str(",\"us\":");
+                fmt_f64_into(&mut out, *us);
+                out.push_str(",\"degraded\":");
+                match degraded {
+                    None => out.push_str("false"),
+                    Some(reason) => {
+                        out.push_str("true,\"reason\":");
+                        escape_into(&mut out, reason.as_str());
+                    }
+                }
+                out.push_str(",\"cached\":");
+                out.push_str(if *cached { "true" } else { "false" });
+                out.push('}');
+            }
+            Response::Error { id, message } => {
+                out.push('{');
+                push_id(&mut out, *id);
+                out.push_str("\"error\":");
+                escape_into(&mut out, message);
+                out.push('}');
+            }
+        }
+        out
+    }
+}
+
+fn push_id(out: &mut String, id: Option<u64>) {
+    if let Some(id) = id {
+        out.push_str(&format!("\"id\":{id},"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let r = Request {
+            est: "quadhist".into(),
+            lo: vec![0.1, 0.2],
+            hi: vec![0.5, 0.6],
+            id: Some(7),
+        };
+        assert_eq!(parse_request(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn est_defaults_and_id_optional() {
+        let r = parse_request(r#"{"lo":[0.0],"hi":[1.0]}"#).unwrap();
+        assert_eq!(r.est, DEFAULT_MODEL);
+        assert_eq!(r.id, None);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"lo":[0.1],"hi":[0.2,0.3]}"#,
+            r#"{"lo":[],"hi":[]}"#,
+            r#"{"lo":[0.1],"hi":["x"]}"#,
+            r#"{"lo":[0.1]}"#,
+            r#"{"est":7,"lo":[0.1],"hi":[0.2]}"#,
+            r#"{"lo":[0.1],"hi":[0.2],"id":-3}"#,
+            r#"{"lo":[0.1],"hi":[0.2],"id":1.5}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_render_valid_json() {
+        let ok = Response::Estimate {
+            id: Some(3),
+            est: "QuadHist".into(),
+            sel: 0.25,
+            us: 17.5,
+            degraded: None,
+            cached: true,
+        };
+        let degraded = Response::Estimate {
+            id: None,
+            est: "default".into(),
+            sel: 0.5,
+            us: 3.0,
+            degraded: Some(DegradeReason::Shed),
+            cached: false,
+        };
+        let err = Response::Error {
+            id: Some(4),
+            message: "missing \"lo\"".into(),
+        };
+        for r in [&ok, &degraded, &err] {
+            let line = r.to_json();
+            assert!(
+                selearn_obs::json::validate_json_object(&line),
+                "invalid: {line}"
+            );
+            assert!(crate::json::parse(&line).is_ok(), "unparseable: {line}");
+        }
+        assert!(ok.to_json().contains("\"cached\":true"));
+        assert!(degraded.to_json().contains("\"reason\":\"shed\""));
+        assert!(err.to_json().contains("\"error\""));
+    }
+}

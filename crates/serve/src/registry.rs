@@ -1,0 +1,231 @@
+//! Named-model registry with non-blocking atomic hot-swap.
+//!
+//! Each registered model lives in a [`ModelSlot`]: an
+//! `RwLock<Arc<dyn SelectivityEstimator>>` plus a generation counter and
+//! the model's data-space root. Workers `try_read` the slot and clone the
+//! `Arc` — a few nanoseconds — then evaluate entirely on their own handle,
+//! so a concurrent [`swap`](ModelRegistry::swap) never invalidates an
+//! in-flight request. Swapping takes the write lock only for the pointer
+//! exchange; the old model is freed when its last in-flight reader drops
+//! its clone.
+//!
+//! If a worker's `try_read` loses the (tiny) race with a swap it does
+//! **not** block the request behind the writer: it degrades to the
+//! uniform-selectivity fallback with reason `"swap"`, keeping tail latency
+//! flat through model reloads.
+
+use selearn_core::SharedEstimator;
+use selearn_geom::Rect;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
+
+/// One registered model: the hot-swappable estimator, its generation
+/// (bumped per swap, part of the cache key), and the data-space root used
+/// for the uniform fallback.
+pub struct ModelSlot {
+    model: RwLock<SharedEstimator>,
+    generation: AtomicU64,
+    root: Rect,
+}
+
+impl ModelSlot {
+    fn new(model: SharedEstimator, root: Rect) -> Self {
+        Self {
+            model: RwLock::new(model),
+            generation: AtomicU64::new(0),
+            root,
+        }
+    }
+
+    /// The model's data-space root.
+    pub fn root(&self) -> &Rect {
+        &self.root
+    }
+
+    /// Current generation (number of completed swaps).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Non-blocking model read: a cheap `Arc` clone plus the generation it
+    /// belongs to, or `None` when a swap holds the lock right now (the
+    /// caller degrades instead of waiting).
+    pub fn try_get(&self) -> Option<(SharedEstimator, u64)> {
+        // Read the generation before the model: if a swap completes in
+        // between, we pair the *new* model with the *old* generation and
+        // merely miss the cache once — never serve a stale cached value
+        // under a new generation.
+        let generation = self.generation();
+        let guard = self.model.try_read().ok()?;
+        Some((guard.clone(), generation))
+    }
+
+    /// Blocking model read, for non-latency-critical callers (load
+    /// reports, tests).
+    pub fn get(&self) -> (SharedEstimator, u64) {
+        let generation = self.generation();
+        let model = self
+            .model
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        (model, generation)
+    }
+
+    /// Atomically replaces the model and bumps the generation.
+    fn swap(&self, next: SharedEstimator) {
+        let mut guard = self.model.write().unwrap_or_else(PoisonError::into_inner);
+        *guard = next;
+        // Bump while still holding the write lock so a reader can never
+        // observe (new model, old generation) after the swap completes.
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// The registry: name → [`ModelSlot`]. Registration is rare (startup,
+/// admin), so the outer map lock is taken briefly and never on the
+/// per-request path once callers hold a slot reference.
+#[derive(Default)]
+pub struct ModelRegistry {
+    slots: RwLock<HashMap<String, std::sync::Arc<ModelSlot>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces wholesale) a named model with its data-space
+    /// root. Prefer [`swap`](Self::swap) for updating a live name — it
+    /// preserves the slot, its generation history, and outstanding
+    /// references.
+    pub fn register(&self, name: &str, model: SharedEstimator, root: Rect) {
+        self.slots
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                name.to_string(),
+                std::sync::Arc::new(ModelSlot::new(model, root)),
+            );
+    }
+
+    /// Hot-swaps the model under `name`. Returns `false` when the name is
+    /// not registered (the new model is dropped).
+    pub fn swap(&self, name: &str, next: SharedEstimator) -> bool {
+        let slot = self.slot(name);
+        match slot {
+            Some(slot) => {
+                slot.swap(next);
+                selearn_obs::counter_add("serve.model_swaps", 1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up a slot by name.
+    pub fn slot(&self, name: &str) -> Option<std::sync::Arc<ModelSlot>> {
+        self.slots
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .slots
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// The uniform-selectivity fallback: the fraction of the data-space root
+/// covered by the query box — exact for uniformly distributed data, and a
+/// sane bounded answer for anything else. Used whenever admission control
+/// or a mid-swap race keeps a request from reaching the model.
+pub fn uniform_fallback(root: &Rect, lo: &[f64], hi: &[f64]) -> f64 {
+    if lo.len() != root.dim() || hi.len() != root.dim() {
+        return 0.0;
+    }
+    if lo
+        .iter()
+        .zip(hi)
+        .any(|(l, h)| !l.is_finite() || !h.is_finite() || l > h)
+    {
+        return 0.0;
+    }
+    let root_vol = root.volume();
+    if root_vol <= 0.0 {
+        return 0.0;
+    }
+    let query = Rect::new(lo.to_vec(), hi.to_vec());
+    (root.intersection_volume(&query) / root_vol).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selearn_core::SelectivityEstimator;
+    use selearn_geom::Range;
+    use std::sync::Arc;
+
+    struct Constant(f64);
+    impl SelectivityEstimator for Constant {
+        fn estimate(&self, _r: &Range) -> f64 {
+            self.0
+        }
+        fn num_buckets(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn register_get_swap_bumps_generation() {
+        let reg = ModelRegistry::new();
+        reg.register("default", Arc::new(Constant(0.1)), Rect::unit(2));
+        let slot = reg.slot("default").unwrap();
+        let (m0, g0) = slot.get();
+        assert_eq!(g0, 0);
+        assert_eq!(m0.estimate(&Rect::unit(2).into()), 0.1);
+
+        assert!(reg.swap("default", Arc::new(Constant(0.9))));
+        let (m1, g1) = slot.get();
+        assert_eq!(g1, 1);
+        assert_eq!(m1.estimate(&Rect::unit(2).into()), 0.9);
+        // The pre-swap handle still answers with the old model.
+        assert_eq!(m0.estimate(&Rect::unit(2).into()), 0.1);
+    }
+
+    #[test]
+    fn swap_unknown_name_is_false() {
+        let reg = ModelRegistry::new();
+        assert!(!reg.swap("nope", Arc::new(Constant(0.5))));
+        assert!(reg.slot("nope").is_none());
+    }
+
+    #[test]
+    fn uniform_fallback_is_coverage_fraction() {
+        let root = Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let sel = uniform_fallback(&root, &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((sel - 0.25).abs() < 1e-12);
+        // Clipping: boxes poking outside the root count only the overlap.
+        let sel = uniform_fallback(&root, &[1.0, 1.0], &[5.0, 5.0]);
+        assert!((sel - 0.25).abs() < 1e-12);
+        // Garbage shapes answer 0 rather than panicking.
+        assert_eq!(uniform_fallback(&root, &[0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(uniform_fallback(&root, &[1.0, 1.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(uniform_fallback(&root, &[f64::NAN, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,514 @@
+//! The TCP estimator server: acceptor, connection readers, worker pool.
+//!
+//! Threading model (`N` workers, `C` live connections):
+//!
+//! ```text
+//! acceptor ──spawns──▶ reader (×C) ──try_push──▶ BoundedQueue ──pop──▶ worker (×N)
+//!                        │   shed? answer degraded                        │
+//!                        ▼                                                ▼
+//!                 shared TcpStream writer ◀──────── response line ────────┘
+//! ```
+//!
+//! * The **acceptor** runs a non-blocking `accept` loop, polling the
+//!   shutdown flag between attempts, and spawns one reader per connection.
+//! * Each **reader** owns the receive half: it accumulates bytes into a
+//!   buffer and splits on `\n` *across* read-timeout interruptions (a
+//!   `BufReader::read_line` would lose partial lines on timeout), then
+//!   offers each line to the bounded queue. When the queue is full it
+//!   answers the request itself with the uniform fallback
+//!   (`"degraded":true,"reason":"shed"`) — admission control never
+//!   buffers unboundedly and never silently drops.
+//! * **Workers** pop jobs, consult the estimate cache, `try_read` the
+//!   model slot (degrading with reason `"swap"` rather than blocking
+//!   behind a hot-swap), and write the response through the connection's
+//!   shared writer. Jobs that out-waited their deadline in the queue are
+//!   answered with reason `"deadline"` instead of burning model time on an
+//!   answer the client has likely given up on.
+//!
+//! Every response path increments `serve.requests_total`; degraded paths
+//! additionally record `serve.requests_shed` / `..._deadline` / `..._swap`
+//! so (requests − degraded − errors) always equals real model/cache
+//! answers.
+
+use crate::cache::EstimateCache;
+use crate::protocol::{parse_request, DegradeReason, Request, Response};
+use crate::queue::BoundedQueue;
+use crate::registry::{uniform_fallback, ModelRegistry};
+use selearn_core::quantize_rect_key;
+use selearn_geom::Rect;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs. `Default` is sized for tests and small machines.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads evaluating models (minimum 1).
+    pub workers: usize,
+    /// Bounded queue capacity; the admission-control threshold.
+    pub queue_capacity: usize,
+    /// Total estimate-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Cache-key quantization grid (cells per dimension).
+    pub cache_grid: u32,
+    /// Queue-wait budget per request; `Duration::ZERO` disables deadline
+    /// degradation.
+    pub deadline: Duration,
+    /// Socket read timeout — the shutdown-poll granularity of readers.
+    pub read_timeout: Duration,
+    /// Hard cap on one request line; longer lines end the connection.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            cache_grid: 64,
+            deadline: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(25),
+            max_line_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Atomic per-server accounting, exported for soak assertions and the
+/// server binary's exit summary. All counts are lifetime totals.
+#[derive(Default)]
+pub struct ServeStats {
+    requests: AtomicU64,
+    model_answers: AtomicU64,
+    cache_answers: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    swap_degraded: AtomicU64,
+    errors: AtomicU64,
+    connections: AtomicU64,
+}
+
+macro_rules! stat_getters {
+    ($($(#[$doc:meta])* $get:ident <- $field:ident;)*) => {
+        $( $(#[$doc])* pub fn $get(&self) -> u64 { self.$field.load(Ordering::Relaxed) } )*
+    };
+}
+
+impl ServeStats {
+    stat_getters! {
+        /// Total request lines answered (every path).
+        requests <- requests;
+        /// Answers computed by a model.
+        model_answers <- model_answers;
+        /// Answers served from the estimate cache.
+        cache_answers <- cache_answers;
+        /// Uniform fallbacks due to a full queue.
+        shed <- shed;
+        /// Uniform fallbacks due to an expired queue-wait deadline.
+        deadline_expired <- deadline_expired;
+        /// Uniform fallbacks due to losing the model-slot race with a swap.
+        swap_degraded <- swap_degraded;
+        /// Per-request error responses.
+        errors <- errors;
+        /// Connections accepted over the server's lifetime.
+        connections <- connections;
+    }
+
+    /// All uniform-fallback answers, regardless of reason.
+    pub fn degraded(&self) -> u64 {
+        self.shed() + self.deadline_expired() + self.swap_degraded()
+    }
+}
+
+/// One queued request: the raw line plus the connection's shared writer.
+struct Job {
+    line: String,
+    writer: Arc<Mutex<TcpStream>>,
+    received: Instant,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`shutdown`](ServerHandle::shutdown) leaves threads running until
+/// process exit — call it for a clean stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
+    cache: Arc<EstimateCache>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    queue: Arc<BoundedQueue<Job>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when `addr` used `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The model registry — hot-swap through this while serving.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The estimate cache (hit/miss counters live here).
+    pub fn cache(&self) -> &Arc<EstimateCache> {
+        &self.cache
+    }
+
+    /// Lifetime serving statistics.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// Stops accepting, drains in-flight work, and joins every thread.
+    /// Queued requests are still answered; idle connections are closed.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let readers = std::mem::take(
+            &mut *self
+                .readers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for r in readers {
+            let _ = r.join();
+        }
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds, spawns the acceptor + worker pool, and returns immediately.
+pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let cache = Arc::new(EstimateCache::new(
+        config.cache_capacity.max(1),
+        config.cache_shards,
+    ));
+    let stats = Arc::new(ServeStats::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let response = handle_job(&job, &registry, &cache, &stats, &config);
+                    write_response(&job.writer, &response);
+                    finish_request(&stats, job.received);
+                }
+            })
+        })
+        .collect();
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        let registry = Arc::clone(&registry);
+        let stats = Arc::clone(&stats);
+        let readers = Arc::clone(&readers);
+        let config = config.clone();
+        std::thread::spawn(move || {
+            let mut last_qps_tick = Instant::now();
+            let mut last_qps_count = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        selearn_obs::counter_add("serve.connections", 1);
+                        let stop = Arc::clone(&stop);
+                        let queue = Arc::clone(&queue);
+                        let registry = Arc::clone(&registry);
+                        let stats = Arc::clone(&stats);
+                        let config = config.clone();
+                        let handle = std::thread::spawn(move || {
+                            read_connection(stream, &stop, &queue, &registry, &stats, &config);
+                        });
+                        readers
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(handle);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+                // Once a second, export QPS and queue depth gauges.
+                let tick = last_qps_tick.elapsed();
+                if tick >= Duration::from_secs(1) {
+                    let now = stats.requests();
+                    let qps = (now - last_qps_count) as f64 / tick.as_secs_f64();
+                    selearn_obs::gauge_set("serve.qps", qps);
+                    selearn_obs::gauge_set("serve.queue_depth", queue.len() as f64);
+                    last_qps_count = now;
+                    last_qps_tick = Instant::now();
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        registry,
+        cache,
+        stats,
+        stop,
+        acceptor: Some(acceptor),
+        workers,
+        readers,
+        queue,
+    })
+}
+
+/// Reads request lines off one connection until EOF, error, overlong line,
+/// or shutdown. Splitting is done on an explicit byte buffer so a read
+/// timeout mid-line never discards the partial line.
+fn read_connection(
+    stream: TcpStream,
+    stop: &AtomicBool,
+    queue: &BoundedQueue<Job>,
+    registry: &ModelRegistry,
+    stats: &ServeStats,
+    config: &ServerConfig,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let mut line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            line_bytes.pop(); // the '\n'
+            if line_bytes.last() == Some(&b'\r') {
+                line_bytes.pop();
+            }
+            if line_bytes.is_empty() {
+                continue;
+            }
+            let received = Instant::now();
+            let line = match String::from_utf8(line_bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    respond_error(&writer, stats, None, "request is not valid UTF-8", received);
+                    continue;
+                }
+            };
+            let job = Job {
+                line,
+                writer: Arc::clone(&writer),
+                received,
+            };
+            if let Err(job) = queue.try_push(job) {
+                shed(job, registry, stats);
+            }
+        }
+        if buf.len() > config.max_line_bytes {
+            respond_error(
+                &writer,
+                stats,
+                None,
+                "request line too long",
+                Instant::now(),
+            );
+            return; // close: the stream is mid-garbage, resync is impossible
+        }
+    }
+}
+
+/// Queue-full path, run on the reader thread: answer with the uniform
+/// fallback instead of queueing, so overload degrades accuracy, not
+/// availability.
+fn shed(job: Job, registry: &ModelRegistry, stats: &ServeStats) {
+    stats.shed.fetch_add(1, Ordering::Relaxed);
+    selearn_obs::counter_add("serve.requests_shed", 1);
+    let response = match parse_request(&job.line) {
+        Err(message) => error_response(stats, None, message),
+        Ok(req) => match registry.slot(&req.est) {
+            None => error_response(stats, req.id, format!("unknown model \"{}\"", req.est)),
+            Some(slot) => degraded_response(&req, slot.root(), DegradeReason::Shed, job.received),
+        },
+    };
+    write_response(&job.writer, &response);
+    finish_request(stats, job.received);
+}
+
+/// The worker-side request path: parse → deadline check → cache → model.
+fn handle_job(
+    job: &Job,
+    registry: &ModelRegistry,
+    cache: &EstimateCache,
+    stats: &ServeStats,
+    config: &ServerConfig,
+) -> Response {
+    let _guard = selearn_obs::span!("serve.request");
+    let req = match parse_request(&job.line) {
+        Ok(req) => req,
+        Err(message) => return error_response(stats, None, message),
+    };
+    let Some(slot) = registry.slot(&req.est) else {
+        return error_response(stats, req.id, format!("unknown model \"{}\"", req.est));
+    };
+    if req.lo.len() != slot.root().dim() {
+        return error_response(
+            stats,
+            req.id,
+            format!(
+                "model \"{}\" is {}-dimensional, request is {}-dimensional",
+                req.est,
+                slot.root().dim(),
+                req.lo.len()
+            ),
+        );
+    }
+    if req.lo.iter().zip(&req.hi).any(|(l, h)| l > h) {
+        return error_response(stats, req.id, "\"lo\" must be <= \"hi\" per dimension".into());
+    }
+    if config.deadline > Duration::ZERO && job.received.elapsed() > config.deadline {
+        stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        selearn_obs::counter_add("serve.requests_deadline", 1);
+        return degraded_response(&req, slot.root(), DegradeReason::Deadline, job.received);
+    }
+    // Non-blocking model read: losing the race with a hot-swap degrades
+    // this one request instead of stalling the worker behind the writer.
+    let Some((model, generation)) = slot.try_get() else {
+        stats.swap_degraded.fetch_add(1, Ordering::Relaxed);
+        selearn_obs::counter_add("serve.requests_swap_degraded", 1);
+        return degraded_response(&req, slot.root(), DegradeReason::Swap, job.received);
+    };
+    let cache_key = if config.cache_capacity > 0 {
+        quantize_rect_key(slot.root(), &req.lo, &req.hi, config.cache_grid)
+            .map(|k| (req.est.clone(), generation, k))
+    } else {
+        None
+    };
+    if let Some(key) = &cache_key {
+        if let Some(sel) = cache.get(key) {
+            stats.cache_answers.fetch_add(1, Ordering::Relaxed);
+            return Response::Estimate {
+                id: req.id,
+                est: model.name().to_string(),
+                sel,
+                us: job.received.elapsed().as_secs_f64() * 1e6,
+                degraded: None,
+                cached: true,
+            };
+        }
+    }
+    let rect = match Rect::try_new(req.lo.clone(), req.hi.clone()) {
+        Ok(r) => r,
+        Err(e) => return error_response(stats, req.id, format!("bad query box: {e}")),
+    };
+    let sel = model.estimate(&rect.into()).clamp(0.0, 1.0);
+    if let Some(key) = cache_key {
+        cache.insert(key, sel);
+    }
+    stats.model_answers.fetch_add(1, Ordering::Relaxed);
+    Response::Estimate {
+        id: req.id,
+        est: model.name().to_string(),
+        sel,
+        us: job.received.elapsed().as_secs_f64() * 1e6,
+        degraded: None,
+        cached: false,
+    }
+}
+
+fn degraded_response(
+    req: &Request,
+    root: &Rect,
+    reason: DegradeReason,
+    received: Instant,
+) -> Response {
+    Response::Estimate {
+        id: req.id,
+        est: req.est.clone(),
+        sel: uniform_fallback(root, &req.lo, &req.hi),
+        us: received.elapsed().as_secs_f64() * 1e6,
+        degraded: Some(reason),
+        cached: false,
+    }
+}
+
+fn error_response(stats: &ServeStats, id: Option<u64>, message: String) -> Response {
+    stats.errors.fetch_add(1, Ordering::Relaxed);
+    selearn_obs::counter_add("serve.request_errors", 1);
+    Response::Error { id, message }
+}
+
+fn respond_error(
+    writer: &Mutex<TcpStream>,
+    stats: &ServeStats,
+    id: Option<u64>,
+    message: &str,
+    received: Instant,
+) {
+    let response = error_response(stats, id, message.to_string());
+    write_response(writer, &response);
+    finish_request(stats, received);
+}
+
+/// Serializes and writes one response line. Write errors mean the client
+/// went away; the reader will notice EOF and clean up, so they are
+/// deliberately ignored here.
+fn write_response(writer: &Mutex<TcpStream>, response: &Response) {
+    let mut line = response.to_json();
+    line.push('\n');
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = w.write_all(line.as_bytes());
+}
+
+/// Per-answer accounting shared by every response path.
+fn finish_request(stats: &ServeStats, received: Instant) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    selearn_obs::counter_add("serve.requests_total", 1);
+    selearn_obs::histogram_record(
+        "serve.latency_us",
+        received.elapsed().as_secs_f64() * 1e6,
+    );
+}

@@ -1,0 +1,116 @@
+//! Self-contained synthetic models and workloads for the serving tools.
+//!
+//! The server and load-generator binaries need something to serve without
+//! dragging the data-generation crate into the serving dependency tree, so
+//! this module carries a tiny analytic distribution: independent per-dim
+//! density `f(x) = ½ + x` on `[0, 1]` (CDF `F(x) = x/2 + x²/2`), whose box
+//! selectivity `∏_d (F(hi_d) − F(lo_d))` is exact in closed form. Training
+//! a [`QuadHist`] on labels from it produces a realistic model with zero
+//! external inputs; the same generator produces the replay request pool.
+
+use crate::protocol::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selearn_core::{QuadHist, QuadHistConfig, SelearnError, TrainingQuery};
+use selearn_geom::Rect;
+
+/// The analytic CDF of the synthetic per-dimension density `½ + x`.
+fn cdf(x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    0.5 * x + 0.5 * x * x
+}
+
+/// Exact selectivity of a box under the synthetic distribution.
+pub fn synthetic_selectivity(lo: &[f64], hi: &[f64]) -> f64 {
+    lo.iter()
+        .zip(hi)
+        .map(|(&l, &h)| (cdf(h) - cdf(l)).max(0.0))
+        .product()
+}
+
+/// A deterministic random box in the unit cube (sorted corners per dim).
+fn random_box(rng: &mut StdRng, dim: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let a: f64 = rng.gen_range(0.0..1.0);
+        let b: f64 = rng.gen_range(0.0..1.0);
+        lo.push(a.min(b));
+        hi.push(a.max(b));
+    }
+    (lo, hi)
+}
+
+/// Trains a QuadHist on `queries` exact-labeled synthetic boxes over the
+/// unit cube. Returns the model and its root.
+pub fn synthetic_model(
+    dim: usize,
+    queries: usize,
+    seed: u64,
+) -> Result<(QuadHist, Rect), SelearnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let root = Rect::unit(dim);
+    let workload: Vec<TrainingQuery> = (0..queries)
+        .map(|_| {
+            let (lo, hi) = random_box(&mut rng, dim);
+            let s = synthetic_selectivity(&lo, &hi);
+            TrainingQuery::new(Rect::new(lo, hi), s)
+        })
+        .collect();
+    let config = QuadHistConfig {
+        max_leaves: 256,
+        ..QuadHistConfig::with_tau(0.05)
+    };
+    let model = QuadHist::fit(root.clone(), &workload, &config)?;
+    Ok((model, root))
+}
+
+/// A deterministic pool of protocol requests over the unit cube. Replaying
+/// a finite pool (instead of fresh random boxes) is what makes estimate
+/// cache hits reachable for the load generator and smoke tests.
+pub fn synthetic_requests(dim: usize, pool: usize, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..pool)
+        .map(|_| {
+            let (lo, hi) = random_box(&mut rng, dim);
+            Request {
+                est: crate::protocol::DEFAULT_MODEL.to_string(),
+                lo,
+                hi,
+                id: None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_is_a_probability() {
+        assert!((synthetic_selectivity(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(synthetic_selectivity(&[0.3], &[0.3]), 0.0);
+        let s = synthetic_selectivity(&[0.2, 0.1], &[0.9, 0.7]);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn model_trains_and_tracks_truth() {
+        let (model, _root) = synthetic_model(2, 200, 7).unwrap();
+        use selearn_core::SelectivityEstimator;
+        let mut worst: f64 = 0.0;
+        for req in synthetic_requests(2, 50, 8) {
+            let rect = Rect::new(req.lo.clone(), req.hi.clone());
+            let truth = synthetic_selectivity(&req.lo, &req.hi);
+            let est = model.estimate(&rect.into());
+            worst = worst.max((est - truth).abs());
+        }
+        assert!(worst < 0.2, "synthetic model off by {worst}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(synthetic_requests(3, 10, 42), synthetic_requests(3, 10, 42));
+    }
+}

@@ -1,0 +1,321 @@
+//! In-process soak and behavior tests for the serving layer: a real
+//! server on a real localhost socket, driven by the crate's own client.
+
+use selearn_core::{SelectivityEstimator, SharedEstimator};
+use selearn_geom::{Range, Rect};
+use selearn_serve::synth::{synthetic_model, synthetic_requests};
+use selearn_serve::{
+    run_load, start, Client, DegradeReason, LoadOptions, ModelRegistry, Request, Response,
+    ServerConfig, DEFAULT_MODEL,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn serve_synthetic(config: ServerConfig) -> (selearn_serve::ServerHandle, Rect) {
+    let (model, root) = synthetic_model(2, 200, 11).expect("synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root.clone());
+    let handle = start(config, registry).expect("server start");
+    (handle, root)
+}
+
+#[test]
+fn request_response_paths() {
+    let (handle, _root) = serve_synthetic(ServerConfig::default());
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A real estimate.
+    let req = Request {
+        est: DEFAULT_MODEL.into(),
+        lo: vec![0.1, 0.2],
+        hi: vec![0.6, 0.7],
+        id: Some(1),
+    };
+    let first = client.call(&req).expect("first call");
+    let Response::Estimate {
+        id,
+        sel,
+        degraded,
+        cached,
+        ..
+    } = first
+    else {
+        panic!("expected estimate, got {first:?}");
+    };
+    assert_eq!(id, Some(1));
+    assert!((0.0..=1.0).contains(&sel));
+    assert_eq!(degraded, None);
+    assert!(!cached, "first sighting cannot be a cache hit");
+
+    // The identical query must now hit the cache with the same answer.
+    let second = client.call(&req).expect("second call");
+    let Response::Estimate {
+        sel: sel2, cached, ..
+    } = second
+    else {
+        panic!("expected estimate, got {second:?}");
+    };
+    assert!(cached, "repeat of an identical query must be cached");
+    assert_eq!(sel2, sel);
+
+    // Malformed lines answer an error and keep the connection usable.
+    client.send_line("{this is not json").expect("send garbage");
+    let err = client.recv().expect("error response");
+    assert!(matches!(err, Response::Error { .. }), "got {err:?}");
+
+    // Unknown model, wrong dimensionality, inverted box: typed errors.
+    for (line, what) in [
+        (r#"{"est":"nope","lo":[0.1,0.1],"hi":[0.2,0.2]}"#, "unknown"),
+        (r#"{"lo":[0.1],"hi":[0.2]}"#, "dimension"),
+        (r#"{"lo":[0.9,0.9],"hi":[0.1,0.1]}"#, "inverted"),
+    ] {
+        client.send_line(line).expect("send");
+        let resp = client.recv().expect("recv");
+        assert!(matches!(resp, Response::Error { .. }), "{what}: {resp:?}");
+    }
+
+    // The connection still serves real queries after all those errors.
+    let again = client.call(&req).expect("call after errors");
+    assert!(matches!(again, Response::Estimate { .. }));
+
+    handle.shutdown();
+}
+
+#[test]
+fn hot_swap_changes_answers_and_invalidates_cache() {
+    struct Constant(f64);
+    impl SelectivityEstimator for Constant {
+        fn estimate(&self, _r: &Range) -> f64 {
+            self.0
+        }
+        fn num_buckets(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(Constant(0.25)), Rect::unit(2));
+    let handle = start(ServerConfig::default(), Arc::clone(&registry)).expect("start");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let req = Request {
+        est: DEFAULT_MODEL.into(),
+        lo: vec![0.1, 0.1],
+        hi: vec![0.4, 0.4],
+        id: None,
+    };
+    // Warm the cache with the old model's answer.
+    for _ in 0..2 {
+        client.call(&req).expect("warm");
+    }
+    assert!(handle.cache().hits() >= 1);
+
+    assert!(registry.swap(DEFAULT_MODEL, Arc::new(Constant(0.75))));
+    let resp = client.call(&req).expect("post-swap call");
+    let Response::Estimate { sel, cached, .. } = resp else {
+        panic!("expected estimate, got {resp:?}");
+    };
+    assert!(
+        !cached,
+        "generation bump must invalidate pre-swap cache entries"
+    );
+    assert_eq!(sel, 0.75, "post-swap answers come from the new model");
+
+    handle.shutdown();
+}
+
+#[test]
+fn sheds_load_with_degraded_answers_when_queue_saturated() {
+    // A deliberately slow model behind a 1-deep queue and 1 worker: a
+    // burst of pipelined requests must split into real answers and
+    // explicit shed fallbacks, with nothing dropped.
+    struct Slow;
+    impl SelectivityEstimator for Slow {
+        fn estimate(&self, _r: &Range) -> f64 {
+            std::thread::sleep(Duration::from_millis(30));
+            0.5
+        }
+        fn num_buckets(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(Slow), Rect::unit(1));
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 0, // cache off so every request reaches the model
+        deadline: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let handle = start(config, registry).expect("start");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let burst = 12;
+    for i in 0..burst {
+        let req = Request {
+            est: DEFAULT_MODEL.into(),
+            // Distinct boxes so answers are distinguishable from caching.
+            lo: vec![0.01 * i as f64],
+            hi: vec![0.5 + 0.01 * i as f64],
+            id: Some(i),
+        };
+        client.send_line(&req.to_json()).expect("pipeline send");
+    }
+    let mut real = 0;
+    let mut shed = 0;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..burst {
+        match client.recv().expect("burst response") {
+            Response::Estimate {
+                id: Some(id),
+                degraded,
+                ..
+            } => {
+                assert!(seen.insert(id), "duplicate response id {id}");
+                match degraded {
+                    None => real += 1,
+                    Some(DegradeReason::Shed) => shed += 1,
+                    Some(other) => panic!("unexpected degrade reason {other:?}"),
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(real + shed, burst as usize, "every request gets an answer");
+    assert!(shed > 0, "a 1-deep queue under a 12-burst must shed");
+    assert!(real > 0, "some requests must still reach the model");
+    assert_eq!(handle.stats().shed(), shed as u64);
+
+    handle.shutdown();
+}
+
+#[test]
+fn soak_10k_requests_with_concurrent_hot_swap() {
+    // The acceptance soak: 4 workers, 10k mixed requests over localhost
+    // with a hot-swap happening mid-run. Zero dropped connections, every
+    // response either real or explicitly degraded, repeats hit the cache.
+    let config = ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    };
+    let (handle, root) = serve_synthetic(config);
+    let addr = handle.addr().to_string();
+
+    // Mid-run hot-swaps: refit-quality replacement models swapped in
+    // while load is flowing.
+    let registry = Arc::clone(handle.registry());
+    let swapper = std::thread::spawn(move || {
+        for seed in [101u64, 102] {
+            std::thread::sleep(Duration::from_millis(150));
+            let (model, _root) = synthetic_model(2, 200, seed).expect("refit");
+            let next: SharedEstimator = Arc::new(model);
+            assert!(registry.swap(DEFAULT_MODEL, next));
+        }
+    });
+
+    // 256-request pool cycled to 10k total: plenty of repeats for the
+    // cache, mixed across 8 closed-loop connections.
+    let pool = synthetic_requests(2, 256, 29);
+    let options = LoadOptions {
+        connections: 8,
+        total_requests: 10_000,
+        rate: None,
+    };
+    let report = run_load(&addr, &pool, &options).expect("soak run must not drop connections");
+    swapper.join().expect("swapper");
+
+    assert_eq!(report.sent, 10_000);
+    assert_eq!(
+        report.ok + report.degraded,
+        10_000,
+        "every response is real or explicitly degraded (errors: {})",
+        report.errors
+    );
+    assert_eq!(report.errors, 0);
+    assert!(
+        report.cached > 0,
+        "a cycled pool must produce estimate-cache hits"
+    );
+    assert!(report.percentile_us(0.99) > 0.0);
+
+    let stats = handle.stats();
+    assert_eq!(stats.requests(), 10_000);
+    assert_eq!(stats.errors(), 0);
+    assert_eq!(
+        stats.model_answers() + stats.cache_answers() + stats.degraded(),
+        10_000
+    );
+    assert!(handle.cache().hits() > 0);
+    // Degraded answers stay bounded: the uniform fallback over the unit
+    // root is still a probability.
+    let mut probe = Client::connect(&addr).expect("probe connect");
+    let resp = probe
+        .call(&Request {
+            est: DEFAULT_MODEL.into(),
+            lo: root.lo().to_vec(),
+            hi: root.hi().to_vec(),
+            id: None,
+        })
+        .expect("probe");
+    match resp {
+        Response::Estimate { sel, .. } => assert!((0.0..=1.0).contains(&sel)),
+        other => panic!("probe got {other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn open_loop_load_reports_latency() {
+    let (handle, _root) = serve_synthetic(ServerConfig::default());
+    let pool = synthetic_requests(2, 64, 31);
+    let options = LoadOptions {
+        connections: 2,
+        total_requests: 400,
+        rate: Some(4000.0),
+    };
+    let report = run_load(&handle.addr().to_string(), &pool, &options).expect("open loop");
+    assert_eq!(report.sent, 400);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ok + report.degraded, 400);
+    assert!(report.percentile_us(0.5) > 0.0);
+    assert!(report.percentile_us(0.99) >= report.percentile_us(0.5));
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_idempotent_under_load() {
+    let (handle, _root) = serve_synthetic(ServerConfig::default());
+    let addr = handle.addr().to_string();
+    let pool = synthetic_requests(2, 32, 37);
+    let report = run_load(
+        &addr,
+        &pool,
+        &LoadOptions {
+            connections: 2,
+            total_requests: 200,
+            rate: None,
+        },
+    )
+    .expect("pre-shutdown load");
+    assert_eq!(report.sent, 200);
+    handle.shutdown();
+    // The port must actually be released/refusing after shutdown.
+    assert!(Client::connect(&addr)
+        .and_then(|mut c| c.call(&Request {
+            est: DEFAULT_MODEL.into(),
+            lo: vec![0.1, 0.1],
+            hi: vec![0.2, 0.2],
+            id: None,
+        }))
+        .is_err());
+}
