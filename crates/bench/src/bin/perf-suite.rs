@@ -1,0 +1,186 @@
+//! `perf-suite` — the fixed, versioned inference-performance suite.
+//!
+//! Runs three measurements on a 10k-bucket 2-D QuadHist and writes one
+//! machine-readable JSON report (default `BENCH_6.json`, the PR-6 schema):
+//!
+//! * **single-query p50** — per-query latency of the pointer tree vs the
+//!   frozen SoA artifact, and their speedup ratio (the PR-6 acceptance
+//!   floor is 3×);
+//! * **batch throughput** — queries/second through the allocation-free
+//!   `estimate_into` batch path, tree vs frozen;
+//! * **restore** — wall time of `load_quadhist` (pointer layout) and of
+//!   `load_frozen` (straight into the frozen layout, including the
+//!   freeze compilation).
+//!
+//! Usage: `perf-suite [--out FILE] [--buckets N] [--check-speedup X]`.
+//! With `--check-speedup X` the process exits non-zero when the measured
+//! single-query speedup falls below `X` — how CI enforces the floor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selearn_core::{load_frozen, load_quadhist, save_quadhist, QuadHist, SelectivityEstimator};
+use selearn_geom::{Range, Rect, VolumeEstimator};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// BFS-splits the unit square into at least `target` quadtree leaves with
+/// normalized weights.
+fn buckets(target: usize) -> Vec<(Rect, f64)> {
+    let mut queue: VecDeque<Rect> = VecDeque::from([Rect::unit(2)]);
+    while queue.len() < target {
+        let cell = match queue.pop_front() {
+            Some(c) => c,
+            None => break,
+        };
+        queue.extend(cell.split());
+    }
+    let n = queue.len();
+    queue
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (r, 1.0 / n as f64 * ((i % 7) + 1) as f64 / 4.0))
+        .collect()
+}
+
+fn probes(n: usize, seed: u64) -> Vec<Range> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx: f64 = rng.gen();
+            let cy: f64 = rng.gen();
+            let w: f64 = rng.gen::<f64>() * 0.3 + 0.01;
+            Rect::new(
+                vec![(cx - w).max(0.0), (cy - w).max(0.0)],
+                vec![(cx + w).min(1.0), (cy + w).min(1.0)],
+            )
+            .into()
+        })
+        .collect()
+}
+
+/// Median of per-query microseconds: each probe is timed over `repeats`
+/// back-to-back evaluations (amortizing clock overhead), and the p50 is
+/// taken across probes.
+fn single_query_p50_us<M: SelectivityEstimator>(
+    model: &M,
+    queries: &[Range],
+    repeats: usize,
+) -> f64 {
+    let mut samples: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let t0 = Instant::now();
+            let mut acc = 0.0;
+            for _ in 0..repeats {
+                acc += model.estimate(q);
+            }
+            let us = t0.elapsed().as_secs_f64() * 1e6 / repeats as f64;
+            assert!(acc.is_finite());
+            us
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Batch throughput in queries/second through `estimate_into`.
+fn batch_qps<M: SelectivityEstimator>(model: &M, queries: &[Range], repeats: usize) -> f64 {
+    let mut out = vec![0.0; queries.len()];
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        model.estimate_into(queries, &mut out);
+    }
+    (queries.len() * repeats) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let n_buckets: usize = take_value(&mut args, "--buckets")
+        .map(|v| v.parse().unwrap_or(10_000))
+        .unwrap_or(10_000);
+    let check_speedup: Option<f64> =
+        take_value(&mut args, "--check-speedup").and_then(|v| v.parse().ok());
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let bs = buckets(n_buckets);
+    let model = match QuadHist::from_buckets(Rect::unit(2), &bs, VolumeEstimator::default()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot build bench model: {e}");
+            std::process::exit(1);
+        }
+    };
+    let frozen = model.freeze();
+    let single = probes(128, 9);
+    let batch = probes(1024, 10);
+
+    // Warm-up so first-touch page faults don't land in the tree's numbers.
+    let _ = single_query_p50_us(&model, &single[..16], 2);
+    let _ = single_query_p50_us(&frozen, &single[..16], 2);
+
+    let tree_p50 = single_query_p50_us(&model, &single, 24);
+    let frozen_p50 = single_query_p50_us(&frozen, &single, 24);
+    let single_speedup = tree_p50 / frozen_p50;
+
+    let tree_qps = batch_qps(&model, &batch, 8);
+    let frozen_qps = batch_qps(&frozen, &batch, 8);
+
+    let mut dump = Vec::new();
+    if let Err(e) = save_quadhist(&model, &mut dump) {
+        eprintln!("cannot serialize bench model: {e}");
+        std::process::exit(1);
+    }
+    let t0 = Instant::now();
+    let restored_tree = load_quadhist(&dump[..]);
+    let restore_tree_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let restored_frozen = load_frozen(&dump[..]);
+    let restore_frozen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if restored_tree.is_err() || restored_frozen.is_err() {
+        eprintln!("bench model failed to round-trip");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 6,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }}\n}}\n",
+        model.num_buckets(),
+        single.len(),
+        batch.len(),
+        tree_p50,
+        frozen_p50,
+        single_speedup,
+        tree_qps,
+        frozen_qps,
+        frozen_qps / tree_qps,
+        restore_tree_ms,
+        restore_frozen_ms,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+
+    if let Some(floor) = check_speedup {
+        if single_speedup < floor {
+            eprintln!("FAIL: single-query speedup {single_speedup:.2}x is below the {floor}x floor");
+            std::process::exit(1);
+        }
+        eprintln!("OK: single-query speedup {single_speedup:.2}x >= {floor}x");
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires an argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}

@@ -282,7 +282,7 @@ pub fn run_methods(
             }
             let (model, train_wall_ms) = m.fit(&root, &train)?;
             let t0 = Instant::now();
-            let est = model.estimate_all(&test_ranges);
+            let est = model.par_estimate_all(&test_ranges);
             let predict_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             let q = q_error_quantiles(&est, &truth);
             // Trace and table share this one computation (see

@@ -8,6 +8,36 @@ use selearn_solver::SolveReport;
 #[cfg(feature = "parallel")]
 const PAR_BATCH_THRESHOLD: usize = 256;
 
+/// The one batch evaluation loop every path funnels through: serial
+/// [`SelectivityEstimator::estimate_all`], each chunk of
+/// [`SelectivityEstimator::par_estimate_all`], and the serving worker's
+/// reused buffers (via `estimate_into`). Records **one**
+/// `predict.latency_us` sample per chunk — the mean per-query latency —
+/// instead of bracketing every query with two `Instant::now()` calls,
+/// whose overhead used to rival a sub-microsecond frozen traversal.
+pub(crate) fn estimate_chunk_into<F: FnMut(&Range) -> f64>(
+    mut per_query: F,
+    ranges: &[Range],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(ranges.len(), out.len());
+    if ranges.is_empty() {
+        return;
+    }
+    if selearn_obs::enabled() {
+        let t0 = std::time::Instant::now();
+        for (o, r) in out.iter_mut().zip(ranges) {
+            *o = per_query(r);
+        }
+        let per_query_us = t0.elapsed().as_secs_f64() * 1e6 / ranges.len() as f64;
+        selearn_obs::histogram_record("predict.latency_us", per_query_us);
+    } else {
+        for (o, r) in out.iter_mut().zip(ranges) {
+            *o = per_query(r);
+        }
+    }
+}
+
 /// One training example `z = (R, s)`: a query range and its observed
 /// selectivity. The agnostic-learning model (Section 2.1) does *not*
 /// require `s = s_D(R)` for any real distribution `D` — labels may be
@@ -51,20 +81,38 @@ pub trait SelectivityEstimator {
         None
     }
 
+    /// Batch estimation into a caller-provided buffer: `out[i]` receives
+    /// the estimate for `ranges[i]`. The allocation-free primitive the
+    /// serving hot loop reuses buffers through; `estimate_all` and
+    /// `par_estimate_all` are expressed on top of it.
+    ///
+    /// # Panics
+    /// Panics if `ranges` and `out` differ in length.
+    fn estimate_into(&self, ranges: &[Range], out: &mut [f64]) {
+        assert_eq!(
+            ranges.len(),
+            out.len(),
+            "estimate_into: output buffer length mismatch"
+        );
+        estimate_chunk_into(|r| self.estimate(r), ranges, out);
+    }
+
     /// Batch estimation: one estimate per input range, in input order.
-    fn estimate_all(&self, ranges: &[Range]) -> Vec<f64>
-    where
-        Self: Sync,
-    {
-        self.par_estimate_all(ranges)
+    /// Always serial, so plain (non-`Sync`) estimators can batch; large
+    /// batches on `Sync` estimators should prefer
+    /// [`SelectivityEstimator::par_estimate_all`].
+    fn estimate_all(&self, ranges: &[Range]) -> Vec<f64> {
+        let mut out = vec![0.0; ranges.len()];
+        self.estimate_into(ranges, &mut out);
+        out
     }
 
     /// Batch estimation that fans out across worker threads when built with
     /// the `parallel` feature and the batch is large enough to amortize the
-    /// dispatch. Each output element depends only on its own input range
-    /// and evaluation is read-only, so the result is always identical to
-    /// the serial `estimate_all`. Without the feature this *is* the serial
-    /// loop.
+    /// dispatch. Work is split into contiguous chunks, each evaluated with
+    /// [`SelectivityEstimator::estimate_into`] and concatenated in index
+    /// order, so the result is always bitwise identical to the serial
+    /// `estimate_all`. Without the feature this *is* the serial loop.
     fn par_estimate_all(&self, ranges: &[Range]) -> Vec<f64>
     where
         Self: Sync,
@@ -72,40 +120,30 @@ pub trait SelectivityEstimator {
         #[cfg(feature = "parallel")]
         if ranges.len() >= PAR_BATCH_THRESHOLD && rayon::current_num_threads() > 1 {
             use rayon::prelude::*;
-            // Per-query latency histogramming is thread-safe (atomic
-            // buckets), so the parallel path records the same counts as the
-            // serial one — only the wall-clock values differ.
-            if selearn_obs::enabled() {
-                return ranges
-                    .par_iter()
-                    .map(|r| {
-                        let t0 = std::time::Instant::now();
-                        let est = self.estimate(r);
-                        selearn_obs::histogram_record(
-                            "predict.latency_us",
-                            t0.elapsed().as_secs_f64() * 1e6,
-                        );
-                        est
-                    })
-                    .collect();
-            }
-            return ranges.par_iter().map(|r| self.estimate(r)).collect();
-        }
-        if selearn_obs::enabled() {
-            return ranges
-                .iter()
-                .map(|r| {
-                    let t0 = std::time::Instant::now();
-                    let est = self.estimate(r);
-                    selearn_obs::histogram_record(
-                        "predict.latency_us",
-                        t0.elapsed().as_secs_f64() * 1e6,
-                    );
-                    est
+            let n = ranges.len();
+            // ~4 chunks per worker balances load without shrinking chunks
+            // below what one latency-histogram sample can represent.
+            let chunk = n
+                .div_ceil(4 * rayon::current_num_threads())
+                .max(1);
+            let num_chunks = n.div_ceil(chunk);
+            let parts: Vec<Vec<f64>> = (0..num_chunks)
+                .into_par_iter()
+                .map(|c| {
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(n);
+                    let mut buf = vec![0.0; hi - lo];
+                    self.estimate_into(&ranges[lo..hi], &mut buf);
+                    buf
                 })
                 .collect();
+            let mut out = Vec::with_capacity(n);
+            for p in parts {
+                out.extend(p);
+            }
+            return out;
         }
-        ranges.iter().map(|r| self.estimate(r)).collect()
+        self.estimate_all(ranges)
     }
 }
 
@@ -144,6 +182,46 @@ mod tests {
         assert_eq!(c.estimate_all(&ranges), vec![0.25, 0.25]);
         assert_eq!(c.name(), "const");
         assert_eq!(c.num_buckets(), 1);
+    }
+
+    #[test]
+    fn estimate_into_reuses_buffer() {
+        let c = Constant(0.5);
+        let ranges: Vec<Range> = (0..5).map(|_| Rect::unit(2).into()).collect();
+        let mut out = vec![f64::NAN; 5];
+        c.estimate_into(&ranges, &mut out);
+        assert_eq!(out, vec![0.5; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn estimate_into_rejects_short_buffer() {
+        let c = Constant(0.5);
+        let ranges: Vec<Range> = vec![Rect::unit(2).into(), Rect::unit(2).into()];
+        let mut out = vec![0.0; 1];
+        c.estimate_into(&ranges, &mut out);
+    }
+
+    #[test]
+    fn estimate_all_does_not_require_sync() {
+        // Cell<f64> is !Sync: this only compiles because the serial batch
+        // path dropped its historical `Self: Sync` bound.
+        struct NotSync(std::cell::Cell<f64>);
+        impl SelectivityEstimator for NotSync {
+            fn estimate(&self, _r: &Range) -> f64 {
+                self.0.set(self.0.get() + 1.0);
+                self.0.get()
+            }
+            fn num_buckets(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "not-sync"
+            }
+        }
+        let e = NotSync(std::cell::Cell::new(0.0));
+        let ranges: Vec<Range> = (0..3).map(|_| Rect::unit(1).into()).collect();
+        assert_eq!(e.estimate_all(&ranges), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

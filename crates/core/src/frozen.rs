@@ -1,0 +1,852 @@
+//! Frozen (pointer-free) inference artifacts.
+//!
+//! Training produces pointer-rich structures — `QuadTree` arenas with
+//! `Option<usize>` child links, k-d trees of boxed `Rect`s — that are
+//! convenient to grow but hostile to the inference hot path: every node
+//! visit chases an option, and every leaf contribution routes through
+//! [`Rect::intersect`], which allocates two `Vec<f64>` corners per call.
+//! `freeze()` compiles a trained estimator into a structure-of-arrays
+//! layout the traversal reads front-to-back:
+//!
+//! ```text
+//!   nodes (implicit tree, arena order)      leaves (DFS preorder)
+//!   ┌──────────┬──────────┬─────────────┐   ┌─────────┬─────────┬───┬────┐
+//!   │ node_lo  │ node_hi  │ first_child │   │ leaf_lo │ leaf_hi │ w │ cv │
+//!   │ n·d lane │ n·d lane │ u32 (0=leaf)│   │ k·d lane│ k·d lane│ k │ k  │
+//!   └──────────┴──────────┴─────────────┘   └─────────┴─────────┴───┴────┘
+//!              child(id, j) = first_child[id] + j
+//!   leaf_begin[id] .. leaf_end[id]  = the node's subtree leaves, contiguous
+//! ```
+//!
+//! The rectangle kernel never materializes an intersection box: the
+//! per-dimension overlap `max(0, min(q_hi, hi) − max(q_lo, lo))` is
+//! multiplied straight into the running volume, a branch-free form the
+//! auto-vectorizer handles. A node fully contained in the query switches
+//! to a tight sequential sweep over its contiguous leaf range.
+//!
+//! **Equivalence contract.** For every range, a frozen estimator returns
+//! the *bit-identical* `f64` its source estimator returns: traversal
+//! visits leaves in the same DFS order, per-leaf arithmetic keeps the same
+//! operand order (`IEEE` min/max and multiplication are deterministic),
+//! and excluded leaves (non-positive weight or degenerate cell) are
+//! encoded as `w = 0, cv = 1` so they contribute an exact `+0.0` instead
+//! of branching. The property suite in `tests/frozen_equivalence.rs`
+//! enforces this with `to_bits()` comparisons.
+
+use crate::cdf1d::Cdf1D;
+use crate::gausshist::kernel_mass;
+use crate::quadtree::{QuadTree, ROOT};
+use selearn_geom::{normal_mass, KdTree, Point, Range, RangeQuery, Rect, VolumeEstimator, EPS};
+use selearn_solver::SolveReport;
+
+use crate::estimator::SelectivityEstimator;
+
+/// Sentinel child id meaning "absent" in flattened k-d layouts.
+const NONE: u32 = u32::MAX;
+
+/// Depth-first traversal stack with inline storage. Tree depth is bounded
+/// (quadtree cells stop splitting near volume `1e-15`; restore caps depth
+/// at 60), so the inline segment covers real models and the heap spill
+/// only exists to keep adversarial inputs panic-free.
+struct TraversalStack {
+    inline: [u32; 128],
+    len: usize,
+    spill: Vec<u32>,
+}
+
+impl TraversalStack {
+    fn new() -> Self {
+        Self {
+            inline: [0; 128],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: u32) {
+        if self.len < self.inline.len() {
+            self.inline[self.len] = v;
+            self.len += 1;
+        } else {
+            self.spill.push(v);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u32> {
+        // The spill holds the most recently pushed entries, so draining it
+        // first preserves LIFO order.
+        if let Some(v) = self.spill.pop() {
+            return Some(v);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        Some(self.inline[self.len])
+    }
+}
+
+/// `true` when boxes `[a_lo, a_hi]` and `[b_lo, b_hi]` share no point —
+/// the same predicate as [`Rect::intersects`], without building the
+/// intersection box.
+#[inline]
+fn boxes_disjoint(a_lo: &[f64], a_hi: &[f64], b_lo: &[f64], b_hi: &[f64]) -> bool {
+    for j in 0..a_lo.len() {
+        if a_lo[j].max(b_lo[j]) > a_hi[j].min(b_hi[j]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `true` when `[b_lo, b_hi] ⊆ [a_lo, a_hi]` exactly (closed, no epsilon).
+/// Used only as a sufficient condition to absorb a subtree: exact
+/// containment guarantees every descendant passes the intersection test,
+/// so skipping those tests cannot change which leaves are visited.
+#[inline]
+fn box_contains(a_lo: &[f64], a_hi: &[f64], b_lo: &[f64], b_hi: &[f64]) -> bool {
+    for j in 0..a_lo.len() {
+        if a_lo[j] > b_lo[j] || b_hi[j] > a_hi[j] {
+            return false;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// FrozenQuad
+// ---------------------------------------------------------------------------
+
+/// Flattened [`crate::QuadHist`]: implicit `2^d`-ary tree over SoA lanes.
+#[derive(Clone, Debug)]
+pub struct FrozenQuad {
+    dim: usize,
+    fanout: usize,
+    root: Rect,
+    /// Node boxes, arena order, `node * dim + j` lanes.
+    node_lo: Vec<f64>,
+    node_hi: Vec<f64>,
+    /// First child id per node; `0` marks a leaf (the root is never a child).
+    first_child: Vec<u32>,
+    /// Contiguous range of this node's subtree leaves in the leaf lanes.
+    leaf_begin: Vec<u32>,
+    leaf_end: Vec<u32>,
+    /// Leaf boxes in DFS preorder, `leaf * dim + j` lanes.
+    leaf_lo: Vec<f64>,
+    leaf_hi: Vec<f64>,
+    /// Effective leaf weight: `0.0` for leaves the tree path skips
+    /// (non-positive weight or cell volume ≤ EPS).
+    leaf_w: Vec<f64>,
+    /// Effective leaf cell volume; `1.0` for excluded leaves so the
+    /// branch-free kernel divides by a harmless constant.
+    leaf_cv: Vec<f64>,
+    num_leaves: usize,
+    volume: VolumeEstimator,
+    solve_report: Option<SolveReport>,
+}
+
+impl FrozenQuad {
+    pub(crate) fn build(
+        tree: &QuadTree,
+        node_weight: &[f64],
+        volume: VolumeEstimator,
+        solve_report: Option<SolveReport>,
+    ) -> Self {
+        let dim = tree.dim();
+        let fanout = 1usize << dim;
+        let n = tree.num_nodes();
+        debug_assert!(n <= u32::MAX as usize, "quadtree too large to freeze");
+        let mut node_lo = Vec::with_capacity(n * dim);
+        let mut node_hi = Vec::with_capacity(n * dim);
+        let mut first_child = vec![0u32; n];
+        for (id, fc) in first_child.iter_mut().enumerate() {
+            let r = tree.rect(id);
+            node_lo.extend_from_slice(r.lo());
+            node_hi.extend_from_slice(r.hi());
+            if !tree.is_leaf(id) {
+                if let Some(c) = tree.children(id).next() {
+                    *fc = c as u32;
+                }
+            }
+        }
+        // DFS preorder (children ascending — the order the pointer tree's
+        // traversal pops them) assigns every leaf its lane slot and every
+        // node its contiguous subtree-leaf range.
+        let mut leaf_begin = vec![0u32; n];
+        let mut leaf_end = vec![0u32; n];
+        let mut leaf_lo = Vec::with_capacity(tree.num_leaves() * dim);
+        let mut leaf_hi = Vec::with_capacity(tree.num_leaves() * dim);
+        let mut leaf_w = Vec::with_capacity(tree.num_leaves());
+        let mut leaf_cv = Vec::with_capacity(tree.num_leaves());
+        let mut leaf_count = 0u32;
+        enum Ev {
+            Enter(usize),
+            Exit(usize),
+        }
+        let mut stack = vec![Ev::Enter(ROOT)];
+        while let Some(ev) = stack.pop() {
+            match ev {
+                Ev::Enter(id) => {
+                    leaf_begin[id] = leaf_count;
+                    if tree.is_leaf(id) {
+                        let cell = tree.rect(id);
+                        leaf_lo.extend_from_slice(cell.lo());
+                        leaf_hi.extend_from_slice(cell.hi());
+                        let w = node_weight[id];
+                        let cv = cell.volume();
+                        if w <= 0.0 || cv <= EPS {
+                            leaf_w.push(0.0);
+                            leaf_cv.push(1.0);
+                        } else {
+                            leaf_w.push(w);
+                            leaf_cv.push(cv);
+                        }
+                        leaf_count += 1;
+                        leaf_end[id] = leaf_count;
+                    } else {
+                        stack.push(Ev::Exit(id));
+                        let fc = first_child[id] as usize;
+                        for k in (0..fanout).rev() {
+                            stack.push(Ev::Enter(fc + k));
+                        }
+                    }
+                }
+                Ev::Exit(id) => leaf_end[id] = leaf_count,
+            }
+        }
+        Self {
+            dim,
+            fanout,
+            root: tree.rect(ROOT).clone(),
+            node_lo,
+            node_hi,
+            first_child,
+            leaf_begin,
+            leaf_end,
+            leaf_lo,
+            leaf_hi,
+            leaf_w,
+            leaf_cv,
+            num_leaves: tree.num_leaves(),
+            volume,
+            solve_report,
+        }
+    }
+
+    /// One leaf's contribution: clamped per-dimension overlap product,
+    /// divided by the cell volume, clamped, scaled by the leaf weight —
+    /// operand-for-operand the math of `QuadHist::estimate`, minus the
+    /// two `Vec` allocations `Rect::intersect` would make.
+    #[inline]
+    fn leaf_term(&self, leaf: usize, q_lo: &[f64], q_hi: &[f64]) -> f64 {
+        let base = leaf * self.dim;
+        let mut iv = 1.0;
+        for j in 0..self.dim {
+            let l = q_lo[j].max(self.leaf_lo[base + j]);
+            let h = q_hi[j].min(self.leaf_hi[base + j]);
+            iv *= (h - l).max(0.0);
+        }
+        (iv / self.leaf_cv[leaf]).clamp(0.0, 1.0) * self.leaf_w[leaf]
+    }
+
+    /// Rectangle fast path. Pruning against the unclipped query is
+    /// equivalent to the tree path's pruning against `query ∩ root`
+    /// because every cell is a subset of the root.
+    fn estimate_rect(&self, q: &Rect) -> f64 {
+        assert_eq!(q.dim(), self.dim, "dimension mismatch");
+        let (q_lo, q_hi) = (q.lo(), q.hi());
+        let mut total = 0.0;
+        let mut stack = TraversalStack::new();
+        stack.push(ROOT as u32);
+        while let Some(id) = stack.pop() {
+            let id = id as usize;
+            let base = id * self.dim;
+            let n_lo = &self.node_lo[base..base + self.dim];
+            let n_hi = &self.node_hi[base..base + self.dim];
+            if boxes_disjoint(q_lo, q_hi, n_lo, n_hi) {
+                continue;
+            }
+            if box_contains(q_lo, q_hi, n_lo, n_hi) {
+                // absorbed subtree: sequential sweep over its leaf lanes
+                for leaf in self.leaf_begin[id] as usize..self.leaf_end[id] as usize {
+                    total += self.leaf_term(leaf, q_lo, q_hi);
+                }
+                continue;
+            }
+            let fc = self.first_child[id];
+            if fc == 0 {
+                total += self.leaf_term(self.leaf_begin[id] as usize, q_lo, q_hi);
+            } else {
+                for k in (0..self.fanout as u32).rev() {
+                    stack.push(fc + k);
+                }
+            }
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    /// Non-rectangular ranges replicate the tree path exactly: prune by
+    /// the clipped bounding box, evaluate every surviving leaf through the
+    /// range's own `intersection_volume`.
+    fn estimate_generic(&self, range: &Range) -> f64 {
+        let Some(bbox) = range.bounding_box(&self.root) else {
+            return 0.0;
+        };
+        let (b_lo, b_hi) = (bbox.lo(), bbox.hi());
+        let mut total = 0.0;
+        let mut stack = TraversalStack::new();
+        stack.push(ROOT as u32);
+        while let Some(id) = stack.pop() {
+            let id = id as usize;
+            let base = id * self.dim;
+            let n_lo = &self.node_lo[base..base + self.dim];
+            let n_hi = &self.node_hi[base..base + self.dim];
+            if boxes_disjoint(n_lo, n_hi, b_lo, b_hi) {
+                continue;
+            }
+            let fc = self.first_child[id];
+            if fc != 0 {
+                for k in (0..self.fanout as u32).rev() {
+                    stack.push(fc + k);
+                }
+                continue;
+            }
+            let leaf = self.leaf_begin[id] as usize;
+            let w = self.leaf_w[leaf];
+            if w <= 0.0 {
+                continue;
+            }
+            let lb = leaf * self.dim;
+            let cell = Rect::new(
+                self.leaf_lo[lb..lb + self.dim].to_vec(),
+                self.leaf_hi[lb..lb + self.dim].to_vec(),
+            );
+            let frac = range.intersection_volume(&cell, &self.volume) / self.leaf_cv[leaf];
+            total += frac.clamp(0.0, 1.0) * w;
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    fn estimate(&self, range: &Range) -> f64 {
+        match range {
+            Range::Rect(r) => self.estimate_rect(r),
+            _ => self.estimate_generic(range),
+        }
+    }
+
+    /// The data-space box the source model was trained over.
+    pub fn root(&self) -> &Rect {
+        &self.root
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrozenPts
+// ---------------------------------------------------------------------------
+
+/// Flattened [`crate::PtsHist`]: the k-d tree arena copied id-for-id into
+/// SoA lanes, so traversal (and floating-point summation order) reproduces
+/// [`KdTree::weight_in_rect`] exactly.
+#[derive(Clone, Debug)]
+pub struct FrozenPts {
+    dim: usize,
+    root: Rect,
+    root_id: u32,
+    /// Subtree bounding boxes, `node * dim + j` lanes.
+    bbox_lo: Vec<f64>,
+    bbox_hi: Vec<f64>,
+    /// The node's own point, `node * dim + j` lanes.
+    pt: Vec<f64>,
+    /// The node's own weight.
+    w: Vec<f64>,
+    /// Aggregated subtree weight (absorbed when the query contains the bbox).
+    subw: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    /// Node-order point copies for the generic (non-rect) membership test.
+    points: Vec<Point>,
+    num_points: usize,
+    solve_report: Option<SolveReport>,
+}
+
+impl FrozenPts {
+    pub(crate) fn build(index: &KdTree, root: Rect, solve_report: Option<SolveReport>) -> Self {
+        let dim = root.dim();
+        let n = index.num_nodes();
+        debug_assert!(n < NONE as usize, "kd-tree too large to freeze");
+        let mut bbox_lo = Vec::with_capacity(n * dim);
+        let mut bbox_hi = Vec::with_capacity(n * dim);
+        let mut pt = Vec::with_capacity(n * dim);
+        let mut w = Vec::with_capacity(n);
+        let mut subw = Vec::with_capacity(n);
+        let mut left = Vec::with_capacity(n);
+        let mut right = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+        for id in 0..n {
+            let v = index.node(id);
+            bbox_lo.extend_from_slice(v.bbox.lo());
+            bbox_hi.extend_from_slice(v.bbox.hi());
+            pt.extend_from_slice(v.point.coords());
+            w.push(v.weight);
+            subw.push(v.subtree_weight);
+            left.push(v.left.map_or(NONE, |l| l as u32));
+            right.push(v.right.map_or(NONE, |r| r as u32));
+            points.push(v.point.clone());
+        }
+        Self {
+            dim,
+            root,
+            root_id: index.root_id().map_or(NONE, |r| r as u32),
+            bbox_lo,
+            bbox_hi,
+            pt,
+            w,
+            subw,
+            left,
+            right,
+            points,
+            num_points: index.len(),
+            solve_report,
+        }
+    }
+
+    /// `Rect::contains_rect` on raw lanes (same epsilon slack).
+    #[inline]
+    fn query_contains_bbox(&self, q_lo: &[f64], q_hi: &[f64], base: usize) -> bool {
+        for j in 0..self.dim {
+            if !(q_lo[j] <= self.bbox_lo[base + j] + EPS
+                && q_hi[j] + EPS >= self.bbox_hi[base + j])
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Closed-interval point membership, exactly `Rect::contains`.
+    #[inline]
+    fn query_contains_point(&self, q_lo: &[f64], q_hi: &[f64], base: usize) -> bool {
+        for j in 0..self.dim {
+            let x = self.pt[base + j];
+            if !(q_lo[j] <= x && x <= q_hi[j]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn weight_in_rect(&self, q: &Rect) -> f64 {
+        if self.root_id == NONE {
+            return 0.0;
+        }
+        assert_eq!(q.dim(), self.dim, "dimension mismatch");
+        let (q_lo, q_hi) = (q.lo(), q.hi());
+        let mut total = 0.0;
+        let mut stack = TraversalStack::new();
+        stack.push(self.root_id);
+        while let Some(id) = stack.pop() {
+            let id = id as usize;
+            let base = id * self.dim;
+            if boxes_disjoint(
+                q_lo,
+                q_hi,
+                &self.bbox_lo[base..base + self.dim],
+                &self.bbox_hi[base..base + self.dim],
+            ) {
+                continue;
+            }
+            if self.query_contains_bbox(q_lo, q_hi, base) {
+                total += self.subw[id];
+                continue;
+            }
+            if self.query_contains_point(q_lo, q_hi, base) {
+                total += self.w[id];
+            }
+            if self.left[id] != NONE {
+                stack.push(self.left[id]);
+            }
+            if self.right[id] != NONE {
+                stack.push(self.right[id]);
+            }
+        }
+        total
+    }
+
+    fn weight_in_range(&self, query: &Range) -> f64 {
+        if let Range::Rect(r) = query {
+            return self.weight_in_rect(r);
+        }
+        if self.root_id == NONE {
+            return 0.0;
+        }
+        let Some(qbox) = query.bounding_box(&self.root) else {
+            return 0.0;
+        };
+        let (b_lo, b_hi) = (qbox.lo(), qbox.hi());
+        let mut total = 0.0;
+        let mut stack = TraversalStack::new();
+        stack.push(self.root_id);
+        while let Some(id) = stack.pop() {
+            let id = id as usize;
+            let base = id * self.dim;
+            if boxes_disjoint(
+                b_lo,
+                b_hi,
+                &self.bbox_lo[base..base + self.dim],
+                &self.bbox_hi[base..base + self.dim],
+            ) {
+                continue;
+            }
+            if query.contains(&self.points[id]) {
+                total += self.w[id];
+            }
+            if self.left[id] != NONE {
+                stack.push(self.left[id]);
+            }
+            if self.right[id] != NONE {
+                stack.push(self.right[id]);
+            }
+        }
+        total
+    }
+
+    fn estimate(&self, range: &Range) -> f64 {
+        self.weight_in_range(range).clamp(0.0, 1.0)
+    }
+
+    /// The data-space box the source model was trained over.
+    pub fn root(&self) -> &Rect {
+        &self.root
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrozenGauss
+// ---------------------------------------------------------------------------
+
+/// Flattened [`crate::GaussHist`]: kernel centers in coordinate lanes for
+/// the rectangle fast path (products of 1-D normal masses), `Point` copies
+/// for halfspace / QMC masses.
+#[derive(Clone, Debug)]
+pub struct FrozenGauss {
+    dim: usize,
+    /// Center coordinates, `kernel * dim + j` lanes.
+    centers_flat: Vec<f64>,
+    centers: Vec<Point>,
+    weights: Vec<f64>,
+    sigma: f64,
+    qmc_samples: usize,
+}
+
+impl FrozenGauss {
+    pub(crate) fn build(
+        centers: &[Point],
+        weights: &[f64],
+        sigma: f64,
+        qmc_samples: usize,
+    ) -> Self {
+        let dim = centers.first().map_or(0, Point::dim);
+        let mut centers_flat = Vec::with_capacity(centers.len() * dim);
+        for c in centers {
+            centers_flat.extend_from_slice(c.coords());
+        }
+        Self {
+            dim,
+            centers_flat,
+            centers: centers.to_vec(),
+            weights: weights.to_vec(),
+            sigma,
+            qmc_samples,
+        }
+    }
+
+    fn estimate(&self, range: &Range) -> f64 {
+        // The pointer model reduces with `.sum::<f64>()`, which folds from
+        // -0.0; start there so a termless sum keeps the same zero sign.
+        let mut total = -0.0;
+        if let Range::Rect(r) = range {
+            for (i, &w) in self.weights.iter().enumerate() {
+                if w > 0.0 {
+                    let base = i * self.dim;
+                    let c = &self.centers_flat[base..base + self.dim];
+                    let mut m = 1.0;
+                    // Indexing (not zip) is deliberate: a query with more
+                    // dimensions than the model must panic exactly like
+                    // the pointer model's `center[i]` access does.
+                    #[allow(clippy::needless_range_loop)]
+                    for j in 0..r.dim() {
+                        m *= normal_mass(c[j], self.sigma, r.lo()[j], r.hi()[j]);
+                        if m == 0.0 {
+                            break;
+                        }
+                    }
+                    total += w * m;
+                }
+            }
+        } else {
+            for (c, &w) in self.centers.iter().zip(&self.weights) {
+                if w > 0.0 {
+                    total += w * kernel_mass(c, self.sigma, self.qmc_samples, range);
+                }
+            }
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrozenArrangement
+// ---------------------------------------------------------------------------
+
+/// Flattened [`crate::ArrangementHist`]: cell boxes in coordinate lanes
+/// with precomputed volumes (histogram mode) or representative points in
+/// lanes (discrete mode).
+#[derive(Clone, Debug)]
+pub struct FrozenArrangement {
+    dim: usize,
+    discrete: bool,
+    /// Cell boxes, `cell * dim + j` lanes.
+    cell_lo: Vec<f64>,
+    cell_hi: Vec<f64>,
+    /// Precomputed cell volumes (same bits as `Rect::volume` on the cell).
+    cell_cv: Vec<f64>,
+    /// `Rect` copies for non-rectangular intersection volumes.
+    cells: Vec<Rect>,
+    /// Representative point coordinates, `cell * dim + j` (discrete mode).
+    pts_flat: Vec<f64>,
+    /// `Point` copies for non-rectangular membership (discrete mode).
+    points: Vec<Point>,
+    weights: Vec<f64>,
+    num_cells: usize,
+}
+
+impl FrozenArrangement {
+    pub(crate) fn build(
+        cells: &[Rect],
+        points: &[Point],
+        weights: &[f64],
+        discrete: bool,
+    ) -> Self {
+        let dim = cells.first().map_or(0, Rect::dim);
+        let mut cell_lo = Vec::with_capacity(cells.len() * dim);
+        let mut cell_hi = Vec::with_capacity(cells.len() * dim);
+        let mut cell_cv = Vec::with_capacity(cells.len());
+        for c in cells {
+            cell_lo.extend_from_slice(c.lo());
+            cell_hi.extend_from_slice(c.hi());
+            cell_cv.push(c.volume());
+        }
+        let mut pts_flat = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            pts_flat.extend_from_slice(p.coords());
+        }
+        Self {
+            dim,
+            discrete,
+            cell_lo,
+            cell_hi,
+            cell_cv,
+            cells: cells.to_vec(),
+            pts_flat,
+            points: points.to_vec(),
+            weights: weights.to_vec(),
+            num_cells: cells.len(),
+        }
+    }
+
+    fn estimate(&self, range: &Range) -> f64 {
+        if self.weights.is_empty() {
+            // An empty `.sum::<f64>()` is -0.0 and `clamp(0.0, 1.0)`
+            // passes it through; match the pointer model's bits.
+            return -0.0;
+        }
+        // `.sum::<f64>()` folds from -0.0; mirror the fold state exactly.
+        let mut total = -0.0;
+        if self.discrete {
+            if let Range::Rect(r) = range {
+                assert_eq!(r.dim(), self.dim, "dimension mismatch");
+                let (q_lo, q_hi) = (r.lo(), r.hi());
+                'point: for (i, &w) in self.weights.iter().enumerate() {
+                    let base = i * self.dim;
+                    for j in 0..self.dim {
+                        let x = self.pts_flat[base + j];
+                        if !(q_lo[j] <= x && x <= q_hi[j]) {
+                            continue 'point;
+                        }
+                    }
+                    total += w;
+                }
+            } else {
+                for (p, &w) in self.points.iter().zip(&self.weights) {
+                    if range.contains(p) {
+                        total += w;
+                    }
+                }
+            }
+        } else if let Range::Rect(r) = range {
+            assert_eq!(r.dim(), self.dim, "dimension mismatch");
+            let (q_lo, q_hi) = (r.lo(), r.hi());
+            for (i, &w) in self.weights.iter().enumerate() {
+                let cv = self.cell_cv[i];
+                if cv <= EPS || w <= 0.0 {
+                    // The pointer model maps excluded cells to an explicit
+                    // +0.0 term; adding it keeps the fold state identical
+                    // (-0.0 + 0.0 == +0.0).
+                    total += 0.0;
+                    continue;
+                }
+                let base = i * self.dim;
+                let mut iv = 1.0;
+                for j in 0..self.dim {
+                    let l = q_lo[j].max(self.cell_lo[base + j]);
+                    let h = q_hi[j].min(self.cell_hi[base + j]);
+                    iv *= (h - l).max(0.0);
+                }
+                total += (iv / cv).clamp(0.0, 1.0) * w;
+            }
+        } else {
+            for (i, &w) in self.weights.iter().enumerate() {
+                let cv = self.cell_cv[i];
+                if cv <= EPS || w <= 0.0 {
+                    total += 0.0;
+                    continue;
+                }
+                let est = VolumeEstimator::default();
+                let frac = range.intersection_volume(&self.cells[i], &est) / cv;
+                total += frac.clamp(0.0, 1.0) * w;
+            }
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrozenCdf
+// ---------------------------------------------------------------------------
+
+/// Frozen [`Cdf1D`]. The source model is already two flat `f64` arrays, so
+/// freezing is a copy; the variant exists so 1-D models round-trip through
+/// the same frozen serving path as everything else.
+#[derive(Clone, Debug)]
+pub struct FrozenCdf {
+    inner: Cdf1D,
+}
+
+impl FrozenCdf {
+    pub(crate) fn build(inner: Cdf1D) -> Self {
+        Self { inner }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FrozenEstimator
+// ---------------------------------------------------------------------------
+
+/// A pointer-free inference artifact produced by an estimator's
+/// `freeze()`. Implements [`SelectivityEstimator`], returning bit-identical
+/// estimates to its source model, so registries and callers hot-swap it in
+/// anywhere a trained model is accepted.
+#[derive(Clone, Debug)]
+pub enum FrozenEstimator {
+    /// Frozen [`crate::QuadHist`].
+    Quad(FrozenQuad),
+    /// Frozen [`crate::PtsHist`].
+    Pts(FrozenPts),
+    /// Frozen [`crate::GaussHist`].
+    Gauss(FrozenGauss),
+    /// Frozen [`crate::ArrangementHist`].
+    Arrangement(FrozenArrangement),
+    /// Frozen [`Cdf1D`].
+    Cdf(FrozenCdf),
+}
+
+impl FrozenEstimator {
+    /// The data-space box the source model was trained over, where the
+    /// model family records one (`QuadHist`, `PtsHist`).
+    pub fn root(&self) -> Option<&Rect> {
+        match self {
+            FrozenEstimator::Quad(q) => Some(q.root()),
+            FrozenEstimator::Pts(p) => Some(p.root()),
+            _ => None,
+        }
+    }
+}
+
+impl SelectivityEstimator for FrozenEstimator {
+    fn estimate(&self, range: &Range) -> f64 {
+        match self {
+            FrozenEstimator::Quad(q) => q.estimate(range),
+            FrozenEstimator::Pts(p) => p.estimate(range),
+            FrozenEstimator::Gauss(g) => g.estimate(range),
+            FrozenEstimator::Arrangement(a) => a.estimate(range),
+            FrozenEstimator::Cdf(c) => c.inner.estimate(range),
+        }
+    }
+
+    fn num_buckets(&self) -> usize {
+        match self {
+            FrozenEstimator::Quad(q) => q.num_leaves,
+            FrozenEstimator::Pts(p) => p.num_points,
+            FrozenEstimator::Gauss(g) => g.centers.len(),
+            FrozenEstimator::Arrangement(a) => a.num_cells,
+            FrozenEstimator::Cdf(c) => c.inner.num_buckets(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            FrozenEstimator::Quad(_) => "FrozenQuadHist",
+            FrozenEstimator::Pts(_) => "FrozenPtsHist",
+            FrozenEstimator::Gauss(_) => "FrozenGaussHist",
+            FrozenEstimator::Arrangement(a) => {
+                if a.discrete {
+                    "FrozenArrangementPts"
+                } else {
+                    "FrozenArrangementHist"
+                }
+            }
+            FrozenEstimator::Cdf(_) => "FrozenCdf1D",
+        }
+    }
+
+    fn solve_report(&self) -> Option<SolveReport> {
+        match self {
+            FrozenEstimator::Quad(q) => q.solve_report,
+            FrozenEstimator::Pts(p) => p.solve_report,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traversal_stack_is_lifo_across_spill() {
+        let mut s = TraversalStack::new();
+        for i in 0..300u32 {
+            s.push(i);
+        }
+        for i in (0..300u32).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn disjoint_and_contains_predicates() {
+        let a = (vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = (vec![0.25, 0.25], vec![0.5, 0.5]);
+        let c = (vec![2.0, 2.0], vec![3.0, 3.0]);
+        assert!(!boxes_disjoint(&a.0, &a.1, &b.0, &b.1));
+        assert!(boxes_disjoint(&a.0, &a.1, &c.0, &c.1));
+        assert!(box_contains(&a.0, &a.1, &b.0, &b.1));
+        assert!(!box_contains(&b.0, &b.1, &a.0, &a.1));
+        // touching boxes intersect (closed boxes), like Rect::intersects
+        let d = (vec![1.0, 0.0], vec![2.0, 1.0]);
+        assert!(!boxes_disjoint(&a.0, &a.1, &d.0, &d.1));
+    }
+}

@@ -33,6 +33,7 @@ pub(crate) mod assemble;
 pub mod cdf1d;
 pub mod error;
 pub mod estimator;
+pub mod frozen;
 pub mod gausshist;
 pub mod online;
 pub mod persist;
@@ -46,9 +47,12 @@ pub use arrangement_hist::{ArrangementHist, ArrangementHistConfig};
 pub use cdf1d::{Cdf1D, Cdf1DConfig};
 pub use error::{check_labels, SelearnError};
 pub use estimator::{BoxedEstimator, SelectivityEstimator, SharedEstimator, TrainingQuery};
+pub use frozen::FrozenEstimator;
 pub use gausshist::{GaussHist, GaussHistConfig};
 pub use online::OnlineQuadHist;
-pub use persist::{load_ptshist, load_quadhist, save_ptshist, save_quadhist, PersistError};
+pub use persist::{
+    load_frozen, load_ptshist, load_quadhist, save_ptshist, save_quadhist, PersistError,
+};
 pub use ptshist::{PtsHist, PtsHistConfig};
 pub use quadhist::{QuadHist, QuadHistConfig};
 pub use quadtree::QuadTree;

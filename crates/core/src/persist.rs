@@ -228,6 +228,28 @@ pub fn load_ptshist<R: BufRead>(r: R) -> Result<PtsHist, PersistError> {
         .map_err(|e| PersistError::Format(e.to_string()))
 }
 
+/// Loads any supported model file and compiles it straight into its
+/// pointer-free [`crate::frozen::FrozenEstimator`] layout — the restore
+/// path servers use, so a loaded model never serves from the pointer
+/// tree. The section header (`quadhist` / `ptshist`) selects the family.
+pub fn load_frozen<R: BufRead>(mut r: R) -> Result<crate::frozen::FrozenEstimator, PersistError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return bad("missing magic header");
+    }
+    let family = lines
+        .next()
+        .and_then(|h| h.split_whitespace().next())
+        .unwrap_or("");
+    match family {
+        "quadhist" => Ok(load_quadhist(text.as_bytes())?.freeze()),
+        "ptshist" => Ok(load_ptshist(text.as_bytes())?.freeze()),
+        other => bad(format!("unknown model family '{other}'")),
+    }
+}
+
 fn parse_rect_line(line: &str, tag: &str, d: usize) -> Result<Rect, PersistError> {
     let rest = line
         .strip_prefix(tag)

@@ -208,6 +208,18 @@ impl PtsHist {
         &self.root
     }
 
+    /// Compiles the model into a pointer-free [`FrozenEstimator`]: the k-d
+    /// arena copied id-for-id into SoA lanes (see [`crate::frozen`]), so
+    /// traversal and summation order — hence every estimate — are
+    /// bit-identical to this model's.
+    pub fn freeze(&self) -> crate::frozen::FrozenEstimator {
+        crate::frozen::FrozenEstimator::Pts(crate::frozen::FrozenPts::build(
+            &self.index,
+            self.root.clone(),
+            self.solve_report,
+        ))
+    }
+
     /// Reconstructs a model from its weighted support (the inverse of
     /// [`PtsHist::support`], used when loading persisted models).
     ///

@@ -357,6 +357,20 @@ impl QuadHist {
         })
     }
 
+    /// Compiles the model into a pointer-free [`FrozenEstimator`]: the
+    /// quadtree arena flattened into implicit-index SoA lanes with
+    /// contiguous per-subtree leaf ranges (see [`crate::frozen`]).
+    /// Estimates are bit-identical to this model's; only the constant
+    /// factor of the traversal changes.
+    pub fn freeze(&self) -> crate::frozen::FrozenEstimator {
+        crate::frozen::FrozenEstimator::Quad(crate::frozen::FrozenQuad::build(
+            &self.tree,
+            &self.node_weight,
+            self.volume.clone(),
+            self.solve_report,
+        ))
+    }
+
     /// `(bucket, weight)` pairs, for introspection (Figure 7 renders these).
     pub fn buckets(&self) -> Vec<(Rect, f64)> {
         self.tree

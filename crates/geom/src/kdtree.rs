@@ -25,6 +25,24 @@ struct Node {
     right: Option<usize>,
 }
 
+/// Borrowed view of one k-d tree node, exposed for flattening the tree
+/// into pointer-free inference layouts (see `selearn_core::frozen`).
+#[derive(Clone, Copy, Debug)]
+pub struct KdNodeView<'a> {
+    /// The point stored at this node.
+    pub point: &'a Point,
+    /// The weight of this node's own point.
+    pub weight: f64,
+    /// Bounding box of every point in this subtree.
+    pub bbox: &'a Rect,
+    /// Total weight in this subtree (including this node).
+    pub subtree_weight: f64,
+    /// Left child id, if any.
+    pub left: Option<usize>,
+    /// Right child id, if any.
+    pub right: Option<usize>,
+}
+
 /// A static k-d tree over weighted points.
 #[derive(Clone, Debug)]
 pub struct KdTree {
@@ -169,6 +187,33 @@ impl KdTree {
             }
         }
         total
+    }
+
+    /// Root node id, or `None` for an empty tree. Node ids index the
+    /// arena in build order and stay stable for the tree's lifetime —
+    /// flattened inference layouts copy nodes out by id so their
+    /// traversal (and hence floating-point summation order) reproduces
+    /// [`KdTree::weight_in_rect`] exactly.
+    pub fn root_id(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// Total arena node count (equals [`KdTree::len`] — one node per point).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read-only view of one arena node, for building flattened layouts.
+    pub fn node(&self, id: usize) -> KdNodeView<'_> {
+        let n = &self.nodes[id];
+        KdNodeView {
+            point: &self.points[n.item],
+            weight: self.weights[n.item],
+            bbox: &n.bbox,
+            subtree_weight: n.subtree_weight,
+            left: n.left,
+            right: n.right,
+        }
     }
 
     /// Nodes visited answering a rectangle query — exposed so benches can

@@ -45,7 +45,7 @@ pub use arrangement::{grid_arrangement, Arrangement};
 pub use ball::Ball;
 pub use error::GeomError;
 pub use halfspace::Halfspace;
-pub use kdtree::KdTree;
+pub use kdtree::{KdNodeView, KdTree};
 pub use point::Point;
 pub use range::{Range, RangeClass, RangeQuery};
 pub use rect::Rect;

@@ -5,12 +5,15 @@
 //! selearn-serve --synthetic 2 --run-secs 30 --trace-out trace.jsonl
 //! ```
 //!
-//! The model comes either from a persisted QuadHist dump (`--model FILE`,
-//! the format written by `selearn_core::save_quadhist` / the experiments
-//! binary's `serve_export`) or from a self-contained synthetic fit
-//! (`--synthetic DIM`). The server registers it under the name
-//! `"default"` and prints one JSON line with the bound address so
-//! scripts can scrape the OS-assigned port.
+//! The model comes either from a persisted dump (`--model FILE`, the
+//! format written by `selearn_core::save_quadhist` / `save_ptshist` /
+//! the experiments binary's `serve_export`) or from a self-contained
+//! synthetic fit (`--synthetic DIM`). Either way the server evaluates a
+//! **frozen** artifact: persisted models restore straight into the
+//! pointer-free layout via `selearn_core::load_frozen`, and synthetic
+//! fits are compiled with `freeze()` before registration under the name
+//! `"default"`. The startup line prints the bound address so scripts can
+//! scrape the OS-assigned port.
 
 use selearn_serve::{start, ServerConfig};
 use std::sync::Arc;
@@ -58,9 +61,14 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
-                match selearn_core::load_quadhist(std::io::BufReader::new(file)) {
+                // Restore straight into the frozen inference layout — the
+                // serving hot path never walks a pointer tree.
+                match selearn_core::load_frozen(std::io::BufReader::new(file)) {
                     Ok(m) => {
-                        let root = m.root().clone();
+                        let Some(root) = m.root().cloned() else {
+                            eprintln!("model {path} has no query domain");
+                            std::process::exit(2);
+                        };
                         (Arc::new(m), root)
                     }
                     Err(e) => {
@@ -78,7 +86,7 @@ fn main() {
                     }
                 };
                 match selearn_serve::synth::synthetic_model(dim, 400, 17) {
-                    Ok((m, root)) => (Arc::new(m), root),
+                    Ok((m, root)) => (Arc::new(m.freeze()), root),
                     Err(e) => {
                         eprintln!("synthetic fit failed: {e}");
                         std::process::exit(2);

@@ -68,6 +68,43 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues up to `max` items in FIFO order into `out` (which is
+    /// cleared first), blocking while the queue is empty. One wake-up
+    /// drains the whole backlog up to `max` — the primitive behind the
+    /// workers' batched `estimate_into` hot loop: under load a worker
+    /// picks up many queued requests per lock acquisition instead of one.
+    /// Returns `false` once the queue is closed *and* drained.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> bool {
+        out.clear();
+        let max = max.max(1);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !st.items.is_empty() {
+                while out.len() < max {
+                    match st.items.pop_front() {
+                        Some(item) => out.push(item),
+                        None => break,
+                    }
+                }
+                let leftover = !st.items.is_empty();
+                drop(st);
+                if leftover {
+                    // We may have absorbed several producers' notifies;
+                    // pass one on so another consumer takes the rest.
+                    self.takers.notify_one();
+                }
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            st = self
+                .takers
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
     /// Closes the queue: producers fail from now on, consumers drain the
     /// backlog and then observe `None`.
     pub fn close(&self) {
@@ -118,6 +155,34 @@ mod tests {
         assert_eq!(q.try_push(2), Err(2), "closed queue rejects producers");
         assert_eq!(q.pop(), Some(1), "backlog still drains");
         assert_eq!(q.pop(), None, "then consumers see end-of-queue");
+    }
+
+    #[test]
+    fn pop_batch_drains_fifo_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = vec![99]; // stale contents must be cleared
+        assert!(q.pop_batch(&mut out, 3));
+        assert_eq!(out, vec![0, 1, 2]);
+        assert!(q.pop_batch(&mut out, 3));
+        assert_eq!(out, vec![3, 4]);
+        q.close();
+        assert!(!q.pop_batch(&mut out, 3));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_drains_backlog_after_close() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        let mut out = Vec::new();
+        assert!(q.pop_batch(&mut out, 16), "backlog still drains");
+        assert_eq!(out, vec![1, 2]);
+        assert!(!q.pop_batch(&mut out, 16));
     }
 
     #[test]

@@ -18,24 +18,31 @@
 //!   answers the request itself with the uniform fallback
 //!   (`"degraded":true,"reason":"shed"`) — admission control never
 //!   buffers unboundedly and never silently drops.
-//! * **Workers** pop jobs, consult the estimate cache, `try_read` the
-//!   model slot (degrading with reason `"swap"` rather than blocking
-//!   behind a hot-swap), and write the response through the connection's
-//!   shared writer. Jobs that out-waited their deadline in the queue are
-//!   answered with reason `"deadline"` instead of burning model time on an
-//!   answer the client has likely given up on.
+//! * **Workers** drain jobs in batches ([`BoundedQueue::pop_batch`], up
+//!   to [`MAX_WORKER_BATCH`] per lock acquisition) and answer each batch
+//!   in two passes. The *prepare* pass parses, checks deadlines, consults
+//!   the estimate cache, and `try_read`s the model slot (degrading with
+//!   reason `"swap"` rather than blocking behind a hot-swap); requests
+//!   that survive it land as `Range`s in a reusable lane buffer. The
+//!   *evaluate* pass groups consecutive same-model requests and answers
+//!   each run with one allocation-free `estimate_into` call — under load
+//!   the common one-model case evaluates the whole batch in a single
+//!   batched call against the (typically frozen) estimator. Jobs that
+//!   out-waited their deadline in the queue are answered with reason
+//!   `"deadline"` instead of burning model time on an answer the client
+//!   has likely given up on.
 //!
 //! Every response path increments `serve.requests_total`; degraded paths
 //! additionally record `serve.requests_shed` / `..._deadline` / `..._swap`
 //! so (requests − degraded − errors) always equals real model/cache
 //! answers.
 
-use crate::cache::EstimateCache;
+use crate::cache::{CacheKey, EstimateCache};
 use crate::protocol::{parse_request, DegradeReason, Request, Response};
 use crate::queue::BoundedQueue;
 use crate::registry::{uniform_fallback, ModelRegistry};
-use selearn_core::quantize_rect_key;
-use selearn_geom::Rect;
+use selearn_core::{quantize_rect_key, SharedEstimator};
+use selearn_geom::{Range, Rect};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -136,6 +143,25 @@ struct Job {
     received: Instant,
 }
 
+/// Jobs drained per [`BoundedQueue::pop_batch`] call. Bounds the worker's
+/// reusable buffers and the queueing delay any single request can pick up
+/// behind the rest of its batch.
+const MAX_WORKER_BATCH: usize = 64;
+
+/// Outcome of the prepare pass for one job.
+enum Prepared {
+    /// Answerable without evaluating a model: parse error, degraded
+    /// fallback, or estimate-cache hit.
+    Ready(Response),
+    /// Needs a model evaluation over the batch lane `ranges[slot]`.
+    Eval {
+        id: Option<u64>,
+        model: SharedEstimator,
+        cache_key: Option<CacheKey>,
+        slot: usize,
+    },
+}
+
 /// A running server. Dropping the handle without calling
 /// [`shutdown`](ServerHandle::shutdown) leaves threads running until
 /// process exit — call it for a clean stop.
@@ -218,11 +244,7 @@ pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
             let stats = Arc::clone(&stats);
             let config = config.clone();
             std::thread::spawn(move || {
-                while let Some(job) = queue.pop() {
-                    let response = handle_job(&job, &registry, &cache, &stats, &config);
-                    write_response(&job.writer, &response);
-                    finish_request(&stats, job.received);
-                }
+                worker_loop(&queue, &registry, &cache, &stats, &config);
             })
         })
         .collect();
@@ -378,24 +400,106 @@ fn shed(job: Job, registry: &ModelRegistry, stats: &ServeStats) {
     finish_request(stats, job.received);
 }
 
-/// The worker-side request path: parse → deadline check → cache → model.
-fn handle_job(
+/// The batched worker hot loop: drain up to [`MAX_WORKER_BATCH`] jobs,
+/// prepare each (parse → deadline → cache → model handle), evaluate the
+/// survivors through `estimate_into` one same-model run at a time, then
+/// write every response. All batch buffers are reused across iterations —
+/// the steady-state loop performs no per-request allocation for query or
+/// selectivity storage.
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    registry: &ModelRegistry,
+    cache: &EstimateCache,
+    stats: &ServeStats,
+    config: &ServerConfig,
+) {
+    let mut jobs: Vec<Job> = Vec::with_capacity(MAX_WORKER_BATCH);
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(MAX_WORKER_BATCH);
+    let mut ranges: Vec<Range> = Vec::with_capacity(MAX_WORKER_BATCH);
+    let mut sels: Vec<f64> = Vec::with_capacity(MAX_WORKER_BATCH);
+    while queue.pop_batch(&mut jobs, MAX_WORKER_BATCH) {
+        prepared.clear();
+        ranges.clear();
+        for job in &jobs {
+            prepared.push(prepare_job(job, registry, cache, stats, config, &mut ranges));
+        }
+        sels.clear();
+        sels.resize(ranges.len(), 0.0);
+        // Evaluate each run of consecutive same-model requests with one
+        // batch call. With a single registered model (the common case)
+        // the entire batch is one `estimate_into`.
+        let mut run: Option<(&SharedEstimator, usize, usize)> = None;
+        for p in &prepared {
+            let Prepared::Eval { model, slot, .. } = p else {
+                continue;
+            };
+            run = match run {
+                Some((m, lo, hi)) if Arc::ptr_eq(m, model) => Some((m, lo, hi + 1)),
+                Some((m, lo, hi)) => {
+                    m.estimate_into(&ranges[lo..hi], &mut sels[lo..hi]);
+                    Some((model, *slot, slot + 1))
+                }
+                None => Some((model, *slot, slot + 1)),
+            };
+        }
+        if let Some((m, lo, hi)) = run {
+            m.estimate_into(&ranges[lo..hi], &mut sels[lo..hi]);
+        }
+        for (job, p) in jobs.iter().zip(prepared.drain(..)) {
+            let response = match p {
+                Prepared::Ready(response) => response,
+                Prepared::Eval {
+                    id,
+                    model,
+                    cache_key,
+                    slot,
+                } => {
+                    let sel = sels[slot].clamp(0.0, 1.0);
+                    if let Some(key) = cache_key {
+                        cache.insert(key, sel);
+                    }
+                    stats.model_answers.fetch_add(1, Ordering::Relaxed);
+                    Response::Estimate {
+                        id,
+                        est: model.name().to_string(),
+                        sel,
+                        us: job.received.elapsed().as_secs_f64() * 1e6,
+                        degraded: None,
+                        cached: false,
+                    }
+                }
+            };
+            write_response(&job.writer, &response);
+            finish_request(stats, job.received);
+        }
+    }
+}
+
+/// The per-request prepare pass: parse → deadline check → cache → model
+/// handle. Requests that need a model evaluation push their query into
+/// `ranges` and defer to the worker's batched `estimate_into`.
+fn prepare_job(
     job: &Job,
     registry: &ModelRegistry,
     cache: &EstimateCache,
     stats: &ServeStats,
     config: &ServerConfig,
-) -> Response {
+    ranges: &mut Vec<Range>,
+) -> Prepared {
     let _guard = selearn_obs::span!("serve.request");
     let req = match parse_request(&job.line) {
         Ok(req) => req,
-        Err(message) => return error_response(stats, None, message),
+        Err(message) => return Prepared::Ready(error_response(stats, None, message)),
     };
     let Some(slot) = registry.slot(&req.est) else {
-        return error_response(stats, req.id, format!("unknown model \"{}\"", req.est));
+        return Prepared::Ready(error_response(
+            stats,
+            req.id,
+            format!("unknown model \"{}\"", req.est),
+        ));
     };
     if req.lo.len() != slot.root().dim() {
-        return error_response(
+        return Prepared::Ready(error_response(
             stats,
             req.id,
             format!(
@@ -404,22 +508,36 @@ fn handle_job(
                 slot.root().dim(),
                 req.lo.len()
             ),
-        );
+        ));
     }
     if req.lo.iter().zip(&req.hi).any(|(l, h)| l > h) {
-        return error_response(stats, req.id, "\"lo\" must be <= \"hi\" per dimension".into());
+        return Prepared::Ready(error_response(
+            stats,
+            req.id,
+            "\"lo\" must be <= \"hi\" per dimension".into(),
+        ));
     }
     if config.deadline > Duration::ZERO && job.received.elapsed() > config.deadline {
         stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         selearn_obs::counter_add("serve.requests_deadline", 1);
-        return degraded_response(&req, slot.root(), DegradeReason::Deadline, job.received);
+        return Prepared::Ready(degraded_response(
+            &req,
+            slot.root(),
+            DegradeReason::Deadline,
+            job.received,
+        ));
     }
     // Non-blocking model read: losing the race with a hot-swap degrades
     // this one request instead of stalling the worker behind the writer.
     let Some((model, generation)) = slot.try_get() else {
         stats.swap_degraded.fetch_add(1, Ordering::Relaxed);
         selearn_obs::counter_add("serve.requests_swap_degraded", 1);
-        return degraded_response(&req, slot.root(), DegradeReason::Swap, job.received);
+        return Prepared::Ready(degraded_response(
+            &req,
+            slot.root(),
+            DegradeReason::Swap,
+            job.received,
+        ));
     };
     let cache_key = if config.cache_capacity > 0 {
         quantize_rect_key(slot.root(), &req.lo, &req.hi, config.cache_grid)
@@ -430,32 +548,33 @@ fn handle_job(
     if let Some(key) = &cache_key {
         if let Some(sel) = cache.get(key) {
             stats.cache_answers.fetch_add(1, Ordering::Relaxed);
-            return Response::Estimate {
+            return Prepared::Ready(Response::Estimate {
                 id: req.id,
                 est: model.name().to_string(),
                 sel,
                 us: job.received.elapsed().as_secs_f64() * 1e6,
                 degraded: None,
                 cached: true,
-            };
+            });
         }
     }
     let rect = match Rect::try_new(req.lo.clone(), req.hi.clone()) {
         Ok(r) => r,
-        Err(e) => return error_response(stats, req.id, format!("bad query box: {e}")),
+        Err(e) => {
+            return Prepared::Ready(error_response(
+                stats,
+                req.id,
+                format!("bad query box: {e}"),
+            ))
+        }
     };
-    let sel = model.estimate(&rect.into()).clamp(0.0, 1.0);
-    if let Some(key) = cache_key {
-        cache.insert(key, sel);
-    }
-    stats.model_answers.fetch_add(1, Ordering::Relaxed);
-    Response::Estimate {
+    let slot_idx = ranges.len();
+    ranges.push(rect.into());
+    Prepared::Eval {
         id: req.id,
-        est: model.name().to_string(),
-        sel,
-        us: job.received.elapsed().as_secs_f64() * 1e6,
-        degraded: None,
-        cached: false,
+        model,
+        cache_key,
+        slot: slot_idx,
     }
 }
 

@@ -56,7 +56,7 @@ fn quadhist_weights_and_estimates_match_serial() {
         assert!((pw - sw).abs() <= TOL, "weight drift: {pw} vs {sw}");
     }
 
-    let pe = with_threads(4, || par.estimate_all(&test));
+    let pe = with_threads(4, || par.par_estimate_all(&test));
     let se = with_threads(1, || ser.estimate_all(&test));
     for (a, b) in pe.iter().zip(&se) {
         assert!((a - b).abs() <= TOL, "estimate drift: {a} vs {b}");
@@ -79,7 +79,7 @@ fn ptshist_weights_and_estimates_match_serial() {
         assert!((pw - sw).abs() <= TOL, "weight drift: {pw} vs {sw}");
     }
 
-    let pe = with_threads(4, || par.estimate_all(&test));
+    let pe = with_threads(4, || par.par_estimate_all(&test));
     let se = with_threads(1, || ser.estimate_all(&test));
     for (a, b) in pe.iter().zip(&se) {
         assert!((a - b).abs() <= TOL, "estimate drift: {a} vs {b}");
@@ -87,16 +87,19 @@ fn ptshist_weights_and_estimates_match_serial() {
 }
 
 #[test]
-fn estimate_all_matches_per_query_loop() {
+fn par_estimate_all_matches_per_query_loop() {
     let (_, train, test) = fixture();
     let model = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.02)).unwrap();
     // batch is ≥ the dispatch threshold, so with 4 threads this takes the
-    // parallel path; the per-query loop is serial by construction
-    let batch = with_threads(4, || model.estimate_all(&test));
+    // parallel path; serial `estimate_all` and the per-query loop agree
+    // with it bitwise by the order-preserving chunking contract
+    let batch = with_threads(4, || model.par_estimate_all(&test));
+    let serial = model.estimate_all(&test);
     let single: Vec<f64> = test.iter().map(|r| model.estimate(r)).collect();
     assert_eq!(batch.len(), single.len());
-    for (a, b) in batch.iter().zip(&single) {
+    for ((a, b), c) in batch.iter().zip(&single).zip(&serial) {
         assert_eq!(a.to_bits(), b.to_bits(), "batch vs single drift: {a} vs {b}");
+        assert_eq!(a.to_bits(), c.to_bits(), "batch vs serial drift: {a} vs {c}");
     }
 }
 
@@ -142,10 +145,10 @@ fn speedup_measurement_quadhist_10k() {
         let model = with_threads(threads, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
         let fit_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let est = with_threads(threads, || model.estimate_all(&test));
+        let est = with_threads(threads, || model.par_estimate_all(&test));
         let predict_ms = t1.elapsed().as_secs_f64() * 1e3;
         println!(
-            "threads={threads:>2}  fit {fit_ms:>9.1} ms   estimate_all({}) {predict_ms:>8.1} ms",
+            "threads={threads:>2}  fit {fit_ms:>9.1} ms   par_estimate_all({}) {predict_ms:>8.1} ms",
             est.len()
         );
         timings.push((threads, fit_ms, predict_ms));
@@ -160,6 +163,22 @@ fn speedup_measurement_quadhist_10k() {
 }
 
 #[test]
+fn frozen_matches_tree_under_parallel_batching() {
+    let (_, train, test) = fixture();
+    let model = QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.02)).unwrap();
+    let frozen = model.freeze();
+    // The frozen artifact must agree with the pointer tree bitwise on the
+    // parallel chunked path too, not just per query.
+    let ft = with_threads(4, || frozen.par_estimate_all(&test));
+    let tt = with_threads(4, || model.par_estimate_all(&test));
+    let fs = frozen.estimate_all(&test);
+    for ((a, b), c) in ft.iter().zip(&tt).zip(&fs) {
+        assert_eq!(a.to_bits(), b.to_bits(), "frozen vs tree drift: {a} vs {b}");
+        assert_eq!(a.to_bits(), c.to_bits(), "parallel vs serial drift: {a} vs {c}");
+    }
+}
+
+#[test]
 fn quadhist_linf_and_nnls_solvers_match_serial() {
     let (_, train, test) = fixture();
     for cfg in [
@@ -168,7 +187,7 @@ fn quadhist_linf_and_nnls_solvers_match_serial() {
     ] {
         let par = with_threads(4, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
         let ser = with_threads(1, || QuadHist::fit(Rect::unit(2), &train, &cfg).unwrap());
-        let pe = with_threads(4, || par.estimate_all(&test));
+        let pe = with_threads(4, || par.par_estimate_all(&test));
         let se = with_threads(1, || ser.estimate_all(&test));
         for (a, b) in pe.iter().zip(&se) {
             assert!((a - b).abs() <= TOL, "estimate drift: {a} vs {b}");
