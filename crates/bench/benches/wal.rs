@@ -1,0 +1,119 @@
+//! Durability-path benchmarks: WAL append throughput (the per-feedback
+//! ack cost), full `ModelStore::observe` (append + online learning), and
+//! recovery (checkpoint load + WAL tail replay) — the restart-latency
+//! budget of the serving layer's `--store-dir` mode.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use selearn_core::TrainingQuery;
+use selearn_geom::Rect;
+use selearn_store::wal::scan_wal;
+use selearn_store::{ModelStore, StdVfs, StoreConfig, WalWriter};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A scratch dir on tmpfs when available, so the sync-on-append numbers
+/// measure the log path rather than the host disk.
+fn scratch(tag: &str) -> PathBuf {
+    let base = if PathBuf::from("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let d = base.join(format!("selearn-wal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn config() -> StoreConfig {
+    let mut c = StoreConfig::new(Rect::unit(2));
+    c.refit_every = 64;
+    c.history_cap = 1024;
+    c.quadhist.max_leaves = 64;
+    c
+}
+
+fn feedback(i: usize) -> TrainingQuery {
+    let a = ((i % 97) as f64 + 1.0) / 100.0;
+    TrainingQuery::new(Rect::new(vec![0.0, a / 3.0], vec![a, 0.9]), a * 0.7)
+}
+
+/// Raw WAL append: frame + CRC + write (+ fsync when `sync`), no model.
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal_append");
+    for sync in [false, true] {
+        let dir = scratch(if sync { "append-sync" } else { "append" });
+        let vfs = Arc::new(StdVfs);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let scan = scan_wal(vfs.as_ref(), &dir).expect("scan");
+        let mut writer =
+            WalWriter::open(vfs, &dir, &scan, 1, 8 << 20, sync).expect("writer");
+        let record = feedback(7);
+        let label = if sync { "fsync" } else { "buffered" };
+        g.bench_function(BenchmarkId::new(label, 1), |b| {
+            b.iter(|| writer.append(black_box(&record)).expect("append"))
+        });
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+/// The full observe path a feedback ack pays: validate, append, learn.
+fn bench_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_observe");
+    let dir = scratch("observe");
+    let mut store = ModelStore::open(&dir, config()).expect("open");
+    let mut i = 0usize;
+    g.bench_function("append_and_learn", |b| {
+        b.iter(|| {
+            i += 1;
+            store.observe(black_box(feedback(i))).expect("observe")
+        })
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    g.finish();
+}
+
+/// Restart latency: open = checkpoint restore + tail replay. The two
+/// shapes bound the practical range — everything checkpointed (replay 0)
+/// vs. everything in the log (replay all).
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_recovery");
+    // Full replay at 4k records runs seconds per iteration — keep the
+    // sample count low so the whole group stays under a minute.
+    g.sample_size(10);
+    for records in [1_000usize, 4_000] {
+        for checkpointed in [false, true] {
+            let tag = format!(
+                "{records}-{}",
+                if checkpointed { "ckpt" } else { "tail" }
+            );
+            let dir = scratch(&tag);
+            let mut store = ModelStore::open(&dir, config()).expect("seed open");
+            for i in 0..records {
+                store.observe(feedback(i)).expect("seed observe");
+            }
+            if checkpointed {
+                store.checkpoint().expect("seed checkpoint");
+            }
+            drop(store);
+            let label = if checkpointed {
+                "from_checkpoint"
+            } else {
+                "full_replay"
+            };
+            g.bench_with_input(BenchmarkId::new(label, records), &dir, |b, dir| {
+                b.iter(|| {
+                    let store = ModelStore::open(black_box(dir), config()).expect("recover");
+                    black_box(store.last_lsn())
+                })
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_observe, bench_recovery);
+criterion_main!(benches);

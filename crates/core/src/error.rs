@@ -108,6 +108,40 @@ pub enum SelearnError {
         /// What went wrong.
         message: String,
     },
+    /// A write-ahead-log segment violates the log's structural invariants
+    /// at a point recovery cannot treat as a torn tail (a mid-log CRC
+    /// failure is truncated, not errored; this variant is for logical
+    /// corruption like an out-of-sequence LSN or a gap between segments).
+    WalCorrupt {
+        /// Segment file name.
+        segment: String,
+        /// Byte offset of the offending record within the segment.
+        offset: u64,
+        /// The violated invariant.
+        what: String,
+    },
+    /// A model checkpoint failed validation (bad CRC, wrong magic,
+    /// truncated state, config fingerprint mismatch).
+    CheckpointCorrupt {
+        /// The checkpoint's generation number.
+        generation: u64,
+        /// What failed.
+        what: String,
+    },
+    /// The store manifest is unreadable or points at state that does not
+    /// exist.
+    ManifestCorrupt {
+        /// What failed.
+        what: String,
+    },
+    /// A rollback or checkpoint lookup named a generation the store does
+    /// not retain.
+    UnknownGeneration {
+        /// The requested generation.
+        requested: u64,
+        /// Generations currently retained, ascending.
+        retained: Vec<u64>,
+    },
 }
 
 impl fmt::Display for SelearnError {
@@ -141,6 +175,21 @@ impl fmt::Display for SelearnError {
             SelearnError::Workload { record, message } => {
                 write!(f, "workload record {record}: {message}")
             }
+            SelearnError::WalCorrupt {
+                segment,
+                offset,
+                what,
+            } => write!(f, "wal corruption in {segment} at byte {offset}: {what}"),
+            SelearnError::CheckpointCorrupt { generation, what } => {
+                write!(f, "checkpoint generation {generation} is corrupt: {what}")
+            }
+            SelearnError::ManifestCorrupt { what } => {
+                write!(f, "store manifest is corrupt: {what}")
+            }
+            SelearnError::UnknownGeneration { requested, retained } => write!(
+                f,
+                "generation {requested} is not retained (have {retained:?})"
+            ),
         }
     }
 }

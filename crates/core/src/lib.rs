@@ -49,7 +49,7 @@ pub use error::{check_labels, SelearnError};
 pub use estimator::{BoxedEstimator, SelectivityEstimator, SharedEstimator, TrainingQuery};
 pub use frozen::FrozenEstimator;
 pub use gausshist::{GaussHist, GaussHistConfig};
-pub use online::OnlineQuadHist;
+pub use online::{OnlineQuadHist, OnlineSnapshot};
 pub use persist::{
     load_frozen, load_ptshist, load_quadhist, save_ptshist, save_quadhist, PersistError,
 };

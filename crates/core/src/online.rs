@@ -23,6 +23,26 @@ use crate::weights::estimate_weights;
 use selearn_geom::{Range, RangeQuery, Rect, EPS};
 use std::collections::VecDeque;
 
+/// The complete mutable state of an [`OnlineQuadHist`], captured by
+/// [`OnlineQuadHist::snapshot`] and rebuilt by [`OnlineQuadHist::restore`].
+/// Deployment configuration (root, [`QuadHistConfig`], refit interval,
+/// window cap) is deliberately *not* part of the snapshot: a durable store
+/// owns the config and persists only this state.
+#[derive(Clone, Debug)]
+pub struct OnlineSnapshot {
+    /// Arena link per tree node (`None` = leaf), in node-id order — the
+    /// exact layout, because estimate summation order follows it.
+    pub first_child: Vec<Option<usize>>,
+    /// Weight per tree node (nonzero at leaves, plus interim split mass).
+    pub node_weight: Vec<f64>,
+    /// The retained feedback window, oldest first.
+    pub history: Vec<TrainingQuery>,
+    /// Lifetime observation count.
+    pub total_observed: usize,
+    /// Observations since the last weight refit.
+    pub observed_since_refit: usize,
+}
+
 /// An incrementally trained QuadHist.
 #[derive(Clone, Debug)]
 pub struct OnlineQuadHist {
@@ -110,11 +130,15 @@ impl OnlineQuadHist {
     /// Ingests one piece of query feedback: refines the partition
     /// (Algorithm 2) and schedules a weight refit.
     ///
-    /// Returns [`SelearnError::InvalidLabel`] on a non-finite selectivity
-    /// (the model is left unchanged), or a solver error from a scheduled
-    /// refit.
+    /// Returns [`SelearnError::InvalidLabel`] on a non-finite **or
+    /// negative** selectivity (the model is left unchanged), or a solver
+    /// error from a scheduled refit. Batch `fit` tolerates finite
+    /// out-of-band labels (the agnostic setting), but feedback arriving
+    /// one record at a time is a *measurement* of a probability — a
+    /// negative value can only be an upstream bug, and admitting it into
+    /// the window would silently poison every refit until it ages out.
     pub fn observe(&mut self, feedback: TrainingQuery) -> Result<(), SelearnError> {
-        if !feedback.selectivity.is_finite() {
+        if !feedback.selectivity.is_finite() || feedback.selectivity < 0.0 {
             return Err(SelearnError::InvalidLabel {
                 query: self.total_observed,
                 value: feedback.selectivity,
@@ -221,6 +245,107 @@ impl OnlineQuadHist {
             self.node_weight[leaf] = w[k];
         }
         Ok(())
+    }
+
+    /// Captures the complete mutable state of the model — the exact arena
+    /// layout of the partition tree, per-node weights, the retained
+    /// feedback window, and the observation counters. Restoring the
+    /// snapshot with [`OnlineQuadHist::restore`] (same root and config)
+    /// yields a model whose estimates *and whose response to any future
+    /// feedback stream* are bitwise identical to the original — the
+    /// contract durable checkpoints are built on.
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        OnlineSnapshot {
+            first_child: (0..self.tree.num_nodes())
+                .map(|id| self.tree.first_child(id))
+                .collect(),
+            node_weight: self.node_weight.clone(),
+            history: self.history.iter().cloned().collect(),
+            total_observed: self.total_observed,
+            observed_since_refit: self.observed_since_refit,
+        }
+    }
+
+    /// Rebuilds a model from a [`snapshot`](OnlineQuadHist::snapshot). The
+    /// caller supplies the same `root`, `config`, `refit_every`, and
+    /// `history_cap` the snapshotted model was built with — a durable
+    /// store treats those as deployment configuration and persists only
+    /// the state (validating a config fingerprint separately).
+    ///
+    /// Returns [`SelearnError::InvalidConfig`] on a bad config, or
+    /// [`SelearnError::CorruptModel`] when the snapshot is internally
+    /// inconsistent (arena/weight length mismatch, non-finite weight,
+    /// invalid history label, window over the cap).
+    pub fn restore(
+        root: Rect,
+        config: QuadHistConfig,
+        refit_every: usize,
+        history_cap: usize,
+        snapshot: OnlineSnapshot,
+    ) -> Result<Self, SelearnError> {
+        let fresh = Self::new(root.clone(), config.clone(), refit_every)?;
+        let tree = QuadTree::from_arena(root.clone(), &snapshot.first_child)?;
+        if snapshot.node_weight.len() != tree.num_nodes() {
+            return Err(SelearnError::CorruptModel {
+                what: format!(
+                    "snapshot has {} weights for {} nodes",
+                    snapshot.node_weight.len(),
+                    tree.num_nodes()
+                ),
+            });
+        }
+        if let Some(w) = snapshot.node_weight.iter().find(|w| !w.is_finite()) {
+            return Err(SelearnError::CorruptModel {
+                what: format!("snapshot contains non-finite node weight {w}"),
+            });
+        }
+        if history_cap > 0 && snapshot.history.len() > history_cap {
+            return Err(SelearnError::CorruptModel {
+                what: format!(
+                    "snapshot window of {} exceeds the history cap {}",
+                    snapshot.history.len(),
+                    history_cap
+                ),
+            });
+        }
+        for (i, q) in snapshot.history.iter().enumerate() {
+            if !q.selectivity.is_finite() || q.selectivity < 0.0 {
+                return Err(SelearnError::CorruptModel {
+                    what: format!(
+                        "snapshot window record {i} has invalid selectivity {}",
+                        q.selectivity
+                    ),
+                });
+            }
+        }
+        let node_volume = (0..tree.num_nodes())
+            .map(|id| tree.rect(id).volume())
+            .collect();
+        Ok(Self {
+            tree,
+            node_weight: snapshot.node_weight,
+            history: snapshot.history.into(),
+            history_cap,
+            total_observed: snapshot.total_observed,
+            node_volume,
+            observed_since_refit: snapshot.observed_since_refit,
+            ..fresh
+        })
+    }
+
+    /// The data-space root this model was built over.
+    pub fn root(&self) -> &Rect {
+        &self.root
+    }
+
+    /// The model's refit interval (observations per scheduled refit).
+    pub fn refit_every(&self) -> usize {
+        self.refit_every
+    }
+
+    /// The feedback-window cap (0 = unbounded).
+    pub fn history_cap(&self) -> usize {
+        self.history_cap
     }
 
     /// Lifetime number of feedback records ingested (not reduced by
@@ -405,6 +530,97 @@ mod tests {
             let (ea, eb) = (a.estimate(&q.range), b.estimate(&q.range));
             assert!((ea - eb).abs() < 1e-12, "windowed {ea} vs trimmed {eb}");
         }
+    }
+
+    #[test]
+    fn nan_and_negative_feedback_are_rejected_untouched() {
+        // Regression: negative selectivities used to slide into the window
+        // silently and poison every refit until they aged out.
+        let mut m = OnlineQuadHist::new(Rect::unit(2), QuadHistConfig::with_tau(0.05), 2).unwrap();
+        m.observe(tq(vec![0.0, 0.0], vec![0.5, 0.5], 0.5)).unwrap();
+        let before = m.history_len();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.2, -1e-12] {
+            let err = m
+                .observe(tq(vec![0.1, 0.1], vec![0.6, 0.6], bad))
+                .unwrap_err();
+            assert!(
+                matches!(err, SelearnError::InvalidLabel { .. }),
+                "{bad}: {err}"
+            );
+        }
+        assert_eq!(m.history_len(), before, "rejected feedback must not be retained");
+        assert_eq!(m.observations(), 1, "rejected feedback must not be counted");
+        // -0.0 is a legal (zero) selectivity, not a negative one.
+        m.observe(tq(vec![0.2, 0.2], vec![0.3, 0.3], -0.0)).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bitwise() {
+        let cfg = QuadHistConfig::with_tau(0.02);
+        let mut m = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 4)
+            .unwrap()
+            .with_history_cap(5);
+        for q in stream() {
+            m.observe(q).unwrap();
+        }
+        let snap = m.snapshot();
+        let mut back =
+            OnlineQuadHist::restore(Rect::unit(2), cfg, 4, 5, snap).expect("restore");
+        assert_eq!(back.observations(), m.observations());
+        assert_eq!(back.history_len(), m.history_len());
+        assert_eq!(back.num_buckets(), m.num_buckets());
+        for q in stream() {
+            assert_eq!(
+                back.estimate(&q.range).to_bits(),
+                m.estimate(&q.range).to_bits(),
+                "restored estimates must be bit-identical"
+            );
+        }
+        // Future behavior must also match: feed both the same tail.
+        for q in stream() {
+            m.observe(q.clone()).unwrap();
+            back.observe(q).unwrap();
+        }
+        for q in stream() {
+            assert_eq!(back.estimate(&q.range).to_bits(), m.estimate(&q.range).to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let cfg = QuadHistConfig::with_tau(0.05);
+        let mut m = OnlineQuadHist::new(Rect::unit(2), cfg.clone(), 4).unwrap();
+        for q in stream() {
+            m.observe(q).unwrap();
+        }
+        let good = m.snapshot();
+
+        let mut short = good.clone();
+        short.node_weight.pop();
+        assert!(matches!(
+            OnlineQuadHist::restore(Rect::unit(2), cfg.clone(), 4, 0, short),
+            Err(SelearnError::CorruptModel { .. })
+        ));
+
+        let mut nan = good.clone();
+        nan.node_weight[0] = f64::NAN;
+        assert!(matches!(
+            OnlineQuadHist::restore(Rect::unit(2), cfg.clone(), 4, 0, nan),
+            Err(SelearnError::CorruptModel { .. })
+        ));
+
+        let mut bad_hist = good.clone();
+        bad_hist.history[0].selectivity = -0.5;
+        assert!(matches!(
+            OnlineQuadHist::restore(Rect::unit(2), cfg.clone(), 4, 0, bad_hist),
+            Err(SelearnError::CorruptModel { .. })
+        ));
+
+        // Window larger than the declared cap.
+        assert!(matches!(
+            OnlineQuadHist::restore(Rect::unit(2), cfg, 4, 1, good),
+            Err(SelearnError::CorruptModel { .. })
+        ));
     }
 
     #[test]

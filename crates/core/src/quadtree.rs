@@ -96,6 +96,93 @@ impl QuadTree {
         first
     }
 
+    /// Index of the first of `2^d` contiguous children, `None` for a leaf
+    /// — the raw arena link. Exposed so durable stores can serialize the
+    /// exact node layout: estimates sum over leaves in arena order, so a
+    /// recovered tree must reproduce the layout bit-for-bit, not just the
+    /// same leaf set.
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id].first_child
+    }
+
+    /// Rebuilds a tree from its exact arena layout: `first_child[i]` is
+    /// the serialized link of node `i` (`None` for leaves). Node rects are
+    /// rederived by re-splitting top-down — children always carry a higher
+    /// index than their parent, so one ascending pass assigns every rect —
+    /// which reproduces the original coordinates exactly (the split
+    /// midpoint computation is deterministic).
+    ///
+    /// Returns [`SelearnError::CorruptModel`] when the links do not
+    /// describe a tree this crate could have grown: a link to a
+    /// non-contiguous child block, an out-of-range index, a child index
+    /// not past its parent, or nodes not reachable from the root.
+    pub fn from_arena(root: Rect, first_child: &[Option<usize>]) -> Result<Self, SelearnError> {
+        let n = first_child.len();
+        if n == 0 {
+            return Err(SelearnError::CorruptModel {
+                what: "arena tree must contain at least the root node".into(),
+            });
+        }
+        let dim = root.dim();
+        let fanout = 1usize << dim;
+        if !(n - 1).is_multiple_of(fanout) {
+            return Err(SelearnError::CorruptModel {
+                what: format!("arena of {n} nodes is not 1 + k·2^{dim}"),
+            });
+        }
+        let mut rects: Vec<Option<Rect>> = vec![None; n];
+        rects[ROOT] = Some(root);
+        let mut num_leaves = 0usize;
+        let mut claimed = vec![false; n];
+        claimed[ROOT] = true;
+        for i in 0..n {
+            let Some(rect) = rects[i].clone() else {
+                return Err(SelearnError::CorruptModel {
+                    what: format!("arena node {i} is not reachable from the root"),
+                });
+            };
+            match first_child[i] {
+                None => num_leaves += 1,
+                Some(first) => {
+                    if first <= i || first + fanout > n {
+                        return Err(SelearnError::CorruptModel {
+                            what: format!("arena node {i} links children at {first}"),
+                        });
+                    }
+                    let kids = rect.split();
+                    for (k, kid) in kids.into_iter().enumerate() {
+                        let c = first + k;
+                        if claimed[c] {
+                            return Err(SelearnError::CorruptModel {
+                                what: format!("arena node {c} claimed by two parents"),
+                            });
+                        }
+                        claimed[c] = true;
+                        rects[c] = Some(kid);
+                    }
+                }
+            }
+        }
+        let nodes = rects
+            .into_iter()
+            .zip(first_child)
+            .map(|(rect, fc)| {
+                Some(Node {
+                    rect: rect?,
+                    first_child: *fc,
+                })
+            })
+            .collect::<Option<Vec<Node>>>()
+            .ok_or_else(|| SelearnError::CorruptModel {
+                what: "arena contains unreachable nodes".into(),
+            })?;
+        Ok(Self {
+            dim,
+            nodes,
+            num_leaves,
+        })
+    }
+
     /// All leaf ids, in deterministic (arena) order.
     pub fn leaves(&self) -> Vec<NodeId> {
         (0..self.nodes.len())
@@ -342,6 +429,39 @@ mod tests {
         t.split(c + 2);
         let total: f64 = t.leaves().iter().map(|&l| t.rect(l).volume()).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_round_trip_preserves_layout() {
+        let mut t = QuadTree::new(Rect::unit(2));
+        let c = t.split(ROOT);
+        t.split(c + 2);
+        t.split(c + 1);
+        let links: Vec<Option<usize>> = (0..t.num_nodes()).map(|i| t.first_child(i)).collect();
+        let back = QuadTree::from_arena(Rect::unit(2), &links).unwrap();
+        assert_eq!(back.num_nodes(), t.num_nodes());
+        assert_eq!(back.num_leaves(), t.num_leaves());
+        for i in 0..t.num_nodes() {
+            assert_eq!(back.first_child(i), t.first_child(i));
+            assert_eq!(back.rect(i).lo(), t.rect(i).lo(), "node {i} lo");
+            assert_eq!(back.rect(i).hi(), t.rect(i).hi(), "node {i} hi");
+        }
+    }
+
+    #[test]
+    fn from_arena_rejects_malformed_links() {
+        // wrong node count for the fanout
+        assert!(QuadTree::from_arena(Rect::unit(2), &[Some(1), None, None]).is_err());
+        // child block out of range
+        assert!(QuadTree::from_arena(Rect::unit(2), &[Some(3), None, None, None, None]).is_err());
+        // child index not past its parent
+        let links = [Some(1), None, None, None, None, Some(1), None, None, None];
+        assert!(QuadTree::from_arena(Rect::unit(2), &links).is_err());
+        // unreachable tail nodes
+        let links = [None, None, None, None, None];
+        assert!(QuadTree::from_arena(Rect::unit(2), &links).is_err());
+        // empty arena
+        assert!(QuadTree::from_arena(Rect::unit(2), &[]).is_err());
     }
 
     #[test]

@@ -14,13 +14,24 @@
 //! fits are compiled with `freeze()` before registration under the name
 //! `"default"`. The startup line prints the bound address so scripts can
 //! scrape the OS-assigned port.
+//!
+//! With `--store-dir DIR` the server also accepts **feedback** lines
+//! (estimate requests carrying an observed `"sel"`): each one is
+//! appended to a write-ahead log in DIR before it is acknowledged, the
+//! online model learns from it, and every `--checkpoint-every` records a
+//! checkpoint is cut and a frozen snapshot hot-swapped into the serving
+//! slot. On restart the store recovers (newest valid checkpoint + WAL
+//! tail replay) and prints a machine-readable `{"recovered":…}` line;
+//! `--rollback GEN` rewinds to a retained generation before serving.
 
-use selearn_serve::{start, ServerConfig};
+use selearn_serve::{start_with_feedback, DurableFeedback, FeedbackSink, ServerConfig};
+use selearn_store::{ModelStore, StoreConfig};
 use std::sync::Arc;
 
 const USAGE: &str = "usage: selearn-serve (--model FILE | --synthetic DIM) \
 [--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N] \
-[--cache-grid N] [--deadline-ms N] [--run-secs N] [--stats] [--trace-out FILE]";
+[--cache-grid N] [--deadline-ms N] [--run-secs N] [--stats] [--trace-out FILE] \
+[--store-dir DIR] [--checkpoint-every N] [--rollback GEN]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +50,12 @@ fn main() {
     let run_secs = parse_num::<u64>(take_flag_value(&mut args, "--run-secs"), "--run-secs");
     let stats = take_flag(&mut args, "--stats");
     let trace_out = take_flag_value(&mut args, "--trace-out");
+    let store_dir = take_flag_value(&mut args, "--store-dir");
+    let checkpoint_every = parse_num::<u64>(
+        take_flag_value(&mut args, "--checkpoint-every"),
+        "--checkpoint-every",
+    );
+    let rollback = parse_num::<u64>(take_flag_value(&mut args, "--rollback"), "--rollback");
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}\n{USAGE}");
         std::process::exit(2);
@@ -51,7 +68,7 @@ fn main() {
         install_trace_sink(path);
     }
 
-    let (model, root): (selearn_core::SharedEstimator, selearn_geom::Rect) =
+    let (mut model, root): (selearn_core::SharedEstimator, selearn_geom::Rect) =
         match (model_path, synthetic) {
             (Some(path), None) => {
                 let file = match std::fs::File::open(&path) {
@@ -119,9 +136,65 @@ fn main() {
         config.deadline = std::time::Duration::from_millis(ms);
     }
 
+    if store_dir.is_none() && (checkpoint_every.is_some() || rollback.is_some()) {
+        eprintln!("--checkpoint-every and --rollback require --store-dir\n{USAGE}");
+        std::process::exit(2);
+    }
+
     let registry = Arc::new(selearn_serve::ModelRegistry::new());
+    let mut durable: Option<Arc<DurableFeedback>> = None;
+    if let Some(dir) = &store_dir {
+        let store_config = StoreConfig::new(root.clone());
+        let mut store = match ModelStore::open(std::path::Path::new(dir), store_config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open store {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(generation) = rollback {
+            if let Err(e) = store.rollback(generation) {
+                eprintln!("cannot roll back to generation {generation}: {e}");
+                std::process::exit(1);
+            }
+            println!("{{\"rolled_back\":{generation}}}");
+        }
+        // Machine-readable recovery summary: what the store found on disk
+        // (the CI crash smoke greps this after a kill -9).
+        let r = store.recovery();
+        println!(
+            "{{\"recovered\":{{\"generation\":{},\"checkpoint_lsn\":{},\"replayed\":{},\"truncated_bytes\":{},\"torn_tail\":{},\"manifest_fallback\":{},\"last_lsn\":{}}}}}",
+            r.generation,
+            r.checkpoint_lsn,
+            r.replayed_records,
+            r.truncated_bytes,
+            r.torn_tail.is_some(),
+            r.manifest_fallback,
+            store.last_lsn(),
+        );
+        // Serve what the store learned, not the stale base artifact —
+        // the base model only seeds a store with no history.
+        if store.model().observations() > 0 {
+            match store.model().clone().freeze() {
+                Ok(batch) => model = Arc::new(batch.freeze()),
+                Err(e) => {
+                    eprintln!("warning: cannot freeze recovered model, serving the base model: {e}");
+                }
+            }
+        }
+        durable = Some(Arc::new(DurableFeedback::new(
+            store,
+            Arc::clone(&registry),
+            selearn_serve::DEFAULT_MODEL,
+            checkpoint_every.unwrap_or(256),
+        )));
+    }
+
     registry.register(selearn_serve::DEFAULT_MODEL, model, root);
-    let handle = match start(config, registry) {
+    let sink = durable
+        .as_ref()
+        .map(|d| Arc::clone(d) as Arc<dyn FeedbackSink>);
+    let handle = match start_with_feedback(config, registry, sink) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("cannot start server: {e}");
@@ -139,15 +212,25 @@ fn main() {
             let stats_snapshot = Arc::clone(handle.stats());
             let (hits, misses) = (handle.cache().hits(), handle.cache().misses());
             handle.shutdown();
+            // Park the tail of the feedback stream in a final checkpoint
+            // so the next start replays nothing.
+            if let Some(durable) = &durable {
+                if durable.store().unflushed_records() > 0 {
+                    if let Err(e) = durable.checkpoint_now() {
+                        eprintln!("warning: final checkpoint failed: {e}");
+                    }
+                }
+            }
             selearn_obs::flush_aggregates();
             selearn_obs::flush_sink();
             println!(
-                "{{\"requests\":{},\"model\":{},\"cached\":{},\"degraded\":{},\"errors\":{},\"cache_hits\":{hits},\"cache_misses\":{misses}}}",
+                "{{\"requests\":{},\"model\":{},\"cached\":{},\"degraded\":{},\"errors\":{},\"feedback\":{},\"cache_hits\":{hits},\"cache_misses\":{misses}}}",
                 stats_snapshot.requests(),
                 stats_snapshot.model_answers(),
                 stats_snapshot.cache_answers(),
                 stats_snapshot.degraded(),
                 stats_snapshot.errors(),
+                stats_snapshot.feedback_acks(),
             );
         }
         // Unbounded run: park forever (terminate with a signal).

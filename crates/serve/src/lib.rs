@@ -21,6 +21,11 @@
 //! * **Graceful degradation** — overload, queue-deadline expiry, and
 //!   swap races all answer with the uniform-selectivity fallback, flagged
 //!   `"degraded":true` with a reason, never with silence.
+//! * **Durable feedback** ([`feedback`]) — observed selectivities stream
+//!   through a [`FeedbackSink`] into a write-ahead-logged
+//!   [`selearn_store::ModelStore`]; every ack carries the record's WAL
+//!   LSN, and periodic checkpoints hot-swap a frozen snapshot of the
+//!   online model back into the registry.
 //! * **Load generation** ([`client`]) — closed- and open-loop replay with
 //!   client-observed latency percentiles, driving the `selearn-load` bin.
 //!
@@ -36,6 +41,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod feedback;
 pub mod json;
 pub mod protocol;
 pub mod queue;
@@ -45,7 +51,11 @@ pub mod synth;
 
 pub use cache::EstimateCache;
 pub use client::{parse_response, run_load, Client, LoadOptions, LoadReport};
-pub use protocol::{parse_request, DegradeReason, Request, Response, DEFAULT_MODEL};
+pub use feedback::{DurableFeedback, FeedbackAck, FeedbackSink};
+pub use protocol::{
+    parse_line, parse_request, DegradeReason, Feedback, Request, RequestLine, Response,
+    DEFAULT_MODEL,
+};
 pub use queue::BoundedQueue;
 pub use registry::{uniform_fallback, ModelRegistry, ModelSlot};
-pub use server::{start, ServeStats, ServerConfig, ServerHandle};
+pub use server::{start, start_with_feedback, ServeStats, ServerConfig, ServerHandle};

@@ -18,6 +18,21 @@
 //! uniform-selectivity fallback instead of the model, and `"cached":true`
 //! when the answer came from the estimate cache. Malformed or unservable
 //! requests get `{"id":…,"error":"…"}` — the connection stays open.
+//!
+//! A request line that additionally carries a `"sel"` key is **feedback**
+//! — the observed selectivity of that box, offered to the online model:
+//!
+//! ```text
+//! → {"lo":[0.1,0.2],"hi":[0.5,0.6],"sel":0.21,"id":8}
+//! ← {"id":8,"ack":true,"lsn":4312,"gen":6}
+//! ```
+//!
+//! The `lsn` in the acknowledgement is the record's write-ahead-log
+//! sequence number: once a client holds it, the record survives any
+//! crash. `gen` is the model generation current at ack time. Feedback on
+//! a server started without a durable store answers an error; feedback
+//! that admission control would shed also answers an error (never a
+//! fake ack) so a client can retry.
 
 use crate::json::{parse, Json};
 use selearn_obs::json::{escape_into, fmt_f64_into};
@@ -67,9 +82,72 @@ impl Request {
     }
 }
 
+/// A parsed feedback line: an estimate-shaped box plus the observed
+/// selectivity to learn from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Feedback {
+    /// Model name the feedback is for (`"default"` when omitted).
+    pub est: String,
+    /// Lower corner of the observed query box.
+    pub lo: Vec<f64>,
+    /// Upper corner of the observed query box.
+    pub hi: Vec<f64>,
+    /// The observed selectivity in `[0, 1]`.
+    pub sel: f64,
+    /// Client correlation id, echoed in the acknowledgement.
+    pub id: Option<u64>,
+}
+
+impl Feedback {
+    /// Renders the feedback as one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = Request {
+            est: self.est.clone(),
+            lo: self.lo.clone(),
+            hi: self.hi.clone(),
+            id: self.id,
+        }
+        .to_json();
+        out.pop(); // the '}'
+        out.push_str(",\"sel\":");
+        fmt_f64_into(&mut out, self.sel);
+        out.push('}');
+        out
+    }
+}
+
+/// One parsed inbound line: an estimate request or a feedback record,
+/// told apart by the presence of a `"sel"` key.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestLine {
+    /// An estimate request.
+    Estimate(Request),
+    /// A feedback record for the online model.
+    Feedback(Feedback),
+}
+
+impl RequestLine {
+    /// The correlation id, whichever kind of line this is.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            RequestLine::Estimate(r) => r.id,
+            RequestLine::Feedback(f) => f.id,
+        }
+    }
+}
+
 /// Parses one request line. The error string is safe to echo back to the
 /// client (it never contains request content, only positions/shapes).
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    match parse_line(line)? {
+        RequestLine::Estimate(req) => Ok(req),
+        RequestLine::Feedback(_) => Err("unexpected \"sel\" in an estimate request".into()),
+    }
+}
+
+/// Parses one inbound line, classifying it as an estimate request or a
+/// feedback record. Error strings are safe to echo back to the client.
+pub fn parse_line(line: &str) -> Result<RequestLine, String> {
     let v = parse(line)?;
     if !matches!(v, Json::Obj(_)) {
         return Err("request must be a JSON object".into());
@@ -111,7 +189,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         Some(_) => return Err("\"id\" must be a non-negative integer".into()),
     };
-    Ok(Request { est, lo, hi, id })
+    match v.get("sel") {
+        None => Ok(RequestLine::Estimate(Request { est, lo, hi, id })),
+        Some(Json::Num(sel)) => Ok(RequestLine::Feedback(Feedback {
+            est,
+            lo,
+            hi,
+            sel: *sel,
+            id,
+        })),
+        Some(_) => Err("\"sel\" must be a number".into()),
+    }
 }
 
 /// Why a response fell back to the uniform-selectivity answer.
@@ -156,6 +244,15 @@ pub enum Response {
         /// `true` when served from the estimate cache.
         cached: bool,
     },
+    /// A durable acknowledgement of a feedback record.
+    Ack {
+        /// Echoed request id.
+        id: Option<u64>,
+        /// The record's WAL sequence number — the durability token.
+        lsn: u64,
+        /// Model generation current when the ack was issued.
+        generation: u64,
+    },
     /// A per-request error (connection stays open).
     Error {
         /// Echoed request id, when the line parsed far enough to have one.
@@ -197,6 +294,15 @@ impl Response {
                 out.push_str(",\"cached\":");
                 out.push_str(if *cached { "true" } else { "false" });
                 out.push('}');
+            }
+            Response::Ack {
+                id,
+                lsn,
+                generation,
+            } => {
+                out.push('{');
+                push_id(&mut out, *id);
+                out.push_str(&format!("\"ack\":true,\"lsn\":{lsn},\"gen\":{generation}}}"));
             }
             Response::Error { id, message } => {
                 out.push('{');
@@ -253,6 +359,45 @@ mod tests {
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn feedback_lines_are_classified_by_sel() {
+        let fb = Feedback {
+            est: DEFAULT_MODEL.into(),
+            lo: vec![0.1, 0.2],
+            hi: vec![0.5, 0.6],
+            sel: 0.21,
+            id: Some(8),
+        };
+        match parse_line(&fb.to_json()).unwrap() {
+            RequestLine::Feedback(parsed) => assert_eq!(parsed, fb),
+            other => panic!("expected feedback, got {other:?}"),
+        }
+        // The same box without "sel" is an estimate request.
+        let line = r#"{"lo":[0.1,0.2],"hi":[0.5,0.6],"id":8}"#;
+        assert!(matches!(
+            parse_line(line).unwrap(),
+            RequestLine::Estimate(_)
+        ));
+        // parse_request refuses feedback lines rather than dropping "sel".
+        assert!(parse_request(&fb.to_json()).is_err());
+        // Non-numeric "sel" is rejected.
+        assert!(parse_line(r#"{"lo":[0.1],"hi":[0.2],"sel":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn ack_renders_valid_json() {
+        let ack = Response::Ack {
+            id: Some(8),
+            lsn: 4312,
+            generation: 6,
+        };
+        let line = ack.to_json();
+        assert!(selearn_obs::json::validate_json_object(&line), "{line}");
+        assert!(line.contains("\"ack\":true"));
+        assert!(line.contains("\"lsn\":4312"));
+        assert!(line.contains("\"gen\":6"));
     }
 
     #[test]

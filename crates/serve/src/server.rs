@@ -38,10 +38,11 @@
 //! answers.
 
 use crate::cache::{CacheKey, EstimateCache};
-use crate::protocol::{parse_request, DegradeReason, Request, Response};
+use crate::feedback::FeedbackSink;
+use crate::protocol::{parse_line, DegradeReason, Feedback, Request, RequestLine, Response};
 use crate::queue::BoundedQueue;
 use crate::registry::{uniform_fallback, ModelRegistry};
-use selearn_core::{quantize_rect_key, SharedEstimator};
+use selearn_core::{quantize_rect_key, SharedEstimator, TrainingQuery};
 use selearn_geom::{Range, Rect};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +103,7 @@ pub struct ServeStats {
     swap_degraded: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    feedback_acks: AtomicU64,
 }
 
 macro_rules! stat_getters {
@@ -128,6 +130,8 @@ impl ServeStats {
         errors <- errors;
         /// Connections accepted over the server's lifetime.
         connections <- connections;
+        /// Feedback records durably acknowledged.
+        feedback_acks <- feedback_acks;
     }
 
     /// All uniform-fallback answers, regardless of reason.
@@ -222,7 +226,20 @@ impl ServerHandle {
 }
 
 /// Binds, spawns the acceptor + worker pool, and returns immediately.
+/// Feedback lines answer an error; use [`start_with_feedback`] to accept
+/// them.
 pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
+    start_with_feedback(config, registry, None)
+}
+
+/// [`start`], plus a [`FeedbackSink`] that feedback lines are routed to.
+/// With `None`, feedback lines answer a per-request error and the
+/// connection stays open.
+pub fn start_with_feedback(
+    config: ServerConfig,
+    registry: Arc<ModelRegistry>,
+    sink: Option<Arc<dyn FeedbackSink>>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -242,9 +259,10 @@ pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Res
             let registry = Arc::clone(&registry);
             let cache = Arc::clone(&cache);
             let stats = Arc::clone(&stats);
+            let sink = sink.clone();
             let config = config.clone();
             std::thread::spawn(move || {
-                worker_loop(&queue, &registry, &cache, &stats, &config);
+                worker_loop(&queue, &registry, &cache, &stats, sink.as_ref(), &config);
             })
         })
         .collect();
@@ -389,9 +407,17 @@ fn read_connection(
 fn shed(job: Job, registry: &ModelRegistry, stats: &ServeStats) {
     stats.shed.fetch_add(1, Ordering::Relaxed);
     selearn_obs::counter_add("serve.requests_shed", 1);
-    let response = match parse_request(&job.line) {
+    let response = match parse_line(&job.line) {
         Err(message) => error_response(stats, None, message),
-        Ok(req) => match registry.slot(&req.est) {
+        // A degraded *estimate* is a sane answer; a degraded *ack* would
+        // be a lie about durability — shed feedback answers an error so
+        // the client knows to retry.
+        Ok(RequestLine::Feedback(fb)) => error_response(
+            stats,
+            fb.id,
+            "server overloaded: feedback not recorded, retry".into(),
+        ),
+        Ok(RequestLine::Estimate(req)) => match registry.slot(&req.est) {
             None => error_response(stats, req.id, format!("unknown model \"{}\"", req.est)),
             Some(slot) => degraded_response(&req, slot.root(), DegradeReason::Shed, job.received),
         },
@@ -411,6 +437,7 @@ fn worker_loop(
     registry: &ModelRegistry,
     cache: &EstimateCache,
     stats: &ServeStats,
+    sink: Option<&Arc<dyn FeedbackSink>>,
     config: &ServerConfig,
 ) {
     let mut jobs: Vec<Job> = Vec::with_capacity(MAX_WORKER_BATCH);
@@ -421,7 +448,9 @@ fn worker_loop(
         prepared.clear();
         ranges.clear();
         for job in &jobs {
-            prepared.push(prepare_job(job, registry, cache, stats, config, &mut ranges));
+            prepared.push(prepare_job(
+                job, registry, cache, stats, sink, config, &mut ranges,
+            ));
         }
         sels.clear();
         sels.resize(ranges.len(), 0.0);
@@ -477,18 +506,24 @@ fn worker_loop(
 
 /// The per-request prepare pass: parse → deadline check → cache → model
 /// handle. Requests that need a model evaluation push their query into
-/// `ranges` and defer to the worker's batched `estimate_into`.
+/// `ranges` and defer to the worker's batched `estimate_into`; feedback
+/// lines are answered inline through the sink.
+#[allow(clippy::too_many_arguments)]
 fn prepare_job(
     job: &Job,
     registry: &ModelRegistry,
     cache: &EstimateCache,
     stats: &ServeStats,
+    sink: Option<&Arc<dyn FeedbackSink>>,
     config: &ServerConfig,
     ranges: &mut Vec<Range>,
 ) -> Prepared {
     let _guard = selearn_obs::span!("serve.request");
-    let req = match parse_request(&job.line) {
-        Ok(req) => req,
+    let req = match parse_line(&job.line) {
+        Ok(RequestLine::Estimate(req)) => req,
+        Ok(RequestLine::Feedback(fb)) => {
+            return Prepared::Ready(ingest_feedback(&fb, registry, stats, sink));
+        }
         Err(message) => return Prepared::Ready(error_response(stats, None, message)),
     };
     let Some(slot) = registry.slot(&req.est) else {
@@ -575,6 +610,56 @@ fn prepare_job(
         model,
         cache_key,
         slot: slot_idx,
+    }
+}
+
+/// The feedback path, run inline on the worker: validate the box against
+/// the named model's data space, then hand it to the sink. The returned
+/// LSN is a durability token — it is only ever sent after the sink's
+/// log-before-observe append succeeded.
+fn ingest_feedback(
+    fb: &Feedback,
+    registry: &ModelRegistry,
+    stats: &ServeStats,
+    sink: Option<&Arc<dyn FeedbackSink>>,
+) -> Response {
+    let Some(sink) = sink else {
+        return error_response(
+            stats,
+            fb.id,
+            "feedback not enabled: start the server with --store-dir".into(),
+        );
+    };
+    let Some(slot) = registry.slot(&fb.est) else {
+        return error_response(stats, fb.id, format!("unknown model \"{}\"", fb.est));
+    };
+    if fb.lo.len() != slot.root().dim() {
+        return error_response(
+            stats,
+            fb.id,
+            format!(
+                "model \"{}\" is {}-dimensional, feedback is {}-dimensional",
+                fb.est,
+                slot.root().dim(),
+                fb.lo.len()
+            ),
+        );
+    }
+    let rect = match Rect::try_new(fb.lo.clone(), fb.hi.clone()) {
+        Ok(r) => r,
+        Err(e) => return error_response(stats, fb.id, format!("bad feedback box: {e}")),
+    };
+    match sink.observe(TrainingQuery::new(rect, fb.sel)) {
+        Ok(ack) => {
+            stats.feedback_acks.fetch_add(1, Ordering::Relaxed);
+            selearn_obs::counter_add("serve.feedback_acks", 1);
+            Response::Ack {
+                id: fb.id,
+                lsn: ack.lsn,
+                generation: ack.generation,
+            }
+        }
+        Err(e) => error_response(stats, fb.id, format!("feedback rejected: {e}")),
     }
 }
 

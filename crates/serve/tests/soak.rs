@@ -3,11 +3,12 @@
 
 use selearn_core::{SelectivityEstimator, SharedEstimator};
 use selearn_geom::{Range, Rect};
-use selearn_serve::synth::{synthetic_model, synthetic_requests};
+use selearn_serve::synth::{synthetic_model, synthetic_requests, synthetic_selectivity};
 use selearn_serve::{
-    run_load, start, Client, DegradeReason, LoadOptions, ModelRegistry, Request, Response,
-    ServerConfig, DEFAULT_MODEL,
+    run_load, start, start_with_feedback, Client, DegradeReason, DurableFeedback, FeedbackSink,
+    LoadOptions, ModelRegistry, Request, Response, ServerConfig, DEFAULT_MODEL,
 };
+use selearn_store::{ModelStore, StoreConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -289,6 +290,218 @@ fn open_loop_load_reports_latency() {
     assert_eq!(report.ok + report.degraded, 400);
     assert!(report.percentile_us(0.5) > 0.0);
     assert!(report.percentile_us(0.99) >= report.percentile_us(0.5));
+    handle.shutdown();
+}
+
+#[test]
+fn kill_and_restart_loses_no_acknowledged_feedback() {
+    // The durability soak: a server with a WAL'd feedback store takes 2k
+    // mixed requests, gets killed mid-stream with pipelined feedback
+    // still in flight (no final checkpoint, no clean close), and is
+    // restarted on the same directory. Every acknowledged record must
+    // survive, and LSNs/generations must resume monotonically.
+    let dir = std::env::temp_dir().join(format!("selearn-soak-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_config = || {
+        let mut c = StoreConfig::new(Rect::unit(2));
+        c.refit_every = 16;
+        c.history_cap = 256;
+        c.quadhist.max_leaves = 24;
+        c
+    };
+    let bx = |i: usize| -> (Vec<f64>, Vec<f64>) {
+        let a = (i % 37) as f64 / 37.0;
+        let b = (i % 23) as f64 / 23.0;
+        let lo = vec![a * 0.55, b * 0.5];
+        let hi = vec![(a * 0.55 + 0.35).min(1.0), (b * 0.5 + 0.4).min(1.0)];
+        (lo, hi)
+    };
+
+    // Phase 1: serve with a durable sink under a checkpoint-every-64
+    // cadence, interleaving feedback (even ids) with estimates (odd).
+    let (model, root) = synthetic_model(2, 200, 11).expect("synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root);
+    let store = ModelStore::open(&dir, store_config()).expect("open store");
+    let durable = Arc::new(DurableFeedback::new(
+        store,
+        Arc::clone(&registry),
+        DEFAULT_MODEL,
+        64,
+    ));
+    let handle = start_with_feedback(
+        ServerConfig::default(),
+        Arc::clone(&registry),
+        Some(Arc::clone(&durable) as Arc<dyn FeedbackSink>),
+    )
+    .expect("start");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let mut acked: Vec<(u64, u64)> = Vec::new(); // (lsn, generation)
+    for i in 0..1200usize {
+        let (lo, hi) = bx(i);
+        if i % 2 == 0 {
+            let sel = synthetic_selectivity(&lo, &hi);
+            let fb = selearn_serve::Feedback {
+                est: DEFAULT_MODEL.into(),
+                lo,
+                hi,
+                sel,
+                id: Some(i as u64),
+            };
+            match client.feedback(&fb).expect("feedback") {
+                Response::Ack {
+                    lsn, generation, ..
+                } => acked.push((lsn, generation)),
+                other => panic!("feedback got {other:?}"),
+            }
+        } else {
+            let resp = client
+                .call(&Request {
+                    est: DEFAULT_MODEL.into(),
+                    lo,
+                    hi,
+                    id: Some(i as u64),
+                })
+                .expect("estimate");
+            assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
+        }
+    }
+    // The kill: pipeline the remaining 800 without waiting, and shut the
+    // server down underneath them. In-flight feedback either acks (and
+    // must then survive) or errors/vanishes (and owes the client nothing)
+    // — what must never happen is an ack for a record that's gone.
+    for i in 1200..2000usize {
+        let (lo, hi) = bx(i);
+        let sel = synthetic_selectivity(&lo, &hi);
+        let fb = selearn_serve::Feedback {
+            est: DEFAULT_MODEL.into(),
+            lo,
+            hi,
+            sel,
+            id: Some(i as u64),
+        };
+        if client.send_line(&fb.to_json()).is_err() {
+            break; // server already tore the connection down
+        }
+    }
+    let killer = std::thread::spawn(move || handle.shutdown());
+    loop {
+        match client.recv() {
+            Ok(Response::Ack {
+                lsn, generation, ..
+            }) => acked.push((lsn, generation)),
+            Ok(_) => {}
+            Err(_) => break, // EOF: the server is gone
+        }
+    }
+    killer.join().expect("killer");
+    drop(client);
+    // Crash semantics: drop the store with the WAL tail unsnapshotted.
+    assert!(
+        durable.store().unflushed_records() > 0 || durable.store().generation() > 0,
+        "test must exercise a non-trivial store state"
+    );
+    drop(durable);
+    drop(registry);
+
+    // Restart: recovery must cover every acknowledged record.
+    let store = ModelStore::open(&dir, store_config()).expect("recover");
+    assert!(acked.len() >= 600, "expected most feedback acked");
+    let max_lsn = acked.iter().map(|a| a.0).max().expect("acks");
+    let max_gen = acked.iter().map(|a| a.1).max().expect("acks");
+    assert!(
+        store.last_lsn() >= max_lsn,
+        "lost acknowledged records: recovered to lsn {}, acked through {max_lsn}",
+        store.last_lsn()
+    );
+    assert!(
+        store.generation() >= max_gen,
+        "generation went backwards across the restart"
+    );
+    let mut lsns: Vec<u64> = acked.iter().map(|a| a.0).collect();
+    lsns.sort_unstable();
+    lsns.dedup();
+    assert_eq!(lsns.len(), acked.len(), "duplicate ack LSNs");
+
+    // Phase 2: resume serving on the recovered store. LSNs continue
+    // gaplessly from the recovered tail; generations only move forward.
+    let recovered_lsn = store.last_lsn();
+    let recovered_gen = store.generation();
+    let (model, root) = synthetic_model(2, 200, 11).expect("synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root);
+    let durable = Arc::new(DurableFeedback::new(
+        store,
+        Arc::clone(&registry),
+        DEFAULT_MODEL,
+        64,
+    ));
+    let handle = start_with_feedback(
+        ServerConfig::default(),
+        Arc::clone(&registry),
+        Some(Arc::clone(&durable) as Arc<dyn FeedbackSink>),
+    )
+    .expect("restart");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("reconnect");
+    for i in 0..100usize {
+        let (lo, hi) = bx(i * 7);
+        let sel = synthetic_selectivity(&lo, &hi);
+        let fb = selearn_serve::Feedback {
+            est: DEFAULT_MODEL.into(),
+            lo,
+            hi,
+            sel,
+            id: Some(i as u64),
+        };
+        match client.feedback(&fb).expect("post-restart feedback") {
+            Response::Ack {
+                lsn, generation, ..
+            } => {
+                assert_eq!(
+                    lsn,
+                    recovered_lsn + i as u64 + 1,
+                    "LSNs must resume gaplessly after recovery"
+                );
+                assert!(generation >= recovered_gen, "generation regressed");
+            }
+            other => panic!("post-restart feedback got {other:?}"),
+        }
+    }
+    let final_gen = durable.checkpoint_now().expect("final checkpoint");
+    assert!(final_gen > max_gen, "generations must stay monotone");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn feedback_without_a_store_answers_a_typed_error() {
+    let (handle, _root) = serve_synthetic(ServerConfig::default());
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let fb = selearn_serve::Feedback {
+        est: DEFAULT_MODEL.into(),
+        lo: vec![0.1, 0.1],
+        hi: vec![0.4, 0.4],
+        sel: 0.2,
+        id: Some(1),
+    };
+    let resp = client.feedback(&fb).expect("feedback");
+    let Response::Error { id, message } = resp else {
+        panic!("expected error, got {resp:?}");
+    };
+    assert_eq!(id, Some(1));
+    assert!(message.contains("--store-dir"), "{message}");
+    // The connection still serves estimates afterwards.
+    let resp = client
+        .call(&Request {
+            est: DEFAULT_MODEL.into(),
+            lo: vec![0.1, 0.1],
+            hi: vec![0.4, 0.4],
+            id: None,
+        })
+        .expect("estimate after rejected feedback");
+    assert!(matches!(resp, Response::Estimate { .. }));
     handle.shutdown();
 }
 

@@ -1,0 +1,242 @@
+//! Binary encoding of one WAL payload: an LSN plus the observed
+//! `(query, selectivity)` feedback.
+//!
+//! Layout (all integers little-endian, floats as IEEE-754 bit patterns):
+//!
+//! ```text
+//! u64 lsn | f64 selectivity | u8 tag | u16 dim | coords…
+//!   tag 'R' (rect):      dim × f64 lo, dim × f64 hi
+//!   tag 'B' (ball):      dim × f64 center, f64 radius
+//!   tag 'H' (halfspace): dim × f64 normal, f64 offset
+//! ```
+//!
+//! Semi-algebraic queries carry an arbitrary formula tree and are not
+//! encodable in a fixed layout; the store rejects them with a typed
+//! error *before* anything touches the log, so the WAL never contains a
+//! record replay cannot reconstruct.
+
+use selearn_core::{SelearnError, TrainingQuery};
+use selearn_geom::{Ball, Halfspace, Point, Range, Rect};
+
+/// One decoded WAL record.
+#[derive(Clone, Debug)]
+pub struct FeedbackRecord {
+    /// Log sequence number (1-based, strictly increasing by 1).
+    pub lsn: u64,
+    /// The feedback observation.
+    pub feedback: TrainingQuery,
+}
+
+const TAG_RECT: u8 = b'R';
+const TAG_BALL: u8 = b'B';
+const TAG_HALFSPACE: u8 = b'H';
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Serializes one record payload (no framing — the WAL adds length and
+/// CRC). Returns [`SelearnError::UnsupportedQuery`] for query families the
+/// fixed layout cannot carry.
+pub fn encode_payload(lsn: u64, feedback: &TrainingQuery, out: &mut Vec<u8>) -> Result<(), SelearnError> {
+    out.extend_from_slice(&lsn.to_le_bytes());
+    put_f64(out, feedback.selectivity);
+    match &feedback.range {
+        Range::Rect(r) => {
+            out.push(TAG_RECT);
+            out.extend_from_slice(&(r.dim() as u16).to_le_bytes());
+            for &c in r.lo() {
+                put_f64(out, c);
+            }
+            for &c in r.hi() {
+                put_f64(out, c);
+            }
+        }
+        Range::Ball(b) => {
+            out.push(TAG_BALL);
+            out.extend_from_slice(&(b.dim() as u16).to_le_bytes());
+            for &c in b.center().coords() {
+                put_f64(out, c);
+            }
+            put_f64(out, b.radius());
+        }
+        Range::Halfspace(h) => {
+            out.push(TAG_HALFSPACE);
+            out.extend_from_slice(&(h.dim() as u16).to_le_bytes());
+            for &c in h.normal() {
+                put_f64(out, c);
+            }
+            put_f64(out, h.offset());
+        }
+        Range::SemiAlgebraic { .. } => {
+            return Err(SelearnError::UnsupportedQuery {
+                model: "selearn-store",
+                query: lsn as usize,
+                what: "semi-algebraic feedback has no fixed wire layout and cannot be logged",
+            });
+        }
+    }
+    Ok(())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let s = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )),
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn f64_vec(&mut self, n: usize) -> Result<Vec<f64>, String> {
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+/// Deserializes one record payload. Errors are descriptive strings — the
+/// WAL scanner decides whether a failure is a truncatable torn tail or a
+/// typed corruption error, based on where in the log it happened.
+pub fn decode_payload(payload: &[u8]) -> Result<FeedbackRecord, String> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let lsn = c.u64()?;
+    let selectivity = c.f64()?;
+    let tag = c.u8()?;
+    let dim = c.u16()? as usize;
+    if dim == 0 || dim > 64 {
+        return Err(format!("implausible dimension {dim}"));
+    }
+    let range: Range = match tag {
+        TAG_RECT => {
+            let lo = c.f64_vec(dim)?;
+            let hi = c.f64_vec(dim)?;
+            Rect::try_new(lo, hi).map_err(|e| e.to_string())?.into()
+        }
+        TAG_BALL => {
+            let center = c.f64_vec(dim)?;
+            let radius = c.f64()?;
+            Ball::try_new(Point::new(center), radius)
+                .map_err(|e| e.to_string())?
+                .into()
+        }
+        TAG_HALFSPACE => {
+            let normal = c.f64_vec(dim)?;
+            let offset = c.f64()?;
+            Halfspace::try_new(normal, offset)
+                .map_err(|e| e.to_string())?
+                .into()
+        }
+        other => return Err(format!("unknown range tag 0x{other:02x}")),
+    };
+    if c.pos != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after a complete record",
+            payload.len() - c.pos
+        ));
+    }
+    if !selectivity.is_finite() || selectivity < 0.0 {
+        return Err(format!("invalid logged selectivity {selectivity}"));
+    }
+    Ok(FeedbackRecord {
+        lsn,
+        feedback: TrainingQuery { range, selectivity },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(q: TrainingQuery) -> FeedbackRecord {
+        let mut buf = Vec::new();
+        encode_payload(42, &q, &mut buf).expect("encode");
+        decode_payload(&buf).expect("decode")
+    }
+
+    #[test]
+    fn rect_round_trip_is_bitwise() {
+        let q = TrainingQuery::new(Rect::new(vec![0.1, 0.2], vec![0.5, 0.9]), 0.1 + 0.2);
+        let r = round_trip(q.clone());
+        assert_eq!(r.lsn, 42);
+        assert_eq!(r.feedback.selectivity.to_bits(), q.selectivity.to_bits());
+        let Range::Rect(rect) = &r.feedback.range else {
+            panic!("wrong family");
+        };
+        assert_eq!(rect.lo(), &[0.1, 0.2]);
+        assert_eq!(rect.hi(), &[0.5, 0.9]);
+    }
+
+    #[test]
+    fn ball_and_halfspace_round_trip() {
+        let b = TrainingQuery::new(Ball::new(Point::new(vec![0.5, 0.5, 0.5]), 0.25), 0.3);
+        let r = round_trip(b);
+        assert!(matches!(r.feedback.range, Range::Ball(_)));
+
+        let h = TrainingQuery::new(Halfspace::new(vec![1.0, -2.0], 0.5), 0.7);
+        let r = round_trip(h);
+        let Range::Halfspace(hs) = &r.feedback.range else {
+            panic!("wrong family");
+        };
+        assert_eq!(hs.offset(), 0.5);
+    }
+
+    #[test]
+    fn semialgebraic_is_rejected_before_logging() {
+        use selearn_geom::SemiAlgebraicSet;
+        let set = SemiAlgebraicSet::disc_intersection_query(0.5, 0.5, 0.1);
+        let q = TrainingQuery::new(Range::SemiAlgebraic { set, dim: 2 }, 0.1);
+        let mut buf = Vec::new();
+        let err = encode_payload(7, &q, &mut buf).unwrap_err();
+        assert!(matches!(err, SelearnError::UnsupportedQuery { .. }));
+    }
+
+    #[test]
+    fn truncated_and_garbage_payloads_are_rejected() {
+        let q = TrainingQuery::new(Rect::new(vec![0.0], vec![1.0]), 0.5);
+        let mut buf = Vec::new();
+        encode_payload(1, &q, &mut buf).expect("encode");
+        for cut in 0..buf.len() {
+            assert!(decode_payload(&buf[..cut]).is_err(), "accepted prefix {cut}");
+        }
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(decode_payload(&long).is_err(), "accepted trailing bytes");
+        let mut bad_tag = buf.clone();
+        bad_tag[16] = b'Z';
+        assert!(decode_payload(&bad_tag).is_err(), "accepted unknown tag");
+    }
+}

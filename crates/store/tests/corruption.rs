@@ -1,0 +1,274 @@
+//! The corruption matrix: deliberate on-disk damage × expected behavior.
+//!
+//! Crashes tear the *tail* of the log; bit rot, operator error, and
+//! partial restores damage *anything*. The store's contract is that every
+//! damage class is either repaired silently (when provably just a torn
+//! tail), survived via a documented fallback (older checkpoint), or
+//! reported as a typed [`SelearnError`] — never a panic, never silently
+//! wrong data.
+//!
+//! | damage                                | expected                       |
+//! |---------------------------------------|--------------------------------|
+//! | bit flip in last WAL segment tail     | truncated, clean recovery      |
+//! | bit flip in non-last WAL segment      | `WalCorrupt`                   |
+//! | bit flip in newest checkpoint         | fallback to older generation   |
+//! | wrong segment magic                   | `WalCorrupt`                   |
+//! | zero-length last segment              | removed, clean recovery        |
+//! | zero-length middle segment            | `WalCorrupt`                   |
+//! | duplicate LSN (CRC-valid replay)      | `WalCorrupt`                   |
+//! | manifest → missing checkpoint         | fallback to surviving one      |
+//! | manifest garbage                      | fallback via checkpoint scan   |
+//! | every checkpoint + manifest destroyed | fresh replay iff WAL is whole  |
+
+use std::path::{Path, PathBuf};
+
+use selearn_core::{SelearnError, SelectivityEstimator, TrainingQuery};
+use selearn_geom::{Range, Rect};
+use selearn_store::checkpoint::checkpoint_name;
+use selearn_store::wal::scan_wal;
+use selearn_store::{ModelStore, StdVfs, StoreConfig};
+
+fn test_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "selearn-corrupt-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn config() -> StoreConfig {
+    let mut c = StoreConfig::new(Rect::unit(2));
+    c.refit_every = 6;
+    c.history_cap = 64;
+    c.segment_bytes = 300;
+    c
+}
+
+fn feedback(i: usize) -> TrainingQuery {
+    let a = ((i % 29) as f64 + 1.0) / 30.0;
+    TrainingQuery::new(Rect::new(vec![0.0, a / 3.0], vec![a, 0.85]), a * 0.7)
+}
+
+fn probes() -> Vec<Range> {
+    (0..15)
+        .map(|i| {
+            let a = (i as f64 + 0.5) / 15.0;
+            Rect::new(vec![0.0, a / 4.0], vec![a, 0.9]).into()
+        })
+        .collect()
+}
+
+/// Seeds a store: `n` records, checkpointing after each `ckpt_at` count.
+/// Returns the generations created.
+fn seed(dir: &Path, n: usize, ckpt_every: usize) -> Vec<u64> {
+    let mut store = ModelStore::open(dir, config()).expect("seed open");
+    let mut gens = Vec::new();
+    for i in 0..n {
+        store.observe(feedback(i)).expect("seed observe");
+        if (i + 1) % ckpt_every == 0 {
+            gens.push(store.checkpoint().expect("seed checkpoint"));
+        }
+    }
+    gens
+}
+
+fn flip_byte(path: &Path, offset_from: FlipAt, bit: u8) {
+    let mut bytes = std::fs::read(path).expect("read victim");
+    let at = match offset_from {
+        FlipAt::Offset(o) => o.min(bytes.len() - 1),
+        FlipAt::Middle => bytes.len() / 2,
+        FlipAt::FromEnd(o) => bytes.len().saturating_sub(o),
+    };
+    bytes[at] ^= bit;
+    std::fs::write(path, bytes).expect("write victim");
+}
+
+enum FlipAt {
+    Offset(usize),
+    Middle,
+    FromEnd(usize),
+}
+
+#[test]
+fn bit_flip_in_last_segment_tail_is_truncated() {
+    let dir = test_dir("tail-flip");
+    seed(&dir, 20, 50); // no checkpoint: everything lives in the WAL
+    let scan = scan_wal(&StdVfs, &dir).expect("scan");
+    let last = scan.segments.last().expect("segments").name.clone();
+    // Damage the final record's payload: CRC fails, tail truncated.
+    flip_byte(&dir.join(&last), FlipAt::FromEnd(5), 0x10);
+    let store = ModelStore::open(&dir, config()).expect("recover");
+    assert!(store.recovery().torn_tail.is_some());
+    assert!(store.recovery().truncated_bytes > 0);
+    assert!(store.last_lsn() < 20, "damaged record was kept");
+    assert!(store.last_lsn() >= 19 - 1, "truncated more than the tail");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_in_earlier_segment_is_typed_corruption() {
+    let dir = test_dir("mid-flip");
+    seed(&dir, 20, 50);
+    let scan = scan_wal(&StdVfs, &dir).expect("scan");
+    assert!(scan.segments.len() >= 2, "need rotation");
+    let first = scan.segments[0].name.clone();
+    flip_byte(&dir.join(&first), FlipAt::Offset(30), 0x04);
+    let err = ModelStore::open(&dir, config()).unwrap_err();
+    assert!(matches!(err, SelearnError::WalCorrupt { .. }), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_in_newest_checkpoint_falls_back_a_generation() {
+    let dir = test_dir("ckpt-flip");
+    let gens = seed(&dir, 24, 8); // generations 1, 2, 3
+    assert_eq!(gens, vec![1, 2, 3]);
+    flip_byte(&dir.join(checkpoint_name(3)), FlipAt::Middle, 0x01);
+    let store = ModelStore::open(&dir, config()).expect("recover");
+    assert!(store.recovery().manifest_fallback);
+    assert_eq!(store.recovery().generation, 2);
+    assert_eq!(store.last_lsn(), 24, "fallback lost acknowledged records");
+    // Fallback replays a longer tail, landing on the same state.
+    let oracle_dir = test_dir("ckpt-flip-oracle");
+    seed(&oracle_dir, 24, 8);
+    let oracle = ModelStore::open(&oracle_dir, config()).expect("oracle");
+    for (i, q) in probes().iter().enumerate() {
+        assert_eq!(
+            store.model().estimate(q).to_bits(),
+            oracle.model().estimate(q).to_bits(),
+            "probe {i} diverged after checkpoint fallback"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&oracle_dir);
+}
+
+#[test]
+fn wrong_segment_magic_is_typed_corruption() {
+    let dir = test_dir("magic");
+    seed(&dir, 6, 50);
+    let scan = scan_wal(&StdVfs, &dir).expect("scan");
+    let name = scan.segments[0].name.clone();
+    flip_byte(&dir.join(&name), FlipAt::Offset(0), 0xFF);
+    let err = ModelStore::open(&dir, config()).unwrap_err();
+    assert!(matches!(err, SelearnError::WalCorrupt { .. }), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_length_last_segment_is_cleaned_up() {
+    let dir = test_dir("zero-last");
+    seed(&dir, 10, 50);
+    let scan = scan_wal(&StdVfs, &dir).expect("scan");
+    let next = scan.next_lsn;
+    // A crash immediately after segment creation: empty file.
+    std::fs::write(dir.join(format!("wal-{next:020}.seg")), b"").expect("empty segment");
+    let mut store = ModelStore::open(&dir, config()).expect("recover");
+    assert_eq!(store.last_lsn(), 10);
+    assert!(store.recovery().torn_tail.is_some());
+    // The debris is gone and the LSN sequence continues unharmed.
+    assert_eq!(store.observe(feedback(11)).expect("observe"), 11);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_length_middle_segment_is_typed_corruption() {
+    let dir = test_dir("zero-mid");
+    seed(&dir, 20, 50);
+    let scan = scan_wal(&StdVfs, &dir).expect("scan");
+    assert!(scan.segments.len() >= 2, "need rotation");
+    std::fs::write(dir.join(&scan.segments[0].name), b"").expect("truncate to zero");
+    let err = ModelStore::open(&dir, config()).unwrap_err();
+    assert!(matches!(err, SelearnError::WalCorrupt { .. }), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_lsn_is_typed_corruption_even_with_valid_crc() {
+    let dir = test_dir("dup-lsn");
+    seed(&dir, 8, 50);
+    let scan = scan_wal(&StdVfs, &dir).expect("scan");
+    let seg = scan.segments.last().expect("segments");
+    let path = dir.join(&seg.name);
+    let bytes = std::fs::read(&path).expect("read");
+    // Re-append the final record's frame verbatim: its CRC passes, but
+    // its LSN repeats — a replayed write, not a torn one.
+    let &(_, end) = seg.record_ends.last().expect("records");
+    let start = seg.record_ends.len().checked_sub(2).map_or(16, |i| seg.record_ends[i].1) as usize;
+    let frame = bytes[start..end as usize].to_vec();
+    let mut grown = bytes;
+    grown.extend_from_slice(&frame);
+    std::fs::write(&path, grown).expect("write");
+    let err = ModelStore::open(&dir, config()).unwrap_err();
+    match err {
+        SelearnError::WalCorrupt { what, .. } => {
+            assert!(what.contains("out of sequence"), "{what}")
+        }
+        other => panic!("expected WalCorrupt, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_pointing_at_missing_checkpoint_falls_back() {
+    let dir = test_dir("dangling-manifest");
+    let gens = seed(&dir, 16, 8); // generations 1, 2; manifest says 2
+    assert_eq!(gens, vec![1, 2]);
+    std::fs::remove_file(dir.join(checkpoint_name(2))).expect("rm checkpoint");
+    let store = ModelStore::open(&dir, config()).expect("recover");
+    assert!(store.recovery().manifest_fallback);
+    assert_eq!(store.recovery().generation, 1);
+    assert_eq!(store.last_lsn(), 16, "fallback lost acknowledged records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_manifest_falls_back_to_checkpoint_scan() {
+    let dir = test_dir("garbage-manifest");
+    seed(&dir, 16, 8);
+    std::fs::write(dir.join("MANIFEST"), b"\x00\xffnot a manifest").expect("scribble");
+    let store = ModelStore::open(&dir, config()).expect("recover");
+    assert!(store.recovery().manifest_fallback);
+    assert_eq!(store.recovery().generation, 2);
+    assert_eq!(store.last_lsn(), 16);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn total_checkpoint_loss_replays_from_scratch_only_if_wal_is_whole() {
+    let dir = test_dir("total-loss");
+    seed(&dir, 12, 6);
+    std::fs::remove_file(dir.join("MANIFEST")).expect("rm manifest");
+    for g in [1u64, 2] {
+        std::fs::remove_file(dir.join(checkpoint_name(g))).expect("rm checkpoint");
+    }
+    // WAL still reaches back to LSN 1 (nothing was pruned past gen 1's
+    // anchor in this short run only if segment pruning kept them —
+    // verify either full recovery or a typed error, never a panic).
+    match ModelStore::open(&dir, config()) {
+        Ok(store) => {
+            assert_eq!(store.recovery().generation, 0);
+            assert_eq!(store.last_lsn(), 12);
+        }
+        Err(e) => assert!(matches!(e, SelearnError::WalCorrupt { .. }), "{e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_change_under_existing_checkpoint_is_typed() {
+    let dir = test_dir("config-drift");
+    seed(&dir, 8, 4);
+    // A different refit interval is a different deployment: the
+    // fingerprint must refuse the checkpoint rather than silently
+    // diverge. With the checkpoint refused and the WAL whole, recovery
+    // legally falls back to a fresh replay under the *new* config.
+    let mut drifted = config();
+    drifted.refit_every = 7;
+    let store = ModelStore::open(&dir, drifted).expect("recover");
+    assert!(store.recovery().manifest_fallback);
+    assert_eq!(store.recovery().generation, 0, "foreign checkpoint was accepted");
+    assert_eq!(store.last_lsn(), 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
