@@ -1,26 +1,44 @@
-//! `perf-suite` — the fixed, versioned inference-performance suite.
+//! `perf-suite` — the fixed, versioned performance suite.
 //!
-//! Runs three measurements on a 10k-bucket 2-D QuadHist and writes one
-//! machine-readable JSON report (default `BENCH_6.json`, the PR-6 schema):
+//! Runs five measurements and writes one machine-readable JSON report
+//! (default `BENCH_7.json`, the PR-8 schema):
 //!
 //! * **single-query p50** — per-query latency of the pointer tree vs the
-//!   frozen SoA artifact, and their speedup ratio (the PR-6 acceptance
-//!   floor is 3×);
+//!   frozen SoA artifact on a 10k-bucket 2-D QuadHist, and their speedup
+//!   ratio (the PR-6 acceptance floor is 3×);
 //! * **batch throughput** — queries/second through the allocation-free
 //!   `estimate_into` batch path, tree vs frozen;
 //! * **restore** — wall time of `load_quadhist` (pointer layout) and of
 //!   `load_frozen` (straight into the frozen layout, including the
-//!   freeze compilation).
+//!   freeze compilation);
+//! * **serve** — client-observed p50/p95/p99 latency through a live
+//!   in-process `selearn-serve` TCP server under a closed-loop replay;
+//! * **wal** — per-record `ModelStore::observe` cost with durable acks,
+//!   and the cold-reopen recovery time over the resulting log.
 //!
-//! Usage: `perf-suite [--out FILE] [--buckets N] [--check-speedup X]`.
+//! Usage: `perf-suite [--out FILE] [--buckets N] [--check-speedup X]
+//! [--compare PREV.json] [--compare-slack F]`.
+//!
 //! With `--check-speedup X` the process exits non-zero when the measured
-//! single-query speedup falls below `X` — how CI enforces the floor.
+//! single-query speedup falls below `X`. With `--compare PREV.json` the
+//! fresh numbers are checked against a previous report (v6 or v7): a
+//! regression of more than `--compare-slack` (default 0.15 = 15%) in
+//! single-query frozen p50, batch frozen qps, or frozen restore time
+//! exits non-zero — how CI catches perf regressions against the
+//! committed baseline.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use selearn_core::{load_frozen, load_quadhist, save_quadhist, QuadHist, SelectivityEstimator};
+use selearn_core::{
+    load_frozen, load_quadhist, save_quadhist, QuadHist, SelectivityEstimator, TrainingQuery,
+};
 use selearn_geom::{Range, Rect, VolumeEstimator};
+use selearn_serve::{
+    json, run_load, start, synth, LoadOptions, ModelRegistry, ServerConfig, DEFAULT_MODEL,
+};
+use selearn_store::{ModelStore, StoreConfig};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// BFS-splits the unit square into at least `target` quadtree leaves with
@@ -93,14 +111,170 @@ fn batch_qps<M: SelectivityEstimator>(model: &M, queries: &[Range], repeats: usi
     (queries.len() * repeats) as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Client-observed serve latency percentiles `(p50, p95, p99)` in µs,
+/// through a live in-process server over a loopback TCP socket.
+fn serve_latency_us() -> (f64, f64, f64) {
+    let (model, root) = match synth::synthetic_model(2, 200, 11) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot fit serve bench model: {e}");
+            std::process::exit(1);
+        }
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root);
+    let handle = match start(ServerConfig::default(), registry) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start serve bench server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let pool = synth::synthetic_requests(2, 256, 23);
+    let options = LoadOptions {
+        connections: 2,
+        total_requests: 2000,
+        rate: None,
+    };
+    // Warm-up pass so connection setup and first-touch costs stay out of
+    // the measured percentiles.
+    let warm = LoadOptions {
+        total_requests: 200,
+        ..options
+    };
+    let addr = handle.addr().to_string();
+    let report = run_load(&addr, &pool, &warm)
+        .and_then(|_| run_load(&addr, &pool, &options));
+    handle.shutdown();
+    match report {
+        Ok(r) if r.errors == 0 && r.ok + r.degraded == options.total_requests as u64 => (
+            r.percentile_us(0.50),
+            r.percentile_us(0.95),
+            r.percentile_us(0.99),
+        ),
+        Ok(r) => {
+            eprintln!(
+                "serve bench lost requests: sent {} ok {} degraded {} errors {}",
+                r.sent, r.ok, r.degraded, r.errors
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("serve bench replay failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// WAL numbers with production defaults (durable acks, refit every 64):
+/// `(observe_us, recovery_ms, records)` — mean per-record observe cost
+/// over `records` appends, then the cold-reopen recovery time over the
+/// uncheckpointed log.
+fn wal_numbers(records: usize) -> (f64, f64, u64) {
+    let dir = std::env::temp_dir().join(format!("selearn-perf-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig::new(Rect::unit(2));
+    let mut store = match ModelStore::open(&dir, config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open wal bench store: {e}");
+            std::process::exit(1);
+        }
+    };
+    let t0 = Instant::now();
+    for i in 0..records {
+        let a = ((i % 23) as f64 + 1.0) / 25.0;
+        let fb = TrainingQuery::new(Rect::new(vec![0.0, a / 2.0], vec![a, 0.9]), a * 0.5);
+        if let Err(e) = store.observe(fb) {
+            eprintln!("wal bench observe failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let observe_us = t0.elapsed().as_secs_f64() * 1e6 / records as f64;
+    drop(store);
+    let t0 = Instant::now();
+    let store = match ModelStore::open(&dir, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("wal bench recovery failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let replayed = store.recovery().replayed_records;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    (observe_us, recovery_ms, replayed)
+}
+
+/// The three compared metrics of a report, in schema v6 and v7 alike.
+struct Compared {
+    frozen_p50_us: f64,
+    frozen_qps: f64,
+    restore_frozen_ms: f64,
+}
+
+/// Pulls the compared metrics out of a previous report file.
+fn load_compared(path: &str) -> Result<Compared, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let root = json::parse(&raw).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let num = |section: &str, key: &str| -> Result<f64, String> {
+        root.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(json::Json::as_num)
+            .ok_or_else(|| format!("{path} has no numeric {section}.{key}"))
+    };
+    Ok(Compared {
+        frozen_p50_us: num("single_query", "frozen_p50_us")?,
+        frozen_qps: num("batch", "frozen_qps")?,
+        restore_frozen_ms: num("restore", "frozen_ms")?,
+    })
+}
+
+/// Checks `fresh` against `prev` with `slack` relative tolerance; returns
+/// the list of human-readable regression messages (empty = pass).
+fn regressions(prev: &Compared, fresh: &Compared, slack: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    // Latencies and restore times regress upward, throughput downward.
+    if fresh.frozen_p50_us > prev.frozen_p50_us * (1.0 + slack) {
+        out.push(format!(
+            "single-query frozen p50 regressed: {:.3}us vs baseline {:.3}us (+{:.0}% allowed)",
+            fresh.frozen_p50_us,
+            prev.frozen_p50_us,
+            slack * 100.0
+        ));
+    }
+    if fresh.frozen_qps < prev.frozen_qps * (1.0 - slack) {
+        out.push(format!(
+            "batch frozen qps regressed: {:.0} vs baseline {:.0} (-{:.0}% allowed)",
+            fresh.frozen_qps,
+            prev.frozen_qps,
+            slack * 100.0
+        ));
+    }
+    if fresh.restore_frozen_ms > prev.restore_frozen_ms * (1.0 + slack) {
+        out.push(format!(
+            "frozen restore regressed: {:.3}ms vs baseline {:.3}ms (+{:.0}% allowed)",
+            fresh.restore_frozen_ms,
+            prev.restore_frozen_ms,
+            slack * 100.0
+        ));
+    }
+    out
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
     let n_buckets: usize = take_value(&mut args, "--buckets")
         .map(|v| v.parse().unwrap_or(10_000))
         .unwrap_or(10_000);
     let check_speedup: Option<f64> =
         take_value(&mut args, "--check-speedup").and_then(|v| v.parse().ok());
+    let compare_path = take_value(&mut args, "--compare");
+    let compare_slack: f64 = take_value(&mut args, "--compare-slack")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");
         std::process::exit(2);
@@ -122,34 +296,60 @@ fn main() {
     let _ = single_query_p50_us(&model, &single[..16], 2);
     let _ = single_query_p50_us(&frozen, &single[..16], 2);
 
-    let tree_p50 = single_query_p50_us(&model, &single, 24);
-    let frozen_p50 = single_query_p50_us(&frozen, &single, 24);
+    // Every compared metric is best-of-3: the gate compares absolute
+    // wall-clock numbers across runs (and in CI across machines), and
+    // scheduler noise on small shared boxes easily exceeds the slack.
+    // Taking the best of three is the standard microbenchmark de-noiser —
+    // the fastest observation is the one closest to the code's true cost.
+    const ROUNDS: usize = 3;
+    let best = |f: &mut dyn FnMut() -> f64, lower_is_better: bool| -> f64 {
+        (0..ROUNDS)
+            .map(|_| f())
+            .fold(if lower_is_better { f64::INFINITY } else { 0.0 }, |a, b| {
+                if lower_is_better {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }
+            })
+    };
+    let tree_p50 = best(&mut || single_query_p50_us(&model, &single, 24), true);
+    let frozen_p50 = best(&mut || single_query_p50_us(&frozen, &single, 24), true);
     let single_speedup = tree_p50 / frozen_p50;
 
-    let tree_qps = batch_qps(&model, &batch, 8);
-    let frozen_qps = batch_qps(&frozen, &batch, 8);
+    let tree_qps = best(&mut || batch_qps(&model, &batch, 8), false);
+    let frozen_qps = best(&mut || batch_qps(&frozen, &batch, 8), false);
 
     let mut dump = Vec::new();
     if let Err(e) = save_quadhist(&model, &mut dump) {
         eprintln!("cannot serialize bench model: {e}");
         std::process::exit(1);
     }
-    let t0 = Instant::now();
-    let restored_tree = load_quadhist(&dump[..]);
-    let restore_tree_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let t0 = Instant::now();
-    let restored_frozen = load_frozen(&dump[..]);
-    let restore_frozen_ms = t0.elapsed().as_secs_f64() * 1e3;
-    if restored_tree.is_err() || restored_frozen.is_err() {
-        eprintln!("bench model failed to round-trip");
-        std::process::exit(1);
+    let mut restore_tree_ms = f64::INFINITY;
+    let mut restore_frozen_ms = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        let restored_tree = load_quadhist(&dump[..]);
+        restore_tree_ms = restore_tree_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let restored_frozen = load_frozen(&dump[..]);
+        restore_frozen_ms = restore_frozen_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        if restored_tree.is_err() || restored_frozen.is_err() {
+            eprintln!("bench model failed to round-trip");
+            std::process::exit(1);
+        }
     }
 
-    let json = format!(
-        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 6,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }}\n}}\n",
+    let (serve_p50, serve_p95, serve_p99) = serve_latency_us();
+    let wal_records = 500;
+    let (wal_observe_us, wal_recovery_ms, wal_replayed) = wal_numbers(wal_records);
+
+    let json_out = format!(
+        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 7,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {},\n    \"serve_requests\": 2000,\n    \"wal_records\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }},\n  \"serve\": {{\n    \"p50_us\": {:.1},\n    \"p95_us\": {:.1},\n    \"p99_us\": {:.1}\n  }},\n  \"wal\": {{\n    \"observe_us\": {:.1},\n    \"recovery_ms\": {:.3},\n    \"replayed_records\": {}\n  }}\n}}\n",
         model.num_buckets(),
         single.len(),
         batch.len(),
+        wal_records,
         tree_p50,
         frozen_p50,
         single_speedup,
@@ -158,19 +358,62 @@ fn main() {
         frozen_qps / tree_qps,
         restore_tree_ms,
         restore_frozen_ms,
+        serve_p50,
+        serve_p95,
+        serve_p99,
+        wal_observe_us,
+        wal_recovery_ms,
+        wal_replayed,
     );
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    if let Err(e) = std::fs::write(&out_path, &json_out) {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    print!("{json}");
+    print!("{json_out}");
 
+    let mut failed = false;
     if let Some(floor) = check_speedup {
         if single_speedup < floor {
             eprintln!("FAIL: single-query speedup {single_speedup:.2}x is below the {floor}x floor");
-            std::process::exit(1);
+            failed = true;
+        } else {
+            eprintln!("OK: single-query speedup {single_speedup:.2}x >= {floor}x");
         }
-        eprintln!("OK: single-query speedup {single_speedup:.2}x >= {floor}x");
+    }
+    if let Some(prev_path) = compare_path {
+        let prev = match load_compared(&prev_path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        };
+        let fresh = Compared {
+            frozen_p50_us: frozen_p50,
+            frozen_qps,
+            restore_frozen_ms,
+        };
+        let found = regressions(&prev, &fresh, compare_slack);
+        if found.is_empty() {
+            eprintln!(
+                "OK: no >{:.0}% regression vs {prev_path} (frozen p50 {:.3}us vs {:.3}us, qps {:.0} vs {:.0}, restore {:.3}ms vs {:.3}ms)",
+                compare_slack * 100.0,
+                fresh.frozen_p50_us,
+                prev.frozen_p50_us,
+                fresh.frozen_qps,
+                prev.frozen_qps,
+                fresh.restore_frozen_ms,
+                prev.restore_frozen_ms,
+            );
+        } else {
+            for msg in &found {
+                eprintln!("FAIL: {msg}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 

@@ -48,10 +48,12 @@ pub enum Event {
         max: f64,
         /// Arithmetic mean.
         mean: f64,
-        /// Approximate median (log₂-bucket midpoint).
+        /// Approximate median (sub-bucket midpoint).
         p50: f64,
         /// Approximate 90th percentile.
         p90: f64,
+        /// Approximate 95th percentile.
+        p95: f64,
         /// Approximate 99th percentile.
         p99: f64,
     },
@@ -98,10 +100,24 @@ pub enum Event {
     },
     /// A leveled log line.
     Log {
-        /// `info` or `debug`.
+        /// `warn`, `info` or `debug`.
         level: &'static str,
         /// Message text.
         message: String,
+    },
+    /// One stage of a sampled request trace: every event sharing a
+    /// `trace_id` belongs to the same end-to-end request, so one slow
+    /// request can be reconstructed across layers from the JSONL.
+    Trace {
+        /// Request-scoped id minted at the connection reader.
+        trace_id: u64,
+        /// Pipeline stage (`recv`, `dequeue`, `cache_hit`, `estimate`,
+        /// `wal_append`, `respond`, …).
+        stage: String,
+        /// Microseconds since the request was received.
+        us: f64,
+        /// Stage-specific detail (model name, degrade reason, LSN, …).
+        note: String,
     },
 }
 
@@ -117,6 +133,7 @@ impl Event {
             Event::SolverReport { .. } => "solver-report",
             Event::MetricsSummary { .. } => "metrics-summary",
             Event::Log { .. } => "log",
+            Event::Trace { .. } => "trace",
         }
     }
 
@@ -159,6 +176,7 @@ impl Event {
                 mean,
                 p50,
                 p90,
+                p95,
                 p99,
             } => {
                 s.push_str(",\"name\":");
@@ -171,6 +189,7 @@ impl Event {
                     ("mean", mean),
                     ("p50", p50),
                     ("p90", p90),
+                    ("p95", p95),
                     ("p99", p99),
                 ] {
                     s.push_str(",\"");
@@ -244,6 +263,21 @@ impl Event {
                 s.push_str(",\"message\":");
                 escape_into(&mut s, message);
             }
+            Event::Trace {
+                trace_id,
+                stage,
+                us,
+                note,
+            } => {
+                s.push_str(",\"trace_id\":");
+                s.push_str(&trace_id.to_string());
+                s.push_str(",\"stage\":");
+                escape_into(&mut s, stage);
+                s.push_str(",\"us\":");
+                fmt_f64_into(&mut s, *us);
+                s.push_str(",\"note\":");
+                escape_into(&mut s, note);
+            }
         }
         s.push('}');
         s
@@ -279,6 +313,7 @@ mod tests {
                 mean: 3.2,
                 p50: 3.0,
                 p90: 8.0,
+                p95: 8.5,
                 p99: 9.0,
             },
             Event::SolverIteration {
@@ -307,6 +342,12 @@ mod tests {
                 level: "info",
                 message: "quoted \"text\" and\nnewline".into(),
             },
+            Event::Trace {
+                trace_id: 4096,
+                stage: "estimate".into(),
+                us: 42.5,
+                note: "model=default run=8".into(),
+            },
         ];
         let mut kinds = std::collections::BTreeSet::new();
         for e in &events {
@@ -314,7 +355,7 @@ mod tests {
             assert!(validate_json_object(&js), "invalid JSON: {js}");
             kinds.insert(e.kind());
         }
-        assert_eq!(kinds.len(), 8, "eight distinct event kinds");
+        assert_eq!(kinds.len(), 9, "nine distinct event kinds");
     }
 
     #[test]

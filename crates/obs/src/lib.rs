@@ -45,6 +45,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod event;
+pub mod expo;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -54,7 +55,9 @@ pub mod span;
 
 pub use event::Event;
 pub use log::{set_level, Level};
-pub use metrics::{counter_add, counter_get, gauge_set, histogram_record, HistogramSummary};
+pub use metrics::{
+    counter_add, counter_get, gauge_set, histogram_record, HistogramExport, HistogramSummary,
+};
 #[cfg(feature = "jsonl")]
 pub use sink::JsonlSink;
 pub use sink::{MemorySink, NullSink, ObsSink};
@@ -165,9 +168,26 @@ pub fn flush_aggregates() {
             mean: h.mean,
             p50: h.p50,
             p90: h.p90,
+            p95: h.p95,
             p99: h.p99,
         });
     }
+}
+
+/// Emits one [`Event::Trace`] stage for a sampled request, folding the
+/// stage latency into the shared aggregation gate. No-op without a sink:
+/// tracing is a debugging instrument, so there is nothing to aggregate
+/// when nobody is listening.
+pub fn trace_stage(trace_id: u64, stage: &str, us: f64, note: &str) {
+    if !sink_installed() {
+        return;
+    }
+    emit(&Event::Trace {
+        trace_id,
+        stage: stage.to_string(),
+        us,
+        note: note.to_string(),
+    });
 }
 
 /// Clears every aggregate registry (counters, gauges, histograms, timing

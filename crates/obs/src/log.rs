@@ -1,4 +1,4 @@
-//! Leveled logging (`SELEARN_LOG=off|info|debug`).
+//! Leveled logging (`SELEARN_LOG=off|warn|info|debug`).
 //!
 //! Replaces the bench harness's ad-hoc `eprintln!` lines: messages at or
 //! below the active level go to stderr prefixed `[selearn]`, and are
@@ -8,27 +8,30 @@
 use crate::event::Event;
 use std::sync::atomic::{AtomicU8, Ordering};
 
-/// Log verbosity, ordered `Off < Info < Debug`.
+/// Log verbosity, ordered `Off < Warn < Info < Debug`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum Level {
     /// No log output.
     Off = 0,
+    /// Actionable anomalies (drift alarms, degraded serving).
+    Warn = 1,
     /// Progress messages (the default).
-    Info = 1,
+    Info = 2,
     /// Per-phase diagnostics (solver exits, bisection probes, …).
-    Debug = 2,
+    Debug = 3,
 }
 
-/// 0..=2 mirror `Level`; 3 = "uninitialised, read SELEARN_LOG on first use".
-const UNINIT: u8 = 3;
+/// 0..=3 mirror `Level`; 4 = "uninitialised, read SELEARN_LOG on first use".
+const UNINIT: u8 = 4;
 static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
 
 fn level_from_env() -> Level {
     match std::env::var("SELEARN_LOG").as_deref() {
         Ok("off") | Ok("0") => Level::Off,
-        Ok("debug") | Ok("2") => Level::Debug,
-        // default and explicit "info"/"1" and any unrecognised value
+        Ok("warn") | Ok("1") => Level::Warn,
+        Ok("debug") | Ok("3") => Level::Debug,
+        // default and explicit "info"/"2" and any unrecognised value
         _ => Level::Info,
     }
 }
@@ -37,8 +40,9 @@ fn level_from_env() -> Level {
 pub fn level() -> Level {
     match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Off,
-        1 => Level::Info,
-        2 => Level::Debug,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
         _ => {
             let l = level_from_env();
             LEVEL.store(l as u8, Ordering::Relaxed);
@@ -60,20 +64,40 @@ pub fn log_enabled(l: Level) -> bool {
 }
 
 /// Logs `message` at level `l`: stderr line plus a `log` event if a sink
-/// is installed. Prefer the [`crate::info!`]/[`crate::debug!`] macros,
-/// which skip formatting entirely when the level is off.
+/// is installed. Prefer the [`crate::warn!`]/[`crate::info!`]/
+/// [`crate::debug!`] macros, which skip formatting entirely when the
+/// level is off.
 pub fn log(l: Level, message: &str) {
     if !log_enabled(l) {
         return;
     }
-    let tag = if l == Level::Debug { "debug" } else { "info" };
-    eprintln!("[selearn] {message}");
+    let tag = match l {
+        Level::Warn => "warn",
+        Level::Debug => "debug",
+        _ => "info",
+    };
+    if l == Level::Warn {
+        eprintln!("[selearn] warn: {message}");
+    } else {
+        eprintln!("[selearn] {message}");
+    }
     if crate::sink_installed() {
         crate::emit(&Event::Log {
             level: tag,
             message: message.to_string(),
         });
     }
+}
+
+/// Logs at [`Level::Warn`]; arguments are only formatted when warn
+/// logging is active.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Warn) {
+            $crate::log::log($crate::Level::Warn, &format!($($arg)*));
+        }
+    };
 }
 
 /// Logs at [`Level::Info`]; arguments are only formatted when info
@@ -106,9 +130,14 @@ mod tests {
     fn level_ordering_and_override() {
         // set_level wins regardless of env
         set_level(Level::Off);
+        assert!(!log_enabled(Level::Warn));
         assert!(!log_enabled(Level::Info));
         assert!(!log_enabled(Level::Debug));
+        set_level(Level::Warn);
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
         set_level(Level::Info);
+        assert!(log_enabled(Level::Warn));
         assert!(log_enabled(Level::Info));
         assert!(!log_enabled(Level::Debug));
         set_level(Level::Debug);

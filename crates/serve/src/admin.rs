@@ -1,0 +1,389 @@
+//! The admin plane: a std-only HTTP/1.1 listener beside the data port.
+//!
+//! Serving estimates and serving *introspection* have opposite needs —
+//! the data port is a custom line protocol tuned for latency, while
+//! scrapers and orchestrators speak HTTP. [`start_admin`] binds a second
+//! listener (`--admin-addr`) with four GET endpoints:
+//!
+//! | path       | body                                           | status |
+//! |------------|------------------------------------------------|--------|
+//! | `/metrics` | Prometheus text exposition ([`selearn_obs::expo`]) | 200 |
+//! | `/healthz` | `ok` — process liveness                        | 200    |
+//! | `/readyz`  | JSON readiness detail                          | 200/503 |
+//! | `/stats`   | JSON serving-stats snapshot                    | 200    |
+//!
+//! `/readyz` answers 503 when any of these holds: the registry has no
+//! model, the data-port queue is at capacity (admission control is
+//! shedding), the store directory stopped being writable (when one is
+//! configured), or the drift monitor has an active alarm. The JSON body
+//! names the failing check either way, so "not ready" is diagnosable
+//! from the probe response alone.
+//!
+//! The plane is deliberately minimal: GET only, `Connection: close`, one
+//! short-lived thread per connection. Scrape traffic never touches the
+//! data-port queue, workers, or cache.
+
+use crate::cache::EstimateCache;
+use crate::drift::DriftMonitor;
+use crate::registry::ModelRegistry;
+use crate::server::ServeStats;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything the admin endpoints read. All fields are shared handles
+/// into the running server; the plane itself owns no serving state.
+pub struct AdminState {
+    /// The model registry (readiness: at least one model).
+    pub registry: Arc<ModelRegistry>,
+    /// Lifetime serving statistics (the `/stats` body).
+    pub stats: Arc<ServeStats>,
+    /// The estimate cache (hit/miss counters for `/stats`).
+    pub cache: Arc<EstimateCache>,
+    /// Reports `(depth, capacity)` of the data-port queue — readiness
+    /// degrades when depth reaches capacity. See
+    /// [`crate::server::ServerHandle::queue_probe`].
+    pub queue_depth: Box<dyn Fn() -> (usize, usize) + Send + Sync>,
+    /// The drift monitor, when feedback scoring is on (readiness: no
+    /// active alarm).
+    pub drift: Option<Arc<DriftMonitor>>,
+    /// Probes whether the store directory accepts writes, when a store is
+    /// configured. `None` skips the check.
+    pub store_writable: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl AdminState {
+    /// Answers one admin request: `(status, content-type, body)`. Pure —
+    /// the HTTP loop and the tests both call this.
+    pub fn respond(&self, path: &str) -> (u16, &'static str, String) {
+        match path {
+            "/metrics" => (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                selearn_obs::expo::render(),
+            ),
+            "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/readyz" => self.readyz(),
+            "/stats" => (200, "application/json", self.stats_json()),
+            _ => (
+                404,
+                "text/plain; charset=utf-8",
+                "not found; endpoints: /metrics /healthz /readyz /stats\n".to_string(),
+            ),
+        }
+    }
+
+    fn readyz(&self) -> (u16, &'static str, String) {
+        let models = self.registry.names().len();
+        let (depth, capacity) = (self.queue_depth)();
+        let queue_ok = depth < capacity;
+        let store_ok = self.store_writable.as_ref().map(|probe| probe());
+        let alarms = self
+            .drift
+            .as_ref()
+            .map(|d| d.alarmed())
+            .unwrap_or_default();
+        let ready = models > 0 && queue_ok && store_ok != Some(false) && alarms.is_empty();
+
+        let mut body = String::with_capacity(256);
+        body.push_str("{\"ready\":");
+        body.push_str(if ready { "true" } else { "false" });
+        body.push_str(&format!(
+            ",\"models\":{models},\"queue\":{{\"depth\":{depth},\"capacity\":{capacity}}}"
+        ));
+        match store_ok {
+            Some(ok) => body.push_str(&format!(",\"store_writable\":{ok}")),
+            None => body.push_str(",\"store_writable\":null"),
+        }
+        body.push_str(",\"drift_alarms\":[");
+        for (i, name) in alarms.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            selearn_obs::json::escape_into(&mut body, name);
+        }
+        body.push_str("]}\n");
+        (if ready { 200 } else { 503 }, "application/json", body)
+    }
+
+    fn stats_json(&self) -> String {
+        let s = &self.stats;
+        let (depth, capacity) = (self.queue_depth)();
+        let mut body = format!(
+            "{{\"requests\":{},\"model\":{},\"cached\":{},\"degraded\":{},\"shed\":{},\"deadline\":{},\"swap\":{},\"errors\":{},\"connections\":{},\"feedback\":{},\"cache_hits\":{},\"cache_misses\":{},\"queue\":{{\"depth\":{depth},\"capacity\":{capacity}}},\"uptime_secs\":{:.3},\"models\":[",
+            s.requests(),
+            s.model_answers(),
+            s.cache_answers(),
+            s.degraded(),
+            s.shed(),
+            s.deadline_expired(),
+            s.swap_degraded(),
+            s.errors(),
+            s.connections(),
+            s.feedback_acks(),
+            self.cache.hits(),
+            self.cache.misses(),
+            selearn_obs::expo::uptime_seconds(),
+        );
+        for (i, name) in self.registry.names().iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            selearn_obs::json::escape_into(&mut body, name);
+        }
+        body.push_str("]}\n");
+        body
+    }
+}
+
+/// A running admin listener. Call [`shutdown`](AdminHandle::shutdown) for
+/// a clean stop; dropping without it leaves the acceptor until process
+/// exit.
+pub struct AdminHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AdminHandle {
+    /// The bound admin address (OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the acceptor and connection threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let conns = std::mem::take(
+            &mut *self.conns.lock().unwrap_or_else(PoisonError::into_inner),
+        );
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+}
+
+/// Binds the admin listener and serves [`AdminState::respond`] over
+/// minimal HTTP/1.1. Also marks the process start for
+/// `process_uptime_seconds` (idempotent).
+pub fn start_admin(addr: &str, state: AdminState) -> std::io::Result<AdminHandle> {
+    selearn_obs::expo::mark_start();
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let state = Arc::new(state);
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let state = Arc::clone(&state);
+                        let handle =
+                            std::thread::spawn(move || serve_connection(stream, &state));
+                        let mut held =
+                            conns.lock().unwrap_or_else(PoisonError::into_inner);
+                        // Reap finished threads so a long-lived server's
+                        // handle list doesn't grow with every scrape.
+                        held.retain(|h| !h.is_finished());
+                        held.push(handle);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })
+    };
+
+    Ok(AdminHandle {
+        addr,
+        stop,
+        acceptor: Some(acceptor),
+        conns,
+    })
+}
+
+/// Reads one request head, answers it, closes. Anything that is not a
+/// well-formed `GET <path> …` gets a 400/405 and the same close.
+fn serve_connection(mut stream: TcpStream, state: &AdminState) {
+    if stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .is_err()
+    {
+        return;
+    }
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head; scrapers send tiny requests
+    // so a hard 8 KiB cap is plenty.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n")
+                    || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if buf.len() > 8 * 1024 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let Some(request_line) = head.lines().next() else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        // Strip any query string; the endpoints take no parameters.
+        let path = target.split('?').next().unwrap_or("");
+        state.respond(path)
+    };
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selearn_core::SelectivityEstimator;
+    use selearn_geom::{Range, Rect};
+    use std::sync::atomic::AtomicUsize;
+
+    struct Constant(f64);
+    impl SelectivityEstimator for Constant {
+        fn estimate(&self, _r: &Range) -> f64 {
+            self.0
+        }
+        fn num_buckets(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    fn state_with_queue(depth: Arc<AtomicUsize>, capacity: usize) -> AdminState {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("default", Arc::new(Constant(0.2)), Rect::unit(2));
+        AdminState {
+            registry,
+            stats: Arc::new(ServeStats::default()),
+            cache: Arc::new(EstimateCache::new(16, 2)),
+            queue_depth: Box::new(move || (depth.load(Ordering::Relaxed), capacity)),
+            drift: None,
+            store_writable: None,
+        }
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let state = state_with_queue(Arc::new(AtomicUsize::new(0)), 8);
+        assert_eq!(state.respond("/healthz").0, 200);
+        assert_eq!(state.respond("/nope").0, 404);
+    }
+
+    #[test]
+    fn readyz_flips_under_queue_saturation() {
+        let depth = Arc::new(AtomicUsize::new(0));
+        let state = state_with_queue(Arc::clone(&depth), 4);
+        let (status, _, body) = state.respond("/readyz");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"ready\":true"), "{body}");
+
+        depth.store(4, Ordering::Relaxed);
+        let (status, _, body) = state.respond("/readyz");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"ready\":false"), "{body}");
+        assert!(body.contains("\"depth\":4"), "{body}");
+
+        depth.store(1, Ordering::Relaxed);
+        assert_eq!(state.respond("/readyz").0, 200);
+    }
+
+    #[test]
+    fn readyz_requires_a_model_and_a_writable_store() {
+        let mut state = state_with_queue(Arc::new(AtomicUsize::new(0)), 8);
+        state.registry = Arc::new(ModelRegistry::new()); // no models
+        assert_eq!(state.respond("/readyz").0, 503);
+
+        let mut state = state_with_queue(Arc::new(AtomicUsize::new(0)), 8);
+        state.store_writable = Some(Box::new(|| false));
+        let (status, _, body) = state.respond("/readyz");
+        assert_eq!(status, 503);
+        assert!(body.contains("\"store_writable\":false"), "{body}");
+    }
+
+    #[test]
+    fn stats_is_valid_json_shape() {
+        let state = state_with_queue(Arc::new(AtomicUsize::new(2)), 8);
+        let (status, ct, body) = state.respond("/stats");
+        assert_eq!(status, 200);
+        assert_eq!(ct, "application/json");
+        assert!(body.contains("\"requests\":0"), "{body}");
+        assert!(body.contains("\"queue\":{\"depth\":2,\"capacity\":8}"), "{body}");
+        assert!(body.contains("\"models\":[\"default\"]"), "{body}");
+        crate::json::parse(&body).expect("stats body must parse as JSON");
+    }
+
+    #[test]
+    fn http_loop_answers_over_a_real_socket() {
+        let state = state_with_queue(Arc::new(AtomicUsize::new(0)), 8);
+        let handle = start_admin("127.0.0.1:0", state).expect("bind");
+        let addr = handle.addr();
+
+        let fetch = |req: &str| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(req.as_bytes()).expect("write");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            out
+        };
+        let ok = fetch("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.ends_with("ok\n"), "{ok}");
+        let post = fetch("POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        let missing = fetch("GET /whatever HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        handle.shutdown();
+    }
+}

@@ -24,20 +24,26 @@
 //! tail replay) and prints a machine-readable `{"recovered":…}` line;
 //! `--rollback GEN` rewinds to a retained generation before serving.
 
-use selearn_serve::{start_with_feedback, DurableFeedback, FeedbackSink, ServerConfig};
+use selearn_serve::{
+    start_admin, start_with_feedback, AdminState, DriftConfig, DriftMonitor, DurableFeedback,
+    FeedbackSink, ServerConfig,
+};
 use selearn_store::{ModelStore, StoreConfig};
 use std::sync::Arc;
 
 const USAGE: &str = "usage: selearn-serve (--model FILE | --synthetic DIM) \
-[--addr HOST:PORT] [--workers N] [--queue N] [--cache-capacity N] \
-[--cache-grid N] [--deadline-ms N] [--run-secs N] [--stats] [--trace-out FILE] \
-[--store-dir DIR] [--checkpoint-every N] [--rollback GEN]";
+[--addr HOST:PORT] [--admin-addr HOST:PORT] [--workers N] [--queue N] \
+[--cache-capacity N] [--cache-grid N] [--deadline-ms N] [--run-secs N] [--stats] \
+[--trace-out FILE] [--trace-sample-rate N] [--store-dir DIR] \
+[--checkpoint-every N] [--rollback GEN] [--drift-threshold X] \
+[--drift-windows K] [--drift-window-size N]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let model_path = take_flag_value(&mut args, "--model");
     let synthetic = take_flag_value(&mut args, "--synthetic");
     let addr = take_flag_value(&mut args, "--addr");
+    let admin_addr = take_flag_value(&mut args, "--admin-addr");
     let workers = parse_num::<usize>(take_flag_value(&mut args, "--workers"), "--workers");
     let queue = parse_num::<usize>(take_flag_value(&mut args, "--queue"), "--queue");
     let cache_capacity = parse_num::<usize>(
@@ -50,18 +56,35 @@ fn main() {
     let run_secs = parse_num::<u64>(take_flag_value(&mut args, "--run-secs"), "--run-secs");
     let stats = take_flag(&mut args, "--stats");
     let trace_out = take_flag_value(&mut args, "--trace-out");
+    let trace_sample_rate = parse_num::<u64>(
+        take_flag_value(&mut args, "--trace-sample-rate"),
+        "--trace-sample-rate",
+    );
     let store_dir = take_flag_value(&mut args, "--store-dir");
     let checkpoint_every = parse_num::<u64>(
         take_flag_value(&mut args, "--checkpoint-every"),
         "--checkpoint-every",
     );
     let rollback = parse_num::<u64>(take_flag_value(&mut args, "--rollback"), "--rollback");
+    let drift_threshold = parse_num::<f64>(
+        take_flag_value(&mut args, "--drift-threshold"),
+        "--drift-threshold",
+    );
+    let drift_windows = parse_num::<u32>(
+        take_flag_value(&mut args, "--drift-windows"),
+        "--drift-windows",
+    );
+    let drift_window_size = parse_num::<usize>(
+        take_flag_value(&mut args, "--drift-window-size"),
+        "--drift-window-size",
+    );
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}\n{USAGE}");
         std::process::exit(2);
     }
 
-    if stats || trace_out.is_some() {
+    // The admin plane scrapes the metric registries, so it implies stats.
+    if stats || trace_out.is_some() || admin_addr.is_some() {
         selearn_obs::enable_stats(true);
     }
     if let Some(path) = &trace_out {
@@ -135,9 +158,18 @@ fn main() {
     if let Some(ms) = deadline_ms {
         config.deadline = std::time::Duration::from_millis(ms);
     }
+    if let Some(every) = trace_sample_rate {
+        config.trace_sample_every = every;
+    }
 
     if store_dir.is_none() && (checkpoint_every.is_some() || rollback.is_some()) {
         eprintln!("--checkpoint-every and --rollback require --store-dir\n{USAGE}");
+        std::process::exit(2);
+    }
+    if store_dir.is_none()
+        && (drift_threshold.is_some() || drift_windows.is_some() || drift_window_size.is_some())
+    {
+        eprintln!("drift monitoring scores acked feedback and requires --store-dir\n{USAGE}");
         std::process::exit(2);
     }
 
@@ -190,6 +222,25 @@ fn main() {
         )));
     }
 
+    // With a store, every WAL-acked feedback record is scored against the
+    // currently served model; the monitor's alarm feeds /readyz.
+    let mut drift: Option<Arc<DriftMonitor>> = None;
+    if let Some(durable) = &durable {
+        let mut drift_config = DriftConfig::default();
+        if let Some(t) = drift_threshold {
+            drift_config.threshold = t;
+        }
+        if let Some(k) = drift_windows {
+            drift_config.consecutive = k;
+        }
+        if let Some(w) = drift_window_size {
+            drift_config.window = w;
+        }
+        let monitor = Arc::new(DriftMonitor::new(drift_config, Arc::clone(&registry)));
+        durable.attach_drift(Arc::clone(&monitor));
+        drift = Some(monitor);
+    }
+
     registry.register(selearn_serve::DEFAULT_MODEL, model, root);
     let sink = durable
         .as_ref()
@@ -204,6 +255,37 @@ fn main() {
     // Machine-readable startup line: scripts scrape the bound address.
     println!("{{\"listening\":\"{}\"}}", handle.addr());
 
+    let mut admin = None;
+    if let Some(admin_bind) = &admin_addr {
+        let store_writable = store_dir.as_ref().map(|dir| {
+            let dir = std::path::PathBuf::from(dir);
+            Box::new(move || {
+                let probe = dir.join(".writable-probe");
+                let ok = std::fs::write(&probe, b"probe").is_ok();
+                let _ = std::fs::remove_file(&probe);
+                ok
+            }) as Box<dyn Fn() -> bool + Send + Sync>
+        });
+        let state = AdminState {
+            registry: Arc::clone(handle.registry()),
+            stats: Arc::clone(handle.stats()),
+            cache: Arc::clone(handle.cache()),
+            queue_depth: handle.queue_probe(),
+            drift: drift.clone(),
+            store_writable,
+        };
+        match start_admin(admin_bind, state) {
+            Ok(h) => {
+                println!("{{\"admin\":\"{}\"}}", h.addr());
+                admin = Some(h);
+            }
+            Err(e) => {
+                eprintln!("cannot start admin listener on {admin_bind}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     match run_secs {
         // Bounded run: serve for N seconds, then drain and summarize —
         // how the CI smoke test gets a clean exit (and a flushed trace).
@@ -211,6 +293,9 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_secs(secs));
             let stats_snapshot = Arc::clone(handle.stats());
             let (hits, misses) = (handle.cache().hits(), handle.cache().misses());
+            if let Some(admin) = admin.take() {
+                admin.shutdown();
+            }
             handle.shutdown();
             // Park the tail of the feedback stream in a final checkpoint
             // so the next start replays nothing.

@@ -92,6 +92,18 @@ impl DurableFeedback {
         Ok(generation)
     }
 
+    /// Routes every WAL-acked record through `monitor` before it reaches
+    /// the online model: the store's observe hook fires at the ack point,
+    /// so the monitor scores exactly what was durably acknowledged,
+    /// against the model the fleet was serving at that moment.
+    pub fn attach_drift(&self, monitor: Arc<crate::drift::DriftMonitor>) {
+        let name = self.model_name.clone();
+        self.store()
+            .set_observe_hook(Box::new(move |_lsn, feedback| {
+                monitor.score(&name, feedback);
+            }));
+    }
+
     /// Takes the most recent post-ack failure (checkpoint or freeze), if
     /// any. See the module docs.
     pub fn take_error(&self) -> Option<SelearnError> {

@@ -28,10 +28,19 @@
 //!   online model back into the registry.
 //! * **Load generation** ([`client`]) — closed- and open-loop replay with
 //!   client-observed latency percentiles, driving the `selearn-load` bin.
+//! * **Admin plane** ([`admin`]) — a std-only HTTP listener beside the
+//!   data port: `/metrics` (Prometheus exposition), `/healthz`, `/readyz`
+//!   (queue, store, and drift-aware readiness), `/stats`.
+//! * **Drift monitor** ([`drift`]) — every WAL-acked feedback record is
+//!   scored against the currently served model into rolling q-error
+//!   windows; sustained breaches raise a scrapeable alarm.
 //!
 //! Observability rides on `selearn-obs`: `serve.qps` / `serve.queue_depth`
 //! gauges, `serve.latency_us` histogram, and `serve.cache_hits` /
 //! `serve.cache_misses` / `serve.requests_shed` (and friends) counters.
+//! With `trace_sample_every` set and a sink installed, every Nth request
+//! additionally emits end-to-end `trace` events (recv → dequeue →
+//! cache/estimate/wal_append → respond) sharing one trace id.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,8 +48,10 @@
 // (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod admin;
 pub mod cache;
 pub mod client;
+pub mod drift;
 pub mod feedback;
 pub mod json;
 pub mod protocol;
@@ -49,7 +60,9 @@ pub mod registry;
 pub mod server;
 pub mod synth;
 
+pub use admin::{start_admin, AdminHandle, AdminState};
 pub use cache::EstimateCache;
+pub use drift::{DriftConfig, DriftMonitor, DriftStatus};
 pub use client::{parse_response, run_load, Client, LoadOptions, LoadReport};
 pub use feedback::{DurableFeedback, FeedbackAck, FeedbackSink};
 pub use protocol::{

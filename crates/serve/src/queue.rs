@@ -115,6 +115,11 @@ impl<T> BoundedQueue<T> {
         self.takers.notify_all();
     }
 
+    /// The configured capacity — the admission-control threshold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Current number of queued items (advisory; racy by nature).
     pub fn len(&self) -> usize {
         self.state

@@ -73,6 +73,10 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Hard cap on one request line; longer lines end the connection.
     pub max_line_bytes: usize,
+    /// Trace every Nth request end-to-end when a sink is installed
+    /// (0 disables sampling). Sampled requests emit `trace` events at
+    /// each pipeline stage, all sharing one trace id.
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +91,7 @@ impl Default for ServerConfig {
             deadline: Duration::from_millis(100),
             read_timeout: Duration::from_millis(25),
             max_line_bytes: 64 * 1024,
+            trace_sample_every: 0,
         }
     }
 }
@@ -104,6 +109,8 @@ pub struct ServeStats {
     errors: AtomicU64,
     connections: AtomicU64,
     feedback_acks: AtomicU64,
+    /// Request-arrival sequence, the trace-sampling clock (not a stat).
+    request_seq: AtomicU64,
 }
 
 macro_rules! stat_getters {
@@ -145,6 +152,8 @@ struct Job {
     line: String,
     writer: Arc<Mutex<TcpStream>>,
     received: Instant,
+    /// `Some` when this request was sampled for end-to-end tracing.
+    trace_id: Option<u64>,
 }
 
 /// Jobs drained per [`BoundedQueue::pop_batch`] call. Bounds the worker's
@@ -163,6 +172,7 @@ enum Prepared {
         model: SharedEstimator,
         cache_key: Option<CacheKey>,
         slot: usize,
+        trace_id: Option<u64>,
     },
 }
 
@@ -200,6 +210,14 @@ impl ServerHandle {
     /// Lifetime serving statistics.
     pub fn stats(&self) -> &Arc<ServeStats> {
         &self.stats
+    }
+
+    /// A closure reporting `(depth, capacity)` of the request queue —
+    /// how the admin plane's `/readyz` watches admission control without
+    /// the (private) job type escaping this module.
+    pub fn queue_probe(&self) -> Box<dyn Fn() -> (usize, usize) + Send + Sync> {
+        let queue = Arc::clone(&self.queue);
+        Box::new(move || (queue.len(), queue.capacity()))
     }
 
     /// Stops accepting, drains in-flight work, and joins every thread.
@@ -372,6 +390,7 @@ fn read_connection(
                 continue;
             }
             let received = Instant::now();
+            let trace_id = mint_trace(stats, config);
             let line = match String::from_utf8(line_bytes) {
                 Ok(s) => s,
                 Err(_) => {
@@ -383,6 +402,7 @@ fn read_connection(
                 line,
                 writer: Arc::clone(&writer),
                 received,
+                trace_id,
             };
             if let Err(job) = queue.try_push(job) {
                 shed(job, registry, stats);
@@ -398,6 +418,31 @@ fn read_connection(
             );
             return; // close: the stream is mid-garbage, resync is impossible
         }
+    }
+}
+
+/// Samples the arrival sequence: every `trace_sample_every`-th request
+/// gets a trace id (its 1-based sequence number) and a `recv` stage
+/// event. Without a sink there is nobody to receive the spans, so the
+/// sequence still ticks but nothing is sampled.
+fn mint_trace(stats: &ServeStats, config: &ServerConfig) -> Option<u64> {
+    if config.trace_sample_every == 0 || !selearn_obs::sink_installed() {
+        return None;
+    }
+    let seq = stats.request_seq.fetch_add(1, Ordering::Relaxed);
+    if !seq.is_multiple_of(config.trace_sample_every) {
+        return None;
+    }
+    let trace_id = seq + 1;
+    selearn_obs::trace_stage(trace_id, "recv", 0.0, "");
+    Some(trace_id)
+}
+
+/// Emits one stage event for a sampled job; `us` is time since receipt,
+/// so a trace's stages line up on one per-request clock.
+fn trace_job(trace_id: Option<u64>, stage: &str, received: Instant, note: &str) {
+    if let Some(id) = trace_id {
+        selearn_obs::trace_stage(id, stage, received.elapsed().as_secs_f64() * 1e6, note);
     }
 }
 
@@ -422,7 +467,9 @@ fn shed(job: Job, registry: &ModelRegistry, stats: &ServeStats) {
             Some(slot) => degraded_response(&req, slot.root(), DegradeReason::Shed, job.received),
         },
     };
+    trace_job(job.trace_id, "degraded", job.received, "shed");
     write_response(&job.writer, &response);
+    trace_job(job.trace_id, "respond", job.received, "");
     finish_request(stats, job.received);
 }
 
@@ -482,12 +529,14 @@ fn worker_loop(
                     model,
                     cache_key,
                     slot,
+                    trace_id,
                 } => {
                     let sel = sels[slot].clamp(0.0, 1.0);
                     if let Some(key) = cache_key {
                         cache.insert(key, sel);
                     }
                     stats.model_answers.fetch_add(1, Ordering::Relaxed);
+                    trace_job(trace_id, "estimate", job.received, model.name());
                     Response::Estimate {
                         id,
                         est: model.name().to_string(),
@@ -499,6 +548,7 @@ fn worker_loop(
                 }
             };
             write_response(&job.writer, &response);
+            trace_job(job.trace_id, "respond", job.received, "");
             finish_request(stats, job.received);
         }
     }
@@ -519,10 +569,11 @@ fn prepare_job(
     ranges: &mut Vec<Range>,
 ) -> Prepared {
     let _guard = selearn_obs::span!("serve.request");
+    trace_job(job.trace_id, "dequeue", job.received, "");
     let req = match parse_line(&job.line) {
         Ok(RequestLine::Estimate(req)) => req,
         Ok(RequestLine::Feedback(fb)) => {
-            return Prepared::Ready(ingest_feedback(&fb, registry, stats, sink));
+            return Prepared::Ready(ingest_feedback(&fb, registry, stats, sink, job));
         }
         Err(message) => return Prepared::Ready(error_response(stats, None, message)),
     };
@@ -555,6 +606,7 @@ fn prepare_job(
     if config.deadline > Duration::ZERO && job.received.elapsed() > config.deadline {
         stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         selearn_obs::counter_add("serve.requests_deadline", 1);
+        trace_job(job.trace_id, "degraded", job.received, "deadline");
         return Prepared::Ready(degraded_response(
             &req,
             slot.root(),
@@ -567,6 +619,7 @@ fn prepare_job(
     let Some((model, generation)) = slot.try_get() else {
         stats.swap_degraded.fetch_add(1, Ordering::Relaxed);
         selearn_obs::counter_add("serve.requests_swap_degraded", 1);
+        trace_job(job.trace_id, "degraded", job.received, "swap");
         return Prepared::Ready(degraded_response(
             &req,
             slot.root(),
@@ -583,6 +636,7 @@ fn prepare_job(
     if let Some(key) = &cache_key {
         if let Some(sel) = cache.get(key) {
             stats.cache_answers.fetch_add(1, Ordering::Relaxed);
+            trace_job(job.trace_id, "cache_hit", job.received, &req.est);
             return Prepared::Ready(Response::Estimate {
                 id: req.id,
                 est: model.name().to_string(),
@@ -610,6 +664,7 @@ fn prepare_job(
         model,
         cache_key,
         slot: slot_idx,
+        trace_id: job.trace_id,
     }
 }
 
@@ -622,6 +677,7 @@ fn ingest_feedback(
     registry: &ModelRegistry,
     stats: &ServeStats,
     sink: Option<&Arc<dyn FeedbackSink>>,
+    job: &Job,
 ) -> Response {
     let Some(sink) = sink else {
         return error_response(
@@ -653,6 +709,12 @@ fn ingest_feedback(
         Ok(ack) => {
             stats.feedback_acks.fetch_add(1, Ordering::Relaxed);
             selearn_obs::counter_add("serve.feedback_acks", 1);
+            trace_job(
+                job.trace_id,
+                "wal_append",
+                job.received,
+                &format!("lsn={}", ack.lsn),
+            );
             Response::Ack {
                 id: fb.id,
                 lsn: ack.lsn,

@@ -1,0 +1,297 @@
+//! Admin-plane integration tests: a real server with a real admin
+//! listener, scraped over HTTP while the data port is under load.
+//!
+//! Obs registries are process-global, so tests in this binary serialize
+//! on one lock instead of fighting over counters.
+
+use selearn_serve::synth::{synthetic_model, synthetic_requests};
+use selearn_serve::{
+    run_load, start, start_admin, start_with_feedback, AdminState, Client, DriftConfig,
+    DriftMonitor, DurableFeedback, FeedbackSink, LoadOptions, ModelRegistry, ServerConfig,
+    DEFAULT_MODEL,
+};
+use selearn_store::{ModelStore, StoreConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One HTTP GET against the admin plane: `(status, body)`.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("admin connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Structural exposition check: every sample line is `name{labels}? value`
+/// with a grammar-legal metric name; returns the value of `series` (exact
+/// match on the part before the space) when present.
+fn check_exposition(body: &str, series: &str) -> Option<f64> {
+    assert!(!body.is_empty(), "empty exposition body");
+    let mut found = None;
+    for line in body.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                "bad comment line {line:?}"
+            );
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without value: {line:?}");
+        });
+        let name_end = name_part.find('{').unwrap_or(name_part.len());
+        let name = &name_part[..name_end];
+        assert!(
+            !name.is_empty()
+                && name.chars().enumerate().all(|(i, c)| c.is_ascii_alphabetic()
+                    || c == '_'
+                    || c == ':'
+                    || (i > 0 && c.is_ascii_digit())),
+            "bad metric name in {line:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+            "bad sample value in {line:?}"
+        );
+        if name_part == series {
+            found = value.parse::<f64>().ok();
+        }
+    }
+    found
+}
+
+#[test]
+fn concurrent_scrapes_stay_valid_during_1k_request_soak() {
+    let _g = OBS_LOCK.lock().unwrap();
+    selearn_obs::enable_stats(true);
+
+    let (model, root) = synthetic_model(2, 200, 11).expect("synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root);
+    let handle = start(ServerConfig::default(), Arc::clone(&registry)).expect("server");
+    let admin = start_admin(
+        "127.0.0.1:0",
+        AdminState {
+            registry,
+            stats: Arc::clone(handle.stats()),
+            cache: Arc::clone(handle.cache()),
+            queue_depth: handle.queue_probe(),
+            drift: None,
+            store_writable: None,
+        },
+    )
+    .expect("admin");
+    let admin_addr = admin.addr().to_string();
+
+    // Scraper thread: hammer /metrics concurrently with the soak,
+    // recording the requests-total counter from each valid scrape.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let admin_addr = admin_addr.clone();
+        std::thread::spawn(move || {
+            let mut totals = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let (status, body) = http_get(&admin_addr, "/metrics");
+                assert_eq!(status, 200);
+                if let Some(v) = check_exposition(&body, "serve_requests_total") {
+                    totals.push(v);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            totals
+        })
+    };
+
+    let pool = synthetic_requests(2, 128, 23);
+    let report = run_load(
+        &handle.addr().to_string(),
+        &pool,
+        &LoadOptions {
+            connections: 4,
+            total_requests: 1000,
+            rate: None,
+        },
+    )
+    .expect("soak");
+    stop.store(true, Ordering::Relaxed);
+    let totals = scraper.join().expect("scraper");
+
+    // The data port never saw an error or a dropped request while being
+    // scraped. (A strict with/without-scrape latency A/B would be flaky
+    // on 1-CPU CI boxes; zero errors plus a sane p99 is the stable form
+    // of "scrapes don't impact the data port".)
+    assert_eq!(report.sent, 1000);
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ok + report.degraded, 1000);
+    assert!(report.percentile_us(0.99) < 2_000_000.0, "p99 blew up");
+
+    // Counters are monotone across concurrent scrapes.
+    assert!(totals.len() >= 2, "expected several mid-soak scrapes");
+    assert!(
+        totals.windows(2).all(|w| w[0] <= w[1]),
+        "counter went backwards across scrapes: {totals:?}"
+    );
+
+    // A final scrape exposes the serve histogram with cumulative buckets.
+    let (status, body) = http_get(&admin_addr, "/metrics");
+    assert_eq!(status, 200);
+    check_exposition(&body, "");
+    assert!(body.contains("# TYPE serve_latency_us histogram"), "{body}");
+    assert!(body.contains("serve_latency_us_bucket{le=\"+Inf\"}"));
+    assert!(body.contains("serve_latency_us_count"));
+    assert!(body.contains("# TYPE serve_requests_total counter"));
+    assert!(body.contains("process_uptime_seconds"));
+
+    // /stats and /readyz answer sensibly alongside.
+    let (status, stats_body) = http_get(&admin_addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats_body.contains("\"requests\":"), "{stats_body}");
+    let (status, ready_body) = http_get(&admin_addr, "/readyz");
+    assert_eq!(status, 200, "{ready_body}");
+
+    admin.shutdown();
+    handle.shutdown();
+    selearn_obs::enable_stats(false);
+}
+
+#[test]
+fn readyz_flips_after_drift_alarm_and_recovers() {
+    let _g = OBS_LOCK.lock().unwrap();
+    selearn_obs::enable_stats(true);
+
+    let dir = std::env::temp_dir().join(format!("selearn-admin-drift-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store_config = StoreConfig::new(selearn_geom::Rect::unit(2));
+    store_config.refit_every = 1024; // keep the online model inert
+    store_config.quadhist.max_leaves = 16;
+    let store = ModelStore::open(&dir, store_config).expect("store");
+
+    // The served model answers ~0.1 over the probe box; the drift monitor
+    // scores acked labels against it.
+    let (model, root) = synthetic_model(2, 200, 11).expect("synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root.clone());
+    let slot = registry.slot(DEFAULT_MODEL).expect("slot");
+    let probe: selearn_geom::Range =
+        selearn_geom::Rect::new(vec![0.2, 0.2], vec![0.5, 0.5]).into();
+    let (served, _) = slot.get();
+    let baseline = served.estimate(&probe).clamp(1e-4, 1.0);
+
+    let durable = Arc::new(DurableFeedback::new(
+        store,
+        Arc::clone(&registry),
+        DEFAULT_MODEL,
+        0, // no checkpoints: the served model must stay fixed for scoring
+    ));
+    let monitor = Arc::new(DriftMonitor::new(
+        DriftConfig {
+            window: 8,
+            threshold: 4.0,
+            consecutive: 2,
+        },
+        Arc::clone(&registry),
+    ));
+    durable.attach_drift(Arc::clone(&monitor));
+
+    let handle = start_with_feedback(
+        ServerConfig::default(),
+        Arc::clone(&registry),
+        Some(Arc::clone(&durable) as Arc<dyn FeedbackSink>),
+    )
+    .expect("server");
+    let admin = start_admin(
+        "127.0.0.1:0",
+        AdminState {
+            registry,
+            stats: Arc::clone(handle.stats()),
+            cache: Arc::clone(handle.cache()),
+            queue_depth: handle.queue_probe(),
+            drift: Some(Arc::clone(&monitor)),
+            store_writable: Some(Box::new({
+                let dir = dir.clone();
+                move || {
+                    let p = dir.join(".writable-probe");
+                    let ok = std::fs::write(&p, b"x").is_ok();
+                    let _ = std::fs::remove_file(&p);
+                    ok
+                }
+            })),
+        },
+    )
+    .expect("admin");
+    let admin_addr = admin.addr().to_string();
+
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let send_feedback = |client: &mut Client, sel: f64, n: usize| {
+        for i in 0..n {
+            let fb = selearn_serve::Feedback {
+                est: DEFAULT_MODEL.into(),
+                lo: vec![0.2, 0.2],
+                hi: vec![0.5, 0.5],
+                sel,
+                id: Some(i as u64),
+            };
+            let resp = client.feedback(&fb).expect("feedback");
+            assert!(
+                matches!(resp, selearn_serve::Response::Ack { .. }),
+                "{resp:?}"
+            );
+        }
+    };
+
+    // Stationary stream: labels agree with the served model → ready.
+    send_feedback(&mut client, baseline, 24);
+    let (status, body) = http_get(&admin_addr, "/readyz");
+    assert_eq!(status, 200, "stationary stream must stay ready: {body}");
+    assert!(body.contains("\"drift_alarms\":[]"), "{body}");
+    assert!(body.contains("\"store_writable\":true"), "{body}");
+
+    // Label shift: true selectivity jumps 8x past the alarm threshold.
+    // K=2 windows of 8 breach the monitor deterministically.
+    let shifted = (baseline * 8.0).min(1.0);
+    send_feedback(&mut client, shifted, 16);
+    let (status, body) = http_get(&admin_addr, "/readyz");
+    assert_eq!(status, 503, "drift alarm must flip readiness: {body}");
+    assert!(body.contains("\"ready\":false"), "{body}");
+    assert!(body.contains("\"drift_alarms\":[\"default\"]"), "{body}");
+
+    // The alarm is scrapeable too.
+    let (_, metrics) = http_get(&admin_addr, "/metrics");
+    assert!(metrics.contains("serve_drift_alarms 1"), "{metrics}");
+    assert!(
+        metrics.contains("serve_qerror_p95{model=\"default\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("serve_drift_alarm{model=\"default\"} 1"),
+        "{metrics}"
+    );
+
+    // Back to stationary: one healthy window clears the alarm.
+    send_feedback(&mut client, baseline, 8);
+    let (status, body) = http_get(&admin_addr, "/readyz");
+    assert_eq!(status, 200, "healthy window must clear the alarm: {body}");
+
+    admin.shutdown();
+    handle.shutdown();
+    selearn_obs::enable_stats(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -41,6 +41,6 @@ pub mod wal;
 
 pub use checkpoint::{config_fingerprint, CheckpointData};
 pub use record::FeedbackRecord;
-pub use store::{ModelStore, RecoveryReport, StoreConfig};
+pub use store::{ModelStore, ObserveHook, RecoveryReport, StoreConfig};
 pub use vfs::{FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{WalScan, WalWriter};

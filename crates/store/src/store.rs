@@ -91,6 +91,13 @@ pub struct RecoveryReport {
     pub manifest_fallback: bool,
 }
 
+/// Called after every durable append with the record's LSN and the
+/// feedback it covers — the WAL-ack point. The serving layer installs
+/// one to score acknowledged labels against the currently-served model
+/// (the accuracy-drift monitor); replay during recovery does *not* fire
+/// it, only live [`ModelStore::observe`] calls do.
+pub type ObserveHook = Box<dyn Fn(u64, &TrainingQuery) + Send>;
+
 /// A durable, crash-recoverable online model. See the module docs for
 /// the protocol.
 pub struct ModelStore {
@@ -104,6 +111,7 @@ pub struct ModelStore {
     last_checkpoint_lsn: u64,
     last_refit_error: Option<SelearnError>,
     recovery: RecoveryReport,
+    observe_hook: Option<ObserveHook>,
 }
 
 impl std::fmt::Debug for ModelStore {
@@ -253,6 +261,7 @@ impl ModelStore {
             last_checkpoint_lsn: checkpoint_lsn,
             last_refit_error,
             recovery: report,
+            observe_hook: None,
         };
         store.prune()?;
         Ok(store)
@@ -318,11 +327,20 @@ impl ModelStore {
             });
         }
         let lsn = self.wal.append(&feedback)?;
+        if let Some(hook) = &self.observe_hook {
+            hook(lsn, &feedback);
+        }
         if let Err(e) = self.model.observe(feedback) {
             self.last_refit_error = Some(e);
         }
         counter_add("store.appended_records", 1);
         Ok(lsn)
+    }
+
+    /// Installs the WAL-ack hook (see [`ObserveHook`]), replacing any
+    /// previous one.
+    pub fn set_observe_hook(&mut self, hook: ObserveHook) {
+        self.observe_hook = Some(hook);
     }
 
     /// Freezes the current model state under the next generation number
