@@ -1,7 +1,7 @@
 //! `perf-suite` — the fixed, versioned performance suite.
 //!
 //! Runs five measurements and writes one machine-readable JSON report
-//! (default `BENCH_7.json`, the PR-8 schema):
+//! (default `BENCH_8.json`, the PR-9 schema):
 //!
 //! * **single-query p50** — per-query latency of the pointer tree vs the
 //!   frozen SoA artifact on a 10k-bucket 2-D QuadHist, and their speedup
@@ -12,7 +12,10 @@
 //!   `load_frozen` (straight into the frozen layout, including the
 //!   freeze compilation);
 //! * **serve** — client-observed p50/p95/p99 latency through a live
-//!   in-process `selearn-serve` TCP server under a closed-loop replay;
+//!   in-process `selearn-serve` TCP server under a closed-loop replay,
+//!   plus (new in v8) the same closed loop while 500 idle connections
+//!   sit on the poller, and a mixed-tenant replay spread across 8
+//!   namespaced models;
 //! * **wal** — per-record `ModelStore::observe` cost with durable acks,
 //!   and the cold-reopen recovery time over the resulting log.
 //!
@@ -21,10 +24,11 @@
 //!
 //! With `--check-speedup X` the process exits non-zero when the measured
 //! single-query speedup falls below `X`. With `--compare PREV.json` the
-//! fresh numbers are checked against a previous report (v6 or v7): a
+//! fresh numbers are checked against a previous report (v6, v7, or v8): a
 //! regression of more than `--compare-slack` (default 0.15 = 15%) in
-//! single-query frozen p50, batch frozen qps, or frozen restore time
-//! exits non-zero — how CI catches perf regressions against the
+//! single-query frozen p50, batch frozen qps, frozen restore time, or —
+//! when the baseline carries a `serve` section — closed-loop serve
+//! p50/p95 exits non-zero — how CI catches perf regressions against the
 //! committed baseline.
 
 use rand::rngs::StdRng;
@@ -111,29 +115,25 @@ fn batch_qps<M: SelectivityEstimator>(model: &M, queries: &[Range], repeats: usi
     (queries.len() * repeats) as f64 / t0.elapsed().as_secs_f64()
 }
 
-/// Client-observed serve latency percentiles `(p50, p95, p99)` in µs,
-/// through a live in-process server over a loopback TCP socket.
-fn serve_latency_us() -> (f64, f64, f64) {
-    let (model, root) = match synth::synthetic_model(2, 200, 11) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("cannot fit serve bench model: {e}");
-            std::process::exit(1);
-        }
-    };
-    let registry = Arc::new(ModelRegistry::new());
-    registry.register(DEFAULT_MODEL, Arc::new(model), root);
-    let handle = match start(ServerConfig::default(), registry) {
-        Ok(h) => h,
-        Err(e) => {
-            eprintln!("cannot start serve bench server: {e}");
-            std::process::exit(1);
-        }
-    };
-    let pool = synth::synthetic_requests(2, 256, 23);
+/// Serve-path numbers: closed-loop percentiles, the same closed loop
+/// with an idle-connection herd parked on the poller, and a
+/// mixed-tenant replay.
+struct ServeNumbers {
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    idle_conns: usize,
+    idle_p50_us: f64,
+    tenants: usize,
+    multi_tenant_p50_us: f64,
+}
+
+/// One closed-loop replay (with warm-up) against `addr`; exits on any
+/// protocol error or lost request.
+fn replay(addr: &str, pool: &[selearn_serve::Request], total: usize) -> (f64, f64, f64) {
     let options = LoadOptions {
         connections: 2,
-        total_requests: 2000,
+        total_requests: total,
         rate: None,
     };
     // Warm-up pass so connection setup and first-touch costs stay out of
@@ -142,12 +142,9 @@ fn serve_latency_us() -> (f64, f64, f64) {
         total_requests: 200,
         ..options
     };
-    let addr = handle.addr().to_string();
-    let report = run_load(&addr, &pool, &warm)
-        .and_then(|_| run_load(&addr, &pool, &options));
-    handle.shutdown();
+    let report = run_load(addr, pool, &warm).and_then(|_| run_load(addr, pool, &options));
     match report {
-        Ok(r) if r.errors == 0 && r.ok + r.degraded == options.total_requests as u64 => (
+        Ok(r) if r.errors == 0 && r.ok + r.degraded == total as u64 => (
             r.percentile_us(0.50),
             r.percentile_us(0.95),
             r.percentile_us(0.99),
@@ -163,6 +160,77 @@ fn serve_latency_us() -> (f64, f64, f64) {
             eprintln!("serve bench replay failed: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Client-observed serve latency through a live in-process server over a
+/// loopback TCP socket. The compared p50/p95 are best-of-`rounds`; the
+/// idle-herd and multi-tenant replays run once (informational).
+fn serve_numbers(rounds: usize) -> ServeNumbers {
+    const IDLE_CONNS: usize = 500;
+    const TENANTS: usize = 8;
+    let (model, root) = match synth::synthetic_model(2, 200, 11) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot fit serve bench model: {e}");
+            std::process::exit(1);
+        }
+    };
+    let model: selearn_core::SharedEstimator = Arc::new(model);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::clone(&model), root.clone());
+    for i in 0..TENANTS {
+        registry.register(&format!("t{i}.m"), Arc::clone(&model), root.clone());
+    }
+    let handle = match start(ServerConfig::default(), registry) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start serve bench server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr().to_string();
+    let pool = synth::synthetic_requests(2, 256, 23);
+
+    let (mut p50, mut p95, mut p99) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..rounds {
+        let (r50, r95, r99) = replay(&addr, &pool, 2000);
+        p50 = p50.min(r50);
+        p95 = p95.min(r95);
+        p99 = p99.min(r99);
+    }
+
+    // The same closed loop with an idle herd parked on the poller: the
+    // readiness loop should make silent sockets free for the hot path.
+    let idle: Vec<std::net::TcpStream> = (0..IDLE_CONNS)
+        .map(|i| match std::net::TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("idle conn {i} failed: {e}");
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    let (idle_p50, _, _) = replay(&addr, &pool, 2000);
+    drop(idle);
+
+    // Mixed-tenant replay: the pool cycled across the tenant namespaces,
+    // exercising per-tenant admission and cache partitions.
+    let mut tenant_pool = pool.clone();
+    for (i, req) in tenant_pool.iter_mut().enumerate() {
+        req.est = format!("t{}.m", i % TENANTS);
+    }
+    let (mt_p50, _, _) = replay(&addr, &tenant_pool, 2000);
+
+    handle.shutdown();
+    ServeNumbers {
+        p50_us: p50,
+        p95_us: p95,
+        p99_us: p99,
+        idle_conns: IDLE_CONNS,
+        idle_p50_us: idle_p50,
+        tenants: TENANTS,
+        multi_tenant_p50_us: mt_p50,
     }
 }
 
@@ -207,27 +275,35 @@ fn wal_numbers(records: usize) -> (f64, f64, u64) {
     (observe_us, recovery_ms, replayed)
 }
 
-/// The three compared metrics of a report, in schema v6 and v7 alike.
+/// The compared metrics of a report. The first three exist in every
+/// schema since v6; the serve pair appears from v7 on (absent in the
+/// baseline means the serve gate is skipped).
 struct Compared {
     frozen_p50_us: f64,
     frozen_qps: f64,
     restore_frozen_ms: f64,
+    serve_p50_us: Option<f64>,
+    serve_p95_us: Option<f64>,
 }
 
 /// Pulls the compared metrics out of a previous report file.
 fn load_compared(path: &str) -> Result<Compared, String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let root = json::parse(&raw).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    let num = |section: &str, key: &str| -> Result<f64, String> {
+    let opt = |section: &str, key: &str| -> Option<f64> {
         root.get(section)
             .and_then(|s| s.get(key))
             .and_then(json::Json::as_num)
-            .ok_or_else(|| format!("{path} has no numeric {section}.{key}"))
+    };
+    let num = |section: &str, key: &str| -> Result<f64, String> {
+        opt(section, key).ok_or_else(|| format!("{path} has no numeric {section}.{key}"))
     };
     Ok(Compared {
         frozen_p50_us: num("single_query", "frozen_p50_us")?,
         frozen_qps: num("batch", "frozen_qps")?,
         restore_frozen_ms: num("restore", "frozen_ms")?,
+        serve_p50_us: opt("serve", "p50_us"),
+        serve_p95_us: opt("serve", "p95_us"),
     })
 }
 
@@ -260,12 +336,25 @@ fn regressions(prev: &Compared, fresh: &Compared, slack: f64) -> Vec<String> {
             slack * 100.0
         ));
     }
+    for (name, prev_v, fresh_v) in [
+        ("serve p50", prev.serve_p50_us, fresh.serve_p50_us),
+        ("serve p95", prev.serve_p95_us, fresh.serve_p95_us),
+    ] {
+        if let (Some(p), Some(f)) = (prev_v, fresh_v) {
+            if f > p * (1.0 + slack) {
+                out.push(format!(
+                    "{name} regressed: {f:.1}us vs baseline {p:.1}us (+{:.0}% allowed)",
+                    slack * 100.0
+                ));
+            }
+        }
+    }
     out
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_7.json".to_string());
+    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_8.json".to_string());
     let n_buckets: usize = take_value(&mut args, "--buckets")
         .map(|v| v.parse().unwrap_or(10_000))
         .unwrap_or(10_000);
@@ -340,12 +429,12 @@ fn main() {
         }
     }
 
-    let (serve_p50, serve_p95, serve_p99) = serve_latency_us();
+    let serve = serve_numbers(ROUNDS);
     let wal_records = 500;
     let (wal_observe_us, wal_recovery_ms, wal_replayed) = wal_numbers(wal_records);
 
     let json_out = format!(
-        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 7,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {},\n    \"serve_requests\": 2000,\n    \"wal_records\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }},\n  \"serve\": {{\n    \"p50_us\": {:.1},\n    \"p95_us\": {:.1},\n    \"p99_us\": {:.1}\n  }},\n  \"wal\": {{\n    \"observe_us\": {:.1},\n    \"recovery_ms\": {:.3},\n    \"replayed_records\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 8,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {},\n    \"serve_requests\": 2000,\n    \"wal_records\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }},\n  \"serve\": {{\n    \"p50_us\": {:.1},\n    \"p95_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"idle_conns\": {},\n    \"idle_p50_us\": {:.1},\n    \"tenants\": {},\n    \"multi_tenant_p50_us\": {:.1}\n  }},\n  \"wal\": {{\n    \"observe_us\": {:.1},\n    \"recovery_ms\": {:.3},\n    \"replayed_records\": {}\n  }}\n}}\n",
         model.num_buckets(),
         single.len(),
         batch.len(),
@@ -358,9 +447,13 @@ fn main() {
         frozen_qps / tree_qps,
         restore_tree_ms,
         restore_frozen_ms,
-        serve_p50,
-        serve_p95,
-        serve_p99,
+        serve.p50_us,
+        serve.p95_us,
+        serve.p99_us,
+        serve.idle_conns,
+        serve.idle_p50_us,
+        serve.tenants,
+        serve.multi_tenant_p50_us,
         wal_observe_us,
         wal_recovery_ms,
         wal_replayed,
@@ -392,6 +485,8 @@ fn main() {
             frozen_p50_us: frozen_p50,
             frozen_qps,
             restore_frozen_ms,
+            serve_p50_us: Some(serve.p50_us),
+            serve_p95_us: Some(serve.p95_us),
         };
         let found = regressions(&prev, &fresh, compare_slack);
         if found.is_empty() {

@@ -23,11 +23,28 @@ use selearn_geom::Rect;
 /// the root's dimension (such requests bypass the cache and fail model
 /// lookup later with a proper error).
 pub fn quantize_rect_key(root: &Rect, lo: &[f64], hi: &[f64], grid: u32) -> Option<Vec<u32>> {
+    let mut key = Vec::with_capacity(2 * root.dim());
+    quantize_rect_key_into(root, lo, hi, grid, &mut key).then_some(key)
+}
+
+/// Allocation-free [`quantize_rect_key`]: writes the `2d` cell indices
+/// into `out` (cleared first, capacity reused) and returns `false` on a
+/// dimension mismatch or a zero grid. Serving-time cache probes call this
+/// with a per-worker scratch buffer so steady-state cache hits never
+/// allocate.
+pub fn quantize_rect_key_into(
+    root: &Rect,
+    lo: &[f64],
+    hi: &[f64],
+    grid: u32,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
     let d = root.dim();
     if lo.len() != d || hi.len() != d || grid == 0 {
-        return None;
+        return false;
     }
-    let mut key = Vec::with_capacity(2 * d);
+    out.reserve(2 * d);
     for (corner, round_up) in [(lo, false), (hi, true)] {
         for (i, &c) in corner.iter().enumerate() {
             let w = root.width(i);
@@ -41,10 +58,10 @@ pub fn quantize_rect_key(root: &Rect, lo: &[f64], hi: &[f64], grid: u32) -> Opti
             // of a grid line a corner is on, so degenerate (zero-width)
             // queries stay degenerate and keys are monotone in the box
             let cell = if round_up { scaled.ceil() } else { scaled.floor() };
-            key.push(cell as u32);
+            out.push(cell as u32);
         }
     }
-    Some(key)
+    true
 }
 
 #[cfg(test)]

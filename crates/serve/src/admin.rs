@@ -158,6 +158,9 @@ impl AdminHandle {
     /// Stops accepting and joins the acceptor and connection threads.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // The acceptor blocks in `accept` (no sleep-polling); a throwaway
+        // self-connection is the wake-up that makes it observe `stop`.
+        let _ = TcpStream::connect(self.addr);
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -175,8 +178,11 @@ impl AdminHandle {
 /// `process_uptime_seconds` (idempotent).
 pub fn start_admin(addr: &str, state: AdminState) -> std::io::Result<AdminHandle> {
     selearn_obs::expo::mark_start();
+    // The listener stays *blocking*: the acceptor sleeps in `accept`
+    // instead of a 10ms sleep-poll loop, so probes are answered the
+    // moment they connect and an idle admin plane burns zero wakeups.
+    // Shutdown wakes it with a self-connection (see AdminHandle::shutdown).
     let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -185,24 +191,28 @@ pub fn start_admin(addr: &str, state: AdminState) -> std::io::Result<AdminHandle
     let acceptor = {
         let stop = Arc::clone(&stop);
         let conns = Arc::clone(&conns);
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let state = Arc::clone(&state);
-                        let handle =
-                            std::thread::spawn(move || serve_connection(stream, &state));
-                        let mut held =
-                            conns.lock().unwrap_or_else(PoisonError::into_inner);
-                        // Reap finished threads so a long-lived server's
-                        // handle list doesn't grow with every scrape.
-                        held.retain(|h| !h.is_finished());
-                        held.push(handle);
+        std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return; // the shutdown self-connection (or a late probe)
                     }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
+                    let state = Arc::clone(&state);
+                    let handle = std::thread::spawn(move || serve_connection(stream, &state));
+                    let mut held = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                    // Reap finished threads so a long-lived server's
+                    // handle list doesn't grow with every scrape.
+                    held.retain(|h| !h.is_finished());
+                    held.push(handle);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
                     }
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    // Transient accept failure (fd exhaustion etc.):
+                    // back off briefly instead of spinning.
+                    std::thread::sleep(Duration::from_millis(10));
                 }
             }
         })

@@ -20,7 +20,7 @@ use selearn_serve::{run_load, LoadOptions, Request};
 
 const USAGE: &str = "usage: selearn-load --addr HOST:PORT \
 (--workload FILE | --synthetic DIM) [--requests N] [--conns N] \
-[--rate RPS] [--pool N] [--allow-errors]";
+[--rate RPS] [--pool N] [--tenants N] [--allow-errors]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +31,7 @@ fn main() {
     let conns = parse_num::<usize>(take_flag_value(&mut args, "--conns"), "--conns");
     let rate = parse_num::<f64>(take_flag_value(&mut args, "--rate"), "--rate");
     let pool = parse_num::<usize>(take_flag_value(&mut args, "--pool"), "--pool");
+    let tenants = parse_num::<usize>(take_flag_value(&mut args, "--tenants"), "--tenants");
     let allow_errors = take_flag(&mut args, "--allow-errors");
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}\n{USAGE}");
@@ -42,7 +43,7 @@ fn main() {
     };
 
     let pool_size = pool.unwrap_or(256);
-    let requests_pool: Vec<Request> = match (workload, synthetic) {
+    let mut requests_pool: Vec<Request> = match (workload, synthetic) {
         (Some(path), None) => match load_workload(&path) {
             Ok(pool) => pool,
             Err(e) => {
@@ -68,6 +69,14 @@ fn main() {
     if requests_pool.is_empty() {
         eprintln!("request pool is empty");
         std::process::exit(2);
+    }
+    // Mixed-tenant mode: cycle the pool's `est` names across the server's
+    // `--synthetic-tenants` namespaces (`t<i>.m`) so one run exercises
+    // every tenant's quota bucket and cache partition.
+    if let Some(n) = tenants.filter(|n| *n > 0) {
+        for (i, req) in requests_pool.iter_mut().enumerate() {
+            req.est = format!("t{}.m", i % n);
+        }
     }
 
     let options = LoadOptions {

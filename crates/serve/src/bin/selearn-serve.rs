@@ -34,6 +34,7 @@ use std::sync::Arc;
 const USAGE: &str = "usage: selearn-serve (--model FILE | --synthetic DIM) \
 [--addr HOST:PORT] [--admin-addr HOST:PORT] [--workers N] [--queue N] \
 [--cache-capacity N] [--cache-grid N] [--deadline-ms N] [--run-secs N] [--stats] \
+[--synthetic-tenants N] [--tenant-rps X] [--tenant-burst X] \
 [--trace-out FILE] [--trace-sample-rate N] [--store-dir DIR] \
 [--checkpoint-every N] [--rollback GEN] [--drift-threshold X] \
 [--drift-windows K] [--drift-window-size N]";
@@ -54,6 +55,15 @@ fn main() {
     let deadline_ms =
         parse_num::<u64>(take_flag_value(&mut args, "--deadline-ms"), "--deadline-ms");
     let run_secs = parse_num::<u64>(take_flag_value(&mut args, "--run-secs"), "--run-secs");
+    let synthetic_tenants = parse_num::<usize>(
+        take_flag_value(&mut args, "--synthetic-tenants"),
+        "--synthetic-tenants",
+    );
+    let tenant_rps = parse_num::<f64>(take_flag_value(&mut args, "--tenant-rps"), "--tenant-rps");
+    let tenant_burst = parse_num::<f64>(
+        take_flag_value(&mut args, "--tenant-burst"),
+        "--tenant-burst",
+    );
     let stats = take_flag(&mut args, "--stats");
     let trace_out = take_flag_value(&mut args, "--trace-out");
     let trace_sample_rate = parse_num::<u64>(
@@ -161,6 +171,12 @@ fn main() {
     if let Some(every) = trace_sample_rate {
         config.trace_sample_every = every;
     }
+    if let Some(rps) = tenant_rps {
+        config.tenant_quota_rps = rps;
+    }
+    if let Some(burst) = tenant_burst {
+        config.tenant_quota_burst = burst;
+    }
 
     if store_dir.is_none() && (checkpoint_every.is_some() || rollback.is_some()) {
         eprintln!("--checkpoint-every and --rollback require --store-dir\n{USAGE}");
@@ -241,6 +257,15 @@ fn main() {
         drift = Some(monitor);
     }
 
+    // Multi-tenant smoke mode: register N namespaced handles to the same
+    // frozen artifact (`t<i>.m`) beside "default". Sharing the Arc keeps
+    // a thousand registrations at a thousand slots, one model.
+    if let Some(n) = synthetic_tenants {
+        for i in 0..n {
+            registry.register(&format!("t{i}.m"), model.clone(), root.clone());
+        }
+        println!("{{\"synthetic_tenants\":{n}}}");
+    }
     registry.register(selearn_serve::DEFAULT_MODEL, model, root);
     let sink = durable
         .as_ref()

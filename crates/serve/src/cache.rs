@@ -1,11 +1,20 @@
-//! Sharded LRU cache for selectivity estimates.
+//! Tenant-partitioned, sharded LRU cache for selectivity estimates.
 //!
-//! Keys are [`quantized`](selearn_core::quantize_rect_key) query rects plus
-//! the model name and model *generation* (bumped on every hot-swap), so a
-//! swap implicitly invalidates all cached answers for that model without a
-//! stop-the-world clear. Entries are sharded by key hash across
-//! independently locked LRU lists, keeping contention between worker
-//! threads on different shards at zero.
+//! Keys are [`quantized`](selearn_core::quantize_rect_key_into) query
+//! rects plus the *interned* model id ([`crate::registry::ModelSlot::id`])
+//! and model generation (bumped on every hot-swap), so a swap implicitly
+//! invalidates all cached answers for that model without a stop-the-world
+//! clear. The interned id replaces the old `String` model-name component:
+//! probes borrow a reusable [`CacheKey`] scratch owned by the worker, so
+//! steady-state cache **hits are allocation-free** — a key is only cloned
+//! when a miss inserts it.
+//!
+//! Entries are partitioned by tenant id: each tenant gets its own fixed
+//! set of shards with its own capacity, created lazily at first touch, so
+//! one hot tenant evicts only its own entries and can never wash out a
+//! quiet neighbour's working set. Within a partition, entries are sharded
+//! by key hash across independently locked LRU lists, keeping contention
+//! between worker threads on different shards at zero.
 //!
 //! Each shard is a slab-backed intrusive doubly-linked list: `HashMap`
 //! from key to slab index, `prev`/`next` links inside the slab, O(1)
@@ -15,10 +24,20 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-/// Cache key: model name, model generation, quantized query rect.
-pub type CacheKey = (String, u64, Vec<u32>);
+/// Cache key: interned model id, model generation, quantized query rect.
+/// Workers keep one as a reusable scratch (mutate the fields, refill
+/// `cells` in place) and probe by reference.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Interned model id ([`crate::registry::ModelSlot::id`]).
+    pub model: u32,
+    /// Model generation at probe time.
+    pub generation: u64,
+    /// Quantized query-rect cells ([`selearn_core::quantize_rect_key_into`]).
+    pub cells: Vec<u32>,
+}
 
 const NIL: usize = usize::MAX;
 
@@ -82,8 +101,10 @@ impl Shard {
         Some(self.slab[i].value)
     }
 
-    fn insert(&mut self, key: CacheKey, value: f64) {
-        if let Some(&i) = self.map.get(&key) {
+    /// Inserts by reference: the key is cloned only when this creates a
+    /// new entry (the refresh path just overwrites the value).
+    fn insert(&mut self, key: &CacheKey, value: f64) {
+        if let Some(&i) = self.map.get(key) {
             self.slab[i].value = value;
             self.unlink(i);
             self.link_front(i);
@@ -106,41 +127,79 @@ impl Shard {
             self.slab[victim].value = value;
             victim
         };
-        self.map.insert(key, i);
+        self.map.insert(key.clone(), i);
         self.link_front(i);
     }
 }
 
-/// A sharded LRU estimate cache with hit/miss accounting.
-pub struct EstimateCache {
+/// One tenant's private shard set.
+struct Partition {
     shards: Vec<Mutex<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
 }
 
-impl EstimateCache {
-    /// Creates a cache of `capacity` total entries spread over `shards`
-    /// locks (both clamped to at least 1; per-shard capacity rounds up).
-    pub fn new(capacity: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
-        let per_shard = capacity.max(1).div_ceil(shards);
-        Self {
-            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
+impl Partition {
     fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
     }
+}
 
-    /// Looks up a cached estimate, promoting it to most-recently-used and
-    /// bumping the hit/miss counters (local and `serve.cache_*` obs).
-    pub fn get(&self, key: &CacheKey) -> Option<f64> {
-        let got = self
+/// A tenant-partitioned, sharded LRU estimate cache with hit/miss
+/// accounting. `capacity` is **per tenant** — each partition gets the
+/// full shard set, so tenants never compete for cache residency.
+pub struct EstimateCache {
+    partitions: RwLock<HashMap<u32, Arc<Partition>>>,
+    per_tenant_capacity: usize,
+    shards: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Creates a cache holding up to `capacity` entries *per tenant*,
+    /// spread over `shards` locks (both clamped to at least 1; per-shard
+    /// capacity rounds up). Partitions materialize lazily on first touch,
+    /// so a thousand registered-but-idle tenants cost nothing.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        Self {
+            partitions: RwLock::new(HashMap::new()),
+            per_tenant_capacity: capacity.max(1),
+            shards: shards.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn partition(&self, tenant: u32) -> Arc<Partition> {
+        if let Some(p) = self
+            .partitions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&tenant)
+        {
+            return Arc::clone(p);
+        }
+        let mut parts = self
+            .partitions
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let per_shard = self.per_tenant_capacity.div_ceil(self.shards);
+        Arc::clone(parts.entry(tenant).or_insert_with(|| {
+            Arc::new(Partition {
+                shards: (0..self.shards)
+                    .map(|_| Mutex::new(Shard::new(per_shard)))
+                    .collect(),
+            })
+        }))
+    }
+
+    /// Looks up a cached estimate in `tenant`'s partition, promoting it
+    /// to most-recently-used and bumping the hit/miss counters (local and
+    /// `serve.cache_*` obs). Borrows the key — hits never allocate.
+    pub fn get(&self, tenant: u32, key: &CacheKey) -> Option<f64> {
+        let partition = self.partition(tenant);
+        let got = partition
             .shard(key)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -155,29 +214,47 @@ impl EstimateCache {
         got
     }
 
-    /// Inserts (or refreshes) an estimate, evicting the shard's LRU entry
-    /// when full.
-    pub fn insert(&self, key: CacheKey, value: f64) {
-        self.shard(&key)
+    /// Inserts (or refreshes) an estimate in `tenant`'s partition,
+    /// evicting the shard's LRU entry when full. The key is cloned only
+    /// for a brand-new entry.
+    pub fn insert(&self, tenant: u32, key: &CacheKey, value: f64) {
+        self.partition(tenant)
+            .shard(key)
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, value);
     }
 
-    /// Lifetime hit count.
+    /// Lifetime hit count (all tenants).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lifetime miss count.
+    /// Lifetime miss count (all tenants).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Current number of cached entries across all shards.
+    /// Number of tenant partitions materialized so far.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Current number of cached entries across all tenants and shards.
     pub fn len(&self) -> usize {
-        self.shards
+        let parts: Vec<Arc<Partition>> = self
+            .partitions
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .cloned()
+            .collect();
+        parts
             .iter()
+            .flat_map(|p| &p.shards)
             .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum()
     }
@@ -192,16 +269,20 @@ impl EstimateCache {
 mod tests {
     use super::*;
 
-    fn key(gen: u64, cells: &[u32]) -> CacheKey {
-        ("default".to_string(), gen, cells.to_vec())
+    fn key(model: u32, generation: u64, cells: &[u32]) -> CacheKey {
+        CacheKey {
+            model,
+            generation,
+            cells: cells.to_vec(),
+        }
     }
 
     #[test]
     fn hit_after_insert_miss_before() {
         let c = EstimateCache::new(8, 2);
-        assert_eq!(c.get(&key(0, &[1, 2])), None);
-        c.insert(key(0, &[1, 2]), 0.25);
-        assert_eq!(c.get(&key(0, &[1, 2])), Some(0.25));
+        assert_eq!(c.get(0, &key(0, 0, &[1, 2])), None);
+        c.insert(0, &key(0, 0, &[1, 2]), 0.25);
+        assert_eq!(c.get(0, &key(0, 0, &[1, 2])), Some(0.25));
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
     }
@@ -209,29 +290,37 @@ mod tests {
     #[test]
     fn generation_bump_invalidates() {
         let c = EstimateCache::new(8, 1);
-        c.insert(key(0, &[1]), 0.5);
-        assert_eq!(c.get(&key(1, &[1])), None, "new generation, new key");
+        c.insert(0, &key(0, 0, &[1]), 0.5);
+        assert_eq!(c.get(0, &key(0, 1, &[1])), None, "new generation, new key");
+    }
+
+    #[test]
+    fn model_id_separates_entries() {
+        let c = EstimateCache::new(8, 1);
+        c.insert(0, &key(1, 0, &[1]), 0.5);
+        assert_eq!(c.get(0, &key(2, 0, &[1])), None, "different model id");
+        assert_eq!(c.get(0, &key(1, 0, &[1])), Some(0.5));
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let c = EstimateCache::new(2, 1);
-        c.insert(key(0, &[1]), 0.1);
-        c.insert(key(0, &[2]), 0.2);
-        assert_eq!(c.get(&key(0, &[1])), Some(0.1)); // promote [1]
-        c.insert(key(0, &[3]), 0.3); // evicts [2]
-        assert_eq!(c.get(&key(0, &[2])), None);
-        assert_eq!(c.get(&key(0, &[1])), Some(0.1));
-        assert_eq!(c.get(&key(0, &[3])), Some(0.3));
+        c.insert(0, &key(0, 0, &[1]), 0.1);
+        c.insert(0, &key(0, 0, &[2]), 0.2);
+        assert_eq!(c.get(0, &key(0, 0, &[1])), Some(0.1)); // promote [1]
+        c.insert(0, &key(0, 0, &[3]), 0.3); // evicts [2]
+        assert_eq!(c.get(0, &key(0, 0, &[2])), None);
+        assert_eq!(c.get(0, &key(0, 0, &[1])), Some(0.1));
+        assert_eq!(c.get(0, &key(0, 0, &[3])), Some(0.3));
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn reinsert_updates_value_without_growth() {
         let c = EstimateCache::new(4, 1);
-        c.insert(key(0, &[1]), 0.1);
-        c.insert(key(0, &[1]), 0.9);
-        assert_eq!(c.get(&key(0, &[1])), Some(0.9));
+        c.insert(0, &key(0, 0, &[1]), 0.1);
+        c.insert(0, &key(0, 0, &[1]), 0.9);
+        assert_eq!(c.get(0, &key(0, 0, &[1])), Some(0.9));
         assert_eq!(c.len(), 1);
     }
 
@@ -239,10 +328,29 @@ mod tests {
     fn eviction_churn_stays_bounded() {
         let c = EstimateCache::new(16, 4);
         for i in 0..1000u32 {
-            c.insert(key(0, &[i]), f64::from(i));
+            c.insert(0, &key(0, 0, &[i]), f64::from(i));
         }
         assert!(c.len() <= 20, "len {} exceeds sharded capacity", c.len());
         // The most recent key per shard must still be resident.
-        assert_eq!(c.get(&key(0, &[999])), Some(999.0));
+        assert_eq!(c.get(0, &key(0, 0, &[999])), Some(999.0));
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let c = EstimateCache::new(2, 1);
+        // Tenant 1 floods its own partition...
+        for i in 0..100u32 {
+            c.insert(1, &key(0, 0, &[i]), 0.5);
+        }
+        // ...while tenant 2's single entry stays resident.
+        c.insert(2, &key(0, 0, &[7]), 0.9);
+        for i in 100..200u32 {
+            c.insert(1, &key(0, 0, &[i]), 0.5);
+        }
+        assert_eq!(c.get(2, &key(0, 0, &[7])), Some(0.9));
+        // Same key under a different tenant is a distinct entry.
+        assert_eq!(c.get(1, &key(0, 0, &[7])), None);
+        assert_eq!(c.partitions(), 2);
+        assert!(c.len() <= 4);
     }
 }

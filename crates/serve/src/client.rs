@@ -54,6 +54,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             Some("shed") => Some(DegradeReason::Shed),
             Some("deadline") => Some(DegradeReason::Deadline),
             Some("swap") => Some(DegradeReason::Swap),
+            Some("quota") => Some(DegradeReason::Quota),
             other => return Err(format!("degraded response with bad reason {other:?}")),
         },
         _ => None,

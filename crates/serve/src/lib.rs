@@ -42,7 +42,10 @@
 //! additionally emits end-to-end `trace` events (recv → dequeue →
 //! cache/estimate/wal_append → respond) sharing one trace id.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one scoped `#[allow(unsafe_code)]` in
+// `poller::sys` — the crate's single `poll(2)` declaration — can exist;
+// everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // The panic-free gate: unwrap/expect are banned outside test code
 // (clippy.toml exempts #[cfg(test)]); CI runs clippy with -D warnings.
@@ -54,6 +57,7 @@ pub mod client;
 pub mod drift;
 pub mod feedback;
 pub mod json;
+pub mod poller;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -61,7 +65,7 @@ pub mod server;
 pub mod synth;
 
 pub use admin::{start_admin, AdminHandle, AdminState};
-pub use cache::EstimateCache;
+pub use cache::{CacheKey, EstimateCache};
 pub use drift::{DriftConfig, DriftMonitor, DriftStatus};
 pub use client::{parse_response, run_load, Client, LoadOptions, LoadReport};
 pub use feedback::{DurableFeedback, FeedbackAck, FeedbackSink};
@@ -70,5 +74,7 @@ pub use protocol::{
     DEFAULT_MODEL,
 };
 pub use queue::BoundedQueue;
-pub use registry::{uniform_fallback, ModelRegistry, ModelSlot};
+pub use registry::{
+    tenant_namespace, uniform_fallback, ModelRegistry, ModelSlot, Tenant, TokenBucket,
+};
 pub use server::{start, start_with_feedback, ServeStats, ServerConfig, ServerHandle};

@@ -13,11 +13,22 @@
 //!   worker pool may answer pipelined requests **out of order**, so any
 //!   client with more than one request in flight must use ids.
 //!
-//! Responses carry `"degraded":true` plus a `"reason"` (`"shed"`,
-//! `"deadline"`, or `"swap"`) when admission control answered with the
-//! uniform-selectivity fallback instead of the model, and `"cached":true`
-//! when the answer came from the estimate cache. Malformed or unservable
-//! requests get `{"id":…,"error":"…"}` — the connection stays open.
+//! Responses carry `"degraded":true` plus a `"reason"` when admission
+//! control answered with the uniform-selectivity fallback instead of the
+//! model, and `"cached":true` when the answer came from the estimate
+//! cache. Malformed or unservable requests get `{"id":…,"error":"…"}` —
+//! the connection stays open.
+//!
+//! | reason       | meaning                                                |
+//! |--------------|--------------------------------------------------------|
+//! | `"shed"`     | the bounded request queue was full (global overload)   |
+//! | `"deadline"` | the request out-waited its queue deadline              |
+//! | `"swap"`     | the model was mid-hot-swap at evaluation time          |
+//! | `"quota"`    | the tenant's per-namespace admission quota ran dry     |
+//!
+//! Model names are namespaced `table.column` ids; the prefix before the
+//! first `.` is the request's *tenant*, and per-tenant token-bucket
+//! quotas shed with `"quota"` before the request takes a queue slot.
 //!
 //! A request line that additionally carries a `"sel"` key is **feedback**
 //! — the observed selectivity of that box, offered to the online model:
@@ -211,6 +222,8 @@ pub enum DegradeReason {
     Deadline,
     /// The model was mid-hot-swap when the worker tried to read it.
     Swap,
+    /// The tenant's admission token bucket was empty (per-tenant quota).
+    Quota,
 }
 
 impl DegradeReason {
@@ -220,6 +233,7 @@ impl DegradeReason {
             DegradeReason::Shed => "shed",
             DegradeReason::Deadline => "deadline",
             DegradeReason::Swap => "swap",
+            DegradeReason::Quota => "quota",
         }
     }
 }

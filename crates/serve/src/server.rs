@@ -1,52 +1,66 @@
-//! The TCP estimator server: acceptor, connection readers, worker pool.
+//! The TCP estimator server: one readiness-polling event loop feeding a
+//! batched worker pool.
 //!
-//! Threading model (`N` workers, `C` live connections):
+//! Threading model (`N` workers, any number of connections):
 //!
 //! ```text
-//! acceptor ──spawns──▶ reader (×C) ──try_push──▶ BoundedQueue ──pop──▶ worker (×N)
-//!                        │   shed? answer degraded                        │
-//!                        ▼                                                ▼
-//!                 shared TcpStream writer ◀──────── response line ────────┘
+//!            ┌─────────────── poller thread ───────────────┐
+//! listener ──▶ accept ─▶ nonblocking reads ─▶ parse+admit ──try_push──▶ BoundedQueue
+//!            │              per-conn line buf     │ shed/quota?       │
+//!            │                                    ▼                   ▼ pop_batch
+//!            │          POLLOUT re-arm ◀── ConnWriter (per-conn   worker (×N)
+//!            │                              nonblocking write        │
+//!            └──────────────▲ waker ◀───────  buffer)  ◀── response ─┘
 //! ```
 //!
-//! * The **acceptor** runs a non-blocking `accept` loop, polling the
-//!   shutdown flag between attempts, and spawns one reader per connection.
-//! * Each **reader** owns the receive half: it accumulates bytes into a
-//!   buffer and splits on `\n` *across* read-timeout interruptions (a
-//!   `BufReader::read_line` would lose partial lines on timeout), then
-//!   offers each line to the bounded queue. When the queue is full it
-//!   answers the request itself with the uniform fallback
-//!   (`"degraded":true,"reason":"shed"`) — admission control never
-//!   buffers unboundedly and never silently drops.
+//! * The **poller** is a single thread owning the listener, a wake-up
+//!   socket, and every client socket, multiplexed through a std-only
+//!   [`poll(2)`](crate::poller) wrapper. Reads are nonblocking into a
+//!   per-connection byte buffer, split on `\n` across partial reads.
+//!   Idle connections cost one `pollfd` entry and their buffers — no
+//!   thread, no timer, no wakeups.
+//! * **Admission happens on the poller**: each complete line is parsed
+//!   once, its model slot resolved, and its tenant's token bucket
+//!   consulted. Over-quota requests answer the uniform fallback with
+//!   reason `"quota"` (feedback answers an error — never a fake ack)
+//!   *before* taking a queue slot; a full queue sheds with `"shed"` as
+//!   before. Admitted jobs carry the parsed request and the slot handle,
+//!   so workers never re-parse.
 //! * **Workers** drain jobs in batches ([`BoundedQueue::pop_batch`], up
 //!   to [`MAX_WORKER_BATCH`] per lock acquisition) and answer each batch
-//!   in two passes. The *prepare* pass parses, checks deadlines, consults
-//!   the estimate cache, and `try_read`s the model slot (degrading with
-//!   reason `"swap"` rather than blocking behind a hot-swap); requests
-//!   that survive it land as `Range`s in a reusable lane buffer. The
-//!   *evaluate* pass groups consecutive same-model requests and answers
-//!   each run with one allocation-free `estimate_into` call — under load
-//!   the common one-model case evaluates the whole batch in a single
-//!   batched call against the (typically frozen) estimator. Jobs that
-//!   out-waited their deadline in the queue are answered with reason
-//!   `"deadline"` instead of burning model time on an answer the client
-//!   has likely given up on.
+//!   in two passes. The *prepare* pass validates shapes, checks
+//!   deadlines, probes the tenant-partitioned estimate cache through a
+//!   reusable borrowed [`CacheKey`] (steady-state hits allocate nothing),
+//!   and `try_read`s the model slot (degrading with reason `"swap"`
+//!   rather than blocking behind a hot-swap). The *evaluate* pass groups
+//!   consecutive same-model requests and answers each run with one
+//!   allocation-free `estimate_into` call.
+//! * **Responses** go through each connection's [`ConnWriter`]: a direct
+//!   nonblocking write when the socket has room, otherwise the remainder
+//!   lands in a bounded per-connection buffer and the poller re-arms the
+//!   socket with `POLLOUT` to finish the flush — a slow client can never
+//!   block a worker. A client whose buffer overflows
+//!   [`ServerConfig::max_conn_write_buffer`] is dropped and counted
+//!   (`serve.slow_client_drops`), not allowed to wedge the server.
 //!
 //! Every response path increments `serve.requests_total`; degraded paths
 //! additionally record `serve.requests_shed` / `..._deadline` / `..._swap`
-//! so (requests − degraded − errors) always equals real model/cache
-//! answers.
+//! / `..._quota` so (requests − degraded − errors) always equals real
+//! model/cache answers. Per-tenant request and quota-shed counters ride
+//! on labeled series (`serve.tenant_requests{tenant="…"}`).
 
 use crate::cache::{CacheKey, EstimateCache};
 use crate::feedback::FeedbackSink;
+use crate::poller::{poll, wake_pair, PollFd, Waker, POLLIN, POLLOUT};
 use crate::protocol::{parse_line, DegradeReason, Feedback, Request, RequestLine, Response};
 use crate::queue::BoundedQueue;
-use crate::registry::{uniform_fallback, ModelRegistry};
-use selearn_core::{quantize_rect_key, SharedEstimator, TrainingQuery};
+use crate::registry::{uniform_fallback, ModelRegistry, ModelSlot};
+use selearn_core::{quantize_rect_key_into, SharedEstimator, TrainingQuery};
 use selearn_geom::{Range, Rect};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -60,19 +74,27 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity; the admission-control threshold.
     pub queue_capacity: usize,
-    /// Total estimate-cache entries (0 disables the cache).
+    /// Estimate-cache entries **per tenant** (0 disables the cache).
     pub cache_capacity: usize,
-    /// Cache shard count.
+    /// Cache shard count (per tenant partition).
     pub cache_shards: usize,
     /// Cache-key quantization grid (cells per dimension).
     pub cache_grid: u32,
     /// Queue-wait budget per request; `Duration::ZERO` disables deadline
     /// degradation.
     pub deadline: Duration,
-    /// Socket read timeout — the shutdown-poll granularity of readers.
-    pub read_timeout: Duration,
     /// Hard cap on one request line; longer lines end the connection.
     pub max_line_bytes: usize,
+    /// Per-connection response buffer cap: a client that falls further
+    /// behind than this is dropped (`serve.slow_client_drops`) instead of
+    /// buffering unboundedly.
+    pub max_conn_write_buffer: usize,
+    /// Default per-tenant admission quota in requests/sec (0 disables —
+    /// tenants are unlimited unless [`ModelRegistry::set_quota`] says
+    /// otherwise).
+    pub tenant_quota_rps: f64,
+    /// Token-bucket burst for the default tenant quota.
+    pub tenant_quota_burst: f64,
     /// Trace every Nth request end-to-end when a sink is installed
     /// (0 disables sampling). Sampled requests emit `trace` events at
     /// each pipeline stage, all sharing one trace id.
@@ -89,8 +111,10 @@ impl Default for ServerConfig {
             cache_shards: 8,
             cache_grid: 64,
             deadline: Duration::from_millis(100),
-            read_timeout: Duration::from_millis(25),
             max_line_bytes: 64 * 1024,
+            max_conn_write_buffer: 1024 * 1024,
+            tenant_quota_rps: 0.0,
+            tenant_quota_burst: 64.0,
             trace_sample_every: 0,
         }
     }
@@ -106,8 +130,10 @@ pub struct ServeStats {
     shed: AtomicU64,
     deadline_expired: AtomicU64,
     swap_degraded: AtomicU64,
+    quota_shed: AtomicU64,
     errors: AtomicU64,
     connections: AtomicU64,
+    slow_client_drops: AtomicU64,
     feedback_acks: AtomicU64,
     /// Request-arrival sequence, the trace-sampling clock (not a stat).
     request_seq: AtomicU64,
@@ -133,27 +159,165 @@ impl ServeStats {
         deadline_expired <- deadline_expired;
         /// Uniform fallbacks due to losing the model-slot race with a swap.
         swap_degraded <- swap_degraded;
+        /// Uniform fallbacks due to an exhausted per-tenant quota.
+        quota_shed <- quota_shed;
         /// Per-request error responses.
         errors <- errors;
         /// Connections accepted over the server's lifetime.
         connections <- connections;
+        /// Connections dropped for out-running their response buffer.
+        slow_client_drops <- slow_client_drops;
         /// Feedback records durably acknowledged.
         feedback_acks <- feedback_acks;
     }
 
     /// All uniform-fallback answers, regardless of reason.
     pub fn degraded(&self) -> u64 {
-        self.shed() + self.deadline_expired() + self.swap_degraded()
+        self.shed() + self.deadline_expired() + self.swap_degraded() + self.quota_shed()
     }
 }
 
-/// One queued request: the raw line plus the connection's shared writer.
+/// The send half of one connection: a nonblocking direct-write fast path
+/// backed by a bounded pending buffer that the poller drains on
+/// `POLLOUT`. Shared (via `Arc`) between the poller's connection table
+/// and every in-flight job for the connection, so responses outlive the
+/// read half.
+struct ConnWriter {
+    state: Mutex<WriteHalf>,
+    /// Pending bytes exist — the poller arms `POLLOUT` for this socket.
+    want_write: AtomicBool,
+    /// Fatal: the poller reaps the connection at its next iteration and
+    /// sends become no-ops.
+    doomed: AtomicBool,
+    cap: usize,
+    waker: Arc<Waker>,
+    stats: Arc<ServeStats>,
+}
+
+struct WriteHalf {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    /// Bytes of `pending` already written (drain offset — no memmove per
+    /// partial flush).
+    sent: usize,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream, waker: Arc<Waker>, stats: Arc<ServeStats>, cap: usize) -> Self {
+        Self {
+            state: Mutex::new(WriteHalf {
+                stream,
+                pending: Vec::new(),
+                sent: 0,
+            }),
+            want_write: AtomicBool::new(false),
+            doomed: AtomicBool::new(false),
+            cap: cap.max(4096),
+            waker,
+            stats,
+        }
+    }
+
+    fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire)
+    }
+
+    fn wants_write(&self) -> bool {
+        self.want_write.load(Ordering::Acquire)
+    }
+
+    fn has_pending(&self) -> bool {
+        let s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.sent < s.pending.len()
+    }
+
+    fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+
+    /// Buffer-overflow doom: the client is reading slower than it sends.
+    fn doom_slow(&self) {
+        self.stats.slow_client_drops.fetch_add(1, Ordering::Relaxed);
+        selearn_obs::counter_add("serve.slow_client_drops", 1);
+        self.doom();
+    }
+
+    /// Queues one response line: direct nonblocking write when the buffer
+    /// is empty, spillover into `pending` (waking the poller to re-arm
+    /// `POLLOUT`) when the socket is full. Never blocks the caller.
+    fn send(&self, line: &[u8]) {
+        if self.is_doomed() {
+            return;
+        }
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.sent >= s.pending.len() {
+            s.pending.clear();
+            s.sent = 0;
+            let mut written = 0;
+            while written < line.len() {
+                match (&s.stream).write(&line[written..]) {
+                    Ok(0) => return self.doom(),
+                    Ok(n) => written += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => return self.doom(),
+                }
+            }
+            if written == line.len() {
+                return;
+            }
+            s.pending.extend_from_slice(&line[written..]);
+        } else {
+            if s.pending.len() - s.sent + line.len() > self.cap {
+                drop(s);
+                self.doom_slow();
+                return;
+            }
+            s.pending.extend_from_slice(line);
+        }
+        self.want_write.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+
+    /// Drains `pending` as far as the socket allows. Called by the poller
+    /// on `POLLOUT`; leaves `want_write` armed when the socket fills
+    /// again mid-flush.
+    fn flush(&self) {
+        if self.is_doomed() {
+            return;
+        }
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while s.sent < s.pending.len() {
+            let sent = s.sent;
+            match (&s.stream).write(&s.pending[sent..]) {
+                Ok(0) => return self.doom(),
+                Ok(n) => s.sent += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return self.doom(),
+            }
+        }
+        s.pending.clear();
+        s.sent = 0;
+        self.want_write.store(false, Ordering::Release);
+    }
+}
+
+/// One admitted request: parsed on the poller, carried with its resolved
+/// model slot and the connection's shared writer.
 struct Job {
-    line: String,
-    writer: Arc<Mutex<TcpStream>>,
+    kind: JobKind,
+    slot: Arc<ModelSlot>,
+    writer: Arc<ConnWriter>,
     received: Instant,
     /// `Some` when this request was sampled for end-to-end tracing.
     trace_id: Option<u64>,
+}
+
+enum JobKind {
+    Estimate(Request),
+    Feedback(Feedback),
 }
 
 /// Jobs drained per [`BoundedQueue::pop_batch`] call. Bounds the worker's
@@ -161,19 +325,52 @@ struct Job {
 /// behind the rest of its batch.
 const MAX_WORKER_BATCH: usize = 64;
 
+/// Poll timeout: the gauge-tick and shutdown-responsiveness granularity.
+/// Idle connections sleep in the kernel — this only bounds how stale the
+/// once-a-second QPS gauge can go.
+const POLL_TICK_MS: i32 = 250;
+
+/// How long shutdown keeps flushing pending response bytes to slow
+/// clients before giving up on them.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(3);
+
 /// Outcome of the prepare pass for one job.
 enum Prepared {
-    /// Answerable without evaluating a model: parse error, degraded
-    /// fallback, or estimate-cache hit.
+    /// Answerable without evaluating a model: validation error, degraded
+    /// fallback, feedback ack, or estimate-cache hit.
     Ready(Response),
-    /// Needs a model evaluation over the batch lane `ranges[slot]`.
+    /// Needs a model evaluation over the batch lane `ranges[lane]`.
     Eval {
         id: Option<u64>,
         model: SharedEstimator,
         cache_key: Option<CacheKey>,
-        slot: usize,
+        tenant: u32,
+        lane: usize,
         trace_id: Option<u64>,
     },
+}
+
+/// Everything the poller thread needs, bundled once.
+struct PollerShared {
+    stop: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<Job>>,
+    registry: Arc<ModelRegistry>,
+    stats: Arc<ServeStats>,
+    waker: Arc<Waker>,
+    open_connections: Arc<AtomicUsize>,
+    config: ServerConfig,
+}
+
+/// One live connection as the poller sees it: the read half, the shared
+/// write half, and the partial-line buffer.
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    buf: Vec<u8>,
+    /// The client sent EOF (or errored); keep the entry only while
+    /// pending response bytes remain to flush.
+    read_closed: bool,
 }
 
 /// A running server. Dropping the handle without calling
@@ -185,10 +382,12 @@ pub struct ServerHandle {
     cache: Arc<EstimateCache>,
     stats: Arc<ServeStats>,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    drain: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    poller: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     queue: Arc<BoundedQueue<Job>>,
+    open_connections: Arc<AtomicUsize>,
 }
 
 impl ServerHandle {
@@ -212,6 +411,12 @@ impl ServerHandle {
         &self.stats
     }
 
+    /// Connections currently held by the poller (advisory; updated once
+    /// per poll iteration).
+    pub fn open_connections(&self) -> usize {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
     /// A closure reporting `(depth, capacity)` of the request queue —
     /// how the admin plane's `/readyz` watches admission control without
     /// the (private) job type escaping this module.
@@ -220,30 +425,29 @@ impl ServerHandle {
         Box::new(move || (queue.len(), queue.capacity()))
     }
 
-    /// Stops accepting, drains in-flight work, and joins every thread.
-    /// Queued requests are still answered; idle connections are closed.
+    /// Stops accepting and reading, drains queued work through the
+    /// workers, flushes buffered responses (bounded by [`DRAIN_TIMEOUT`]
+    /// per slow client), and joins every thread.
     pub fn shutdown(mut self) {
+        // Phase 1: the poller stops accepting and reading, but keeps
+        // flushing response buffers while the workers finish the backlog.
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let readers = std::mem::take(
-            &mut *self
-                .readers
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        );
-        for r in readers {
-            let _ = r.join();
-        }
+        self.waker.wake();
         self.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Phase 2: every response has been handed to its ConnWriter —
+        // tell the poller to finish the flush and exit.
+        self.drain.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(p) = self.poller.take() {
+            let _ = p.join();
+        }
     }
 }
 
-/// Binds, spawns the acceptor + worker pool, and returns immediately.
+/// Binds, spawns the poller + worker pool, and returns immediately.
 /// Feedback lines answer an error; use [`start_with_feedback`] to accept
 /// them.
 pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> std::io::Result<ServerHandle> {
@@ -261,6 +465,12 @@ pub fn start_with_feedback(
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let (waker, wake_rx) = wake_pair()?;
+    let waker = Arc::new(waker);
+
+    if config.tenant_quota_rps > 0.0 {
+        registry.set_default_quota(config.tenant_quota_rps, config.tenant_quota_burst);
+    }
 
     let cache = Arc::new(EstimateCache::new(
         config.cache_capacity.max(1),
@@ -268,68 +478,35 @@ pub fn start_with_feedback(
     ));
     let stats = Arc::new(ServeStats::default());
     let stop = Arc::new(AtomicBool::new(false));
+    let drain = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let open_connections = Arc::new(AtomicUsize::new(0));
 
     let workers = (0..config.workers.max(1))
         .map(|_| {
             let queue = Arc::clone(&queue);
-            let registry = Arc::clone(&registry);
             let cache = Arc::clone(&cache);
             let stats = Arc::clone(&stats);
             let sink = sink.clone();
             let config = config.clone();
             std::thread::spawn(move || {
-                worker_loop(&queue, &registry, &cache, &stats, sink.as_ref(), &config);
+                worker_loop(&queue, &cache, &stats, sink.as_ref(), &config);
             })
         })
         .collect();
 
-    let acceptor = {
-        let stop = Arc::clone(&stop);
-        let queue = Arc::clone(&queue);
-        let registry = Arc::clone(&registry);
-        let stats = Arc::clone(&stats);
-        let readers = Arc::clone(&readers);
-        let config = config.clone();
-        std::thread::spawn(move || {
-            let mut last_qps_tick = Instant::now();
-            let mut last_qps_count = 0u64;
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        stats.connections.fetch_add(1, Ordering::Relaxed);
-                        selearn_obs::counter_add("serve.connections", 1);
-                        let stop = Arc::clone(&stop);
-                        let queue = Arc::clone(&queue);
-                        let registry = Arc::clone(&registry);
-                        let stats = Arc::clone(&stats);
-                        let config = config.clone();
-                        let handle = std::thread::spawn(move || {
-                            read_connection(stream, &stop, &queue, &registry, &stats, &config);
-                        });
-                        readers
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .push(handle);
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                }
-                // Once a second, export QPS and queue depth gauges.
-                let tick = last_qps_tick.elapsed();
-                if tick >= Duration::from_secs(1) {
-                    let now = stats.requests();
-                    let qps = (now - last_qps_count) as f64 / tick.as_secs_f64();
-                    selearn_obs::gauge_set("serve.qps", qps);
-                    selearn_obs::gauge_set("serve.queue_depth", queue.len() as f64);
-                    last_qps_count = now;
-                    last_qps_tick = Instant::now();
-                }
-            }
-        })
+    let poller = {
+        let shared = PollerShared {
+            stop: Arc::clone(&stop),
+            drain: Arc::clone(&drain),
+            queue: Arc::clone(&queue),
+            registry: Arc::clone(&registry),
+            stats: Arc::clone(&stats),
+            waker: Arc::clone(&waker),
+            open_connections: Arc::clone(&open_connections),
+            config: config.clone(),
+        };
+        std::thread::spawn(move || poller_loop(&listener, wake_rx, &shared))
     };
 
     Ok(ServerHandle {
@@ -338,86 +515,251 @@ pub fn start_with_feedback(
         cache,
         stats,
         stop,
-        acceptor: Some(acceptor),
+        drain,
+        waker,
+        poller: Some(poller),
         workers,
-        readers,
         queue,
+        open_connections,
     })
 }
 
-/// Reads request lines off one connection until EOF, error, overlong line,
-/// or shutdown. Splitting is done on an explicit byte buffer so a read
-/// timeout mid-line never discards the partial line.
-fn read_connection(
-    stream: TcpStream,
-    stop: &AtomicBool,
-    queue: &BoundedQueue<Job>,
-    registry: &ModelRegistry,
-    stats: &ServeStats,
-    config: &ServerConfig,
-) {
-    if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
-        return;
-    }
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut stream = stream;
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
+/// The event loop: one thread, every socket. Each iteration rebuilds the
+/// poll set (wake socket, listener, one entry per connection with
+/// `POLLOUT` armed only where pending bytes wait), sleeps in `poll`,
+/// then dispatches readiness: accept-drain, per-connection read-drain
+/// with line splitting + admission, and write-buffer flushes.
+fn poller_loop(listener: &TcpListener, mut wake_rx: TcpStream, sh: &PollerShared) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut last_tick = Instant::now();
+    let mut last_count = 0u64;
+    let mut drain_started: Option<Instant> = None;
     loop {
-        if stop.load(Ordering::SeqCst) {
-            return;
+        // Reap: doomed writers (slow clients, write errors) and closed
+        // readers whose responses are fully flushed.
+        conns.retain(|c| {
+            !c.writer.is_doomed() && (!c.read_closed || c.writer.has_pending())
+        });
+        let stopping = sh.stop.load(Ordering::SeqCst);
+        if stopping {
+            // Shutdown: connections with nothing buffered close now
+            // (in-flight responses still reach the socket through the
+            // writer's own handle); the rest stay for the final flush.
+            conns.retain(|c| c.writer.has_pending());
+            if sh.drain.load(Ordering::SeqCst) {
+                let started = *drain_started.get_or_insert_with(Instant::now);
+                if conns.is_empty() || started.elapsed() > DRAIN_TIMEOUT {
+                    break;
+                }
+            }
         }
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => return, // client closed
-            Ok(n) => n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                continue;
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => return,
+        sh.open_connections.store(conns.len(), Ordering::Relaxed);
+
+        fds.clear();
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+        let listener_idx = if stopping {
+            None
+        } else {
+            fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+            Some(fds.len() - 1)
         };
-        buf.extend_from_slice(&chunk[..n]);
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let mut line_bytes: Vec<u8> = buf.drain(..=pos).collect();
-            line_bytes.pop(); // the '\n'
-            if line_bytes.last() == Some(&b'\r') {
-                line_bytes.pop();
+        let conn_base = fds.len();
+        for c in &conns {
+            let mut interest = 0i16;
+            if !stopping && !c.read_closed {
+                interest |= POLLIN;
             }
-            if line_bytes.is_empty() {
-                continue;
+            if c.writer.wants_write() {
+                interest |= POLLOUT;
             }
-            let received = Instant::now();
-            let trace_id = mint_trace(stats, config);
-            let line = match String::from_utf8(line_bytes) {
-                Ok(s) => s,
-                Err(_) => {
-                    respond_error(&writer, stats, None, "request is not valid UTF-8", received);
+            fds.push(PollFd::new(c.stream.as_raw_fd(), interest));
+        }
+
+        if poll(&mut fds, POLL_TICK_MS).is_err() {
+            // Transient poll failure (e.g. fd-table churn): back off a
+            // beat instead of spinning.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+
+        if fds[0].readable() {
+            sh.waker.drain(&mut wake_rx);
+        }
+
+        // Once a second, export QPS, queue-depth, and connection gauges.
+        let tick = last_tick.elapsed();
+        if tick >= Duration::from_secs(1) {
+            let now = sh.stats.requests();
+            let qps = (now - last_count) as f64 / tick.as_secs_f64();
+            selearn_obs::gauge_set("serve.qps", qps);
+            selearn_obs::gauge_set("serve.queue_depth", sh.queue.len() as f64);
+            selearn_obs::gauge_set("serve.open_connections", conns.len() as f64);
+            last_count = now;
+            last_tick = Instant::now();
+        }
+
+        if let Some(i) = listener_idx {
+            if fds[i].readable() {
+                accept_ready(listener, &mut conns, sh);
+            }
+        }
+
+        for (i, c) in conns.iter_mut().enumerate() {
+            let Some(pf) = fds.get(conn_base + i) else {
+                break; // accept grew `conns` past this iteration's poll set
+            };
+            if pf.writable() {
+                c.writer.flush();
+            }
+            if pf.readable() && !stopping && !c.read_closed && !read_ready(c, &mut chunk, sh) {
+                c.read_closed = true;
+            }
+        }
+    }
+}
+
+/// Accept-drains the listener: every pending connection is registered
+/// nonblocking with a fresh [`ConnWriter`].
+fn accept_ready(listener: &TcpListener, conns: &mut Vec<Conn>, sh: &PollerShared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
-            };
-            let job = Job {
-                line,
-                writer: Arc::clone(&writer),
-                received,
-                trace_id,
-            };
-            if let Err(job) = queue.try_push(job) {
-                shed(job, registry, stats);
+                let write_half = match stream.try_clone() {
+                    Ok(w) => w,
+                    Err(_) => continue,
+                };
+                sh.stats.connections.fetch_add(1, Ordering::Relaxed);
+                selearn_obs::counter_add("serve.connections", 1);
+                conns.push(Conn {
+                    stream,
+                    writer: Arc::new(ConnWriter::new(
+                        write_half,
+                        Arc::clone(&sh.waker),
+                        Arc::clone(&sh.stats),
+                        sh.config.max_conn_write_buffer,
+                    )),
+                    buf: Vec::new(),
+                    read_closed: false,
+                });
             }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
         }
-        if buf.len() > config.max_line_bytes {
-            respond_error(
-                &writer,
-                stats,
-                None,
-                "request line too long",
-                Instant::now(),
-            );
-            return; // close: the stream is mid-garbage, resync is impossible
+    }
+}
+
+/// Read-drains one connection: nonblocking reads into its line buffer,
+/// admitting every complete line. Returns `false` when the connection is
+/// done (EOF, error, overlong line).
+fn read_ready(c: &mut Conn, chunk: &mut [u8], sh: &PollerShared) -> bool {
+    loop {
+        match c.stream.read(chunk) {
+            Ok(0) => return false, // client closed
+            Ok(n) => {
+                c.buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = c.buf.iter().position(|&b| b == b'\n') {
+                    let mut line: Vec<u8> = c.buf.drain(..=pos).collect();
+                    line.pop(); // the '\n'
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    if line.is_empty() {
+                        continue;
+                    }
+                    admit_line(line, &c.writer, sh);
+                }
+                if c.buf.len() > sh.config.max_line_bytes {
+                    respond_error(
+                        &c.writer,
+                        &sh.stats,
+                        None,
+                        "request line too long",
+                        Instant::now(),
+                    );
+                    return false; // close: the stream is mid-garbage, resync is impossible
+                }
+                if n < chunk.len() {
+                    return true; // short read: the socket is drained
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         }
+    }
+}
+
+/// Poller-side admission for one complete line: parse once, resolve the
+/// model slot, charge the tenant's token bucket, then enqueue — or answer
+/// inline (errors, quota, shed) without ever blocking the event loop.
+fn admit_line(line: Vec<u8>, writer: &Arc<ConnWriter>, sh: &PollerShared) {
+    let received = Instant::now();
+    let trace_id = mint_trace(&sh.stats, &sh.config);
+    let line = match String::from_utf8(line) {
+        Ok(s) => s,
+        Err(_) => {
+            respond_error(writer, &sh.stats, None, "request is not valid UTF-8", received);
+            return;
+        }
+    };
+    let parsed = match parse_line(&line) {
+        Ok(p) => p,
+        Err(message) => {
+            let response = error_response(&sh.stats, None, message);
+            writer.send(response_line(&response).as_bytes());
+            finish_request(&sh.stats, received);
+            return;
+        }
+    };
+    let (est_name, id) = match &parsed {
+        RequestLine::Estimate(r) => (r.est.as_str(), r.id),
+        RequestLine::Feedback(f) => (f.est.as_str(), f.id),
+    };
+    let Some(slot) = sh.registry.slot(est_name) else {
+        let response = error_response(&sh.stats, id, format!("unknown model \"{est_name}\""));
+        writer.send(response_line(&response).as_bytes());
+        finish_request(&sh.stats, received);
+        return;
+    };
+    if !slot.tenant().admit() {
+        sh.stats.quota_shed.fetch_add(1, Ordering::Relaxed);
+        selearn_obs::counter_add("serve.requests_quota", 1);
+        let response = match parsed {
+            // A degraded *ack* would be a lie about durability — over-quota
+            // feedback answers an error so the client knows to retry.
+            RequestLine::Feedback(fb) => error_response(
+                &sh.stats,
+                fb.id,
+                "tenant over quota: feedback not recorded, retry".into(),
+            ),
+            RequestLine::Estimate(req) => {
+                trace_job(trace_id, "degraded", received, "quota");
+                degraded_response(&req, slot.root(), DegradeReason::Quota, received)
+            }
+        };
+        writer.send(response_line(&response).as_bytes());
+        trace_job(trace_id, "respond", received, "");
+        finish_request(&sh.stats, received);
+        return;
+    }
+    let job = Job {
+        kind: match parsed {
+            RequestLine::Estimate(req) => JobKind::Estimate(req),
+            RequestLine::Feedback(fb) => JobKind::Feedback(fb),
+        },
+        slot,
+        writer: Arc::clone(writer),
+        received,
+        trace_id,
+    };
+    if let Err(job) = sh.queue.try_push(job) {
+        shed(job, &sh.stats);
     }
 }
 
@@ -446,42 +788,39 @@ fn trace_job(trace_id: Option<u64>, stage: &str, received: Instant, note: &str) 
     }
 }
 
-/// Queue-full path, run on the reader thread: answer with the uniform
-/// fallback instead of queueing, so overload degrades accuracy, not
-/// availability.
-fn shed(job: Job, registry: &ModelRegistry, stats: &ServeStats) {
+/// Queue-full path, run on the poller: answer with the uniform fallback
+/// instead of queueing, so overload degrades accuracy, not availability.
+fn shed(job: Job, stats: &ServeStats) {
     stats.shed.fetch_add(1, Ordering::Relaxed);
     selearn_obs::counter_add("serve.requests_shed", 1);
-    let response = match parse_line(&job.line) {
-        Err(message) => error_response(stats, None, message),
+    let response = match &job.kind {
         // A degraded *estimate* is a sane answer; a degraded *ack* would
         // be a lie about durability — shed feedback answers an error so
         // the client knows to retry.
-        Ok(RequestLine::Feedback(fb)) => error_response(
+        JobKind::Feedback(fb) => error_response(
             stats,
             fb.id,
             "server overloaded: feedback not recorded, retry".into(),
         ),
-        Ok(RequestLine::Estimate(req)) => match registry.slot(&req.est) {
-            None => error_response(stats, req.id, format!("unknown model \"{}\"", req.est)),
-            Some(slot) => degraded_response(&req, slot.root(), DegradeReason::Shed, job.received),
-        },
+        JobKind::Estimate(req) => {
+            degraded_response(req, job.slot.root(), DegradeReason::Shed, job.received)
+        }
     };
     trace_job(job.trace_id, "degraded", job.received, "shed");
-    write_response(&job.writer, &response);
+    job.writer.send(response_line(&response).as_bytes());
     trace_job(job.trace_id, "respond", job.received, "");
     finish_request(stats, job.received);
 }
 
 /// The batched worker hot loop: drain up to [`MAX_WORKER_BATCH`] jobs,
-/// prepare each (parse → deadline → cache → model handle), evaluate the
-/// survivors through `estimate_into` one same-model run at a time, then
-/// write every response. All batch buffers are reused across iterations —
-/// the steady-state loop performs no per-request allocation for query or
+/// prepare each (validate → deadline → cache → model handle), evaluate
+/// the survivors through `estimate_into` one same-model run at a time,
+/// then write every response. All batch buffers — including the borrowed
+/// cache-probe key — are reused across iterations, so the steady-state
+/// loop performs no per-request allocation for query, key, or
 /// selectivity storage.
 fn worker_loop(
     queue: &BoundedQueue<Job>,
-    registry: &ModelRegistry,
     cache: &EstimateCache,
     stats: &ServeStats,
     sink: Option<&Arc<dyn FeedbackSink>>,
@@ -491,31 +830,38 @@ fn worker_loop(
     let mut prepared: Vec<Prepared> = Vec::with_capacity(MAX_WORKER_BATCH);
     let mut ranges: Vec<Range> = Vec::with_capacity(MAX_WORKER_BATCH);
     let mut sels: Vec<f64> = Vec::with_capacity(MAX_WORKER_BATCH);
+    let mut scratch = CacheKey::default();
     while queue.pop_batch(&mut jobs, MAX_WORKER_BATCH) {
         prepared.clear();
         ranges.clear();
         for job in &jobs {
             prepared.push(prepare_job(
-                job, registry, cache, stats, sink, config, &mut ranges,
+                job,
+                cache,
+                stats,
+                sink,
+                config,
+                &mut ranges,
+                &mut scratch,
             ));
         }
         sels.clear();
         sels.resize(ranges.len(), 0.0);
         // Evaluate each run of consecutive same-model requests with one
-        // batch call. With a single registered model (the common case)
-        // the entire batch is one `estimate_into`.
+        // batch call. With a single hot model (the common case) the
+        // entire batch is one `estimate_into`.
         let mut run: Option<(&SharedEstimator, usize, usize)> = None;
         for p in &prepared {
-            let Prepared::Eval { model, slot, .. } = p else {
+            let Prepared::Eval { model, lane, .. } = p else {
                 continue;
             };
             run = match run {
                 Some((m, lo, hi)) if Arc::ptr_eq(m, model) => Some((m, lo, hi + 1)),
                 Some((m, lo, hi)) => {
                     m.estimate_into(&ranges[lo..hi], &mut sels[lo..hi]);
-                    Some((model, *slot, slot + 1))
+                    Some((model, *lane, lane + 1))
                 }
-                None => Some((model, *slot, slot + 1)),
+                None => Some((model, *lane, lane + 1)),
             };
         }
         if let Some((m, lo, hi)) = run {
@@ -528,12 +874,13 @@ fn worker_loop(
                     id,
                     model,
                     cache_key,
-                    slot,
+                    tenant,
+                    lane,
                     trace_id,
                 } => {
-                    let sel = sels[slot].clamp(0.0, 1.0);
+                    let sel = sels[lane].clamp(0.0, 1.0);
                     if let Some(key) = cache_key {
-                        cache.insert(key, sel);
+                        cache.insert(tenant, &key, sel);
                     }
                     stats.model_answers.fetch_add(1, Ordering::Relaxed);
                     trace_job(trace_id, "estimate", job.received, model.name());
@@ -547,42 +894,36 @@ fn worker_loop(
                     }
                 }
             };
-            write_response(&job.writer, &response);
+            job.writer.send(response_line(&response).as_bytes());
             trace_job(job.trace_id, "respond", job.received, "");
             finish_request(stats, job.received);
         }
     }
 }
 
-/// The per-request prepare pass: parse → deadline check → cache → model
-/// handle. Requests that need a model evaluation push their query into
-/// `ranges` and defer to the worker's batched `estimate_into`; feedback
-/// lines are answered inline through the sink.
+/// The per-request prepare pass: validate → deadline check → cache →
+/// model handle. Requests that need a model evaluation push their query
+/// into `ranges` and defer to the worker's batched `estimate_into`;
+/// feedback lines are answered inline through the sink. `scratch` is the
+/// worker's reusable cache key — hits never allocate.
 #[allow(clippy::too_many_arguments)]
 fn prepare_job(
     job: &Job,
-    registry: &ModelRegistry,
     cache: &EstimateCache,
     stats: &ServeStats,
     sink: Option<&Arc<dyn FeedbackSink>>,
     config: &ServerConfig,
     ranges: &mut Vec<Range>,
+    scratch: &mut CacheKey,
 ) -> Prepared {
     let _guard = selearn_obs::span!("serve.request");
     trace_job(job.trace_id, "dequeue", job.received, "");
-    let req = match parse_line(&job.line) {
-        Ok(RequestLine::Estimate(req)) => req,
-        Ok(RequestLine::Feedback(fb)) => {
-            return Prepared::Ready(ingest_feedback(&fb, registry, stats, sink, job));
+    let slot = &job.slot;
+    let req = match &job.kind {
+        JobKind::Estimate(req) => req,
+        JobKind::Feedback(fb) => {
+            return Prepared::Ready(ingest_feedback(fb, slot, stats, sink, job));
         }
-        Err(message) => return Prepared::Ready(error_response(stats, None, message)),
-    };
-    let Some(slot) = registry.slot(&req.est) else {
-        return Prepared::Ready(error_response(
-            stats,
-            req.id,
-            format!("unknown model \"{}\"", req.est),
-        ));
     };
     if req.lo.len() != slot.root().dim() {
         return Prepared::Ready(error_response(
@@ -608,7 +949,7 @@ fn prepare_job(
         selearn_obs::counter_add("serve.requests_deadline", 1);
         trace_job(job.trace_id, "degraded", job.received, "deadline");
         return Prepared::Ready(degraded_response(
-            &req,
+            req,
             slot.root(),
             DegradeReason::Deadline,
             job.received,
@@ -621,20 +962,28 @@ fn prepare_job(
         selearn_obs::counter_add("serve.requests_swap_degraded", 1);
         trace_job(job.trace_id, "degraded", job.received, "swap");
         return Prepared::Ready(degraded_response(
-            &req,
+            req,
             slot.root(),
             DegradeReason::Swap,
             job.received,
         ));
     };
-    let cache_key = if config.cache_capacity > 0 {
-        quantize_rect_key(slot.root(), &req.lo, &req.hi, config.cache_grid)
-            .map(|k| (req.est.clone(), generation, k))
-    } else {
-        None
-    };
-    if let Some(key) = &cache_key {
-        if let Some(sel) = cache.get(key) {
+    let tenant = slot.tenant().id();
+    // Borrowed probe: refill the scratch key in place and look up by
+    // reference — a hit allocates nothing; only a miss that later inserts
+    // clones the key.
+    let key_ok = config.cache_capacity > 0
+        && quantize_rect_key_into(
+            slot.root(),
+            &req.lo,
+            &req.hi,
+            config.cache_grid,
+            &mut scratch.cells,
+        );
+    if key_ok {
+        scratch.model = slot.id();
+        scratch.generation = generation;
+        if let Some(sel) = cache.get(tenant, scratch) {
             stats.cache_answers.fetch_add(1, Ordering::Relaxed);
             trace_job(job.trace_id, "cache_hit", job.received, &req.est);
             return Prepared::Ready(Response::Estimate {
@@ -657,24 +1006,25 @@ fn prepare_job(
             ))
         }
     };
-    let slot_idx = ranges.len();
+    let lane = ranges.len();
     ranges.push(rect.into());
     Prepared::Eval {
         id: req.id,
         model,
-        cache_key,
-        slot: slot_idx,
+        cache_key: key_ok.then(|| scratch.clone()),
+        tenant,
+        lane,
         trace_id: job.trace_id,
     }
 }
 
 /// The feedback path, run inline on the worker: validate the box against
-/// the named model's data space, then hand it to the sink. The returned
-/// LSN is a durability token — it is only ever sent after the sink's
+/// the model's data space, then hand it to the sink. The returned LSN is
+/// a durability token — it is only ever sent after the sink's
 /// log-before-observe append succeeded.
 fn ingest_feedback(
     fb: &Feedback,
-    registry: &ModelRegistry,
+    slot: &ModelSlot,
     stats: &ServeStats,
     sink: Option<&Arc<dyn FeedbackSink>>,
     job: &Job,
@@ -685,9 +1035,6 @@ fn ingest_feedback(
             fb.id,
             "feedback not enabled: start the server with --store-dir".into(),
         );
-    };
-    let Some(slot) = registry.slot(&fb.est) else {
-        return error_response(stats, fb.id, format!("unknown model \"{}\"", fb.est));
     };
     if fb.lo.len() != slot.root().dim() {
         return error_response(
@@ -748,25 +1095,22 @@ fn error_response(stats: &ServeStats, id: Option<u64>, message: String) -> Respo
 }
 
 fn respond_error(
-    writer: &Mutex<TcpStream>,
+    writer: &ConnWriter,
     stats: &ServeStats,
     id: Option<u64>,
     message: &str,
     received: Instant,
 ) {
     let response = error_response(stats, id, message.to_string());
-    write_response(writer, &response);
+    writer.send(response_line(&response).as_bytes());
     finish_request(stats, received);
 }
 
-/// Serializes and writes one response line. Write errors mean the client
-/// went away; the reader will notice EOF and clean up, so they are
-/// deliberately ignored here.
-fn write_response(writer: &Mutex<TcpStream>, response: &Response) {
+/// Serializes one response with its terminating newline.
+fn response_line(response: &Response) -> String {
     let mut line = response.to_json();
     line.push('\n');
-    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = w.write_all(line.as_bytes());
+    line
 }
 
 /// Per-answer accounting shared by every response path.

@@ -1,0 +1,326 @@
+//! Event-loop regression tests: thread-leak churn, idle-connection
+//! scaling, slow-reader backpressure, and per-tenant quota isolation.
+//!
+//! These pin the properties the readiness poller was built for — a real
+//! server on a real localhost socket, with assertions against
+//! `/proc/self` for thread and memory accounting.
+
+use selearn_core::SelectivityEstimator;
+use selearn_geom::{Range, Rect};
+use selearn_serve::synth::synthetic_model;
+use selearn_serve::{
+    start, Client, DegradeReason, ModelRegistry, Request, Response, ServerConfig, ServerHandle,
+    DEFAULT_MODEL,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live threads in this process, via `/proc/self/task`.
+fn live_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Resident set size in KiB, via `/proc/self/status`.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .unwrap_or_default()
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Soft limit on open files, via `/proc/self/limits`.
+fn fd_soft_limit() -> u64 {
+    std::fs::read_to_string("/proc/self/limits")
+        .unwrap_or_default()
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+fn serve_synthetic(config: ServerConfig) -> ServerHandle {
+    let (model, root) = synthetic_model(2, 200, 11).expect("synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root);
+    start(config, registry).expect("server start")
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+/// The regression test for the reader-thread leak: the old server spawned
+/// (and never joined) one reader thread per accepted connection, so 10k
+/// short-lived connections left 10k parked threads. The event loop owns
+/// every socket on one poller thread — churn must leave the thread count
+/// where it started and drain `open_connections` back to zero.
+#[test]
+fn connection_churn_leaves_o1_threads() {
+    let handle = serve_synthetic(ServerConfig::default());
+    let addr = handle.addr().to_string();
+
+    // Steady state: server running, one connection already seen.
+    drop(TcpStream::connect(&addr).expect("prime connect"));
+    let threads_before = live_threads();
+
+    const CHURN: usize = 10_000;
+    for i in 0..CHURN {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => drop(stream),
+            // Transient backlog overflow under churn: brief retry.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                drop(TcpStream::connect(&addr).unwrap_or_else(|e| {
+                    panic!("connect {i} failed twice: {e}");
+                }));
+            }
+        }
+    }
+
+    let threads_after = live_threads();
+    assert!(
+        threads_after <= threads_before + 4,
+        "thread leak: {threads_before} threads before churn, {threads_after} after"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || handle.open_connections() == 0),
+        "connections not reaped: {} still open",
+        handle.open_connections()
+    );
+    // Near-total, not exact: a client that disconnects fast enough can be
+    // reaped from the kernel accept queue before the server ever sees it.
+    assert!(
+        handle.stats().connections() >= (CHURN - CHURN / 20) as u64,
+        "server accepted only {} of {CHURN} connections",
+        handle.stats().connections()
+    );
+
+    // The server still answers after the churn.
+    let mut client = Client::connect(&addr).expect("post-churn connect");
+    let resp = client
+        .call(&Request {
+            est: DEFAULT_MODEL.into(),
+            lo: vec![0.1, 0.2],
+            hi: vec![0.6, 0.7],
+            id: Some(1),
+        })
+        .expect("post-churn call");
+    assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
+
+    handle.shutdown();
+}
+
+/// Idle-connection scaling: thousands of open-but-silent sockets cost the
+/// server one poller thread and bounded memory, and wake no workers.
+#[test]
+fn idle_connections_are_cheap() {
+    // Each idle connection holds 3 fds in this process (client end +
+    // server read/write halves); leave generous headroom under the limit.
+    let budget = (fd_soft_limit().saturating_sub(512) / 3) as usize;
+    let target = budget.min(5_000);
+    if target < 1_000 {
+        eprintln!("skipping: fd limit {} too low for idle-scaling test", fd_soft_limit());
+        return;
+    }
+
+    let handle = serve_synthetic(ServerConfig::default());
+    let addr = handle.addr().to_string();
+    let threads_baseline = live_threads();
+    let rss_baseline = rss_kb();
+
+    let mut idle = Vec::with_capacity(target);
+    for i in 0..target {
+        match TcpStream::connect(&addr) {
+            Ok(stream) => idle.push(stream),
+            Err(e) => panic!("idle connect {i} failed: {e}"),
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            handle.open_connections() == target
+        }),
+        "server holds {} of {target} idle connections",
+        handle.open_connections()
+    );
+
+    // Silent sockets admit nothing: no request ever reached the queue.
+    assert_eq!(handle.stats().requests(), 0, "idle sockets woke a worker");
+    // And they cost no threads — the poller owns them all.
+    assert!(
+        live_threads() <= threads_baseline + 2,
+        "idle connections grew threads: {} -> {}",
+        threads_baseline,
+        live_threads()
+    );
+    // Memory stays bounded: well under 24 KiB per connection end-to-end
+    // (both client and server halves live in this process).
+    let rss_grown = rss_kb().saturating_sub(rss_baseline);
+    assert!(
+        rss_grown < 24 * target as u64,
+        "idle connections cost {rss_grown} KiB RSS for {target} conns"
+    );
+
+    // A live client is still served while the idle herd is connected.
+    let mut client = Client::connect(&addr).expect("live connect");
+    let resp = client
+        .call(&Request {
+            est: DEFAULT_MODEL.into(),
+            lo: vec![0.2, 0.2],
+            hi: vec![0.5, 0.5],
+            id: Some(7),
+        })
+        .expect("live call");
+    assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
+
+    drop(idle);
+    handle.shutdown();
+}
+
+/// Slow-reader backpressure: a client that writes requests but never
+/// reads responses must be disconnected once its write buffer cap is
+/// exceeded — with the drop counted — while other clients stay live.
+/// A worker must never block on a client socket.
+#[test]
+fn slow_reader_is_dropped_not_blocking() {
+    let config = ServerConfig {
+        // Smallest allowed per-connection response buffer, so the doom
+        // trips after kernel socket buffers fill.
+        max_conn_write_buffer: 4096,
+        ..ServerConfig::default()
+    };
+    let handle = serve_synthetic(config);
+    let addr = handle.addr().to_string();
+    let stats = Arc::clone(handle.stats());
+
+    let mut slow = TcpStream::connect(&addr).expect("slow connect");
+    slow.set_write_timeout(Some(Duration::from_millis(200)))
+        .expect("write timeout");
+    let line = format!(
+        "{{\"est\":\"{DEFAULT_MODEL}\",\"lo\":[0.1,0.2],\"hi\":[0.6,0.7],\"id\":9}}\n"
+    );
+    // Pipeline requests without ever reading. Responses fill the socket
+    // buffers, then the ConnWriter's pending buffer, then the cap trips.
+    let mut sent = 0usize;
+    while stats.slow_client_drops() == 0 && sent < 500_000 {
+        match slow.write_all(line.as_bytes()) {
+            Ok(()) => sent += 1,
+            // Connection already doomed server-side, or momentarily full.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || stats.slow_client_drops() >= 1),
+        "slow client was never dropped after {sent} pipelined requests"
+    );
+    assert!(
+        wait_until(Duration::from_secs(10), || handle.open_connections() == 0),
+        "doomed connection not reaped"
+    );
+
+    // A well-behaved client on the same server is unaffected.
+    let mut client = Client::connect(&addr).expect("good connect");
+    let resp = client
+        .call(&Request {
+            est: DEFAULT_MODEL.into(),
+            lo: vec![0.3, 0.3],
+            hi: vec![0.8, 0.8],
+            id: Some(2),
+        })
+        .expect("good call");
+    assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
+
+    drop(slow);
+    handle.shutdown();
+}
+
+/// Per-tenant quota shedding: saturating tenant `a` flips its answers to
+/// `degraded:"quota"` uniform fallbacks without touching tenant `b`.
+#[test]
+fn tenant_quota_isolation() {
+    struct Constant(f64);
+    impl SelectivityEstimator for Constant {
+        fn estimate(&self, _r: &Range) -> f64 {
+            self.0
+        }
+        fn num_buckets(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("a.m", Arc::new(Constant(0.25)), Rect::unit(2));
+    registry.register("b.m", Arc::new(Constant(0.5)), Rect::unit(2));
+    // Tenant `a` gets a tiny bucket; tenant `b` stays unlimited.
+    assert!(registry.set_quota("a", Some((1.0, 4.0))));
+    let handle = start(ServerConfig::default(), Arc::clone(&registry)).expect("start");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let req = |est: &str, id: u64| Request {
+        est: est.into(),
+        lo: vec![0.1, 0.1],
+        hi: vec![0.4, 0.4],
+        id: Some(id),
+    };
+
+    let mut a_quota_degraded = 0u64;
+    let mut a_served = 0u64;
+    for i in 0..30 {
+        match client.call(&req("a.m", i)).expect("tenant a call") {
+            Response::Estimate {
+                degraded: Some(DegradeReason::Quota),
+                sel,
+                ..
+            } => {
+                a_quota_degraded += 1;
+                // Degraded answers are the uniform fallback, not silence.
+                assert!((0.0..=1.0).contains(&sel));
+            }
+            Response::Estimate { degraded: None, .. } => a_served += 1,
+            other => panic!("tenant a: unexpected {other:?}"),
+        }
+    }
+    assert!(a_served >= 1, "burst should admit some of tenant a");
+    assert!(
+        a_quota_degraded >= 20,
+        "tenant a saturated its bucket but only {a_quota_degraded}/30 were shed"
+    );
+    assert!(handle.stats().quota_shed() >= a_quota_degraded);
+
+    // Feedback over quota is refused loudly (an ack would lie about
+    // durability), not silently dropped.
+    client
+        .send_line(r#"{"feedback":true,"est":"a.m","lo":[0.1,0.1],"hi":[0.4,0.4],"sel":0.2}"#)
+        .expect("send feedback");
+    let fb = client.recv().expect("feedback response");
+    assert!(matches!(fb, Response::Error { .. }), "got {fb:?}");
+
+    // Tenant b is untouched by a's saturation: every answer undegraded.
+    for i in 0..30 {
+        match client.call(&req("b.m", i)).expect("tenant b call") {
+            Response::Estimate { degraded: None, .. } => {}
+            other => panic!("tenant b degraded by tenant a's quota: {other:?}"),
+        }
+    }
+
+    handle.shutdown();
+}
