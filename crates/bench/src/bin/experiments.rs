@@ -134,6 +134,7 @@ fn main() {
             "ablation_quadhist_cap" => ablation_quadhist_cap(&scale),
             "ablation_volume" => ablation_volume(),
             "extension_models" => extension_models(&scale),
+            "drift_adaptation" => drift_adaptation(&scale),
             "accuracy" => accuracy(&scale),
             "serve_export" => serve_export(&scale),
             other => {
@@ -232,6 +233,7 @@ const ALL_IDS: &[&str] = &[
     "ablation_quadhist_cap",
     "ablation_volume",
     "extension_models",
+    "drift_adaptation",
     "accuracy",
     "serve_export",
 ];
@@ -1157,6 +1159,109 @@ fn extension_models(scale: &ExperimentScale) -> Result<(), SelearnError> {
     emit(
         "extension_models",
         &["model", "buckets", "rms", "train_wall_ms"],
+        &rows,
+    )?;
+    Ok(())
+}
+
+/// Workload-drift adaptation suite: a query stream whose center
+/// distribution *and* shape mix shift at segment boundaries, served by an
+/// [`OnlineQuadHist`] that refits periodically from its feedback history.
+/// Each evaluation window reports the online model's prequential q-error
+/// (estimate first, observe after) next to a hindsight oracle — a QuadHist
+/// refit from scratch on everything seen so far — and the regret-style gap
+/// between them. Recovery shows as the regret spiking at each boundary and
+/// shrinking again within a few windows.
+fn drift_adaptation(scale: &ExperimentScale) -> Result<(), SelearnError> {
+    use selearn_core::OnlineQuadHist;
+    use selearn_data::{q_error, DriftSegment};
+
+    let data = power2d(scale);
+    let window = 64usize;
+    let seg_len = 4 * window;
+    let tau = 0.005;
+
+    // Three regimes: data-driven rects, then a center shift with shapes
+    // mixed in, then a shape-dominated stream on a different center.
+    let segments = [
+        DriftSegment::new(
+            WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven),
+            seg_len,
+        ),
+        DriftSegment::new(
+            WorkloadSpec::new(
+                QueryType::Mixed,
+                CenterDistribution::Gaussian {
+                    mean: 0.7,
+                    std: 0.1,
+                },
+            ),
+            seg_len,
+        ),
+        DriftSegment::new(
+            WorkloadSpec::new(QueryType::Mixed, CenterDistribution::Random)
+                .with_shape_mix([0.2, 0.4, 0.4]),
+            seg_len,
+        ),
+    ];
+    let mut rng = StdRng::seed_from_u64(SEED ^ hash("drift_adaptation"));
+    let stream = Workload::generate_drift(&data, &segments, &mut rng)?;
+
+    let root = Rect::unit(data.dim());
+    let mut online = OnlineQuadHist::new(root.clone(), QuadHistConfig::with_tau(tau), window)?;
+    let mut seen: Vec<TrainingQuery> = Vec::new();
+    let mut rows = Vec::new();
+    let qtile = |sorted: &[f64], p: f64| -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    for (w, window_queries) in stream.queries().chunks(window).enumerate() {
+        // Prequential pass: the online model answers each query before
+        // learning from it, exactly like the serve feedback loop.
+        let mut online_q = Vec::with_capacity(window_queries.len());
+        for q in window_queries {
+            let est = online.estimate(&q.range);
+            online_q.push(q_error(est, q.selectivity));
+            online.observe(TrainingQuery::new(q.range.clone(), q.selectivity))?;
+            seen.push(TrainingQuery::new(q.range.clone(), q.selectivity));
+        }
+        // Hindsight oracle: refit from scratch on everything seen so far
+        // (this window included), then score the same window.
+        let oracle = QuadHist::fit(root.clone(), &seen, &QuadHistConfig::with_tau(tau))?;
+        let oracle_q: Vec<f64> = window_queries
+            .iter()
+            .map(|q| q_error(oracle.estimate(&q.range), q.selectivity))
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let mut online_sorted = online_q.clone();
+        online_sorted.sort_by(f64::total_cmp);
+        let (online_mean, oracle_mean) = (mean(&online_q), mean(&oracle_q));
+        let segment = (w * window) / seg_len;
+        rows.push(vec![
+            w.to_string(),
+            (w * window).to_string(),
+            match segment {
+                0 => "rect/data-driven".to_string(),
+                1 => "mixed/gauss-0.7".to_string(),
+                _ => "shape-heavy/random".to_string(),
+            },
+            format!("{online_mean:.3}"),
+            format!("{:.3}", qtile(&online_sorted, 0.95)),
+            format!("{oracle_mean:.3}"),
+            format!("{:.3}", online_mean - oracle_mean),
+        ]);
+    }
+    emit(
+        "drift_adaptation",
+        &[
+            "window",
+            "stream_pos",
+            "regime",
+            "online_mean_q",
+            "online_p95_q",
+            "oracle_mean_q",
+            "regret",
+        ],
         &rows,
     )?;
     Ok(())

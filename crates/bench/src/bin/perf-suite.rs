@@ -1,7 +1,7 @@
 //! `perf-suite` — the fixed, versioned performance suite.
 //!
 //! Runs five measurements and writes one machine-readable JSON report
-//! (default `BENCH_8.json`, the PR-9 schema):
+//! (default `BENCH_9.json`, the PR-10 schema):
 //!
 //! * **single-query p50** — per-query latency of the pointer tree vs the
 //!   frozen SoA artifact on a 10k-bucket 2-D QuadHist, and their speedup
@@ -13,9 +13,10 @@
 //!   freeze compilation);
 //! * **serve** — client-observed p50/p95/p99 latency through a live
 //!   in-process `selearn-serve` TCP server under a closed-loop replay,
-//!   plus (new in v8) the same closed loop while 500 idle connections
-//!   sit on the poller, and a mixed-tenant replay spread across 8
-//!   namespaced models;
+//!   plus (v8) the same closed loop while 500 idle connections sit on
+//!   the poller and a mixed-tenant replay spread across 8 namespaced
+//!   models, plus (new in v9) a mixed-shape replay cycling rect,
+//!   halfspace, and ball requests against a mixed-trained model;
 //! * **wal** — per-record `ModelStore::observe` cost with durable acks,
 //!   and the cold-reopen recovery time over the resulting log.
 //!
@@ -24,7 +25,7 @@
 //!
 //! With `--check-speedup X` the process exits non-zero when the measured
 //! single-query speedup falls below `X`. With `--compare PREV.json` the
-//! fresh numbers are checked against a previous report (v6, v7, or v8): a
+//! fresh numbers are checked against a previous report (v6 through v9): a
 //! regression of more than `--compare-slack` (default 0.15 = 15%) in
 //! single-query frozen p50, batch frozen qps, frozen restore time, or —
 //! when the baseline carries a `serve` section — closed-loop serve
@@ -126,6 +127,7 @@ struct ServeNumbers {
     idle_p50_us: f64,
     tenants: usize,
     multi_tenant_p50_us: f64,
+    mixed_shape_p50_us: f64,
 }
 
 /// One closed-loop replay (with warm-up) against `addr`; exits on any
@@ -182,6 +184,16 @@ fn serve_numbers(rounds: usize) -> ServeNumbers {
     for i in 0..TENANTS {
         registry.register(&format!("t{i}.m"), Arc::clone(&model), root.clone());
     }
+    // A model trained on the mixed-shape synthetic workload backs the
+    // shape replay, so halfspace/ball answers come from real training.
+    let (mixed_model, mixed_root) = match synth::synthetic_mixed_model(2, 240, 13) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot fit mixed-shape serve bench model: {e}");
+            std::process::exit(1);
+        }
+    };
+    registry.register("shapes.m", Arc::new(mixed_model), mixed_root);
     let handle = match start(ServerConfig::default(), registry) {
         Ok(h) => h,
         Err(e) => {
@@ -222,6 +234,15 @@ fn serve_numbers(rounds: usize) -> ServeNumbers {
     }
     let (mt_p50, _, _) = replay(&addr, &tenant_pool, 2000);
 
+    // Mixed-shape replay: rect → halfspace → ball cycled over a finite
+    // pool, exercising the shape-aware cache keys and generic estimate
+    // paths end-to-end over the socket.
+    let mut shape_pool = synth::synthetic_mixed_requests(2, 255, 27);
+    for req in shape_pool.iter_mut() {
+        req.est = "shapes.m".to_string();
+    }
+    let (shape_p50, _, _) = replay(&addr, &shape_pool, 2000);
+
     handle.shutdown();
     ServeNumbers {
         p50_us: p50,
@@ -231,6 +252,7 @@ fn serve_numbers(rounds: usize) -> ServeNumbers {
         idle_p50_us: idle_p50,
         tenants: TENANTS,
         multi_tenant_p50_us: mt_p50,
+        mixed_shape_p50_us: shape_p50,
     }
 }
 
@@ -354,7 +376,7 @@ fn regressions(prev: &Compared, fresh: &Compared, slack: f64) -> Vec<String> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    let out_path = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_9.json".to_string());
     let n_buckets: usize = take_value(&mut args, "--buckets")
         .map(|v| v.parse().unwrap_or(10_000))
         .unwrap_or(10_000);
@@ -434,7 +456,7 @@ fn main() {
     let (wal_observe_us, wal_recovery_ms, wal_replayed) = wal_numbers(wal_records);
 
     let json_out = format!(
-        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 8,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {},\n    \"serve_requests\": 2000,\n    \"wal_records\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }},\n  \"serve\": {{\n    \"p50_us\": {:.1},\n    \"p95_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"idle_conns\": {},\n    \"idle_p50_us\": {:.1},\n    \"tenants\": {},\n    \"multi_tenant_p50_us\": {:.1}\n  }},\n  \"wal\": {{\n    \"observe_us\": {:.1},\n    \"recovery_ms\": {:.3},\n    \"replayed_records\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"selearn-bench\",\n  \"version\": 9,\n  \"suite\": \"frozen-inference\",\n  \"config\": {{\n    \"model\": \"quadhist\",\n    \"dim\": 2,\n    \"buckets\": {},\n    \"single_probes\": {},\n    \"batch_probes\": {},\n    \"serve_requests\": 2000,\n    \"wal_records\": {}\n  }},\n  \"single_query\": {{\n    \"tree_p50_us\": {:.3},\n    \"frozen_p50_us\": {:.3},\n    \"speedup\": {:.2}\n  }},\n  \"batch\": {{\n    \"tree_qps\": {:.0},\n    \"frozen_qps\": {:.0},\n    \"speedup\": {:.2}\n  }},\n  \"restore\": {{\n    \"tree_ms\": {:.3},\n    \"frozen_ms\": {:.3}\n  }},\n  \"serve\": {{\n    \"p50_us\": {:.1},\n    \"p95_us\": {:.1},\n    \"p99_us\": {:.1},\n    \"idle_conns\": {},\n    \"idle_p50_us\": {:.1},\n    \"tenants\": {},\n    \"multi_tenant_p50_us\": {:.1},\n    \"mixed_shape_p50_us\": {:.1}\n  }},\n  \"wal\": {{\n    \"observe_us\": {:.1},\n    \"recovery_ms\": {:.3},\n    \"replayed_records\": {}\n  }}\n}}\n",
         model.num_buckets(),
         single.len(),
         batch.len(),
@@ -454,6 +476,7 @@ fn main() {
         serve.idle_p50_us,
         serve.tenants,
         serve.multi_tenant_p50_us,
+        serve.mixed_shape_p50_us,
         wal_observe_us,
         wal_recovery_ms,
         wal_replayed,

@@ -29,9 +29,11 @@ pub fn quantize_rect_key(root: &Rect, lo: &[f64], hi: &[f64], grid: u32) -> Opti
 
 /// Allocation-free [`quantize_rect_key`]: writes the `2d` cell indices
 /// into `out` (cleared first, capacity reused) and returns `false` on a
-/// dimension mismatch or a zero grid. Serving-time cache probes call this
-/// with a per-worker scratch buffer so steady-state cache hits never
-/// allocate.
+/// dimension mismatch, a zero grid, or any non-finite coordinate (NaN
+/// survives `clamp` and `NaN as u32` saturates to 0, which would silently
+/// alias the key of a degenerate corner box — such requests bypass the
+/// cache instead). Serving-time cache probes call this with a per-worker
+/// scratch buffer so steady-state cache hits never allocate.
 pub fn quantize_rect_key_into(
     root: &Rect,
     lo: &[f64],
@@ -47,6 +49,9 @@ pub fn quantize_rect_key_into(
     out.reserve(2 * d);
     for (corner, round_up) in [(lo, false), (hi, true)] {
         for (i, &c) in corner.iter().enumerate() {
+            if !c.is_finite() {
+                return false;
+            }
             let w = root.width(i);
             let frac = if w > 0.0 {
                 ((c - root.lo()[i]) / w).clamp(0.0, 1.0)
@@ -62,6 +67,125 @@ pub fn quantize_rect_key_into(
         }
     }
     true
+}
+
+/// Quantized cache key of a halfspace query `normal · x ≥ offset` inside
+/// `root`: the `d` grid cells of the L2-normalized normal direction (each
+/// component mapped from `[-1, 1]`) followed by one cell for the offset,
+/// positioned within the support interval of `n̂ · x` over `root`.
+/// Normalizing first makes the key scale-invariant — `(2a, 2b)` and
+/// `(a, b)` describe the same halfspace and share a key. Returns `None`
+/// on a dimension mismatch, a zero grid, a zero-norm normal, or any
+/// non-finite parameter.
+pub fn quantize_halfspace_key(
+    root: &Rect,
+    normal: &[f64],
+    offset: f64,
+    grid: u32,
+) -> Option<Vec<u32>> {
+    let mut key = Vec::with_capacity(root.dim() + 1);
+    quantize_halfspace_key_into(root, normal, offset, grid, &mut key).then_some(key)
+}
+
+/// Allocation-free [`quantize_halfspace_key`]; same scratch-buffer
+/// contract as [`quantize_rect_key_into`].
+pub fn quantize_halfspace_key_into(
+    root: &Rect,
+    normal: &[f64],
+    offset: f64,
+    grid: u32,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
+    let d = root.dim();
+    if normal.len() != d || grid == 0 || !offset.is_finite() {
+        return false;
+    }
+    if normal.iter().any(|c| !c.is_finite()) {
+        return false;
+    }
+    let norm = normal.iter().map(|c| c * c).sum::<f64>().sqrt();
+    if !(norm > 0.0 && norm.is_finite()) {
+        return false;
+    }
+    out.reserve(d + 1);
+    // Support interval of n̂ · x over root: per-dim extremes accumulate.
+    let (mut smin, mut smax) = (0.0f64, 0.0f64);
+    for (i, &c) in normal.iter().enumerate() {
+        let n = c / norm;
+        let frac = ((n + 1.0) / 2.0).clamp(0.0, 1.0);
+        out.push(grid_cell(frac, grid));
+        let (a, b) = (n * root.lo()[i], n * root.hi()[i]);
+        smin += a.min(b);
+        smax += a.max(b);
+    }
+    let b = offset / norm;
+    let frac = if smax > smin {
+        ((b - smin) / (smax - smin)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    out.push(grid_cell(frac, grid));
+    true
+}
+
+/// Quantized cache key of a ball query inside `root`: the `d` grid cells
+/// of the center (per-dim, like a box corner) followed by one cell for
+/// the radius, scaled by `root`'s diagonal length. Returns `None` on a
+/// dimension mismatch, a zero grid, or any non-finite parameter.
+pub fn quantize_ball_key(
+    root: &Rect,
+    center: &[f64],
+    radius: f64,
+    grid: u32,
+) -> Option<Vec<u32>> {
+    let mut key = Vec::with_capacity(root.dim() + 1);
+    quantize_ball_key_into(root, center, radius, grid, &mut key).then_some(key)
+}
+
+/// Allocation-free [`quantize_ball_key`]; same scratch-buffer contract as
+/// [`quantize_rect_key_into`].
+pub fn quantize_ball_key_into(
+    root: &Rect,
+    center: &[f64],
+    radius: f64,
+    grid: u32,
+    out: &mut Vec<u32>,
+) -> bool {
+    out.clear();
+    let d = root.dim();
+    if center.len() != d || grid == 0 || !radius.is_finite() {
+        return false;
+    }
+    if center.iter().any(|c| !c.is_finite()) {
+        return false;
+    }
+    out.reserve(d + 1);
+    let mut diag_sq = 0.0f64;
+    for (i, &c) in center.iter().enumerate() {
+        let w = root.width(i);
+        let frac = if w > 0.0 {
+            ((c - root.lo()[i]) / w).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        out.push(grid_cell(frac, grid));
+        diag_sq += w * w;
+    }
+    let diag = diag_sq.sqrt();
+    let frac = if diag > 0.0 {
+        (radius.max(0.0) / diag).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    out.push(grid_cell(frac, grid));
+    true
+}
+
+/// Snaps a fraction in `[0, 1]` to one of `grid + 1` cells (floor, with
+/// the top edge landing in cell `grid`).
+fn grid_cell(frac: f64, grid: u32) -> u32 {
+    (frac * grid as f64).floor() as u32
 }
 
 #[cfg(test)]
@@ -106,5 +230,62 @@ mod tests {
         let a = quantize_rect_key(&root, &[1.0e8], &[5.2e8], 64);
         let b = quantize_rect_key(&root, &[1.01e8], &[5.21e8], 64);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_finite_coordinates_refuse_a_key() {
+        // Regression: NaN survives clamp() and `NaN as u32` saturates to
+        // cell 0, which used to alias the key of a degenerate box at the
+        // domain corner — non-finite input must bypass the cache instead.
+        let root = Rect::unit(2);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(quantize_rect_key(&root, &[bad, 0.2], &[0.5, 0.6], 64).is_none());
+            assert!(quantize_rect_key(&root, &[0.1, 0.2], &[0.5, bad], 64).is_none());
+        }
+        let corner = quantize_rect_key(&root, &[0.0, 0.0], &[0.0, 0.0], 64);
+        assert!(corner.is_some(), "the corner box itself still keys");
+    }
+
+    #[test]
+    fn halfspace_key_is_scale_invariant() {
+        let root = Rect::unit(2);
+        let a = quantize_halfspace_key(&root, &[1.0, 2.0], 0.5, 64);
+        let b = quantize_halfspace_key(&root, &[2.0, 4.0], 1.0, 64);
+        assert!(a.is_some());
+        assert_eq!(a, b, "scaled (normal, offset) is the same halfspace");
+        let c = quantize_halfspace_key(&root, &[1.0, 2.0], 0.9, 64);
+        assert_ne!(a, c, "a different offset is a different key");
+        let d = quantize_halfspace_key(&root, &[2.0, 1.0], 0.5, 64);
+        assert_ne!(a, d, "a different direction is a different key");
+    }
+
+    #[test]
+    fn halfspace_key_rejects_bad_input() {
+        let root = Rect::unit(2);
+        assert!(quantize_halfspace_key(&root, &[1.0], 0.5, 64).is_none());
+        assert!(quantize_halfspace_key(&root, &[0.0, 0.0], 0.5, 64).is_none());
+        assert!(quantize_halfspace_key(&root, &[f64::NAN, 1.0], 0.5, 64).is_none());
+        assert!(quantize_halfspace_key(&root, &[1.0, 1.0], f64::INFINITY, 64).is_none());
+        assert!(quantize_halfspace_key(&root, &[1.0, 1.0], 0.5, 0).is_none());
+    }
+
+    #[test]
+    fn ball_key_snaps_jitter_and_separates_radii() {
+        let root = Rect::unit(2);
+        let a = quantize_ball_key(&root, &[0.301, 0.501], 0.2, 64);
+        let b = quantize_ball_key(&root, &[0.302, 0.502], 0.201, 64);
+        assert!(a.is_some());
+        assert_eq!(a, b, "sub-cell jitter must not change the key");
+        let c = quantize_ball_key(&root, &[0.301, 0.501], 0.9, 64);
+        assert_ne!(a, c, "a clearly different radius is a different key");
+    }
+
+    #[test]
+    fn ball_key_rejects_bad_input() {
+        let root = Rect::unit(2);
+        assert!(quantize_ball_key(&root, &[0.5], 0.2, 64).is_none());
+        assert!(quantize_ball_key(&root, &[0.5, f64::NAN], 0.2, 64).is_none());
+        assert!(quantize_ball_key(&root, &[0.5, 0.5], f64::NAN, 64).is_none());
+        assert!(quantize_ball_key(&root, &[0.5, 0.5], 0.2, 0).is_none());
     }
 }

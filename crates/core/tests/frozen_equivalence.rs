@@ -60,6 +60,50 @@ fn query_mix_2d(pool: &[f64]) -> Vec<Range> {
     out
 }
 
+/// Mixed-shape 2-D training workload from a flat parameter pool; five
+/// values per query, cycling rect → halfspace → ball so every fit path
+/// sees every shape family in one batch.
+fn training_mixed_2d(pool: &[f64]) -> Vec<TrainingQuery> {
+    pool.chunks_exact(5)
+        .enumerate()
+        .map(|(i, c)| {
+            let center = Point::new(vec![c[0], c[1]]);
+            let range: Range = match i % 3 {
+                0 => {
+                    let widths = [c[2].max(0.05), c[3].max(0.05)];
+                    Rect::from_center_widths(&center, &widths).into()
+                }
+                1 => {
+                    // Angle from the pool; the plane passes through center.
+                    let theta = c[2] * std::f64::consts::TAU;
+                    let normal = vec![theta.cos(), theta.sin()];
+                    Halfspace::through_point(&center, normal).into()
+                }
+                _ => Ball::new(center, c[2].max(0.05) * 0.5).into(),
+            };
+            TrainingQuery::new(range, c[4])
+        })
+        .collect()
+}
+
+/// Randomized non-rectangular queries from a flat pool (four values per
+/// query, alternating halfspace / ball), exercising the generic path with
+/// shapes the fixed spot checks cannot cover.
+fn random_generic_queries_2d(pool: &[f64]) -> Vec<Range> {
+    pool.chunks_exact(4)
+        .enumerate()
+        .map(|(i, c)| {
+            let center = Point::new(vec![c[0], c[1]]);
+            if i % 2 == 0 {
+                let theta = c[2] * std::f64::consts::TAU;
+                Halfspace::through_point(&center, vec![theta.cos(), theta.sin()]).into()
+            } else {
+                Ball::new(center, c[2] * 0.7 + 0.01).into()
+            }
+        })
+        .collect()
+}
+
 /// Non-rectangular spot checks for the generic estimation path.
 fn generic_queries_2d() -> Vec<Range> {
     vec![
@@ -193,6 +237,53 @@ proptest! {
         queries.push(Rect::new(vec![-1.0], vec![2.0]).into());
         assert_equivalent(&model, &frozen, &queries)?;
         prop_assert_eq!(frozen.name(), "FrozenCdf1D");
+    }
+
+    #[test]
+    fn quadhist_fit_on_mixed_shapes_freezes_bitwise(
+        train_pool in proptest::collection::vec(0.0f64..1.0, 60),
+        query_pool in proptest::collection::vec(0.0f64..1.0, 32),
+    ) {
+        // The estimator is trained on a batch mixing rects, halfspaces,
+        // and balls — the end-to-end mixed-shape contract — then frozen;
+        // both forms must agree bitwise on an equally mixed query stream.
+        let train = training_mixed_2d(&train_pool);
+        let model =
+            QuadHist::fit(Rect::unit(2), &train, &QuadHistConfig::with_tau(0.05)).unwrap();
+        let frozen = model.freeze();
+        let mut queries = query_mix_2d(&query_pool);
+        queries.extend(random_generic_queries_2d(&query_pool));
+        queries.extend(generic_queries_2d());
+        assert_equivalent(&model, &frozen, &queries)?;
+        prop_assert_eq!(model.num_buckets(), frozen.num_buckets());
+    }
+
+    #[test]
+    fn ptshist_fit_on_mixed_shapes_freezes_bitwise(
+        train_pool in proptest::collection::vec(0.0f64..1.0, 60),
+        query_pool in proptest::collection::vec(0.0f64..1.0, 32),
+    ) {
+        let train = training_mixed_2d(&train_pool);
+        let cfg = PtsHistConfig { model_size: 64, ..Default::default() };
+        let model = PtsHist::fit(Rect::unit(2), &train, &cfg).unwrap();
+        let frozen = model.freeze();
+        let mut queries = query_mix_2d(&query_pool);
+        queries.extend(random_generic_queries_2d(&query_pool));
+        assert_equivalent(&model, &frozen, &queries)?;
+    }
+
+    #[test]
+    fn gausshist_fit_on_mixed_shapes_freezes_bitwise(
+        train_pool in proptest::collection::vec(0.0f64..1.0, 60),
+        query_pool in proptest::collection::vec(0.0f64..1.0, 32),
+    ) {
+        let train = training_mixed_2d(&train_pool);
+        let cfg = GaussHistConfig { model_size: 32, qmc_samples: 128, ..Default::default() };
+        let model = GaussHist::fit(Rect::unit(2), &train, &cfg).unwrap();
+        let frozen = model.freeze();
+        let mut queries = query_mix_2d(&query_pool);
+        queries.extend(random_generic_queries_2d(&query_pool));
+        assert_equivalent(&model, &frozen, &queries)?;
     }
 
     #[test]

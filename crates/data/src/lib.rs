@@ -32,4 +32,6 @@ pub use csv::{load_csv, parse_csv, ColumnKind, CsvSchema};
 pub use dataset::Dataset;
 pub use metrics::{l_inf_error, mean_error, q_error, q_error_quantiles, rms_error, QErrorSummary};
 pub use realistic::{census_like, dmv_like, forest_like, power_like};
-pub use workload::{CenterDistribution, LabeledQuery, QueryType, Workload, WorkloadSpec};
+pub use workload::{
+    CenterDistribution, DriftSegment, LabeledQuery, QueryType, Workload, WorkloadSpec,
+};

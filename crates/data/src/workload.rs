@@ -30,6 +30,10 @@ pub enum QueryType {
     Halfspace,
     /// Distance-based (ball) queries.
     Ball,
+    /// Per-query draw among the three shapes, weighted by
+    /// [`WorkloadSpec::shape_mix`] — the mixed-shape streams of the
+    /// serving and drift experiments.
+    Mixed,
 }
 
 /// Distribution of query center points.
@@ -81,6 +85,11 @@ pub struct WorkloadSpec {
     /// < 1 leave a margin so neighbouring codes stay excluded under
     /// floating-point wobble.
     pub categorical_width: f64,
+    /// Shape-mix weights `[rect, halfspace, ball]`, consulted only when
+    /// `query_type` is [`QueryType::Mixed`]. Weights need not sum to 1;
+    /// they are normalized at generation time. Each must be finite and
+    /// non-negative, and at least one must be positive.
+    pub shape_mix: [f64; 3],
 }
 
 impl WorkloadSpec {
@@ -91,12 +100,20 @@ impl WorkloadSpec {
             center,
             categorical_dims: Vec::new(),
             categorical_width: 0.95,
+            shape_mix: [1.0, 1.0, 1.0],
         }
     }
 
     /// Adds categorical attribute indices.
     pub fn with_categorical(mut self, dims: Vec<usize>) -> Self {
         self.categorical_dims = dims;
+        self
+    }
+
+    /// Sets the `[rect, halfspace, ball]` weights used by
+    /// [`QueryType::Mixed`].
+    pub fn with_shape_mix(mut self, mix: [f64; 3]) -> Self {
+        self.shape_mix = mix;
         self
     }
 }
@@ -151,6 +168,16 @@ impl Workload {
                 });
             }
         }
+        if spec.query_type == QueryType::Mixed {
+            let ok = spec.shape_mix.iter().all(|w| w.is_finite() && *w >= 0.0)
+                && spec.shape_mix.iter().sum::<f64>() > 0.0;
+            if !ok {
+                return Err(SelearnError::InvalidConfig {
+                    model: "workload",
+                    what: "shape mix weights must be finite, non-negative, with a positive sum",
+                });
+            }
+        }
         let d = dataset.dim();
         // per-categorical-dim equality-slab widths: a fraction of the
         // observed gap between distinct codes
@@ -168,34 +195,14 @@ impl Workload {
         // generated ranges — never depends on the `parallel` feature.
         let mut ranges = Vec::with_capacity(n);
         for _ in 0..n {
-            let center = sample_center(dataset, &spec.center, rng);
-            let range = match spec.query_type {
-                QueryType::Rect => {
-                    let mut widths = vec![0.0f64; d];
-                    let mut center = center;
-                    for (i, w) in widths.iter_mut().enumerate() {
-                        if spec.categorical_dims.contains(&i) {
-                            *w = cat_width[i];
-                            // equality predicates must hit actual category
-                            // codes; snap to a data value on this attribute
-                            let row = rng.gen_range(0..dataset.len());
-                            center[i] = dataset.row(row)[i];
-                        } else {
-                            *w = rng.gen();
-                        }
-                    }
-                    Range::Rect(Rect::from_center_widths(&center, &widths))
-                }
-                QueryType::Ball => {
-                    let radius: f64 = rng.gen();
-                    Range::Ball(Ball::new(center, radius))
-                }
-                QueryType::Halfspace => {
-                    let normal = random_unit_vector(d, rng);
-                    Range::Halfspace(Halfspace::through_point(&center, normal))
-                }
+            // Mixed streams spend exactly one extra draw per query on the
+            // shape choice, keeping the serial draw order fixed.
+            let shape = match spec.query_type {
+                QueryType::Mixed => sample_shape(&spec.shape_mix, rng),
+                concrete => concrete,
             };
-            ranges.push(range);
+            let center = sample_center(dataset, &spec.center, rng);
+            ranges.push(draw_range(dataset, spec, &cat_width, shape, center, rng));
         }
         // Phase 2: label each range with its true selectivity — a pure,
         // RNG-free scan per range, parallelized across ranges when built
@@ -274,6 +281,45 @@ impl Workload {
     pub fn from_queries(queries: Vec<LabeledQuery>, dim: usize) -> Workload {
         Workload { queries, dim }
     }
+
+    /// Generates a concatenated stream whose spec shifts between
+    /// segments — the drifting workloads of the serving experiments
+    /// (center distribution and shape mix can both change mid-stream).
+    /// All segments draw from the one `rng` in order, so the whole
+    /// stream is deterministic given a seed, and a query's position in
+    /// the stream encodes which regime produced it.
+    pub fn generate_drift<R: Rng + ?Sized>(
+        dataset: &Dataset,
+        segments: &[DriftSegment],
+        rng: &mut R,
+    ) -> Result<Workload, SelearnError> {
+        let mut queries = Vec::with_capacity(segments.iter().map(|s| s.queries).sum());
+        for segment in segments {
+            let part = Workload::generate(dataset, &segment.spec, segment.queries, rng)?;
+            queries.extend(part.queries);
+        }
+        Ok(Workload {
+            queries,
+            dim: dataset.dim(),
+        })
+    }
+}
+
+/// One regime of a drifting query stream: a workload spec and how many
+/// queries it emits before the stream shifts to the next segment.
+#[derive(Clone, Debug)]
+pub struct DriftSegment {
+    /// The workload active during this segment.
+    pub spec: WorkloadSpec,
+    /// Number of queries this segment contributes.
+    pub queries: usize,
+}
+
+impl DriftSegment {
+    /// Convenience constructor.
+    pub fn new(spec: WorkloadSpec, queries: usize) -> Self {
+        Self { spec, queries }
+    }
 }
 
 /// Labeling work (ranges × rows) below which parallel dispatch is skipped.
@@ -305,6 +351,64 @@ fn category_gap(dataset: &Dataset, dim: usize) -> f64 {
         .map(|w| w[1] - w[0])
         .fold(f64::INFINITY, f64::min)
         .min(1.0)
+}
+
+/// Draws a concrete shape kind from normalized `[rect, halfspace, ball]`
+/// weights with a single RNG draw.
+fn sample_shape<R: Rng + ?Sized>(mix: &[f64; 3], rng: &mut R) -> QueryType {
+    let total: f64 = mix.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (kind, w) in [QueryType::Rect, QueryType::Halfspace, QueryType::Ball]
+        .into_iter()
+        .zip(mix)
+    {
+        if u < *w {
+            return kind;
+        }
+        u -= w;
+    }
+    QueryType::Ball
+}
+
+/// Draws one range of the given concrete shape around `center`, spending
+/// RNG draws in a fixed per-shape order (the determinism contract).
+fn draw_range<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    spec: &WorkloadSpec,
+    cat_width: &[f64],
+    shape: QueryType,
+    center: Point,
+    rng: &mut R,
+) -> Range {
+    let d = dataset.dim();
+    match shape {
+        QueryType::Rect => {
+            let mut widths = vec![0.0f64; d];
+            let mut center = center;
+            for (i, w) in widths.iter_mut().enumerate() {
+                if spec.categorical_dims.contains(&i) {
+                    *w = cat_width[i];
+                    // equality predicates must hit actual category
+                    // codes; snap to a data value on this attribute
+                    let row = rng.gen_range(0..dataset.len());
+                    center[i] = dataset.row(row)[i];
+                } else {
+                    *w = rng.gen();
+                }
+            }
+            Range::Rect(Rect::from_center_widths(&center, &widths))
+        }
+        QueryType::Ball => {
+            let radius: f64 = rng.gen();
+            Range::Ball(Ball::new(center, radius))
+        }
+        // `Mixed` is resolved to a concrete kind before this call; treat a
+        // stray value as a halfspace rather than panicking in a generator.
+        QueryType::Halfspace | QueryType::Mixed => {
+            let normal = random_unit_vector(d, rng);
+            Range::Halfspace(Halfspace::through_point(&center, normal))
+        }
+    }
 }
 
 fn sample_center<R: Rng + ?Sized>(
@@ -483,6 +587,108 @@ mod tests {
         let a = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9)).unwrap();
         let b = Workload::generate(&d, &spec, 10, &mut StdRng::seed_from_u64(9)).unwrap();
         for (x, y) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(x.selectivity, y.selectivity);
+        }
+    }
+
+    #[test]
+    fn mixed_workload_draws_all_three_shapes() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Mixed, CenterDistribution::Random);
+        let mut rng = StdRng::seed_from_u64(21);
+        let w = Workload::generate(&d, &spec, 300, &mut rng).unwrap();
+        let mut rects = 0;
+        let mut halfspaces = 0;
+        let mut balls = 0;
+        for q in w.queries() {
+            match &q.range {
+                Range::Rect(_) => rects += 1,
+                Range::Halfspace(_) => halfspaces += 1,
+                Range::Ball(_) => balls += 1,
+                other => panic!("unexpected range {other:?}"),
+            }
+            assert!((0.0..=1.0).contains(&q.selectivity));
+        }
+        // Equal weights: each shape should land near 100 of 300.
+        for (name, n) in [("rect", rects), ("halfspace", halfspaces), ("ball", balls)] {
+            assert!((60..=140).contains(&n), "{name}: {n} of 300");
+        }
+    }
+
+    #[test]
+    fn shape_mix_weights_bias_the_draw() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Mixed, CenterDistribution::Random)
+            .with_shape_mix([0.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(22);
+        let w = Workload::generate(&d, &spec, 50, &mut rng).unwrap();
+        assert!(w.queries().iter().all(|q| matches!(q.range, Range::Ball(_))));
+    }
+
+    #[test]
+    fn degenerate_shape_mix_is_rejected() {
+        let d = data2d();
+        for mix in [[0.0, 0.0, 0.0], [f64::NAN, 1.0, 1.0], [-1.0, 1.0, 1.0]] {
+            let spec = WorkloadSpec::new(QueryType::Mixed, CenterDistribution::Random)
+                .with_shape_mix(mix);
+            let mut rng = StdRng::seed_from_u64(23);
+            assert!(
+                Workload::generate(&d, &spec, 5, &mut rng).is_err(),
+                "mix {mix:?} must be rejected"
+            );
+        }
+        // Non-mixed workloads ignore the weights entirely.
+        let spec = WorkloadSpec::new(QueryType::Rect, CenterDistribution::Random)
+            .with_shape_mix([0.0, 0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(23);
+        assert!(Workload::generate(&d, &spec, 5, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn mixed_generation_is_deterministic_per_seed() {
+        let d = data2d();
+        let spec = WorkloadSpec::new(QueryType::Mixed, CenterDistribution::Random)
+            .with_shape_mix([2.0, 1.0, 1.0]);
+        let a = Workload::generate(&d, &spec, 40, &mut StdRng::seed_from_u64(24)).unwrap();
+        let b = Workload::generate(&d, &spec, 40, &mut StdRng::seed_from_u64(24)).unwrap();
+        for (x, y) in a.queries().iter().zip(b.queries()) {
+            assert_eq!(x.selectivity, y.selectivity);
+            assert_eq!(
+                std::mem::discriminant(&x.range),
+                std::mem::discriminant(&y.range)
+            );
+        }
+    }
+
+    #[test]
+    fn drift_stream_shifts_regime_at_segment_boundaries() {
+        let d = data2d();
+        let segments = [
+            DriftSegment::new(
+                WorkloadSpec::new(QueryType::Rect, CenterDistribution::DataDriven),
+                30,
+            ),
+            DriftSegment::new(
+                WorkloadSpec::new(QueryType::Mixed, CenterDistribution::Random)
+                    .with_shape_mix([0.0, 1.0, 1.0]),
+                30,
+            ),
+        ];
+        let mut rng = StdRng::seed_from_u64(25);
+        let w = Workload::generate_drift(&d, &segments, &mut rng).unwrap();
+        assert_eq!(w.len(), 60);
+        assert_eq!(w.dim(), 2);
+        // Segment 1 is all rects; segment 2 excludes rects by weight.
+        assert!(w.queries()[..30]
+            .iter()
+            .all(|q| matches!(q.range, Range::Rect(_))));
+        assert!(w.queries()[30..]
+            .iter()
+            .all(|q| !matches!(q.range, Range::Rect(_))));
+        // Deterministic under a shared seed.
+        let again =
+            Workload::generate_drift(&d, &segments, &mut StdRng::seed_from_u64(25)).unwrap();
+        for (x, y) in w.queries().iter().zip(again.queries()) {
             assert_eq!(x.selectivity, y.selectivity);
         }
     }

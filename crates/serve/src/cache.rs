@@ -1,10 +1,12 @@
 //! Tenant-partitioned, sharded LRU cache for selectivity estimates.
 //!
-//! Keys are [`quantized`](selearn_core::quantize_rect_key_into) query
-//! rects plus the *interned* model id ([`crate::registry::ModelSlot::id`])
-//! and model generation (bumped on every hot-swap), so a swap implicitly
+//! Keys are a shape discriminant plus the shape's
+//! [`quantized`](selearn_core::quantize_rect_key_into) parameters (box
+//! corners, unit normal + offset, or center + radius), plus the
+//! *interned* model id ([`crate::registry::ModelSlot::id`]) and model
+//! generation (bumped on every hot-swap), so a swap implicitly
 //! invalidates all cached answers for that model without a stop-the-world
-//! clear. The interned id replaces the old `String` model-name component:
+//! clear and differently-shaped queries can never alias one another. The interned id replaces the old `String` model-name component:
 //! probes borrow a reusable [`CacheKey`] scratch owned by the worker, so
 //! steady-state cache **hits are allocation-free** — a key is only cloned
 //! when a miss inserts it.
@@ -26,16 +28,28 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-/// Cache key: interned model id, model generation, quantized query rect.
-/// Workers keep one as a reusable scratch (mutate the fields, refill
-/// `cells` in place) and probe by reference.
+/// Cache key: interned model id, model generation, shape discriminant,
+/// quantized query parameters. Workers keep one as a reusable scratch
+/// (mutate the fields, refill `cells` in place) and probe by reference.
+///
+/// The shape discriminant
+/// ([`crate::protocol::ShapeKind::discriminant`]) keys the geometry
+/// family alongside its quantized parameters, so a halfspace whose
+/// `d + 1` cells happen to match a ball's — or a degenerate rect's —
+/// can never alias its cache entry: cross-shape hits are structurally
+/// impossible.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Interned model id ([`crate::registry::ModelSlot::id`]).
     pub model: u32,
     /// Model generation at probe time.
     pub generation: u64,
-    /// Quantized query-rect cells ([`selearn_core::quantize_rect_key_into`]).
+    /// Shape discriminant: 0 rect, 1 halfspace, 2 ball
+    /// ([`crate::protocol::ShapeKind::discriminant`]).
+    pub shape: u8,
+    /// Quantized query-parameter cells: `2d` box-corner cells for rects
+    /// ([`selearn_core::quantize_rect_key_into`]), `d + 1` cells for
+    /// halfspaces (unit normal + offset) and balls (center + radius).
     pub cells: Vec<u32>,
 }
 
@@ -273,6 +287,7 @@ mod tests {
         CacheKey {
             model,
             generation,
+            shape: 0,
             cells: cells.to_vec(),
         }
     }
@@ -300,6 +315,25 @@ mod tests {
         c.insert(0, &key(1, 0, &[1]), 0.5);
         assert_eq!(c.get(0, &key(2, 0, &[1])), None, "different model id");
         assert_eq!(c.get(0, &key(1, 0, &[1])), Some(0.5));
+    }
+
+    #[test]
+    fn shape_discriminant_separates_entries() {
+        // A halfspace and a ball in 2D both quantize to d + 1 = 3 cells;
+        // identical cells across shapes must still be distinct entries.
+        let c = EstimateCache::new(8, 1);
+        let halfspace = CacheKey {
+            shape: 1,
+            ..key(0, 0, &[3, 9, 12])
+        };
+        let ball = CacheKey {
+            shape: 2,
+            ..key(0, 0, &[3, 9, 12])
+        };
+        c.insert(0, &halfspace, 0.4);
+        assert_eq!(c.get(0, &ball), None, "cross-shape hit");
+        assert_eq!(c.get(0, &key(0, 0, &[3, 9, 12])), None, "rect vs halfspace");
+        assert_eq!(c.get(0, &halfspace), Some(0.4));
     }
 
     #[test]

@@ -26,7 +26,11 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 /// Floor for q-error denominators: selectivities at or below this are
 /// treated as "essentially zero" so empty ranges don't explode the ratio.
-const QERROR_EPS: f64 = 1e-6;
+/// Mirrors `Q_ERROR_FLOOR` in `crates/data/src/metrics.rs` (the bench
+/// harness) so drift alarms and offline q-error reports agree on what
+/// counts as an empty range; serve deliberately does not depend on
+/// selearn-data, hence the mirrored constant.
+const QERROR_EPS: f64 = 1e-5;
 
 /// Drift-monitor tuning. `Default` is sized for the serve bin: 64-record
 /// windows, alarm at p95 q-error > 4 for 3 consecutive windows.

@@ -70,8 +70,8 @@ pub use drift::{DriftConfig, DriftMonitor, DriftStatus};
 pub use client::{parse_response, run_load, Client, LoadOptions, LoadReport};
 pub use feedback::{DurableFeedback, FeedbackAck, FeedbackSink};
 pub use protocol::{
-    parse_line, parse_request, DegradeReason, Feedback, Request, RequestLine, Response,
-    DEFAULT_MODEL,
+    parse_line, parse_request, DegradeReason, Feedback, Request, RequestLine, Response, Shape,
+    ShapeKind, DEFAULT_MODEL,
 };
 pub use queue::BoundedQueue;
 pub use registry::{

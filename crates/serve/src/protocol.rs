@@ -8,10 +8,26 @@
 //! ```
 //!
 //! * `est` — registry name of the model to query (default `"default"`);
-//! * `lo` / `hi` — corners of the query box, one number per dimension;
+//! * `shape` — optional query family: `"rect"` (the default),
+//!   `"halfspace"`, or `"ball"`;
+//! * `lo` / `hi` — corners of the query box, one number per dimension
+//!   (`"rect"` only);
+//! * `normal` / `offset` — the halfspace `normal · x ≥ offset`
+//!   (`"halfspace"` only);
+//! * `center` / `radius` — the query ball (`"ball"` only);
 //! * `id` — optional client-chosen correlation id, echoed verbatim. The
 //!   worker pool may answer pipelined requests **out of order**, so any
 //!   client with more than one request in flight must use ids.
+//!
+//! ```text
+//! → {"shape":"halfspace","normal":[1.0,-0.5],"offset":0.25,"id":9}
+//! → {"shape":"ball","center":[0.4,0.6],"radius":0.2,"id":10}
+//! ```
+//!
+//! Every numeric parameter must be finite: overflow-to-infinity literals
+//! (`1e999`) and NaN answer a typed error rather than an estimate keyed
+//! on a clamped (cache-colliding) geometry or a poisoned feedback
+//! observation.
 //!
 //! Responses carry `"degraded":true` plus a `"reason"` when admission
 //! control answered with the uniform-selectivity fallback instead of the
@@ -31,7 +47,7 @@
 //! quotas shed with `"quota"` before the request takes a queue slot.
 //!
 //! A request line that additionally carries a `"sel"` key is **feedback**
-//! — the observed selectivity of that box, offered to the online model:
+//! — the observed selectivity of that range, offered to the online model:
 //!
 //! ```text
 //! → {"lo":[0.1,0.2],"hi":[0.5,0.6],"sel":0.21,"id":8}
@@ -46,45 +62,185 @@
 //! fake ack) so a client can retry.
 
 use crate::json::{parse, Json};
+use selearn_geom::{Ball, Halfspace, Point, Range, Rect};
 use selearn_obs::json::{escape_into, fmt_f64_into};
 
 /// Registry name used when a request omits `"est"`.
 pub const DEFAULT_MODEL: &str = "default";
+
+/// The query-shape family of a request — the wire discriminant behind
+/// the optional `"shape"` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShapeKind {
+    /// Axis-aligned box (`lo`/`hi`) — the default.
+    Rect,
+    /// Linear inequality `normal · x ≥ offset`.
+    Halfspace,
+    /// Distance query: points within `radius` of `center`.
+    Ball,
+}
+
+impl ShapeKind {
+    /// Wire string (the `"shape"` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShapeKind::Rect => "rect",
+            ShapeKind::Halfspace => "halfspace",
+            ShapeKind::Ball => "ball",
+        }
+    }
+
+    /// Stable small integer for cache-key layouts: rect 0, halfspace 1,
+    /// ball 2. Two shapes never share a discriminant, so quantized
+    /// parameter cells can never collide across families.
+    pub fn discriminant(self) -> u8 {
+        match self {
+            ShapeKind::Rect => 0,
+            ShapeKind::Halfspace => 1,
+            ShapeKind::Ball => 2,
+        }
+    }
+}
+
+/// The geometry of one request or feedback line: an axis-aligned box,
+/// a halfspace, or a ball, with its wire parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Shape {
+    /// `lo`/`hi` box corners, one number per dimension.
+    Rect {
+        /// Lower corner.
+        lo: Vec<f64>,
+        /// Upper corner.
+        hi: Vec<f64>,
+    },
+    /// The halfspace `normal · x ≥ offset`.
+    Halfspace {
+        /// Normal vector (need not be unit length).
+        normal: Vec<f64>,
+        /// Offset along the normal.
+        offset: f64,
+    },
+    /// Points within `radius` of `center`.
+    Ball {
+        /// Ball center.
+        center: Vec<f64>,
+        /// Ball radius (must be positive to evaluate).
+        radius: f64,
+    },
+}
+
+impl Shape {
+    /// The shape family.
+    pub fn kind(&self) -> ShapeKind {
+        match self {
+            Shape::Rect { .. } => ShapeKind::Rect,
+            Shape::Halfspace { .. } => ShapeKind::Halfspace,
+            Shape::Ball { .. } => ShapeKind::Ball,
+        }
+    }
+
+    /// Ambient dimension implied by the wire parameters.
+    pub fn dim(&self) -> usize {
+        match self {
+            Shape::Rect { lo, .. } => lo.len(),
+            Shape::Halfspace { normal, .. } => normal.len(),
+            Shape::Ball { center, .. } => center.len(),
+        }
+    }
+
+    /// Validating conversion into an evaluable [`Range`] (geometry checks
+    /// like inverted boxes or non-positive radii live in the `try_new`
+    /// constructors). Error strings are safe to echo to the client.
+    pub fn to_range(&self) -> Result<Range, String> {
+        match self {
+            Shape::Rect { lo, hi } => Rect::try_new(lo.clone(), hi.clone())
+                .map(Range::Rect)
+                .map_err(|e| format!("bad query box: {e}")),
+            Shape::Halfspace { normal, offset } => Halfspace::try_new(normal.clone(), *offset)
+                .map(Range::Halfspace)
+                .map_err(|e| format!("bad query halfspace: {e}")),
+            Shape::Ball { center, radius } => {
+                Ball::try_new(Point::new(center.clone()), *radius)
+                    .map(Range::Ball)
+                    .map_err(|e| format!("bad query ball: {e}"))
+            }
+        }
+    }
+
+    /// Appends the shape's wire fields (starting with a leading comma)
+    /// onto a partially built request line.
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Shape::Rect { lo, hi } => {
+                push_array(out, "lo", lo);
+                push_array(out, "hi", hi);
+            }
+            Shape::Halfspace { normal, offset } => {
+                out.push_str(",\"shape\":\"halfspace\"");
+                push_array(out, "normal", normal);
+                out.push_str(",\"offset\":");
+                fmt_f64_into(out, *offset);
+            }
+            Shape::Ball { center, radius } => {
+                out.push_str(",\"shape\":\"ball\"");
+                push_array(out, "center", center);
+                out.push_str(",\"radius\":");
+                fmt_f64_into(out, *radius);
+            }
+        }
+    }
+}
 
 /// A parsed estimate request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request {
     /// Model name (`"default"` when omitted).
     pub est: String,
-    /// Lower corner of the query box.
-    pub lo: Vec<f64>,
-    /// Upper corner of the query box.
-    pub hi: Vec<f64>,
+    /// The query geometry.
+    pub shape: Shape,
     /// Client correlation id, echoed in the response.
     pub id: Option<u64>,
 }
 
 impl Request {
+    /// A box-query request — the protocol's default shape.
+    pub fn rect(est: impl Into<String>, lo: Vec<f64>, hi: Vec<f64>, id: Option<u64>) -> Self {
+        Self {
+            est: est.into(),
+            shape: Shape::Rect { lo, hi },
+            id,
+        }
+    }
+
+    /// A halfspace-query request (`normal · x ≥ offset`).
+    pub fn halfspace(
+        est: impl Into<String>,
+        normal: Vec<f64>,
+        offset: f64,
+        id: Option<u64>,
+    ) -> Self {
+        Self {
+            est: est.into(),
+            shape: Shape::Halfspace { normal, offset },
+            id,
+        }
+    }
+
+    /// A ball-query request.
+    pub fn ball(est: impl Into<String>, center: Vec<f64>, radius: f64, id: Option<u64>) -> Self {
+        Self {
+            est: est.into(),
+            shape: Shape::Ball { center, radius },
+            id,
+        }
+    }
+
     /// Renders the request as one protocol line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64);
         out.push_str("{\"est\":");
         escape_into(&mut out, &self.est);
-        out.push_str(",\"lo\":[");
-        for (i, v) in self.lo.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            fmt_f64_into(&mut out, *v);
-        }
-        out.push_str("],\"hi\":[");
-        for (i, v) in self.hi.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            fmt_f64_into(&mut out, *v);
-        }
-        out.push(']');
+        self.shape.render_into(&mut out);
         if let Some(id) = self.id {
             out.push_str(&format!(",\"id\":{id}"));
         }
@@ -93,16 +249,14 @@ impl Request {
     }
 }
 
-/// A parsed feedback line: an estimate-shaped box plus the observed
+/// A parsed feedback line: an estimate-shaped query plus the observed
 /// selectivity to learn from.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Feedback {
     /// Model name the feedback is for (`"default"` when omitted).
     pub est: String,
-    /// Lower corner of the observed query box.
-    pub lo: Vec<f64>,
-    /// Upper corner of the observed query box.
-    pub hi: Vec<f64>,
+    /// The observed query geometry.
+    pub shape: Shape,
     /// The observed selectivity in `[0, 1]`.
     pub sel: f64,
     /// Client correlation id, echoed in the acknowledgement.
@@ -110,12 +264,27 @@ pub struct Feedback {
 }
 
 impl Feedback {
+    /// Box-query feedback — the protocol's default shape.
+    pub fn rect(
+        est: impl Into<String>,
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+        sel: f64,
+        id: Option<u64>,
+    ) -> Self {
+        Self {
+            est: est.into(),
+            shape: Shape::Rect { lo, hi },
+            sel,
+            id,
+        }
+    }
+
     /// Renders the feedback as one protocol line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = Request {
             est: self.est.clone(),
-            lo: self.lo.clone(),
-            hi: self.hi.clone(),
+            shape: self.shape.clone(),
             id: self.id,
         }
         .to_json();
@@ -125,6 +294,19 @@ impl Feedback {
         out.push('}');
         out
     }
+}
+
+fn push_array(out: &mut String, key: &str, vals: &[f64]) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        fmt_f64_into(out, *v);
+    }
+    out.push(']');
 }
 
 /// One parsed inbound line: an estimate request or a feedback record,
@@ -168,7 +350,7 @@ pub fn parse_line(line: &str) -> Result<RequestLine, String> {
         Some(Json::Str(s)) if !s.is_empty() => s.clone(),
         Some(_) => return Err("\"est\" must be a non-empty string".into()),
     };
-    let corner = |key: &str| -> Result<Vec<f64>, String> {
+    let coords = |key: &str| -> Result<Vec<f64>, String> {
         let arr = v
             .get(key)
             .ok_or_else(|| format!("missing \"{key}\""))?
@@ -184,15 +366,41 @@ pub fn parse_line(line: &str) -> Result<RequestLine, String> {
             })
             .collect()
     };
-    let lo = corner("lo")?;
-    let hi = corner("hi")?;
-    if lo.len() != hi.len() {
-        return Err(format!(
-            "\"lo\" has {} coordinates, \"hi\" has {}",
-            lo.len(),
-            hi.len()
-        ));
-    }
+    // `as_num` is the finite gate: `1e999` parses to +inf and is refused.
+    let scalar = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .ok_or_else(|| format!("missing \"{key}\""))?
+            .as_num()
+            .ok_or_else(|| format!("\"{key}\" must be a finite number"))
+    };
+    let kind = match v.get("shape") {
+        None => "rect",
+        Some(Json::Str(s)) => s.as_str(),
+        Some(_) => return Err("\"shape\" must be a string".into()),
+    };
+    let shape = match kind {
+        "rect" => {
+            let lo = coords("lo")?;
+            let hi = coords("hi")?;
+            if lo.len() != hi.len() {
+                return Err(format!(
+                    "\"lo\" has {} coordinates, \"hi\" has {}",
+                    lo.len(),
+                    hi.len()
+                ));
+            }
+            Shape::Rect { lo, hi }
+        }
+        "halfspace" => Shape::Halfspace {
+            normal: coords("normal")?,
+            offset: scalar("offset")?,
+        },
+        "ball" => Shape::Ball {
+            center: coords("center")?,
+            radius: scalar("radius")?,
+        },
+        _ => return Err("\"shape\" must be \"rect\", \"halfspace\", or \"ball\"".into()),
+    };
     let id = match v.get("id") {
         None | Some(Json::Null) => None,
         Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
@@ -201,15 +409,16 @@ pub fn parse_line(line: &str) -> Result<RequestLine, String> {
         Some(_) => return Err("\"id\" must be a non-negative integer".into()),
     };
     match v.get("sel") {
-        None => Ok(RequestLine::Estimate(Request { est, lo, hi, id })),
-        Some(Json::Num(sel)) => Ok(RequestLine::Feedback(Feedback {
+        None => Ok(RequestLine::Estimate(Request { est, shape, id })),
+        // The finite gate matters: a `1e999` literal parses to +inf, and
+        // an infinite label would poison the online model's window.
+        Some(Json::Num(sel)) if sel.is_finite() => Ok(RequestLine::Feedback(Feedback {
             est,
-            lo,
-            hi,
+            shape,
             sel: *sel,
             id,
         })),
-        Some(_) => Err("\"sel\" must be a number".into()),
+        Some(_) => Err("\"sel\" must be a finite number".into()),
     }
 }
 
@@ -342,13 +551,42 @@ mod tests {
 
     #[test]
     fn request_round_trips() {
-        let r = Request {
-            est: "quadhist".into(),
-            lo: vec![0.1, 0.2],
-            hi: vec![0.5, 0.6],
-            id: Some(7),
-        };
+        let r = Request::rect("quadhist", vec![0.1, 0.2], vec![0.5, 0.6], Some(7));
         assert_eq!(parse_request(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn halfspace_request_round_trips() {
+        let r = Request::halfspace("quadhist", vec![1.0, -0.5], 0.25, Some(9));
+        let line = r.to_json();
+        assert!(line.contains("\"shape\":\"halfspace\""), "{line}");
+        assert_eq!(parse_request(&line).unwrap(), r);
+        // Explicit wire form parses too.
+        let parsed =
+            parse_request(r#"{"shape":"halfspace","normal":[1.0,-0.5],"offset":0.25,"id":9}"#)
+                .unwrap();
+        assert_eq!(parsed.shape.kind(), ShapeKind::Halfspace);
+        assert_eq!(parsed.shape.dim(), 2);
+    }
+
+    #[test]
+    fn ball_request_round_trips() {
+        let r = Request::ball("quadhist", vec![0.4, 0.6], 0.2, Some(10));
+        let line = r.to_json();
+        assert!(line.contains("\"shape\":\"ball\""), "{line}");
+        assert_eq!(parse_request(&line).unwrap(), r);
+        let parsed =
+            parse_request(r#"{"shape":"ball","center":[0.4,0.6],"radius":0.2}"#).unwrap();
+        assert_eq!(parsed.shape.kind(), ShapeKind::Ball);
+        assert!(parsed.shape.to_range().is_ok());
+    }
+
+    #[test]
+    fn explicit_rect_shape_is_the_default_path() {
+        let a = parse_request(r#"{"lo":[0.1],"hi":[0.5]}"#).unwrap();
+        let b = parse_request(r#"{"shape":"rect","lo":[0.1],"hi":[0.5]}"#).unwrap();
+        assert_eq!(a.shape, b.shape);
+        assert_eq!(a.shape.kind(), ShapeKind::Rect);
     }
 
     #[test]
@@ -370,20 +608,45 @@ mod tests {
             r#"{"est":7,"lo":[0.1],"hi":[0.2]}"#,
             r#"{"lo":[0.1],"hi":[0.2],"id":-3}"#,
             r#"{"lo":[0.1],"hi":[0.2],"id":1.5}"#,
+            r#"{"shape":"hexagon","lo":[0.1],"hi":[0.2]}"#,
+            r#"{"shape":7,"lo":[0.1],"hi":[0.2]}"#,
+            r#"{"shape":"halfspace","normal":[1.0],"offset":"x"}"#,
+            r#"{"shape":"halfspace","normal":[],"offset":0.5}"#,
+            r#"{"shape":"halfspace","offset":0.5}"#,
+            r#"{"shape":"ball","center":[0.5,0.5]}"#,
+            r#"{"shape":"ball","radius":0.2}"#,
         ] {
             assert!(parse_request(bad).is_err(), "accepted {bad:?}");
         }
     }
 
     #[test]
+    fn non_finite_literals_are_rejected_everywhere() {
+        // `1e999` overflows f64 to +inf inside the JSON parser — every
+        // numeric field must refuse it with a typed error, not clamp it.
+        for bad in [
+            r#"{"lo":[1e999],"hi":[2.0]}"#,
+            r#"{"lo":[0.0],"hi":[-1e999]}"#,
+            r#"{"shape":"halfspace","normal":[1e999],"offset":0.5}"#,
+            r#"{"shape":"halfspace","normal":[1.0],"offset":1e999}"#,
+            r#"{"shape":"ball","center":[1e999],"radius":0.2}"#,
+            r#"{"shape":"ball","center":[0.5],"radius":1e999}"#,
+            r#"{"lo":[0.1],"hi":[0.2],"sel":1e999}"#,
+            r#"{"lo":[0.1],"hi":[0.2],"sel":-1e999}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
     fn feedback_lines_are_classified_by_sel() {
-        let fb = Feedback {
-            est: DEFAULT_MODEL.into(),
-            lo: vec![0.1, 0.2],
-            hi: vec![0.5, 0.6],
-            sel: 0.21,
-            id: Some(8),
-        };
+        let fb = Feedback::rect(
+            DEFAULT_MODEL,
+            vec![0.1, 0.2],
+            vec![0.5, 0.6],
+            0.21,
+            Some(8),
+        );
         match parse_line(&fb.to_json()).unwrap() {
             RequestLine::Feedback(parsed) => assert_eq!(parsed, fb),
             other => panic!("expected feedback, got {other:?}"),
@@ -398,6 +661,51 @@ mod tests {
         assert!(parse_request(&fb.to_json()).is_err());
         // Non-numeric "sel" is rejected.
         assert!(parse_line(r#"{"lo":[0.1],"hi":[0.2],"sel":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn shaped_feedback_round_trips() {
+        let fb = Feedback {
+            est: "t1.m".into(),
+            shape: Shape::Ball {
+                center: vec![0.3, 0.3],
+                radius: 0.15,
+            },
+            sel: 0.12,
+            id: Some(11),
+        };
+        match parse_line(&fb.to_json()).unwrap() {
+            RequestLine::Feedback(parsed) => assert_eq!(parsed, fb),
+            other => panic!("expected feedback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn to_range_validates_geometry() {
+        assert!(Shape::Rect {
+            lo: vec![0.5],
+            hi: vec![0.1]
+        }
+        .to_range()
+        .is_err());
+        assert!(Shape::Halfspace {
+            normal: vec![0.0, 0.0],
+            offset: 0.5
+        }
+        .to_range()
+        .is_err());
+        assert!(Shape::Ball {
+            center: vec![0.5, 0.5],
+            radius: -0.1
+        }
+        .to_range()
+        .is_err());
+        assert!(Shape::Ball {
+            center: vec![0.5, 0.5],
+            radius: 0.1
+        }
+        .to_range()
+        .is_ok());
     }
 
     #[test]
@@ -447,5 +755,20 @@ mod tests {
         assert!(ok.to_json().contains("\"cached\":true"));
         assert!(degraded.to_json().contains("\"reason\":\"shed\""));
         assert!(err.to_json().contains("\"error\""));
+    }
+
+    #[test]
+    fn shaped_request_lines_render_valid_json() {
+        for r in [
+            Request::rect("m", vec![0.1], vec![0.9], None),
+            Request::halfspace("m", vec![1.0, 2.0], 0.5, Some(1)),
+            Request::ball("m", vec![0.5, 0.5], 0.25, Some(2)),
+        ] {
+            let line = r.to_json();
+            assert!(
+                selearn_obs::json::validate_json_object(&line),
+                "invalid: {line}"
+            );
+        }
     }
 }

@@ -52,11 +52,16 @@
 use crate::cache::{CacheKey, EstimateCache};
 use crate::feedback::FeedbackSink;
 use crate::poller::{poll, wake_pair, PollFd, Waker, POLLIN, POLLOUT};
-use crate::protocol::{parse_line, DegradeReason, Feedback, Request, RequestLine, Response};
+use crate::protocol::{
+    parse_line, DegradeReason, Feedback, Request, RequestLine, Response, Shape, ShapeKind,
+};
 use crate::queue::BoundedQueue;
 use crate::registry::{uniform_fallback, ModelRegistry, ModelSlot};
-use selearn_core::{quantize_rect_key_into, SharedEstimator, TrainingQuery};
-use selearn_geom::{Range, Rect};
+use selearn_core::{
+    quantize_ball_key_into, quantize_halfspace_key_into, quantize_rect_key_into,
+    SharedEstimator, TrainingQuery,
+};
+use selearn_geom::{Ball, Halfspace, Point, Range, Rect, VolumeEstimator};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -135,6 +140,9 @@ pub struct ServeStats {
     connections: AtomicU64,
     slow_client_drops: AtomicU64,
     feedback_acks: AtomicU64,
+    rect_requests: AtomicU64,
+    halfspace_requests: AtomicU64,
+    ball_requests: AtomicU64,
     /// Request-arrival sequence, the trace-sampling clock (not a stat).
     request_seq: AtomicU64,
 }
@@ -169,11 +177,27 @@ impl ServeStats {
         slow_client_drops <- slow_client_drops;
         /// Feedback records durably acknowledged.
         feedback_acks <- feedback_acks;
+        /// Rect estimate requests that reached a worker's prepare pass.
+        rect_requests <- rect_requests;
+        /// Halfspace estimate requests that reached a worker's prepare pass.
+        halfspace_requests <- halfspace_requests;
+        /// Ball estimate requests that reached a worker's prepare pass.
+        ball_requests <- ball_requests;
     }
 
     /// All uniform-fallback answers, regardless of reason.
     pub fn degraded(&self) -> u64 {
         self.shed() + self.deadline_expired() + self.swap_degraded() + self.quota_shed()
+    }
+
+    fn count_shape(&self, kind: ShapeKind) {
+        let (field, counter) = match kind {
+            ShapeKind::Rect => (&self.rect_requests, "serve.requests_rect"),
+            ShapeKind::Halfspace => (&self.halfspace_requests, "serve.requests_halfspace"),
+            ShapeKind::Ball => (&self.ball_requests, "serve.requests_ball"),
+        };
+        field.fetch_add(1, Ordering::Relaxed);
+        selearn_obs::counter_add(counter, 1);
     }
 }
 
@@ -925,7 +949,7 @@ fn prepare_job(
             return Prepared::Ready(ingest_feedback(fb, slot, stats, sink, job));
         }
     };
-    if req.lo.len() != slot.root().dim() {
+    if req.shape.dim() != slot.root().dim() {
         return Prepared::Ready(error_response(
             stats,
             req.id,
@@ -933,17 +957,20 @@ fn prepare_job(
                 "model \"{}\" is {}-dimensional, request is {}-dimensional",
                 req.est,
                 slot.root().dim(),
-                req.lo.len()
+                req.shape.dim()
             ),
         ));
     }
-    if req.lo.iter().zip(&req.hi).any(|(l, h)| l > h) {
-        return Prepared::Ready(error_response(
-            stats,
-            req.id,
-            "\"lo\" must be <= \"hi\" per dimension".into(),
-        ));
+    if let Shape::Rect { lo, hi } = &req.shape {
+        if lo.iter().zip(hi).any(|(l, h)| l > h) {
+            return Prepared::Ready(error_response(
+                stats,
+                req.id,
+                "\"lo\" must be <= \"hi\" per dimension".into(),
+            ));
+        }
     }
+    stats.count_shape(req.shape.kind());
     if config.deadline > Duration::ZERO && job.received.elapsed() > config.deadline {
         stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
         selearn_obs::counter_add("serve.requests_deadline", 1);
@@ -971,18 +998,14 @@ fn prepare_job(
     let tenant = slot.tenant().id();
     // Borrowed probe: refill the scratch key in place and look up by
     // reference — a hit allocates nothing; only a miss that later inserts
-    // clones the key.
+    // clones the key. The shape discriminant joins the key so equal cell
+    // vectors from different families can never alias.
     let key_ok = config.cache_capacity > 0
-        && quantize_rect_key_into(
-            slot.root(),
-            &req.lo,
-            &req.hi,
-            config.cache_grid,
-            &mut scratch.cells,
-        );
+        && quantize_shape_key_into(slot.root(), &req.shape, config.cache_grid, &mut scratch.cells);
     if key_ok {
         scratch.model = slot.id();
         scratch.generation = generation;
+        scratch.shape = req.shape.kind().discriminant();
         if let Some(sel) = cache.get(tenant, scratch) {
             stats.cache_answers.fetch_add(1, Ordering::Relaxed);
             trace_job(job.trace_id, "cache_hit", job.received, &req.est);
@@ -996,18 +1019,12 @@ fn prepare_job(
             });
         }
     }
-    let rect = match Rect::try_new(req.lo.clone(), req.hi.clone()) {
+    let range = match req.shape.to_range() {
         Ok(r) => r,
-        Err(e) => {
-            return Prepared::Ready(error_response(
-                stats,
-                req.id,
-                format!("bad query box: {e}"),
-            ))
-        }
+        Err(message) => return Prepared::Ready(error_response(stats, req.id, message)),
     };
     let lane = ranges.len();
-    ranges.push(rect.into());
+    ranges.push(range);
     Prepared::Eval {
         id: req.id,
         model,
@@ -1036,7 +1053,7 @@ fn ingest_feedback(
             "feedback not enabled: start the server with --store-dir".into(),
         );
     };
-    if fb.lo.len() != slot.root().dim() {
+    if fb.shape.dim() != slot.root().dim() {
         return error_response(
             stats,
             fb.id,
@@ -1044,15 +1061,15 @@ fn ingest_feedback(
                 "model \"{}\" is {}-dimensional, feedback is {}-dimensional",
                 fb.est,
                 slot.root().dim(),
-                fb.lo.len()
+                fb.shape.dim()
             ),
         );
     }
-    let rect = match Rect::try_new(fb.lo.clone(), fb.hi.clone()) {
+    let range = match fb.shape.to_range() {
         Ok(r) => r,
-        Err(e) => return error_response(stats, fb.id, format!("bad feedback box: {e}")),
+        Err(message) => return error_response(stats, fb.id, format!("bad feedback: {message}")),
     };
-    match sink.observe(TrainingQuery::new(rect, fb.sel)) {
+    match sink.observe(TrainingQuery::new(range, fb.sel)) {
         Ok(ack) => {
             stats.feedback_acks.fetch_add(1, Ordering::Relaxed);
             selearn_obs::counter_add("serve.feedback_acks", 1);
@@ -1081,10 +1098,60 @@ fn degraded_response(
     Response::Estimate {
         id: req.id,
         est: req.est.clone(),
-        sel: uniform_fallback(root, &req.lo, &req.hi),
+        sel: shape_fallback(root, &req.shape),
         us: received.elapsed().as_secs_f64() * 1e6,
         degraded: Some(reason),
         cached: false,
+    }
+}
+
+/// Quantizes any shape into the worker's scratch cell buffer, dispatching
+/// to the per-family quantizer. Returns `false` (bypass the cache) on
+/// dimension mismatches, non-finite parameters, or degenerate geometry.
+fn quantize_shape_key_into(root: &Rect, shape: &Shape, grid: u32, out: &mut Vec<u32>) -> bool {
+    match shape {
+        Shape::Rect { lo, hi } => quantize_rect_key_into(root, lo, hi, grid, out),
+        Shape::Halfspace { normal, offset } => {
+            quantize_halfspace_key_into(root, normal, *offset, grid, out)
+        }
+        Shape::Ball { center, radius } => {
+            quantize_ball_key_into(root, center, *radius, grid, out)
+        }
+    }
+}
+
+/// QMC sample count for the degraded ball fallback in d ≥ 3 (1D/2D are
+/// computed deterministically in closed form / by quadrature). Small on
+/// purpose: the degraded path trades accuracy for latency by design.
+const FALLBACK_BALL_QMC_SAMPLES: usize = 512;
+
+/// The uniform-distribution fallback answer for any shape: the fraction
+/// of the model's data space covered by the query. Invalid geometry
+/// (dimension mismatch, non-finite parameters, inverted boxes) answers
+/// 0.0 — this runs on degraded paths that may precede validation.
+fn shape_fallback(root: &Rect, shape: &Shape) -> f64 {
+    if shape.dim() != root.dim() {
+        return 0.0;
+    }
+    let root_vol = root.volume();
+    match shape {
+        Shape::Rect { lo, hi } => uniform_fallback(root, lo, hi),
+        Shape::Halfspace { normal, offset } => {
+            let Ok(h) = Halfspace::try_new(normal.clone(), *offset) else {
+                return 0.0;
+            };
+            h.intersection_fraction(root).clamp(0.0, 1.0)
+        }
+        Shape::Ball { center, radius } => {
+            let Ok(b) = Ball::try_new(Point::new(center.clone()), *radius) else {
+                return 0.0;
+            };
+            if root_vol <= 0.0 {
+                return 0.0;
+            }
+            let est = VolumeEstimator::qmc(FALLBACK_BALL_QMC_SAMPLES);
+            (b.intersection_volume(root, &est) / root_vol).clamp(0.0, 1.0)
+        }
     }
 }
 

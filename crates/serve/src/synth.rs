@@ -7,12 +7,19 @@
 //! selectivity `∏_d (F(hi_d) − F(lo_d))` is exact in closed form. Training
 //! a [`QuadHist`] on labels from it produces a realistic model with zero
 //! external inputs; the same generator produces the replay request pool.
+//!
+//! Halfspace and ball selectivities under the same density have no closed
+//! form, so [`synthetic_shape_selectivity`] labels them with deterministic
+//! Halton quasi–Monte Carlo: since the density integrates to 1 over the
+//! unit cube, the selectivity of any region `S` is the uniform expectation
+//! `E[f(x)·1{x ∈ S}]`, estimated over a fixed low-discrepancy point set.
 
-use crate::protocol::Request;
+use crate::protocol::{Request, Shape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selearn_core::{QuadHist, QuadHistConfig, SelearnError, TrainingQuery};
-use selearn_geom::Rect;
+use selearn_geom::volume::halton;
+use selearn_geom::{Ball, Halfspace, Point, Range, Rect};
 
 /// The analytic CDF of the synthetic per-dimension density `½ + x`.
 fn cdf(x: f64) -> f64 {
@@ -28,6 +35,54 @@ pub fn synthetic_selectivity(lo: &[f64], hi: &[f64]) -> f64 {
         .product()
 }
 
+/// Number of Halton points behind each QMC-labeled shape selectivity.
+const SHAPE_QMC_SAMPLES: usize = 4096;
+
+/// The first primes, used as per-dimension Halton bases.
+const HALTON_BASES: [u64; 8] = [2, 3, 5, 7, 11, 13, 17, 19];
+
+/// Synthetic-distribution density at a point of the unit cube.
+fn density(x: &[f64]) -> f64 {
+    x.iter().map(|&c| 0.5 + c).product()
+}
+
+/// Selectivity of an arbitrary protocol shape under the synthetic
+/// distribution. Boxes use the exact closed form; halfspaces and balls are
+/// labeled by deterministic Halton QMC over the unit cube (the density
+/// integrates to 1, so selectivity is the uniform mean of
+/// `density · membership`).
+pub fn synthetic_shape_selectivity(shape: &Shape) -> f64 {
+    match shape {
+        Shape::Rect { lo, hi } => synthetic_selectivity(lo, hi),
+        Shape::Halfspace { normal, offset } => qmc_selectivity(normal.len(), |x| {
+            x.iter().zip(normal).map(|(&c, &n)| c * n).sum::<f64>() >= *offset
+        }),
+        Shape::Ball { center, radius } => qmc_selectivity(center.len(), |x| {
+            x.iter()
+                .zip(center)
+                .map(|(&c, &m)| (c - m) * (c - m))
+                .sum::<f64>()
+                <= radius * radius
+        }),
+    }
+}
+
+/// QMC mean of `density · membership` over the unit cube.
+fn qmc_selectivity(dim: usize, inside: impl Fn(&[f64]) -> bool) -> f64 {
+    debug_assert!(dim <= HALTON_BASES.len(), "synthetic QMC supports d ≤ 8");
+    let mut point = vec![0.0; dim];
+    let mut total = 0.0;
+    for k in 0..SHAPE_QMC_SAMPLES {
+        for (d, coord) in point.iter_mut().enumerate() {
+            *coord = halton(k as u64 + 1, HALTON_BASES[d % HALTON_BASES.len()]);
+        }
+        if inside(&point) {
+            total += density(&point);
+        }
+    }
+    (total / SHAPE_QMC_SAMPLES as f64).clamp(0.0, 1.0)
+}
+
 /// A deterministic random box in the unit cube (sorted corners per dim).
 fn random_box(rng: &mut StdRng, dim: usize) -> (Vec<f64>, Vec<f64>) {
     let mut lo = Vec::with_capacity(dim);
@@ -39,6 +94,65 @@ fn random_box(rng: &mut StdRng, dim: usize) -> (Vec<f64>, Vec<f64>) {
         hi.push(a.max(b));
     }
     (lo, hi)
+}
+
+/// A deterministic random halfspace through a point of the unit cube.
+fn random_halfspace(rng: &mut StdRng, dim: usize) -> (Vec<f64>, f64) {
+    // Rejection-sample a direction from the cube; the loop terminates with
+    // overwhelming probability and the bound keeps it provably finite.
+    let mut normal = vec![1.0; dim];
+    for _ in 0..64 {
+        let cand: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let norm = cand.iter().map(|c| c * c).sum::<f64>().sqrt();
+        if norm > 1e-3 {
+            normal = cand.iter().map(|c| c / norm).collect();
+            break;
+        }
+    }
+    let anchor: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let offset = anchor.iter().zip(&normal).map(|(a, n)| a * n).sum();
+    (normal, offset)
+}
+
+/// A deterministic random ball centered in the unit cube.
+fn random_ball(rng: &mut StdRng, dim: usize) -> (Vec<f64>, f64) {
+    let center: Vec<f64> = (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let radius = rng.gen_range(0.05..0.6);
+    (center, radius)
+}
+
+/// A deterministic shape cycling rect → halfspace → ball with the given
+/// sequence index. The RNG is drawn in a fixed order per shape kind so the
+/// stream is reproducible from the seed alone.
+fn random_shape(rng: &mut StdRng, dim: usize, index: usize) -> Shape {
+    match index % 3 {
+        0 => {
+            let (lo, hi) = random_box(rng, dim);
+            Shape::Rect { lo, hi }
+        }
+        1 => {
+            let (normal, offset) = random_halfspace(rng, dim);
+            Shape::Halfspace { normal, offset }
+        }
+        _ => {
+            let (center, radius) = random_ball(rng, dim);
+            Shape::Ball { center, radius }
+        }
+    }
+}
+
+/// Converts a protocol shape into a geometry range. Synthetic shapes are
+/// always finite and well-formed, so the conversion cannot fail.
+fn shape_range(shape: &Shape) -> Range {
+    match shape {
+        Shape::Rect { lo, hi } => Range::Rect(Rect::new(lo.clone(), hi.clone())),
+        Shape::Halfspace { normal, offset } => {
+            Range::Halfspace(Halfspace::new(normal.clone(), *offset))
+        }
+        Shape::Ball { center, radius } => {
+            Range::Ball(Ball::new(Point::new(center.clone()), *radius))
+        }
+    }
 }
 
 /// Trains a QuadHist on `queries` exact-labeled synthetic boxes over the
@@ -65,6 +179,31 @@ pub fn synthetic_model(
     Ok((model, root))
 }
 
+/// Trains a QuadHist on a mixed-shape synthetic workload (rect, halfspace,
+/// and ball queries interleaved in equal proportion, each labeled against
+/// the synthetic distribution). Returns the model and its root.
+pub fn synthetic_mixed_model(
+    dim: usize,
+    queries: usize,
+    seed: u64,
+) -> Result<(QuadHist, Rect), SelearnError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let root = Rect::unit(dim);
+    let workload: Vec<TrainingQuery> = (0..queries)
+        .map(|i| {
+            let shape = random_shape(&mut rng, dim, i);
+            let s = synthetic_shape_selectivity(&shape);
+            TrainingQuery::new(shape_range(&shape), s)
+        })
+        .collect();
+    let config = QuadHistConfig {
+        max_leaves: 256,
+        ..QuadHistConfig::with_tau(0.05)
+    };
+    let model = QuadHist::fit(root.clone(), &workload, &config)?;
+    Ok((model, root))
+}
+
 /// A deterministic pool of protocol requests over the unit cube. Replaying
 /// a finite pool (instead of fresh random boxes) is what makes estimate
 /// cache hits reachable for the load generator and smoke tests.
@@ -73,12 +212,20 @@ pub fn synthetic_requests(dim: usize, pool: usize, seed: u64) -> Vec<Request> {
     (0..pool)
         .map(|_| {
             let (lo, hi) = random_box(&mut rng, dim);
-            Request {
-                est: crate::protocol::DEFAULT_MODEL.to_string(),
-                lo,
-                hi,
-                id: None,
-            }
+            Request::rect(crate::protocol::DEFAULT_MODEL, lo, hi, None)
+        })
+        .collect()
+}
+
+/// A deterministic pool of mixed-shape protocol requests cycling rect →
+/// halfspace → ball, for replaying against a mixed-shape model.
+pub fn synthetic_mixed_requests(dim: usize, pool: usize, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..pool)
+        .map(|i| Request {
+            est: crate::protocol::DEFAULT_MODEL.to_string(),
+            shape: random_shape(&mut rng, dim, i),
+            id: None,
         })
         .collect()
 }
@@ -96,13 +243,47 @@ mod tests {
     }
 
     #[test]
+    fn qmc_agrees_with_closed_form_on_boxes() {
+        // A box is expressible as both a rect (closed form) and implicitly
+        // via the QMC path; cross-check the estimator on a halfspace whose
+        // selectivity is known analytically: normal e₁, offset t keeps
+        // x₁ ≥ t, so selectivity = 1 − F(t).
+        let t = 0.4;
+        let shape = Shape::Halfspace {
+            normal: vec![1.0, 0.0],
+            offset: t,
+        };
+        let qmc = synthetic_shape_selectivity(&shape);
+        let exact = 1.0 - cdf(t);
+        assert!((qmc - exact).abs() < 0.01, "qmc {qmc} vs exact {exact}");
+    }
+
+    #[test]
+    fn ball_selectivity_is_monotone_in_radius() {
+        let small = Shape::Ball {
+            center: vec![0.5, 0.5],
+            radius: 0.1,
+        };
+        let large = Shape::Ball {
+            center: vec![0.5, 0.5],
+            radius: 0.4,
+        };
+        let s = synthetic_shape_selectivity(&small);
+        let l = synthetic_shape_selectivity(&large);
+        assert!(s > 0.0 && l > s && l < 1.0, "small {s}, large {l}");
+    }
+
+    #[test]
     fn model_trains_and_tracks_truth() {
         let (model, _root) = synthetic_model(2, 200, 7).unwrap();
         use selearn_core::SelectivityEstimator;
         let mut worst: f64 = 0.0;
         for req in synthetic_requests(2, 50, 8) {
-            let rect = Rect::new(req.lo.clone(), req.hi.clone());
-            let truth = synthetic_selectivity(&req.lo, &req.hi);
+            let Shape::Rect { lo, hi } = &req.shape else {
+                panic!("rect pool produced a non-rect request");
+            };
+            let rect = Rect::new(lo.clone(), hi.clone());
+            let truth = synthetic_selectivity(lo, hi);
             let est = model.estimate(&rect.into());
             worst = worst.max((est - truth).abs());
         }
@@ -110,7 +291,34 @@ mod tests {
     }
 
     #[test]
+    fn mixed_model_tracks_truth_across_shapes() {
+        let (model, _root) = synthetic_mixed_model(2, 240, 11).unwrap();
+        use selearn_core::SelectivityEstimator;
+        let mut worst: f64 = 0.0;
+        for req in synthetic_mixed_requests(2, 30, 12) {
+            let truth = synthetic_shape_selectivity(&req.shape);
+            let est = model.estimate(&shape_range(&req.shape));
+            worst = worst.max((est - truth).abs());
+        }
+        assert!(worst < 0.25, "mixed synthetic model off by {worst}");
+    }
+
+    #[test]
     fn generators_are_deterministic() {
         assert_eq!(synthetic_requests(3, 10, 42), synthetic_requests(3, 10, 42));
+        assert_eq!(
+            synthetic_mixed_requests(3, 9, 42),
+            synthetic_mixed_requests(3, 9, 42)
+        );
+    }
+
+    #[test]
+    fn mixed_pool_cycles_all_three_shapes() {
+        let pool = synthetic_mixed_requests(2, 6, 1);
+        let kinds: Vec<&str> = pool.iter().map(|r| r.shape.kind().as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["rect", "halfspace", "ball", "rect", "halfspace", "ball"]
+        );
     }
 }

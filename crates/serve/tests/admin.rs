@@ -242,13 +242,13 @@ fn readyz_flips_after_drift_alarm_and_recovers() {
     let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
     let send_feedback = |client: &mut Client, sel: f64, n: usize| {
         for i in 0..n {
-            let fb = selearn_serve::Feedback {
-                est: DEFAULT_MODEL.into(),
-                lo: vec![0.2, 0.2],
-                hi: vec![0.5, 0.5],
+            let fb = selearn_serve::Feedback::rect(
+                DEFAULT_MODEL,
+                vec![0.2, 0.2],
+                vec![0.5, 0.5],
                 sel,
-                id: Some(i as u64),
-            };
+                Some(i as u64),
+            );
             let resp = client.feedback(&fb).expect("feedback");
             assert!(
                 matches!(resp, selearn_serve::Response::Ack { .. }),

@@ -113,12 +113,12 @@ fn connection_churn_leaves_o1_threads() {
     // The server still answers after the churn.
     let mut client = Client::connect(&addr).expect("post-churn connect");
     let resp = client
-        .call(&Request {
-            est: DEFAULT_MODEL.into(),
-            lo: vec![0.1, 0.2],
-            hi: vec![0.6, 0.7],
-            id: Some(1),
-        })
+        .call(&Request::rect(
+            DEFAULT_MODEL,
+            vec![0.1, 0.2],
+            vec![0.6, 0.7],
+            Some(1),
+        ))
         .expect("post-churn call");
     assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
 
@@ -178,12 +178,12 @@ fn idle_connections_are_cheap() {
     // A live client is still served while the idle herd is connected.
     let mut client = Client::connect(&addr).expect("live connect");
     let resp = client
-        .call(&Request {
-            est: DEFAULT_MODEL.into(),
-            lo: vec![0.2, 0.2],
-            hi: vec![0.5, 0.5],
-            id: Some(7),
-        })
+        .call(&Request::rect(
+            DEFAULT_MODEL,
+            vec![0.2, 0.2],
+            vec![0.5, 0.5],
+            Some(7),
+        ))
         .expect("live call");
     assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
 
@@ -237,12 +237,12 @@ fn slow_reader_is_dropped_not_blocking() {
     // A well-behaved client on the same server is unaffected.
     let mut client = Client::connect(&addr).expect("good connect");
     let resp = client
-        .call(&Request {
-            est: DEFAULT_MODEL.into(),
-            lo: vec![0.3, 0.3],
-            hi: vec![0.8, 0.8],
-            id: Some(2),
-        })
+        .call(&Request::rect(
+            DEFAULT_MODEL,
+            vec![0.3, 0.3],
+            vec![0.8, 0.8],
+            Some(2),
+        ))
         .expect("good call");
     assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
 
@@ -275,12 +275,8 @@ fn tenant_quota_isolation() {
     let handle = start(ServerConfig::default(), Arc::clone(&registry)).expect("start");
     let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
 
-    let req = |est: &str, id: u64| Request {
-        est: est.into(),
-        lo: vec![0.1, 0.1],
-        hi: vec![0.4, 0.4],
-        id: Some(id),
-    };
+    let req =
+        |est: &str, id: u64| Request::rect(est, vec![0.1, 0.1], vec![0.4, 0.4], Some(id));
 
     let mut a_quota_degraded = 0u64;
     let mut a_served = 0u64;

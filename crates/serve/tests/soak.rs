@@ -3,10 +3,13 @@
 
 use selearn_core::{SelectivityEstimator, SharedEstimator};
 use selearn_geom::{Range, Rect};
-use selearn_serve::synth::{synthetic_model, synthetic_requests, synthetic_selectivity};
+use selearn_serve::synth::{
+    synthetic_mixed_model, synthetic_mixed_requests, synthetic_model, synthetic_requests,
+    synthetic_selectivity, synthetic_shape_selectivity,
+};
 use selearn_serve::{
     run_load, start, start_with_feedback, Client, DegradeReason, DurableFeedback, FeedbackSink,
-    LoadOptions, ModelRegistry, Request, Response, ServerConfig, DEFAULT_MODEL,
+    LoadOptions, ModelRegistry, Request, Response, ServerConfig, ShapeKind, DEFAULT_MODEL,
 };
 use selearn_store::{ModelStore, StoreConfig};
 use std::sync::Arc;
@@ -27,12 +30,7 @@ fn request_response_paths() {
     let mut client = Client::connect(&addr).expect("connect");
 
     // A real estimate.
-    let req = Request {
-        est: DEFAULT_MODEL.into(),
-        lo: vec![0.1, 0.2],
-        hi: vec![0.6, 0.7],
-        id: Some(1),
-    };
+    let req = Request::rect(DEFAULT_MODEL, vec![0.1, 0.2], vec![0.6, 0.7], Some(1));
     let first = client.call(&req).expect("first call");
     let Response::Estimate {
         id,
@@ -84,6 +82,108 @@ fn request_response_paths() {
 }
 
 #[test]
+fn mixed_shape_requests_round_trip_end_to_end() {
+    // The tentpole acceptance test: a model trained on a mixed-shape
+    // workload serves rect, halfspace, and ball queries over a real
+    // socket — correct non-degraded answers, per-shape counters, a
+    // shape-aware cache, and typed errors for non-finite parameters.
+    let (model, root) = synthetic_mixed_model(2, 360, 11).expect("mixed synthetic fit");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(DEFAULT_MODEL, Arc::new(model), root);
+    let handle = start(ServerConfig::default(), registry).expect("server start");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    // A small mixed pool: first sightings must be uncached, correct, and
+    // non-degraded; exact repeats must hit the cache with the same answer.
+    let pool = synthetic_mixed_requests(2, 12, 23);
+    let mut first_answers = Vec::new();
+    for req in &pool {
+        let resp = client.call(req).expect("first pass call");
+        let Response::Estimate {
+            sel,
+            degraded,
+            cached,
+            ..
+        } = resp
+        else {
+            panic!("expected estimate, got {resp:?}");
+        };
+        assert_eq!(degraded, None, "mixed-shape answers must not degrade");
+        assert!(!cached, "first sighting of a shape cannot be a cache hit");
+        let truth = synthetic_shape_selectivity(&req.shape);
+        assert!(
+            (sel - truth).abs() < 0.3,
+            "{} answer {sel} too far from truth {truth}",
+            req.shape.kind().as_str()
+        );
+        first_answers.push(sel);
+    }
+    let hits_before_repeat = handle.cache().hits();
+    for (req, &expected) in pool.iter().zip(&first_answers) {
+        let resp = client.call(req).expect("repeat pass call");
+        let Response::Estimate { sel, cached, .. } = resp else {
+            panic!("expected estimate, got {resp:?}");
+        };
+        assert!(cached, "exact repeat of {:?} missed the cache", req.shape.kind());
+        assert_eq!(sel, expected, "cached answer diverged");
+    }
+    assert_eq!(
+        handle.cache().hits() - hits_before_repeat,
+        pool.len() as u64,
+        "every repeat must be a cache hit"
+    );
+
+    // Per-shape counters saw both passes (12 requests × 2 = 8 per shape).
+    let stats = handle.stats();
+    assert_eq!(stats.rect_requests(), 8);
+    assert_eq!(stats.halfspace_requests(), 8);
+    assert_eq!(stats.ball_requests(), 8);
+
+    // Cross-shape isolation: a rect, a halfspace, and a ball engineered
+    // over the same center never alias each other's cache entries — each
+    // first sighting is a miss even with the others already cached.
+    let probes = [
+        Request::rect(DEFAULT_MODEL, vec![0.2, 0.2], vec![0.8, 0.8], None),
+        Request::halfspace(DEFAULT_MODEL, vec![1.0, 0.0], 0.5, None),
+        Request::ball(DEFAULT_MODEL, vec![0.5, 0.5], 0.3, None),
+    ];
+    for probe in &probes {
+        let resp = client.call(probe).expect("probe");
+        let Response::Estimate { cached, .. } = resp else {
+            panic!("expected estimate, got {resp:?}");
+        };
+        assert!(
+            !cached,
+            "fresh {:?} probe aliased another shape's cache entry",
+            probe.shape.kind()
+        );
+    }
+    assert_eq!(
+        [ShapeKind::Rect, ShapeKind::Halfspace, ShapeKind::Ball].len(),
+        probes.len()
+    );
+
+    // Non-finite parameters answer typed errors — never a clamped or
+    // poisoned estimate — and leave the connection usable.
+    for line in [
+        r#"{"est":"default","lo":[0.1,1e999],"hi":[0.5,0.5]}"#,
+        r#"{"est":"default","shape":"halfspace","normal":[1e999,0.0],"offset":0.5}"#,
+        r#"{"est":"default","shape":"ball","center":[0.5,0.5],"radius":1e999}"#,
+    ] {
+        client.send_line(line).expect("send non-finite");
+        let resp = client.recv().expect("recv");
+        assert!(
+            matches!(resp, Response::Error { .. }),
+            "non-finite line answered {resp:?}"
+        );
+    }
+    let resp = client.call(&probes[1]).expect("call after errors");
+    assert!(matches!(resp, Response::Estimate { cached: true, .. }));
+
+    handle.shutdown();
+}
+
+#[test]
 fn hot_swap_changes_answers_and_invalidates_cache() {
     struct Constant(f64);
     impl SelectivityEstimator for Constant {
@@ -103,12 +203,7 @@ fn hot_swap_changes_answers_and_invalidates_cache() {
     let handle = start(ServerConfig::default(), Arc::clone(&registry)).expect("start");
     let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
 
-    let req = Request {
-        est: DEFAULT_MODEL.into(),
-        lo: vec![0.1, 0.1],
-        hi: vec![0.4, 0.4],
-        id: None,
-    };
+    let req = Request::rect(DEFAULT_MODEL, vec![0.1, 0.1], vec![0.4, 0.4], None);
     // Warm the cache with the old model's answer.
     for _ in 0..2 {
         client.call(&req).expect("warm");
@@ -162,13 +257,13 @@ fn sheds_load_with_degraded_answers_when_queue_saturated() {
 
     let burst = 12;
     for i in 0..burst {
-        let req = Request {
-            est: DEFAULT_MODEL.into(),
-            // Distinct boxes so answers are distinguishable from caching.
-            lo: vec![0.01 * i as f64],
-            hi: vec![0.5 + 0.01 * i as f64],
-            id: Some(i),
-        };
+        // Distinct boxes so answers are distinguishable from caching.
+        let req = Request::rect(
+            DEFAULT_MODEL,
+            vec![0.01 * i as f64],
+            vec![0.5 + 0.01 * i as f64],
+            Some(i),
+        );
         client.send_line(&req.to_json()).expect("pipeline send");
     }
     let mut real = 0;
@@ -260,12 +355,12 @@ fn soak_10k_requests_with_concurrent_hot_swap() {
     // root is still a probability.
     let mut probe = Client::connect(&addr).expect("probe connect");
     let resp = probe
-        .call(&Request {
-            est: DEFAULT_MODEL.into(),
-            lo: root.lo().to_vec(),
-            hi: root.hi().to_vec(),
-            id: None,
-        })
+        .call(&Request::rect(
+            DEFAULT_MODEL,
+            root.lo().to_vec(),
+            root.hi().to_vec(),
+            None,
+        ))
         .expect("probe");
     match resp {
         Response::Estimate { sel, .. } => assert!((0.0..=1.0).contains(&sel)),
@@ -343,13 +438,7 @@ fn kill_and_restart_loses_no_acknowledged_feedback() {
         let (lo, hi) = bx(i);
         if i % 2 == 0 {
             let sel = synthetic_selectivity(&lo, &hi);
-            let fb = selearn_serve::Feedback {
-                est: DEFAULT_MODEL.into(),
-                lo,
-                hi,
-                sel,
-                id: Some(i as u64),
-            };
+            let fb = selearn_serve::Feedback::rect(DEFAULT_MODEL, lo, hi, sel, Some(i as u64));
             match client.feedback(&fb).expect("feedback") {
                 Response::Ack {
                     lsn, generation, ..
@@ -358,12 +447,7 @@ fn kill_and_restart_loses_no_acknowledged_feedback() {
             }
         } else {
             let resp = client
-                .call(&Request {
-                    est: DEFAULT_MODEL.into(),
-                    lo,
-                    hi,
-                    id: Some(i as u64),
-                })
+                .call(&Request::rect(DEFAULT_MODEL, lo, hi, Some(i as u64)))
                 .expect("estimate");
             assert!(matches!(resp, Response::Estimate { .. }), "got {resp:?}");
         }
@@ -375,13 +459,7 @@ fn kill_and_restart_loses_no_acknowledged_feedback() {
     for i in 1200..2000usize {
         let (lo, hi) = bx(i);
         let sel = synthetic_selectivity(&lo, &hi);
-        let fb = selearn_serve::Feedback {
-            est: DEFAULT_MODEL.into(),
-            lo,
-            hi,
-            sel,
-            id: Some(i as u64),
-        };
+        let fb = selearn_serve::Feedback::rect(DEFAULT_MODEL, lo, hi, sel, Some(i as u64));
         if client.send_line(&fb.to_json()).is_err() {
             break; // server already tore the connection down
         }
@@ -448,13 +526,7 @@ fn kill_and_restart_loses_no_acknowledged_feedback() {
     for i in 0..100usize {
         let (lo, hi) = bx(i * 7);
         let sel = synthetic_selectivity(&lo, &hi);
-        let fb = selearn_serve::Feedback {
-            est: DEFAULT_MODEL.into(),
-            lo,
-            hi,
-            sel,
-            id: Some(i as u64),
-        };
+        let fb = selearn_serve::Feedback::rect(DEFAULT_MODEL, lo, hi, sel, Some(i as u64));
         match client.feedback(&fb).expect("post-restart feedback") {
             Response::Ack {
                 lsn, generation, ..
@@ -479,13 +551,8 @@ fn kill_and_restart_loses_no_acknowledged_feedback() {
 fn feedback_without_a_store_answers_a_typed_error() {
     let (handle, _root) = serve_synthetic(ServerConfig::default());
     let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
-    let fb = selearn_serve::Feedback {
-        est: DEFAULT_MODEL.into(),
-        lo: vec![0.1, 0.1],
-        hi: vec![0.4, 0.4],
-        sel: 0.2,
-        id: Some(1),
-    };
+    let fb =
+        selearn_serve::Feedback::rect(DEFAULT_MODEL, vec![0.1, 0.1], vec![0.4, 0.4], 0.2, Some(1));
     let resp = client.feedback(&fb).expect("feedback");
     let Response::Error { id, message } = resp else {
         panic!("expected error, got {resp:?}");
@@ -494,12 +561,12 @@ fn feedback_without_a_store_answers_a_typed_error() {
     assert!(message.contains("--store-dir"), "{message}");
     // The connection still serves estimates afterwards.
     let resp = client
-        .call(&Request {
-            est: DEFAULT_MODEL.into(),
-            lo: vec![0.1, 0.1],
-            hi: vec![0.4, 0.4],
-            id: None,
-        })
+        .call(&Request::rect(
+            DEFAULT_MODEL,
+            vec![0.1, 0.1],
+            vec![0.4, 0.4],
+            None,
+        ))
         .expect("estimate after rejected feedback");
     assert!(matches!(resp, Response::Estimate { .. }));
     handle.shutdown();
@@ -524,11 +591,11 @@ fn shutdown_is_clean_and_idempotent_under_load() {
     handle.shutdown();
     // The port must actually be released/refusing after shutdown.
     assert!(Client::connect(&addr)
-        .and_then(|mut c| c.call(&Request {
-            est: DEFAULT_MODEL.into(),
-            lo: vec![0.1, 0.1],
-            hi: vec![0.2, 0.2],
-            id: None,
-        }))
+        .and_then(|mut c| c.call(&Request::rect(
+            DEFAULT_MODEL,
+            vec![0.1, 0.1],
+            vec![0.2, 0.2],
+            None,
+        )))
         .is_err());
 }

@@ -36,6 +36,9 @@ fn run_class(data: &Dataset, qt: QueryType, label: &str) -> Result<(), SelearnEr
             QueryType::Rect => RangeClass::Rect.sample_exponent(data.dim()),
             QueryType::Halfspace => RangeClass::Halfspace.sample_exponent(data.dim()),
             QueryType::Ball => RangeClass::Ball.sample_exponent(data.dim()),
+            // Mixed streams have no single sample-complexity class; bound
+            // by the hardest member (balls).
+            QueryType::Mixed => RangeClass::Ball.sample_exponent(data.dim()),
         }
     );
     Ok(())
